@@ -1,0 +1,256 @@
+//! The battery management system facade and SoC cycle statistics.
+
+use ev_units::{Percent, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::{Battery, BatteryParams, SohModel};
+
+/// SoC statistics of a discharge cycle: the average (Eq. 17) and the RMS
+/// deviation (Eq. 16) that drive the SoH degradation model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SocStats {
+    /// `SoC_avg` in percent.
+    pub avg: f64,
+    /// `SoC_dev` in percent (root-mean-square deviation from the mean).
+    pub dev: f64,
+}
+
+impl SocStats {
+    /// Computes the statistics from a uniformly sampled SoC trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn from_trace(soc: &[f64]) -> Self {
+        assert!(!soc.is_empty(), "soc trace must be non-empty");
+        let n = soc.len() as f64;
+        let avg = soc.iter().sum::<f64>() / n;
+        let var = soc.iter().map(|s| (s - avg).powi(2)).sum::<f64>() / n;
+        Self {
+            avg,
+            dev: var.sqrt(),
+        }
+    }
+}
+
+/// The battery management system: wraps the [`Battery`], enforces power
+/// limits, records the SoC trace of the drive, and evaluates the cycle's
+/// SoH degradation.
+///
+/// This is the component the paper's climate controller *coordinates
+/// with*: the controller asks the BMS for the current SoC and running
+/// SoC average; the BMS meters every power request into the pack.
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::{BatteryParams, Bms, SohModel};
+/// use ev_units::{Seconds, Watts};
+///
+/// let mut bms = Bms::new(BatteryParams::leaf_24kwh(), SohModel::default());
+/// for _ in 0..600 {
+///     bms.apply_load(Watts::new(15_000.0), Seconds::new(1.0));
+/// }
+/// let stats = bms.cycle_stats();
+/// assert!(stats.avg < 95.0);
+/// assert!(bms.cycle_degradation() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bms {
+    battery: Battery,
+    soh_model: SohModel,
+    /// Maximum discharge power the BMS allows.
+    max_discharge: Watts,
+    /// Maximum charge (regeneration) power the BMS allows.
+    max_charge: Watts,
+    /// Recorded SoC trace for the current cycle (one entry per step).
+    trace: Vec<f64>,
+}
+
+impl Bms {
+    /// Creates a BMS with Leaf-appropriate power limits (90 kW discharge,
+    /// 50 kW charge).
+    #[must_use]
+    pub fn new(params: BatteryParams, soh_model: SohModel) -> Self {
+        let battery = Battery::new(params);
+        let initial = battery.soc().value();
+        Self {
+            battery,
+            soh_model,
+            max_discharge: Watts::new(90_000.0),
+            max_charge: Watts::new(50_000.0),
+            trace: vec![initial],
+        }
+    }
+
+    /// Sets custom power limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is negative.
+    #[must_use]
+    pub fn with_power_limits(mut self, max_discharge: Watts, max_charge: Watts) -> Self {
+        assert!(
+            max_discharge.value() >= 0.0 && max_charge.value() >= 0.0,
+            "power limits must be non-negative"
+        );
+        self.max_discharge = max_discharge;
+        self.max_charge = max_charge;
+        self
+    }
+
+    /// Borrows the wrapped battery.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Current SoC.
+    #[must_use]
+    pub fn soc(&self) -> Percent {
+        self.battery.soc()
+    }
+
+    /// Running SoC average over the cycle so far (Eq. 17 prefix) — the
+    /// quantity the MPC cost function references.
+    #[must_use]
+    pub fn running_soc_avg(&self) -> f64 {
+        self.trace.iter().sum::<f64>() / self.trace.len() as f64
+    }
+
+    /// Meters a power request into the battery, clamped to the BMS power
+    /// limits, and records the SoC. Returns the power actually applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn apply_load(&mut self, power: Watts, dt: Seconds) -> Watts {
+        let clamped = Watts::new(power.value().clamp(
+            -self.max_charge.value(),
+            self.max_discharge.value(),
+        ));
+        self.battery.step(clamped, dt);
+        self.trace.push(self.battery.soc().value());
+        clamped
+    }
+
+    /// SoC statistics of the recorded cycle (Eq. 16–17).
+    #[must_use]
+    pub fn cycle_stats(&self) -> SocStats {
+        SocStats::from_trace(&self.trace)
+    }
+
+    /// ΔSoH of the recorded cycle (Eq. 15), in percent capacity.
+    #[must_use]
+    pub fn cycle_degradation(&self) -> f64 {
+        self.soh_model.degradation(self.cycle_stats())
+    }
+
+    /// Battery lifetime if every cycle looked like the recorded one.
+    #[must_use]
+    pub fn cycles_to_eol(&self) -> f64 {
+        self.soh_model.cycles_to_eol(self.cycle_stats())
+    }
+
+    /// Borrows the recorded SoC trace.
+    #[must_use]
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+
+    /// Starts a new cycle: clears the trace (the battery SoC carries
+    /// over) .
+    pub fn start_cycle(&mut self) {
+        let soc = self.battery.soc().value();
+        self.trace.clear();
+        self.trace.push(soc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bms() -> Bms {
+        Bms::new(BatteryParams::leaf_24kwh(), SohModel::default())
+    }
+
+    #[test]
+    fn soc_stats_hand_calculation() {
+        let s = SocStats::from_trace(&[90.0, 80.0, 70.0]);
+        assert!((s.avg - 80.0).abs() < 1e-12);
+        let expected_dev = (200.0f64 / 3.0).sqrt();
+        assert!((s.dev - expected_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_trace_has_zero_dev() {
+        let s = SocStats::from_trace(&[75.0; 10]);
+        assert_eq!(s.avg, 75.0);
+        assert_eq!(s.dev, 0.0);
+    }
+
+    #[test]
+    fn power_limit_clamps() {
+        let mut b = bms().with_power_limits(Watts::new(10_000.0), Watts::new(5_000.0));
+        let applied = b.apply_load(Watts::new(50_000.0), Seconds::new(1.0));
+        assert_eq!(applied.value(), 10_000.0);
+        let regen = b.apply_load(Watts::new(-50_000.0), Seconds::new(1.0));
+        assert_eq!(regen.value(), -5_000.0);
+    }
+
+    #[test]
+    fn trace_grows_and_stats_follow() {
+        let mut b = bms();
+        for _ in 0..10 {
+            b.apply_load(Watts::new(30_000.0), Seconds::new(10.0));
+        }
+        assert_eq!(b.trace().len(), 11);
+        let stats = b.cycle_stats();
+        assert!(stats.avg < 95.0 && stats.dev > 0.0);
+        assert!(b.cycle_degradation() > 0.0);
+        assert!(b.cycles_to_eol().is_finite());
+    }
+
+    #[test]
+    fn flat_load_degrades_less_than_spiky_load_of_same_energy() {
+        // Same total energy: constant 15 kW vs alternating 0 / 30 kW.
+        let mut flat = bms();
+        let mut spiky = bms();
+        for k in 0..600 {
+            flat.apply_load(Watts::new(15_000.0), Seconds::new(1.0));
+            let p = if k % 2 == 0 { 30_000.0 } else { 0.0 };
+            spiky.apply_load(Watts::new(p), Seconds::new(1.0));
+        }
+        // The spiky load suffers extra Peukert losses (lower final SoC)…
+        assert!(spiky.soc().value() <= flat.soc().value() + 1e-9);
+        // …and this shows up as at least as much degradation.
+        assert!(spiky.cycle_degradation() >= flat.cycle_degradation() - 1e-12);
+    }
+
+    #[test]
+    fn running_avg_tracks_trace() {
+        let mut b = bms();
+        b.apply_load(Watts::new(40_000.0), Seconds::new(300.0));
+        let avg = b.running_soc_avg();
+        let manual = b.trace().iter().sum::<f64>() / b.trace().len() as f64;
+        assert!((avg - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_cycle_resets_trace_only() {
+        let mut b = bms();
+        b.apply_load(Watts::new(30_000.0), Seconds::new(600.0));
+        let soc = b.soc().value();
+        b.start_cycle();
+        assert_eq!(b.trace().len(), 1);
+        assert_eq!(b.trace()[0], soc);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn stats_reject_empty_trace() {
+        let _ = SocStats::from_trace(&[]);
+    }
+}

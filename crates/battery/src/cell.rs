@@ -1,0 +1,307 @@
+//! The battery state: power → current → Peukert-corrected SoC.
+
+use ev_units::{Amperes, Percent, Seconds, Volts, Watts};
+
+use crate::BatteryParams;
+
+/// The traction battery: tracks state of charge under a power load using
+/// Peukert's law (the paper's Eq. 13–14) and a terminal-voltage model
+/// `V = V_oc(SoC) − I·R` for the power-to-current conversion.
+///
+/// Positive power discharges the pack; negative power (regeneration)
+/// charges it through the coulombic charge efficiency.
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::{Battery, BatteryParams};
+/// use ev_units::{Seconds, Watts};
+///
+/// let mut b = Battery::new(BatteryParams::leaf_24kwh());
+/// let before = b.soc();
+/// b.step(Watts::new(30_000.0), Seconds::new(10.0));
+/// assert!(b.soc() < before);
+/// // Regeneration puts charge back.
+/// let low = b.soc();
+/// b.step(Watts::new(-20_000.0), Seconds::new(10.0));
+/// assert!(b.soc() > low);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    params: BatteryParams,
+    soc: f64,
+    /// Cumulative discharged charge (Ah), diagnostics.
+    discharged_ah: f64,
+    /// Cumulative recharged charge (Ah), diagnostics.
+    charged_ah: f64,
+}
+
+impl Battery {
+    /// Creates a battery at the configured initial SoC.
+    #[must_use]
+    pub fn new(params: BatteryParams) -> Self {
+        let soc = params.initial_soc.value();
+        Self {
+            params,
+            soc,
+            discharged_ah: 0.0,
+            charged_ah: 0.0,
+        }
+    }
+
+    /// Borrows the parameters.
+    #[must_use]
+    pub fn params(&self) -> &BatteryParams {
+        &self.params
+    }
+
+    /// Current state of charge.
+    #[must_use]
+    pub fn soc(&self) -> Percent {
+        Percent::new(self.soc)
+    }
+
+    /// Resets to a given SoC (e.g. the start of a new discharge cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 100]`.
+    pub fn reset_soc(&mut self, soc: Percent) {
+        assert!(
+            (0.0..=100.0).contains(&soc.value()),
+            "soc must lie in [0, 100]"
+        );
+        self.soc = soc.value();
+    }
+
+    /// Total charge discharged so far (diagnostics).
+    #[must_use]
+    pub fn discharged_ah(&self) -> f64 {
+        self.discharged_ah
+    }
+
+    /// Total charge recharged so far (diagnostics).
+    #[must_use]
+    pub fn charged_ah(&self) -> f64 {
+        self.charged_ah
+    }
+
+    /// Open-circuit voltage at the present SoC.
+    #[must_use]
+    pub fn open_circuit_voltage(&self) -> Volts {
+        self.params.ocv.voltage(self.soc())
+    }
+
+    /// Solves the terminal current for a requested power:
+    /// `P = (V_oc − I·R)·I` ⇒ `I = (V_oc − √(V_oc² − 4·R·P)) / (2R)`.
+    ///
+    /// Discharge power beyond the pack's deliverable maximum
+    /// (`V_oc²/4R`) is clamped to that maximum. For charging the same
+    /// quadratic applies with negative current.
+    #[must_use]
+    pub fn current_for_power(&self, power: Watts) -> Amperes {
+        let voc = self.open_circuit_voltage().value();
+        let r = self.params.internal_resistance.value();
+        let p = power.value();
+        if r == 0.0 {
+            return Amperes::new(p / voc);
+        }
+        let disc = voc * voc - 4.0 * r * p;
+        if disc <= 0.0 {
+            // Requested more than the pack can deliver: max-power current.
+            return Amperes::new(voc / (2.0 * r));
+        }
+        Amperes::new((voc - disc.sqrt()) / (2.0 * r))
+    }
+
+    /// The Peukert effective current `I_eff = I·(I/In)^(pc−1)` (Eq. 14)
+    /// for a discharge current; charging current is scaled by the
+    /// coulombic efficiency instead.
+    #[must_use]
+    pub fn effective_current(&self, current: Amperes) -> Amperes {
+        let i = current.value();
+        if i > 0.0 {
+            let ratio = i / self.params.nominal_current.value();
+            Amperes::new(i * ratio.powf(self.params.peukert_constant - 1.0))
+        } else {
+            Amperes::new(i * self.params.charge_efficiency)
+        }
+    }
+
+    /// Advances the SoC under constant terminal power for `dt`
+    /// (the discretized Eq. 13). Returns the new SoC.
+    ///
+    /// The SoC saturates at the configured `[min_soc, max_soc]` window —
+    /// the BMS cut-offs the paper attributes to battery management.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn step(&mut self, power: Watts, dt: Seconds) -> Percent {
+        assert!(dt.value() > 0.0, "battery step must be positive");
+        let i = self.current_for_power(power);
+        let i_eff = self.effective_current(i).value();
+        let cn_as = self.params.nominal_capacity.value() * 3600.0;
+        let delta = 100.0 * i_eff * dt.value() / cn_as;
+        self.soc = (self.soc - delta).clamp(
+            self.params.min_soc.value(),
+            self.params.max_soc.value(),
+        );
+        let ah = i.value().abs() * dt.value() / 3600.0;
+        if i.value() > 0.0 {
+            self.discharged_ah += ah;
+        } else {
+            self.charged_ah += ah;
+        }
+        self.soc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OcvCurve;
+    use ev_units::{AmpereHours, Ohms};
+
+    fn battery() -> Battery {
+        Battery::new(BatteryParams::leaf_24kwh())
+    }
+
+    /// An idealized pack for hand calculations: flat 360 V OCV, zero
+    /// resistance, no Peukert effect.
+    fn ideal() -> Battery {
+        Battery::new(BatteryParams {
+            nominal_capacity: AmpereHours::new(66.0),
+            nominal_current: Amperes::new(22.0),
+            peukert_constant: 1.0,
+            ocv: OcvCurve::from_breakpoints(&[(0.0, 360.0), (100.0, 360.0)]),
+            internal_resistance: Ohms::new(0.0),
+            charge_efficiency: 1.0,
+            initial_soc: Percent::new(90.0),
+            min_soc: Percent::new(0.0),
+            max_soc: Percent::new(100.0),
+        })
+    }
+
+    #[test]
+    fn ideal_discharge_hand_calculation() {
+        let mut b = ideal();
+        // 36 kW at 360 V = 100 A = 100/66 C-rate; 1 hour drains
+        // 100 Ah / 66 Ah = 151 % — use 6 minutes: 10 Ah = 15.15 %.
+        for _ in 0..360 {
+            b.step(Watts::new(36_000.0), Seconds::new(1.0));
+        }
+        let expected = 90.0 - 100.0 * 10.0 / 66.0;
+        assert!((b.soc().value() - expected).abs() < 1e-9, "soc {}", b.soc());
+    }
+
+    #[test]
+    fn peukert_drains_faster_at_high_current() {
+        let mk = |pc: f64| {
+            Battery::new(BatteryParams {
+                peukert_constant: pc,
+                ..ideal().params.clone()
+            })
+        };
+        let mut ideal_b = mk(1.0);
+        let mut peukert_b = mk(1.2);
+        // 72 kW = 200 A, well above the 22 A nominal.
+        for _ in 0..60 {
+            ideal_b.step(Watts::new(72_000.0), Seconds::new(1.0));
+            peukert_b.step(Watts::new(72_000.0), Seconds::new(1.0));
+        }
+        assert!(
+            peukert_b.soc().value() < ideal_b.soc().value() - 0.05,
+            "peukert {} vs ideal {}",
+            peukert_b.soc(),
+            ideal_b.soc()
+        );
+    }
+
+    #[test]
+    fn peukert_is_neutral_at_nominal_current() {
+        let b = ideal();
+        let i = Amperes::new(22.0);
+        let mut with_pc = ideal().params.clone();
+        with_pc.peukert_constant = 1.3;
+        let b2 = Battery::new(with_pc);
+        assert!(
+            (b.effective_current(i).value() - b2.effective_current(i).value()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn regen_restores_charge_with_efficiency_loss() {
+        let mut b = ideal();
+        let start = b.soc().value();
+        b.step(Watts::new(36_000.0), Seconds::new(60.0));
+        let low = b.soc().value();
+        b.step(Watts::new(-36_000.0), Seconds::new(60.0));
+        let end = b.soc().value();
+        assert!(end > low);
+        assert!((end - start).abs() < 1e-9, "ideal round trip is lossless");
+        // With 95 % charge efficiency the round trip loses charge.
+        let mut lossy_params = ideal().params.clone();
+        lossy_params.charge_efficiency = 0.95;
+        let mut lb = Battery::new(lossy_params);
+        lb.step(Watts::new(36_000.0), Seconds::new(60.0));
+        lb.step(Watts::new(-36_000.0), Seconds::new(60.0));
+        assert!(lb.soc().value() < start);
+    }
+
+    #[test]
+    fn internal_resistance_raises_current_draw() {
+        let b = battery(); // 0.1 Ω pack
+        let i = b.current_for_power(Watts::new(30_000.0)).value();
+        let voc = b.open_circuit_voltage().value();
+        let ideal_i = 30_000.0 / voc;
+        assert!(i > ideal_i, "sag increases current: {i} vs {ideal_i}");
+        // Terminal power is reproduced: (Voc − I·R)·I = P.
+        let p = (voc - i * 0.1) * i;
+        assert!((p - 30_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn over_power_request_clamps_to_max_deliverable() {
+        let b = battery();
+        let voc = b.open_circuit_voltage().value();
+        let max_i = voc / 0.2;
+        let i = b.current_for_power(Watts::new(1e9)).value();
+        assert!((i - max_i).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soc_saturates_at_limits() {
+        let mut b = battery();
+        for _ in 0..100_000 {
+            b.step(Watts::new(50_000.0), Seconds::new(1.0));
+        }
+        assert_eq!(b.soc().value(), 10.0); // min_soc floor
+        for _ in 0..100_000 {
+            b.step(Watts::new(-50_000.0), Seconds::new(1.0));
+        }
+        assert_eq!(b.soc().value(), 100.0); // max_soc ceiling
+    }
+
+    #[test]
+    fn charge_bookkeeping() {
+        let mut b = ideal();
+        b.step(Watts::new(36_000.0), Seconds::new(36.0)); // 1 Ah out
+        b.step(Watts::new(-36_000.0), Seconds::new(18.0)); // 0.5 Ah back
+        assert!((b.discharged_ah() - 1.0).abs() < 1e-9);
+        assert!((b.charged_ah() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_soc_works() {
+        let mut b = battery();
+        b.reset_soc(Percent::new(50.0));
+        assert_eq!(b.soc().value(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn reset_rejects_invalid() {
+        battery().reset_soc(Percent::new(120.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! SoC estimation: coulomb counting with OCV correction.
+//!
+//! The plant [`crate::Battery`] knows its true SoC; a real BMS does not —
+//! it *estimates* SoC from the measured current (coulomb counting, which
+//! drifts) corrected toward the open-circuit-voltage inversion whenever
+//! the pack is near rest (when the terminal voltage approximates the
+//! OCV). This module provides that estimator so closed-loop studies can
+//! quantify how controller performance degrades with imperfect SoC
+//! feedback.
+
+use ev_units::{Amperes, Percent, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::{BatteryParams, OcvCurve};
+
+/// Configuration of the [`SocEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Relative gain error of the current sensor (e.g. 0.02 = reads 2 %
+    /// high), the dominant coulomb-counting drift source.
+    pub current_gain_error: f64,
+    /// Correction gain toward the OCV-inverted SoC when at rest, per
+    /// update (0 = pure coulomb counting, 1 = trust voltage fully).
+    pub ocv_correction_gain: f64,
+    /// |current| below which the pack counts as "at rest" and the OCV
+    /// correction applies.
+    pub rest_current: Amperes,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self {
+            current_gain_error: 0.0,
+            ocv_correction_gain: 0.05,
+            rest_current: Amperes::new(2.0),
+        }
+    }
+}
+
+/// Coulomb-counting SoC estimator with OCV rest correction.
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::{EstimatorConfig, SocEstimator, BatteryParams};
+/// use ev_units::{Amperes, Percent, Seconds, Volts};
+///
+/// let params = BatteryParams::leaf_24kwh();
+/// let mut est = SocEstimator::new(&params, Percent::new(95.0), EstimatorConfig::default());
+/// est.update(Amperes::new(50.0), Volts::new(380.0), Seconds::new(60.0));
+/// assert!(est.soc().value() < 95.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocEstimator {
+    capacity_as: f64,
+    ocv: OcvCurve,
+    config: EstimatorConfig,
+    soc: f64,
+}
+
+impl SocEstimator {
+    /// Creates the estimator from the pack parameters and an initial SoC
+    /// belief.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is outside `[0, 100]`.
+    #[must_use]
+    pub fn new(params: &BatteryParams, initial: Percent, config: EstimatorConfig) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&initial.value()),
+            "initial soc must lie in [0, 100]"
+        );
+        Self {
+            capacity_as: params.nominal_capacity.value() * 3600.0,
+            ocv: params.ocv.clone(),
+            config,
+            soc: initial.value(),
+        }
+    }
+
+    /// The current SoC estimate.
+    #[must_use]
+    pub fn soc(&self) -> Percent {
+        Percent::new(self.soc)
+    }
+
+    /// Inverts the OCV curve: the SoC whose OCV is closest to `voltage`
+    /// (bisection over the monotone curve).
+    #[must_use]
+    pub fn soc_from_ocv(&self, voltage: Volts) -> Percent {
+        let mut lo = 0.0f64;
+        let mut hi = 100.0f64;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.ocv.voltage(Percent::new(mid)).value() < voltage.value() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Percent::new(0.5 * (lo + hi))
+    }
+
+    /// One estimator update from a measured current (positive =
+    /// discharge) and terminal voltage over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn update(&mut self, current: Amperes, terminal: Volts, dt: Seconds) -> Percent {
+        assert!(dt.value() > 0.0, "estimator step must be positive");
+        // Coulomb counting with the sensor's gain error.
+        let measured = current.value() * (1.0 + self.config.current_gain_error);
+        self.soc -= 100.0 * measured * dt.value() / self.capacity_as;
+        self.soc = self.soc.clamp(0.0, 100.0);
+        // OCV correction at rest (terminal ≈ OCV there).
+        if current.value().abs() <= self.config.rest_current.value() {
+            let ocv_soc = self.soc_from_ocv(terminal).value();
+            self.soc += self.config.ocv_correction_gain * (ocv_soc - self.soc);
+        }
+        self.soc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Battery;
+    use ev_units::Watts;
+
+    fn params() -> BatteryParams {
+        BatteryParams::leaf_24kwh()
+    }
+
+    #[test]
+    fn perfect_sensor_tracks_ideal_battery() {
+        // Against a resistance-free, Peukert-free pack the estimator is
+        // exact.
+        let ideal = BatteryParams {
+            internal_resistance: ev_units::Ohms::new(0.0),
+            peukert_constant: 1.0,
+            charge_efficiency: 1.0,
+            ..params()
+        };
+        let mut battery = Battery::new(ideal.clone());
+        let mut est = SocEstimator::new(&ideal, Percent::new(95.0), EstimatorConfig::default());
+        for _ in 0..600 {
+            let i = battery.current_for_power(Watts::new(10_000.0));
+            battery.step(Watts::new(10_000.0), Seconds::new(1.0));
+            est.update(i, battery.open_circuit_voltage(), Seconds::new(1.0));
+        }
+        assert!(
+            (est.soc().value() - battery.soc().value()).abs() < 0.05,
+            "est {} vs true {}",
+            est.soc(),
+            battery.soc()
+        );
+    }
+
+    #[test]
+    fn gain_error_accumulates_drift() {
+        let p = params();
+        let mut est = SocEstimator::new(
+            &p,
+            Percent::new(95.0),
+            EstimatorConfig {
+                current_gain_error: 0.05, // reads 5 % high
+                ..EstimatorConfig::default()
+            },
+        );
+        let mut exact = SocEstimator::new(&p, Percent::new(95.0), EstimatorConfig::default());
+        for _ in 0..1800 {
+            // 50 A discharge, never at rest → no OCV correction.
+            est.update(Amperes::new(50.0), Volts::new(370.0), Seconds::new(1.0));
+            exact.update(Amperes::new(50.0), Volts::new(370.0), Seconds::new(1.0));
+        }
+        let drift = exact.soc().value() - est.soc().value();
+        // 1800 s at 50 A = 25 Ah = 37.5 % discharged; 5 % of that ≈ 1.9 %.
+        assert!(drift > 1.7 && drift < 2.1, "drift {drift}");
+    }
+
+    #[test]
+    fn ocv_correction_pulls_back_at_rest() {
+        let p = params();
+        let mut est = SocEstimator::new(
+            &p,
+            Percent::new(80.0), // wrong belief
+            EstimatorConfig::default(),
+        );
+        // True SoC 50 %: OCV = 370 V. Rest for a while.
+        let ocv_50 = p.ocv.voltage(Percent::new(50.0));
+        for _ in 0..200 {
+            est.update(Amperes::new(0.0), ocv_50, Seconds::new(1.0));
+        }
+        assert!(
+            (est.soc().value() - 50.0).abs() < 1.0,
+            "corrected to {}",
+            est.soc()
+        );
+    }
+
+    #[test]
+    fn ocv_inversion_round_trips() {
+        let p = params();
+        let est = SocEstimator::new(&p, Percent::new(50.0), EstimatorConfig::default());
+        for soc in [5.0, 15.0, 35.0, 60.0, 85.0, 95.0] {
+            let v = p.ocv.voltage(Percent::new(soc));
+            let back = est.soc_from_ocv(v).value();
+            assert!((back - soc).abs() < 0.5, "soc {soc} → {back}");
+        }
+    }
+
+    #[test]
+    fn no_correction_while_driving() {
+        let p = params();
+        let mut est = SocEstimator::new(&p, Percent::new(80.0), EstimatorConfig::default());
+        // Large current: the (wrong) voltage must not be trusted.
+        let before = est.soc().value();
+        est.update(Amperes::new(100.0), Volts::new(300.0), Seconds::new(1.0));
+        let expected_cc = before - 100.0 * 100.0 / (p.nominal_capacity.value() * 3600.0);
+        assert!((est.soc().value() - expected_cc).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn rejects_bad_initial() {
+        let _ = SocEstimator::new(&params(), Percent::new(150.0), EstimatorConfig::default());
+    }
+}

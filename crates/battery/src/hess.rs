@@ -1,0 +1,429 @@
+//! Hybrid Energy Storage System: battery + ultracapacitor.
+//!
+//! The paper's introduction situates its BMS in the context of HESS
+//! architectures (its ref [3]): an ultracapacitor bank absorbs the
+//! high-frequency power transients so the battery sees a smoother load —
+//! the same SoC-flattening goal the climate controller pursues, attacked
+//! from the hardware side. This module implements that substrate as an
+//! optional extension so the two mechanisms can be compared and combined.
+
+use ev_units::{Seconds, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::{Battery, BatteryParams};
+
+/// An ideal-ESR ultracapacitor bank.
+///
+/// State is the stored energy; usable power is limited by the rated
+/// current at the present voltage, and the voltage window is
+/// `[v_min, v_max]` (converters cannot drain a cap to zero volts).
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::Ultracapacitor;
+/// use ev_units::{Seconds, Watts};
+///
+/// let mut cap = Ultracapacitor::transit_bank();
+/// let accepted = cap.exchange(Watts::new(-20_000.0), Seconds::new(1.0)); // charge
+/// assert!(accepted.value() < 0.0);
+/// let delivered = cap.exchange(Watts::new(15_000.0), Seconds::new(1.0)); // discharge
+/// assert!(delivered.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ultracapacitor {
+    /// Capacitance (F).
+    capacitance: f64,
+    /// Maximum (rated) voltage.
+    v_max: f64,
+    /// Minimum usable voltage (converter limit).
+    v_min: f64,
+    /// Round-trip efficiency applied to charging.
+    efficiency: f64,
+    /// Present voltage.
+    voltage: f64,
+}
+
+impl Ultracapacitor {
+    /// A transit-bus-class bank: 63 F at 125 V (≈0.12 kWh usable),
+    /// scaled-down appropriate for a passenger EV assist.
+    #[must_use]
+    pub fn transit_bank() -> Self {
+        Self {
+            capacitance: 63.0,
+            v_max: 125.0,
+            v_min: 50.0,
+            efficiency: 0.95,
+            voltage: 90.0,
+        }
+    }
+
+    /// Creates a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-positive, the voltage window is
+    /// inverted, or the initial voltage lies outside the window.
+    #[must_use]
+    pub fn new(capacitance: f64, v_min: Volts, v_max: Volts, initial: Volts) -> Self {
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        assert!(
+            0.0 < v_min.value() && v_min.value() < v_max.value(),
+            "voltage window inverted"
+        );
+        assert!(
+            (v_min.value()..=v_max.value()).contains(&initial.value()),
+            "initial voltage outside window"
+        );
+        Self {
+            capacitance,
+            v_max: v_max.value(),
+            v_min: v_min.value(),
+            efficiency: 0.95,
+            voltage: initial.value(),
+        }
+    }
+
+    /// Present terminal voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Volts {
+        Volts::new(self.voltage)
+    }
+
+    /// Usable stored energy above the minimum voltage (J).
+    #[must_use]
+    pub fn usable_energy_j(&self) -> f64 {
+        0.5 * self.capacitance * (self.voltage * self.voltage - self.v_min * self.v_min)
+    }
+
+    /// Remaining charge *headroom* below the maximum voltage (J).
+    #[must_use]
+    pub fn headroom_j(&self) -> f64 {
+        0.5 * self.capacitance * (self.v_max * self.v_max - self.voltage * self.voltage)
+    }
+
+    /// State of charge of the usable window, 0–1.
+    #[must_use]
+    pub fn soc(&self) -> f64 {
+        let lo = self.v_min * self.v_min;
+        let hi = self.v_max * self.v_max;
+        ((self.voltage * self.voltage - lo) / (hi - lo)).clamp(0.0, 1.0)
+    }
+
+    /// Exchanges power with the bank for `dt`: positive discharges,
+    /// negative charges. Returns the power actually exchanged after
+    /// energy-window clamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn exchange(&mut self, power: Watts, dt: Seconds) -> Watts {
+        assert!(dt.value() > 0.0, "exchange step must be positive");
+        let p = power.value();
+        let actual = if p >= 0.0 {
+            // Discharge limited by usable energy.
+            let avail = self.usable_energy_j() / dt.value();
+            p.min(avail)
+        } else {
+            // Charge limited by headroom, derated by efficiency.
+            let room = self.headroom_j() / dt.value() / self.efficiency;
+            p.max(-room)
+        };
+        let de = if actual >= 0.0 {
+            -actual * dt.value()
+        } else {
+            -actual * dt.value() * self.efficiency
+        };
+        let e_now = 0.5 * self.capacitance * self.voltage * self.voltage;
+        let e_next = (e_now + de).max(0.0);
+        self.voltage = (2.0 * e_next / self.capacitance)
+            .sqrt()
+            .clamp(self.v_min, self.v_max);
+        Watts::new(actual)
+    }
+}
+
+/// The HESS charge-split policy: how much of a power transient the
+/// ultracapacitor absorbs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitPolicy {
+    /// The battery serves everything (degenerate baseline).
+    BatteryOnly,
+    /// The cap serves the excess above a battery power ceiling and
+    /// absorbs all regeneration it has room for.
+    PeakShave {
+        /// Battery power ceiling (W).
+        battery_ceiling_w: f64,
+    },
+    /// Exponential moving average split: the battery follows the slow
+    /// component, the cap serves the fast residual.
+    LowPass {
+        /// Smoothing constant per step, 0–1 (smaller = smoother battery).
+        alpha: f64,
+    },
+}
+
+/// A hybrid energy storage system: the battery plus an ultracapacitor
+/// behind a charge-split policy.
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::{BatteryParams, Hess, SplitPolicy, Ultracapacitor};
+/// use ev_units::{Seconds, Watts};
+///
+/// let mut hess = Hess::new(
+///     BatteryParams::leaf_24kwh(),
+///     Ultracapacitor::transit_bank(),
+///     SplitPolicy::PeakShave { battery_ceiling_w: 25_000.0 },
+/// );
+/// let split = hess.apply_load(Watts::new(60_000.0), Seconds::new(1.0));
+/// assert!(split.battery_power.value() <= 25_000.0 + 1e-9);
+/// assert!(split.cap_power.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hess {
+    battery: Battery,
+    cap: Ultracapacitor,
+    policy: SplitPolicy,
+    /// Low-pass state for [`SplitPolicy::LowPass`].
+    filtered: f64,
+}
+
+/// How one HESS step split the requested power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HessSplit {
+    /// Power served by (or into) the battery.
+    pub battery_power: Watts,
+    /// Power served by (or into) the ultracapacitor.
+    pub cap_power: Watts,
+}
+
+impl Hess {
+    /// Creates a HESS.
+    #[must_use]
+    pub fn new(battery: BatteryParams, cap: Ultracapacitor, policy: SplitPolicy) -> Self {
+        Self {
+            battery: Battery::new(battery),
+            cap,
+            policy,
+            filtered: 0.0,
+        }
+    }
+
+    /// Borrows the battery.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Borrows the ultracapacitor.
+    #[must_use]
+    pub fn ultracapacitor(&self) -> &Ultracapacitor {
+        &self.cap
+    }
+
+    /// Serves a load for `dt` according to the split policy; whatever the
+    /// cap cannot take falls back onto the battery, so the request is
+    /// always met (within battery capability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn apply_load(&mut self, power: Watts, dt: Seconds) -> HessSplit {
+        assert!(dt.value() > 0.0, "hess step must be positive");
+        let p = power.value();
+        let cap_request = match self.policy {
+            SplitPolicy::BatteryOnly => 0.0,
+            SplitPolicy::PeakShave { battery_ceiling_w } => {
+                if p > battery_ceiling_w {
+                    p - battery_ceiling_w
+                } else if p < 0.0 {
+                    p // caps love regen
+                } else {
+                    0.0
+                }
+            }
+            SplitPolicy::LowPass { alpha } => {
+                self.filtered += alpha.clamp(0.0, 1.0) * (p - self.filtered);
+                p - self.filtered
+            }
+        };
+        let cap_actual = self.cap.exchange(Watts::new(cap_request), dt);
+        let battery_power = Watts::new(p - cap_actual.value());
+        self.battery.step(battery_power, dt);
+        HessSplit {
+            battery_power,
+            cap_power: cap_actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_units::Percent;
+
+    fn cap() -> Ultracapacitor {
+        Ultracapacitor::transit_bank()
+    }
+
+    #[test]
+    fn cap_energy_window() {
+        let c = cap();
+        assert!(c.usable_energy_j() > 0.0);
+        assert!(c.headroom_j() > 0.0);
+        assert!(c.soc() > 0.0 && c.soc() < 1.0);
+    }
+
+    #[test]
+    fn cap_discharge_lowers_voltage_charge_raises_it() {
+        let mut c = cap();
+        let v0 = c.voltage().value();
+        c.exchange(Watts::new(5_000.0), Seconds::new(1.0));
+        assert!(c.voltage().value() < v0);
+        c.exchange(Watts::new(-10_000.0), Seconds::new(1.0));
+        assert!(c.voltage().value() > c.v_min);
+    }
+
+    #[test]
+    fn cap_respects_voltage_floor() {
+        let mut c = cap();
+        for _ in 0..10_000 {
+            c.exchange(Watts::new(50_000.0), Seconds::new(1.0));
+        }
+        assert!((c.voltage().value() - 50.0).abs() < 1e-6);
+        assert!(c.usable_energy_j() < 1e-6);
+        // Fully drained: discharge requests return ~0.
+        let p = c.exchange(Watts::new(1_000.0), Seconds::new(1.0));
+        assert!(p.value() < 1e-6);
+    }
+
+    #[test]
+    fn cap_respects_voltage_ceiling() {
+        let mut c = cap();
+        for _ in 0..10_000 {
+            c.exchange(Watts::new(-50_000.0), Seconds::new(1.0));
+        }
+        assert!((c.voltage().value() - 125.0).abs() < 1e-6);
+        let p = c.exchange(Watts::new(-1_000.0), Seconds::new(1.0));
+        assert!(p.value() > -1e-6, "no more charge accepted: {p:?}");
+    }
+
+    #[test]
+    fn charge_round_trip_loses_efficiency() {
+        let mut c = cap();
+        let e0 = c.usable_energy_j();
+        c.exchange(Watts::new(-10_000.0), Seconds::new(1.0));
+        c.exchange(Watts::new(10_000.0 * 0.95), Seconds::new(1.0));
+        let e1 = c.usable_energy_j();
+        assert!((e1 - e0).abs() < 1.0, "95 % in, 95 % of request out: {e0} vs {e1}");
+    }
+
+    #[test]
+    fn peak_shave_caps_battery_power() {
+        let mut h = Hess::new(
+            BatteryParams::leaf_24kwh(),
+            cap(),
+            SplitPolicy::PeakShave {
+                battery_ceiling_w: 20_000.0,
+            },
+        );
+        let split = h.apply_load(Watts::new(55_000.0), Seconds::new(1.0));
+        assert!((split.battery_power.value() - 20_000.0).abs() < 1e-6);
+        assert!((split.cap_power.value() - 35_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_shave_routes_regen_to_cap_first() {
+        let mut h = Hess::new(
+            BatteryParams::leaf_24kwh(),
+            cap(),
+            SplitPolicy::PeakShave {
+                battery_ceiling_w: 20_000.0,
+            },
+        );
+        let split = h.apply_load(Watts::new(-15_000.0), Seconds::new(1.0));
+        assert!(split.cap_power.value() < 0.0, "{split:?}");
+        // Battery sees only what the cap could not take.
+        assert!(split.battery_power.value().abs() < 15_000.0);
+    }
+
+    #[test]
+    fn depleted_cap_falls_back_to_battery() {
+        let mut h = Hess::new(
+            BatteryParams::leaf_24kwh(),
+            Ultracapacitor::new(10.0, Volts::new(50.0), Volts::new(60.0), Volts::new(51.0)),
+            SplitPolicy::PeakShave {
+                battery_ceiling_w: 10_000.0,
+            },
+        );
+        // Tiny cap: the second big pull must land on the battery.
+        let _ = h.apply_load(Watts::new(50_000.0), Seconds::new(1.0));
+        let split = h.apply_load(Watts::new(50_000.0), Seconds::new(1.0));
+        assert!(split.battery_power.value() > 45_000.0, "{split:?}");
+    }
+
+    #[test]
+    fn low_pass_smooths_battery_power() {
+        let mut h = Hess::new(
+            BatteryParams::leaf_24kwh(),
+            cap(),
+            SplitPolicy::LowPass { alpha: 0.1 },
+        );
+        // Alternating load: battery power variance must be far below the
+        // raw variance.
+        let mut battery_powers = Vec::new();
+        for k in 0..200 {
+            let p = if k % 2 == 0 { 30_000.0 } else { 0.0 };
+            let split = h.apply_load(Watts::new(p), Seconds::new(1.0));
+            battery_powers.push(split.battery_power.value());
+        }
+        let tail = &battery_powers[100..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        let var: f64 = tail.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / tail.len() as f64;
+        // Raw signal variance is 15 000² = 2.25e8; smoothed should be
+        // at least 10× smaller.
+        assert!(var < 2.25e7, "battery variance {var}");
+    }
+
+    #[test]
+    fn battery_only_policy_is_transparent() {
+        let mut h = Hess::new(BatteryParams::leaf_24kwh(), cap(), SplitPolicy::BatteryOnly);
+        let split = h.apply_load(Watts::new(42_000.0), Seconds::new(1.0));
+        assert_eq!(split.cap_power.value(), 0.0);
+        assert_eq!(split.battery_power.value(), 42_000.0);
+    }
+
+    #[test]
+    fn hess_battery_soc_flatter_with_peak_shave() {
+        // Same spiky load with and without the cap: the HESS battery ends
+        // at a higher SoC (fewer Peukert losses).
+        let load = |k: usize| if k.is_multiple_of(4) { 60_000.0 } else { 4_000.0 };
+        let mut plain = Hess::new(BatteryParams::leaf_24kwh(), cap(), SplitPolicy::BatteryOnly);
+        let mut hybrid = Hess::new(
+            BatteryParams::leaf_24kwh(),
+            cap(),
+            SplitPolicy::PeakShave {
+                battery_ceiling_w: 15_000.0,
+            },
+        );
+        for k in 0..300 {
+            plain.apply_load(Watts::new(load(k)), Seconds::new(1.0));
+            hybrid.apply_load(Watts::new(load(k)), Seconds::new(1.0));
+        }
+        assert!(
+            hybrid.battery().soc().value() > plain.battery().soc().value(),
+            "hybrid {} vs plain {}",
+            hybrid.battery().soc(),
+            plain.battery().soc()
+        );
+        let _ = Percent::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage window inverted")]
+    fn rejects_inverted_window() {
+        let _ = Ultracapacitor::new(10.0, Volts::new(60.0), Volts::new(50.0), Volts::new(55.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Battery pack parameters and the open-circuit-voltage curve.
+
+use ev_units::{AmpereHours, Amperes, KilowattHours, Ohms, Percent, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Open-circuit voltage as a piecewise-linear function of SoC.
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::OcvCurve;
+/// use ev_units::Percent;
+///
+/// let curve = OcvCurve::leaf_pack();
+/// let v_low = curve.voltage(Percent::new(10.0));
+/// let v_high = curve.voltage(Percent::new(90.0));
+/// assert!(v_high.value() > v_low.value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcvCurve {
+    /// `(SoC %, volts)` breakpoints, ascending in SoC.
+    points: Vec<(f64, f64)>,
+}
+
+impl OcvCurve {
+    /// Creates a curve from `(SoC %, V)` breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, SoC values are not
+    /// strictly ascending, or any voltage is non-positive.
+    #[must_use]
+    pub fn from_breakpoints(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "ocv curve needs at least two points");
+        let mut prev = f64::NEG_INFINITY;
+        for &(soc, v) in points {
+            assert!(soc > prev, "ocv soc values must strictly ascend");
+            assert!(v > 0.0, "ocv voltage must be positive");
+            prev = soc;
+        }
+        Self {
+            points: points.to_vec(),
+        }
+    }
+
+    /// The 96s2p Leaf pack: ≈300 V empty to ≈403 V full, with the typical
+    /// flat mid-SoC plateau of a manganese-oxide chemistry.
+    #[must_use]
+    pub fn leaf_pack() -> Self {
+        Self::from_breakpoints(&[
+            (0.0, 300.0),
+            (10.0, 340.0),
+            (20.0, 355.0),
+            (50.0, 370.0),
+            (80.0, 385.0),
+            (90.0, 394.0),
+            (100.0, 403.0),
+        ])
+    }
+
+    /// Interpolated open-circuit voltage at the given SoC (clamped).
+    #[must_use]
+    pub fn voltage(&self, soc: Percent) -> Volts {
+        let s = soc.value();
+        let pts = &self.points;
+        if s <= pts[0].0 {
+            return Volts::new(pts[0].1);
+        }
+        let last = pts[pts.len() - 1];
+        if s >= last.0 {
+            return Volts::new(last.1);
+        }
+        let idx = pts.partition_point(|&(p, _)| p <= s);
+        let (s0, v0) = pts[idx - 1];
+        let (s1, v1) = pts[idx];
+        Volts::new(v0 + (s - s0) / (s1 - s0) * (v1 - v0))
+    }
+}
+
+/// Parameters of the traction battery pack — the constants of the paper's
+/// Eq. 13–14 plus the terminal-voltage model used to convert power into
+/// current.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatteryParams {
+    /// Nominal capacity `Cn`, measured at the nominal current.
+    pub nominal_capacity: AmpereHours,
+    /// Nominal (rated) current `In` at which `Cn` was measured.
+    pub nominal_current: Amperes,
+    /// Peukert constant `pc` (1.0 = ideal; Li-ion ≈ 1.03–1.15).
+    pub peukert_constant: f64,
+    /// Open-circuit voltage curve.
+    pub ocv: OcvCurve,
+    /// Internal (pack) resistance.
+    pub internal_resistance: Ohms,
+    /// Coulombic efficiency applied to charge (regeneration) current.
+    pub charge_efficiency: f64,
+    /// Initial state of charge at the start of a drive.
+    pub initial_soc: Percent,
+    /// SoC floor below which the BMS cuts discharge.
+    pub min_soc: Percent,
+    /// SoC ceiling above which the BMS refuses charge.
+    pub max_soc: Percent,
+}
+
+impl BatteryParams {
+    /// The Nissan Leaf 24 kWh pack: 66.2 Ah at 360 V nominal, C/3 rated
+    /// current, mild Peukert exponent typical of Li-ion.
+    #[must_use]
+    pub fn leaf_24kwh() -> Self {
+        Self {
+            nominal_capacity: KilowattHours::new(24.0).to_ampere_hours(Volts::new(360.0)),
+            nominal_current: Amperes::new(22.0),
+            peukert_constant: 1.10,
+            ocv: OcvCurve::leaf_pack(),
+            internal_resistance: Ohms::new(0.10),
+            charge_efficiency: 0.95,
+            initial_soc: Percent::new(95.0),
+            min_soc: Percent::new(10.0),
+            max_soc: Percent::new(100.0),
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities/currents are non-positive, the Peukert
+    /// constant is below 1, efficiencies are outside `(0, 1]`, or SoC
+    /// limits are inconsistent.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        assert!(self.nominal_capacity.value() > 0.0, "capacity must be positive");
+        assert!(self.nominal_current.value() > 0.0, "nominal current must be positive");
+        assert!(self.peukert_constant >= 1.0, "peukert constant must be >= 1");
+        assert!(
+            self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0,
+            "charge efficiency must lie in (0, 1]"
+        );
+        assert!(self.internal_resistance.value() >= 0.0, "resistance must be non-negative");
+        assert!(
+            self.min_soc.value() < self.max_soc.value(),
+            "soc limits are inverted"
+        );
+        assert!(
+            self.initial_soc.value() >= self.min_soc.value()
+                && self.initial_soc.value() <= self.max_soc.value(),
+            "initial soc outside limits"
+        );
+        self
+    }
+}
+
+impl Default for BatteryParams {
+    fn default() -> Self {
+        Self::leaf_24kwh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_capacity_matches_energy() {
+        let p = BatteryParams::leaf_24kwh().validated();
+        assert!((p.nominal_capacity.value() - 66.667).abs() < 0.1);
+    }
+
+    #[test]
+    fn ocv_interpolates_and_clamps() {
+        let c = OcvCurve::leaf_pack();
+        assert_eq!(c.voltage(Percent::new(-5.0)).value(), 300.0);
+        assert_eq!(c.voltage(Percent::new(150.0)).value(), 403.0);
+        let mid = c.voltage(Percent::new(35.0)).value();
+        assert!((mid - (355.0 + 370.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocv_is_monotone_for_leaf() {
+        let c = OcvCurve::leaf_pack();
+        let mut prev = 0.0;
+        for s in 0..=100 {
+            let v = c.voltage(Percent::new(f64::from(s))).value();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn ocv_rejects_unsorted() {
+        let _ = OcvCurve::from_breakpoints(&[(50.0, 370.0), (10.0, 340.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "peukert")]
+    fn rejects_sub_unity_peukert() {
+        let p = BatteryParams {
+            peukert_constant: 0.9,
+            ..BatteryParams::leaf_24kwh()
+        };
+        let _ = p.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "initial soc")]
+    fn rejects_initial_soc_outside_limits() {
+        let p = BatteryParams {
+            initial_soc: Percent::new(5.0),
+            ..BatteryParams::leaf_24kwh()
+        };
+        let _ = p.validated();
+    }
+}

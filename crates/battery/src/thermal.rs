@@ -1,0 +1,163 @@
+//! Battery pack thermal model: closing the temperature loop the paper
+//! scopes out.
+//!
+//! The paper folds battery temperature into a constant in Eq. 15
+//! ("consideration of the battery temperature … is out of the scope").
+//! This extension provides the missing piece: a lumped pack thermal model
+//! driven by I²R losses and cooled toward ambient, whose temperature can
+//! feed [`crate::SohModel::with_battery_temperature`].
+
+use ev_units::{Amperes, Celsius, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the lumped pack thermal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackThermalParams {
+    /// Lumped heat capacity of the pack (J/K). A 294 kg Leaf pack at
+    /// ≈1000 J/(kg·K) averaged over cells + housing.
+    pub heat_capacity: f64,
+    /// Conductance from pack to ambient/coolant (W/K).
+    pub cooling_conductance: f64,
+    /// Total pack internal resistance (Ω) generating I²R heat.
+    pub internal_resistance: f64,
+}
+
+impl Default for PackThermalParams {
+    fn default() -> Self {
+        Self {
+            heat_capacity: 2.9e5,
+            cooling_conductance: 35.0,
+            internal_resistance: 0.10,
+        }
+    }
+}
+
+/// The lumped pack thermal state.
+///
+/// # Examples
+///
+/// ```
+/// use ev_battery::{PackThermal, PackThermalParams};
+/// use ev_units::{Amperes, Celsius, Seconds};
+///
+/// let mut pack = PackThermal::new(PackThermalParams::default(), Celsius::new(25.0));
+/// for _ in 0..600 {
+///     pack.step(Amperes::new(150.0), Celsius::new(25.0), Seconds::new(1.0));
+/// }
+/// assert!(pack.temperature().value() > 25.0); // I²R heating
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackThermal {
+    params: PackThermalParams,
+    temp: f64,
+}
+
+impl PackThermal {
+    /// Creates the model at an initial temperature.
+    #[must_use]
+    pub fn new(params: PackThermalParams, initial: Celsius) -> Self {
+        Self {
+            params,
+            temp: initial.value(),
+        }
+    }
+
+    /// Present pack temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        Celsius::new(self.temp)
+    }
+
+    /// Instantaneous I²R heat generation at a pack current (W).
+    #[must_use]
+    pub fn heat_generation(&self, current: Amperes) -> f64 {
+        current.value() * current.value() * self.params.internal_resistance
+    }
+
+    /// Advances the pack temperature one step under a pack current and
+    /// ambient temperature:
+    /// `C·dT/dt = I²R − G·(T − T_amb)` (explicit Euler; the pack time
+    /// constant is hours, so any control-rate step is far below it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn step(&mut self, current: Amperes, ambient: Celsius, dt: Seconds) -> Celsius {
+        assert!(dt.value() > 0.0, "thermal step must be positive");
+        let q = self.heat_generation(current);
+        let loss = self.params.cooling_conductance * (self.temp - ambient.value());
+        self.temp += (q - loss) / self.params.heat_capacity * dt.value();
+        self.temperature()
+    }
+
+    /// Steady-state temperature rise above ambient at a constant current.
+    #[must_use]
+    pub fn steady_rise(&self, current: Amperes) -> f64 {
+        self.heat_generation(current) / self.params.cooling_conductance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack() -> PackThermal {
+        PackThermal::new(PackThermalParams::default(), Celsius::new(25.0))
+    }
+
+    #[test]
+    fn idle_pack_tracks_ambient() {
+        let mut p = PackThermal::new(PackThermalParams::default(), Celsius::new(40.0));
+        for _ in 0..100_000 {
+            p.step(Amperes::ZERO, Celsius::new(20.0), Seconds::new(1.0));
+        }
+        assert!((p.temperature().value() - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn heat_generation_is_quadratic() {
+        let p = pack();
+        let q1 = p.heat_generation(Amperes::new(50.0));
+        let q2 = p.heat_generation(Amperes::new(100.0));
+        assert!((q2 / q1 - 4.0).abs() < 1e-12);
+        // Sign-independent: charging heats too.
+        assert_eq!(p.heat_generation(Amperes::new(-100.0)), q2);
+    }
+
+    #[test]
+    fn converges_to_steady_rise() {
+        let mut p = pack();
+        let i = Amperes::new(80.0);
+        let expected = 25.0 + p.steady_rise(i);
+        for _ in 0..200_000 {
+            p.step(i, Celsius::new(25.0), Seconds::new(1.0));
+        }
+        assert!(
+            (p.temperature().value() - expected).abs() < 0.05,
+            "T {} vs {expected}",
+            p.temperature()
+        );
+    }
+
+    #[test]
+    fn highway_currents_warm_the_pack_noticeably() {
+        // 80 A sustained (≈29 kW at 360 V): the rise should be material
+        // for aging (several kelvins) but not absurd.
+        let p = pack();
+        let rise = p.steady_rise(Amperes::new(80.0));
+        assert!(rise > 5.0 && rise < 40.0, "rise {rise}");
+    }
+
+    #[test]
+    fn feeds_the_soh_temperature_extension() {
+        use crate::{SocStats, SohModel};
+        let mut p = pack();
+        for _ in 0..3600 {
+            p.step(Amperes::new(100.0), Celsius::new(30.0), Seconds::new(1.0));
+        }
+        let hot_model =
+            SohModel::default().with_battery_temperature(p.temperature().value(), 25.0, 10.0);
+        let stats = SocStats { avg: 85.0, dev: 3.0 };
+        assert!(hot_model.degradation(stats) > SohModel::default().degradation(stats));
+    }
+}

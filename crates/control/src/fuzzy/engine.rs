@@ -1,0 +1,392 @@
+//! A small Mamdani fuzzy-inference engine.
+//!
+//! The paper's second baseline (its ref [10]) is a fuzzy temperature
+//! controller; this module provides the inference machinery it needs:
+//! triangular/trapezoidal membership functions, min–max Mamdani
+//! composition and centroid defuzzification.
+
+/// A membership function over a real universe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MembershipFunction {
+    /// Triangle with feet at `a` and `c` and peak at `b`.
+    Triangle {
+        /// Left foot.
+        a: f64,
+        /// Peak.
+        b: f64,
+        /// Right foot.
+        c: f64,
+    },
+    /// Trapezoid with feet at `a`/`d` and plateau `b..c`.
+    Trapezoid {
+        /// Left foot.
+        a: f64,
+        /// Plateau start.
+        b: f64,
+        /// Plateau end.
+        c: f64,
+        /// Right foot.
+        d: f64,
+    },
+}
+
+impl MembershipFunction {
+    /// Degree of membership of `x`, in `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ev_control::fuzzy::MembershipFunction;
+    ///
+    /// let tri = MembershipFunction::Triangle { a: 0.0, b: 1.0, c: 2.0 };
+    /// assert_eq!(tri.degree(1.0), 1.0);
+    /// assert_eq!(tri.degree(0.5), 0.5);
+    /// assert_eq!(tri.degree(3.0), 0.0);
+    /// ```
+    #[must_use]
+    pub fn degree(&self, x: f64) -> f64 {
+        match *self {
+            Self::Triangle { a, b, c } => {
+                if x <= a || x >= c {
+                    // A foot shared with the peak means a shoulder.
+                    if (x <= a && a == b) || (x >= c && c == b) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else if x <= b {
+                    if b == a {
+                        1.0
+                    } else {
+                        (x - a) / (b - a)
+                    }
+                } else if c == b {
+                    1.0
+                } else {
+                    (c - x) / (c - b)
+                }
+            }
+            Self::Trapezoid { a, b, c, d } => {
+                if x < a || x > d {
+                    0.0
+                } else if x < b {
+                    if b == a {
+                        1.0
+                    } else {
+                        (x - a) / (b - a)
+                    }
+                } else if x <= c || d == c {
+                    1.0
+                } else {
+                    (d - x) / (d - c)
+                }
+            }
+        }
+    }
+}
+
+/// A named linguistic term: a label plus its membership function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// The label (e.g. `"negative-large"`).
+    pub label: &'static str,
+    /// The membership function.
+    pub mf: MembershipFunction,
+}
+
+/// A fuzzy rule: IF input₀ is term(i₀) AND input₁ is term(i₁) … THEN
+/// output is term(o). Antecedent indices refer to each input variable's
+/// term list; `None` means "don't care".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// One optional term index per input variable.
+    pub antecedents: Vec<Option<usize>>,
+    /// Output term index.
+    pub consequent: usize,
+}
+
+/// A Mamdani fuzzy system with any number of inputs and one output.
+///
+/// # Examples
+///
+/// ```
+/// use ev_control::fuzzy::{FuzzyEngine, MembershipFunction, Rule, Term};
+///
+/// // One input (error in [−1, 1]) with two terms, one output (duty).
+/// let neg = Term { label: "neg", mf: MembershipFunction::Triangle { a: -1.0, b: -1.0, c: 0.0 } };
+/// let pos = Term { label: "pos", mf: MembershipFunction::Triangle { a: 0.0, b: 1.0, c: 1.0 } };
+/// let engine = FuzzyEngine::new(
+///     vec![vec![neg.clone(), pos.clone()]],
+///     vec![neg, pos],
+///     (-1.0, 1.0),
+///     vec![
+///         Rule { antecedents: vec![Some(0)], consequent: 0 },
+///         Rule { antecedents: vec![Some(1)], consequent: 1 },
+///     ],
+/// );
+/// assert!(engine.infer(&[0.8]) > 0.3);
+/// assert!(engine.infer(&[-0.8]) < -0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzyEngine {
+    inputs: Vec<Vec<Term>>,
+    output_terms: Vec<Term>,
+    output_universe: (f64, f64),
+    rules: Vec<Rule>,
+}
+
+impl FuzzyEngine {
+    /// Resolution of the centroid integration.
+    const SAMPLES: usize = 101;
+
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no inputs, output terms or rules, if the
+    /// output universe is empty, or if any rule index is out of range.
+    #[must_use]
+    pub fn new(
+        inputs: Vec<Vec<Term>>,
+        output_terms: Vec<Term>,
+        output_universe: (f64, f64),
+        rules: Vec<Rule>,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "fuzzy engine needs at least one input");
+        assert!(!output_terms.is_empty(), "fuzzy engine needs output terms");
+        assert!(!rules.is_empty(), "fuzzy engine needs rules");
+        assert!(
+            output_universe.1 > output_universe.0,
+            "output universe must be a non-empty interval"
+        );
+        for rule in &rules {
+            assert_eq!(
+                rule.antecedents.len(),
+                inputs.len(),
+                "rule antecedent count must match input count"
+            );
+            for (var, term) in rule.antecedents.iter().enumerate() {
+                if let Some(t) = term {
+                    assert!(*t < inputs[var].len(), "rule antecedent index out of range");
+                }
+            }
+            assert!(
+                rule.consequent < output_terms.len(),
+                "rule consequent index out of range"
+            );
+        }
+        Self {
+            inputs,
+            output_terms,
+            output_universe,
+            rules,
+        }
+    }
+
+    /// Runs Mamdani inference (min AND, max aggregation, centroid
+    /// defuzzification) for crisp input values.
+    ///
+    /// Returns the centroid of the aggregated output set, or the universe
+    /// midpoint when no rule fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the number of inputs.
+    #[must_use]
+    pub fn infer(&self, values: &[f64]) -> f64 {
+        assert_eq!(
+            values.len(),
+            self.inputs.len(),
+            "fuzzy input count mismatch"
+        );
+        // Firing strength of each rule.
+        let strengths: Vec<f64> = self
+            .rules
+            .iter()
+            .map(|rule| {
+                rule.antecedents
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(var, term)| {
+                        term.map(|t| self.inputs[var][t].mf.degree(values[var]))
+                    })
+                    .fold(1.0, f64::min)
+            })
+            .collect();
+
+        // Aggregate (max of clipped consequents) and take the centroid.
+        let (lo, hi) = self.output_universe;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 0..Self::SAMPLES {
+            let y = lo + (hi - lo) * (k as f64) / ((Self::SAMPLES - 1) as f64);
+            let mut mu: f64 = 0.0;
+            for (rule, &s) in self.rules.iter().zip(&strengths) {
+                if s > 0.0 {
+                    let clipped = s.min(self.output_terms[rule.consequent].mf.degree(y));
+                    mu = mu.max(clipped);
+                }
+            }
+            num += mu * y;
+            den += mu;
+        }
+        if den == 0.0 {
+            0.5 * (lo + hi)
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(a: f64, b: f64, c: f64) -> MembershipFunction {
+        MembershipFunction::Triangle { a, b, c }
+    }
+
+    #[test]
+    fn triangle_degrees() {
+        let m = tri(-1.0, 0.0, 2.0);
+        assert_eq!(m.degree(-1.0), 0.0);
+        assert_eq!(m.degree(0.0), 1.0);
+        assert_eq!(m.degree(1.0), 0.5);
+        assert_eq!(m.degree(2.0), 0.0);
+        assert_eq!(m.degree(5.0), 0.0);
+    }
+
+    #[test]
+    fn shoulder_triangles_saturate() {
+        // Left shoulder: a == b.
+        let left = tri(-1.0, -1.0, 0.0);
+        assert_eq!(left.degree(-1.0), 1.0);
+        assert_eq!(left.degree(-2.0), 1.0);
+        assert_eq!(left.degree(-0.5), 0.5);
+        // Right shoulder: b == c.
+        let right = tri(0.0, 1.0, 1.0);
+        assert_eq!(right.degree(1.0), 1.0);
+        assert_eq!(right.degree(2.0), 1.0);
+    }
+
+    #[test]
+    fn trapezoid_degrees() {
+        let m = MembershipFunction::Trapezoid {
+            a: 0.0,
+            b: 1.0,
+            c: 2.0,
+            d: 4.0,
+        };
+        assert_eq!(m.degree(0.5), 0.5);
+        assert_eq!(m.degree(1.5), 1.0);
+        assert_eq!(m.degree(3.0), 0.5);
+        assert_eq!(m.degree(5.0), 0.0);
+    }
+
+    fn two_term_engine() -> FuzzyEngine {
+        let neg = Term {
+            label: "neg",
+            mf: tri(-1.0, -1.0, 0.0),
+        };
+        let pos = Term {
+            label: "pos",
+            mf: tri(0.0, 1.0, 1.0),
+        };
+        FuzzyEngine::new(
+            vec![vec![neg.clone(), pos.clone()]],
+            vec![neg, pos],
+            (-1.0, 1.0),
+            vec![
+                Rule {
+                    antecedents: vec![Some(0)],
+                    consequent: 0,
+                },
+                Rule {
+                    antecedents: vec![Some(1)],
+                    consequent: 1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn inference_tracks_input_sign() {
+        let e = two_term_engine();
+        assert!(e.infer(&[0.9]) > 0.3);
+        assert!(e.infer(&[-0.9]) < -0.3);
+        // Balanced input fires both rules equally: centroid near zero.
+        assert!(e.infer(&[0.0]).abs() < 0.05);
+    }
+
+    #[test]
+    fn inference_is_monotone_for_monotone_rules() {
+        let e = two_term_engine();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=20 {
+            let x = -1.0 + 0.1 * f64::from(k);
+            let y = e.infer(&[x]);
+            assert!(y >= prev - 1e-9, "non-monotone at {x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn dont_care_antecedents() {
+        let any = Term {
+            label: "any",
+            mf: MembershipFunction::Trapezoid {
+                a: -2.0,
+                b: -1.0,
+                c: 1.0,
+                d: 2.0,
+            },
+        };
+        let e = FuzzyEngine::new(
+            vec![vec![any.clone()], vec![any.clone()]],
+            vec![any],
+            (0.0, 2.0),
+            vec![Rule {
+                antecedents: vec![None, Some(0)],
+                consequent: 0,
+            }],
+        );
+        // First input ignored entirely.
+        assert_eq!(e.infer(&[99.0, 0.0]), e.infer(&[-99.0, 0.0]));
+    }
+
+    #[test]
+    fn no_firing_returns_midpoint() {
+        let narrow = Term {
+            label: "narrow",
+            mf: tri(0.4, 0.5, 0.6),
+        };
+        let e = FuzzyEngine::new(
+            vec![vec![narrow.clone()]],
+            vec![narrow],
+            (0.0, 1.0),
+            vec![Rule {
+                antecedents: vec![Some(0)],
+                consequent: 0,
+            }],
+        );
+        assert_eq!(e.infer(&[-5.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "antecedent count")]
+    fn rejects_malformed_rule() {
+        let t = Term {
+            label: "t",
+            mf: tri(0.0, 0.5, 1.0),
+        };
+        let _ = FuzzyEngine::new(
+            vec![vec![t.clone()], vec![t.clone()]],
+            vec![t],
+            (0.0, 1.0),
+            vec![Rule {
+                antecedents: vec![Some(0)],
+                consequent: 0,
+            }],
+        );
+    }
+}

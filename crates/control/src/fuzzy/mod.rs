@@ -1,0 +1,8 @@
+//! Fuzzy-logic climate control: a Mamdani inference engine and the
+//! fuzzy baseline controller built on it (the paper's ref \[10\]).
+
+mod controller;
+mod engine;
+
+pub use controller::FuzzyController;
+pub use engine::{FuzzyEngine, MembershipFunction, Rule, Term};

@@ -1,0 +1,759 @@
+//! The battery lifetime-aware MPC climate controller (the paper's
+//! Section III).
+
+use ev_hvac::{Hvac, HvacInput, HvacLimits};
+use ev_optim::{NlpProblem, SqpOptions, SqpSolver};
+use ev_units::{AmpereHours, Amperes, Celsius, KgPerSecond, Seconds, Volts, Watts};
+
+use crate::{ClimateController, ControlContext, PreviewSample};
+
+/// Weights of the MPC cost function (the paper's Eq. 21):
+/// `C = Σ w1·(Pf+Pc+Ph) + w2·(SoC − SoC_avg)² + w3·(Tz − T_target)²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcWeights {
+    /// Weight on total HVAC power (per kW).
+    pub w1: f64,
+    /// Weight on squared SoC deviation from the running cycle average
+    /// (per %²) — the battery-lifetime term.
+    pub w2: f64,
+    /// Weight on squared cabin-temperature error (per K²).
+    pub w3: f64,
+}
+
+impl Default for MpcWeights {
+    fn default() -> Self {
+        Self {
+            w1: 0.3,
+            w2: 20.0,
+            w3: 5.0,
+        }
+    }
+}
+
+/// The battery model the MPC predicts with: the paper's Eq. 13–14
+/// constants. The Peukert exponent is what couples HVAC scheduling to
+/// battery stress — concurrent motor + HVAC peaks draw superlinear
+/// effective charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcBatteryModel {
+    /// Nominal pack voltage for the power→current conversion.
+    pub voltage: Volts,
+    /// Nominal capacity `Cn`.
+    pub capacity: AmpereHours,
+    /// Nominal current `In`.
+    pub nominal_current: Amperes,
+    /// Peukert constant `pc`.
+    pub peukert: f64,
+}
+
+impl Default for MpcBatteryModel {
+    /// The Leaf 24 kWh pack the rest of the workspace defaults to.
+    fn default() -> Self {
+        Self {
+            voltage: Volts::new(360.0),
+            capacity: AmpereHours::new(66.667),
+            nominal_current: Amperes::new(22.0),
+            peukert: 1.10,
+        }
+    }
+}
+
+/// Configuration errors from [`MpcBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcConfigError {
+    /// Horizon must be at least one step.
+    ZeroHorizon,
+    /// Prediction period must be positive.
+    NonPositivePredictionDt,
+    /// Recompute interval must be at least one step.
+    ZeroRecomputeInterval,
+}
+
+impl core::fmt::Display for MpcConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ZeroHorizon => write!(f, "mpc horizon must be at least one step"),
+            Self::NonPositivePredictionDt => write!(f, "mpc prediction period must be positive"),
+            Self::ZeroRecomputeInterval => {
+                write!(f, "mpc recompute interval must be at least one step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpcConfigError {}
+
+/// Builder for [`MpcController`].
+#[derive(Debug, Clone)]
+pub struct MpcBuilder {
+    hvac: Hvac,
+    limits: HvacLimits,
+    target: Celsius,
+    horizon: usize,
+    prediction_dt: Seconds,
+    recompute_every: usize,
+    weights: MpcWeights,
+    battery: MpcBatteryModel,
+    accessory_power: Watts,
+}
+
+impl MpcBuilder {
+    /// Sets the cabin temperature target.
+    #[must_use]
+    pub fn target(mut self, target: Celsius) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the comfort band as target ± `half_width` kelvins (C2).
+    #[must_use]
+    pub fn comfort_band(mut self, half_width: f64) -> Self {
+        self.limits = HvacLimits::comfort_band(self.target, half_width);
+        self
+    }
+
+    /// Sets the prediction horizon length `N` (the paper's control
+    /// window).
+    #[must_use]
+    pub fn horizon(mut self, n: usize) -> Self {
+        self.horizon = n;
+        self
+    }
+
+    /// Sets the prediction step duration.
+    #[must_use]
+    pub fn prediction_dt(mut self, dt: Seconds) -> Self {
+        self.prediction_dt = dt;
+        self
+    }
+
+    /// Sets how many *simulation* steps pass between re-optimizations
+    /// (move blocking; 1 = re-solve every step).
+    #[must_use]
+    pub fn recompute_every(mut self, steps: usize) -> Self {
+        self.recompute_every = steps;
+        self
+    }
+
+    /// Sets the cost weights.
+    #[must_use]
+    pub fn weights(mut self, weights: MpcWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the battery prediction model.
+    #[must_use]
+    pub fn battery(mut self, battery: MpcBatteryModel) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Sets the constant accessory power added to the prediction.
+    #[must_use]
+    pub fn accessory_power(mut self, p: Watts) -> Self {
+        self.accessory_power = p;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcConfigError`] for a zero horizon, non-positive
+    /// prediction period or zero recompute interval.
+    pub fn build(self) -> Result<MpcController, MpcConfigError> {
+        if self.horizon == 0 {
+            return Err(MpcConfigError::ZeroHorizon);
+        }
+        if self.prediction_dt.value() <= 0.0 {
+            return Err(MpcConfigError::NonPositivePredictionDt);
+        }
+        if self.recompute_every == 0 {
+            return Err(MpcConfigError::ZeroRecomputeInterval);
+        }
+        let solver = SqpSolver::new(SqpOptions {
+            tolerance: 1e-4,
+            max_iterations: 25,
+            max_line_search: 15,
+            initial_penalty: 10.0,
+            ..SqpOptions::default()
+        });
+        Ok(MpcController {
+            hvac: self.hvac,
+            limits: self.limits,
+            target: self.target,
+            horizon: self.horizon,
+            prediction_dt: self.prediction_dt,
+            recompute_every: self.recompute_every,
+            weights: self.weights,
+            battery: self.battery,
+            accessory_power: self.accessory_power,
+            solver,
+            warm_start: None,
+            cached_input: None,
+            steps_since_solve: 0,
+        })
+    }
+}
+
+/// The paper's battery lifetime-aware automotive climate controller: a
+/// model predictive controller that schedules the HVAC inputs
+/// `[Ts, Tc, dr, ṁz]` over a receding horizon, minimizing Eq. 21 subject
+/// to the cabin dynamics (Eq. 18–19) and the constraint set C1–C10,
+/// solved by SQP (its Section III).
+///
+/// The essential behavior (its Fig. 6): the controller *reduces HVAC
+/// power when the electric motor is predicted to draw a peak* and
+/// *pre-cools/pre-heats when the motor is idle or regenerating*, because
+/// the Peukert term in the SoC prediction makes concurrent peaks
+/// disproportionately expensive and the `w2·(SoC − SoC_avg)²` term
+/// rewards a flat SoC trajectory.
+///
+/// # Examples
+///
+/// ```
+/// use ev_control::MpcController;
+/// use ev_hvac::{CabinParams, Hvac, HvacLimits, HvacParams};
+/// use ev_units::Celsius;
+///
+/// # fn main() -> Result<(), ev_control::MpcConfigError> {
+/// let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+/// let mpc = MpcController::builder(hvac, HvacLimits::default())
+///     .target(Celsius::new(24.0))
+///     .horizon(8)
+///     .build()?;
+/// assert_eq!(mpc.horizon(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    hvac: Hvac,
+    limits: HvacLimits,
+    target: Celsius,
+    horizon: usize,
+    prediction_dt: Seconds,
+    recompute_every: usize,
+    weights: MpcWeights,
+    battery: MpcBatteryModel,
+    accessory_power: Watts,
+    solver: SqpSolver,
+    warm_start: Option<Vec<f64>>,
+    cached_input: Option<HvacInput>,
+    steps_since_solve: usize,
+}
+
+/// Scale factors mapping decision variables to physical inputs:
+/// `ts = 10·z`, `tc = 10·z`, `dr = z`, `mz = 0.1·z`. Keeps every variable
+/// O(1) for the identity-initialized BFGS.
+const TS_SCALE: f64 = 10.0;
+const TC_SCALE: f64 = 10.0;
+const MZ_SCALE: f64 = 0.1;
+/// Variables per horizon step.
+const VARS_PER_STEP: usize = 4;
+/// Inequality constraints per horizon step.
+const INEQ_PER_STEP: usize = 13;
+
+impl MpcController {
+    /// Starts a builder with sensible defaults: N = 8 steps of 4 s,
+    /// re-solve every 4 simulation steps, 24 °C target.
+    #[must_use]
+    pub fn builder(hvac: Hvac, limits: HvacLimits) -> MpcBuilder {
+        MpcBuilder {
+            hvac,
+            limits,
+            target: Celsius::new(24.0),
+            horizon: 8,
+            prediction_dt: Seconds::new(4.0),
+            recompute_every: 4,
+            weights: MpcWeights::default(),
+            battery: MpcBatteryModel::default(),
+            accessory_power: Watts::new(300.0),
+        }
+    }
+
+    /// The prediction horizon length.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The temperature target.
+    #[must_use]
+    pub fn target(&self) -> Celsius {
+        self.target
+    }
+
+    /// The cost weights.
+    #[must_use]
+    pub fn weights(&self) -> MpcWeights {
+        self.weights
+    }
+
+    /// Resamples the simulation-rate preview into `horizon` blocks of the
+    /// prediction period: motor power is block-averaged (the paper's
+    /// `Pe` vector), ambient/solar taken at block start.
+    fn resample_preview(&self, ctx: &ControlContext<'_>) -> Vec<PreviewSample> {
+        let block = (self.prediction_dt.value() / ctx.dt.value()).round().max(1.0) as usize;
+        let mut out = Vec::with_capacity(self.horizon);
+        for k in 0..self.horizon {
+            let start = k * block;
+            let mut pe = 0.0;
+            let mut n = 0.0;
+            for j in start..start + block {
+                let idx = j.min(ctx.preview.len().saturating_sub(1));
+                if let Some(s) = ctx.preview.get(idx) {
+                    pe += s.motor_power.value();
+                    n += 1.0;
+                }
+            }
+            let idx = start.min(ctx.preview.len().saturating_sub(1));
+            let (ambient, solar) = match ctx.preview.get(idx) {
+                Some(s) => (s.ambient, s.solar),
+                None => (ctx.ambient, ctx.solar),
+            };
+            out.push(PreviewSample {
+                motor_power: Watts::new(if n > 0.0 { pe / n } else { 0.0 }),
+                ambient,
+                solar,
+            });
+        }
+        out
+    }
+
+    /// Initial decision vector when no warm start exists: passive coils
+    /// at the mix temperature, moderate recirculation and flow.
+    fn cold_start(&self, ctx: &ControlContext<'_>) -> Vec<f64> {
+        let p = self.hvac.params();
+        let mid_flow = 0.5 * (p.min_flow.value() + p.max_flow.value());
+        let tm_guess = 0.3 * ctx.ambient.value() + 0.7 * ctx.state.tz.value();
+        let mut z = Vec::with_capacity(self.horizon * VARS_PER_STEP);
+        for _ in 0..self.horizon {
+            z.push(tm_guess / TS_SCALE);
+            z.push(tm_guess / TC_SCALE);
+            z.push(0.7);
+            z.push(mid_flow / MZ_SCALE);
+        }
+        z
+    }
+
+    /// Shifts the previous solution one block forward (standard MPC warm
+    /// start): drops the first step, repeats the last.
+    fn shifted_warm_start(&self, prev: &[f64]) -> Vec<f64> {
+        let mut z = prev[VARS_PER_STEP..].to_vec();
+        let tail = prev[prev.len() - VARS_PER_STEP..].to_vec();
+        z.extend_from_slice(&tail);
+        z
+    }
+
+    /// Extracts the first-step input from a decision vector.
+    fn first_input(z: &[f64]) -> HvacInput {
+        HvacInput {
+            ts: Celsius::new(z[0] * TS_SCALE),
+            tc: Celsius::new(z[1] * TC_SCALE),
+            dr: z[2],
+            mz: KgPerSecond::new(z[3] * MZ_SCALE),
+        }
+    }
+
+    /// Solves the receding-horizon problem and caches the first input.
+    fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let preview = self.resample_preview(ctx);
+        let nlp = MpcNlp {
+            hvac: &self.hvac,
+            limits: &self.limits,
+            target: self.target,
+            weights: self.weights,
+            battery: self.battery,
+            accessory_power: self.accessory_power.value(),
+            horizon: self.horizon,
+            dt: self.prediction_dt.value(),
+            tz0: ctx.state.tz.value(),
+            soc0: ctx.soc.value(),
+            soc_avg_ref: ctx.soc_avg,
+            preview,
+        };
+        let z0 = match &self.warm_start {
+            Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => {
+                self.shifted_warm_start(prev)
+            }
+            _ => self.cold_start(ctx),
+        };
+        let input = match self.solver.solve(&nlp, &z0) {
+            Ok(result) => {
+                let input = Self::first_input(&result.z);
+                self.warm_start = Some(result.z);
+                input
+            }
+            Err(_) => {
+                // Structural failure (should not happen with finite data):
+                // fall back to the previous input or idle.
+                self.cached_input
+                    .unwrap_or_else(|| HvacInput::idle(self.hvac.params(), ctx.state.tz))
+            }
+        };
+        self.limits
+            .clamp_input(&self.hvac, input, ctx.state, ctx.ambient)
+    }
+}
+
+impl ClimateController for MpcController {
+    fn name(&self) -> &'static str {
+        "battery-lifetime-aware-mpc"
+    }
+
+    fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let due = self.steps_since_solve == 0 || self.cached_input.is_none();
+        self.steps_since_solve = (self.steps_since_solve + 1) % self.recompute_every;
+        if due {
+            let input = self.solve(ctx);
+            self.cached_input = Some(input);
+            input
+        } else {
+            let held = self.cached_input.expect("cached input exists");
+            self.limits
+                .clamp_input(&self.hvac, held, ctx.state, ctx.ambient)
+        }
+    }
+}
+
+/// The single-shooting NLP built every control step: decision variables
+/// are the scaled HVAC inputs over the horizon; the cabin temperature and
+/// SoC trajectories are rolled out inside the objective/constraints.
+struct MpcNlp<'a> {
+    hvac: &'a Hvac,
+    limits: &'a HvacLimits,
+    target: Celsius,
+    weights: MpcWeights,
+    battery: MpcBatteryModel,
+    accessory_power: f64,
+    horizon: usize,
+    dt: f64,
+    tz0: f64,
+    soc0: f64,
+    soc_avg_ref: f64,
+    preview: Vec<PreviewSample>,
+}
+
+/// The rollout products needed by both objective and constraints.
+struct Rollout {
+    /// Tz after each step (length N).
+    tz: Vec<f64>,
+    /// SoC after each step (length N).
+    soc: Vec<f64>,
+    /// Unclamped component powers per step (ph, pc, pf).
+    powers: Vec<(f64, f64, f64)>,
+    /// Mix temperature per step.
+    tm: Vec<f64>,
+}
+
+impl MpcNlp<'_> {
+    fn decode(z: &[f64], k: usize) -> (f64, f64, f64, f64) {
+        let o = k * VARS_PER_STEP;
+        (
+            z[o] * TS_SCALE,
+            z[o + 1] * TC_SCALE,
+            z[o + 2],
+            z[o + 3] * MZ_SCALE,
+        )
+    }
+
+    fn rollout(&self, z: &[f64]) -> Rollout {
+        let cabin = self.hvac.cabin();
+        let cp = cabin.air_heat_capacity.value();
+        let mc = cabin.thermal_capacitance.value();
+        let cx = cabin.shell_conductance.value();
+        let hp = self.hvac.params();
+        let bat = &self.battery;
+        let cn_as = bat.capacity.value() * 3600.0;
+        let v = bat.voltage.value();
+        let in_a = bat.nominal_current.value();
+
+        let mut tz = self.tz0;
+        let mut soc = self.soc0;
+        let mut out = Rollout {
+            tz: Vec::with_capacity(self.horizon),
+            soc: Vec::with_capacity(self.horizon),
+            powers: Vec::with_capacity(self.horizon),
+            tm: Vec::with_capacity(self.horizon),
+        };
+        for k in 0..self.horizon {
+            let (ts, tc, dr, mz) = Self::decode(z, k);
+            let s = &self.preview[k];
+            let to = s.ambient.value();
+            let tm = (1.0 - dr) * to + dr * tz;
+            // Smooth (unclamped) power model — the constraints keep the
+            // spans non-negative at feasible points.
+            let ph = cp / hp.heater_efficiency * mz * (ts - tc);
+            let pc = cp / hp.cooler_efficiency * mz * (tm - tc);
+            let pf = hp.fan_coefficient * mz * mz;
+            // Trapezoidal cabin update (Eq. 18–19).
+            let a = s.solar.value() + cx * to + mz * cp * ts;
+            let b = cx + mz * cp;
+            tz = ((mc / self.dt - 0.5 * b) * tz + a) / (mc / self.dt + 0.5 * b);
+            // SoC update with smoothed Peukert effective current (Eq. 13–14).
+            let total = s.motor_power.value() + self.accessory_power + ph + pc + pf;
+            let i = total / v;
+            let i_eff = i * ((i * i + 1.0) / (in_a * in_a)).powf(0.5 * (bat.peukert - 1.0));
+            soc -= 100.0 * i_eff * self.dt / cn_as;
+            out.tz.push(tz);
+            out.soc.push(soc);
+            out.powers.push((ph, pc, pf));
+            out.tm.push(tm);
+        }
+        out
+    }
+}
+
+impl NlpProblem for MpcNlp<'_> {
+    fn num_vars(&self) -> usize {
+        self.horizon * VARS_PER_STEP
+    }
+
+    fn objective(&self, z: &[f64]) -> f64 {
+        let r = self.rollout(z);
+        let w = &self.weights;
+        let mut cost = 0.0;
+        for k in 0..self.horizon {
+            let (ph, pc, pf) = r.powers[k];
+            cost += w.w1 * (ph + pc + pf) / 1000.0;
+            let sdev = r.soc[k] - self.soc_avg_ref;
+            cost += w.w2 * sdev * sdev;
+            let terr = r.tz[k] - self.target.value();
+            cost += w.w3 * terr * terr;
+        }
+        cost
+    }
+
+    fn num_ineq(&self) -> usize {
+        self.horizon * INEQ_PER_STEP
+    }
+
+    fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
+        let r = self.rollout(z);
+        let hp = self.hvac.params();
+        // Comfort funnel: when the cabin starts outside the band (hot or
+        // cold soak), a hard C2 would make every rollout infeasible. The
+        // band is therefore widened to the current state plus slack and
+        // tightened at the fastest pull-in rate the HVAC can deliver, so
+        // the optimizer is always asked for achievable progress.
+        const PULL_RATE_K_PER_S: f64 = 0.025;
+        const SOAK_SLACK_K: f64 = 0.5;
+        let comfort_lo = self.limits.comfort_min.value();
+        let comfort_hi = self.limits.comfort_max.value();
+        for k in 0..self.horizon {
+            let pull = PULL_RATE_K_PER_S * self.dt * (k + 1) as f64;
+            let hi_k = comfort_hi.max(self.tz0 + SOAK_SLACK_K - pull);
+            let lo_k = comfort_lo.min(self.tz0 - SOAK_SLACK_K + pull);
+            let (ts, tc, dr, mz) = Self::decode(z, k);
+            let o = k * INEQ_PER_STEP;
+            let (ph, pc, pf) = r.powers[k];
+            // The coil floor binds only for active cooling; allow the coil
+            // to track a colder passive mix (winter heating).
+            let tc_floor = hp.min_coil_temp.value().min(r.tm[k]);
+            out[o] = hp.min_flow.value() - mz; // C1 lower
+            out[o + 1] = mz - hp.max_flow.value(); // C1 upper
+            out[o + 2] = -dr; // C7 lower
+            out[o + 3] = dr - hp.max_recirculation; // C7 upper
+            out[o + 4] = tc_floor - tc; // C5
+            out[o + 5] = tc - r.tm[k]; // C4
+            out[o + 6] = tc - ts; // C3
+            out[o + 7] = ts - hp.max_supply_temp.value(); // C6
+            out[o + 8] = lo_k - r.tz[k]; // C2 lower (funnel)
+            out[o + 9] = r.tz[k] - hi_k; // C2 upper (funnel)
+            out[o + 10] = ph - hp.max_heating_power.value(); // C8
+            out[o + 11] = pc - hp.max_cooling_power.value(); // C9
+            out[o + 12] = pf - hp.max_fan_power.value(); // C10
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_hvac::{CabinParams, HvacParams, HvacState};
+    use ev_units::Percent;
+
+    fn mpc() -> MpcController {
+        MpcController::builder(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+        )
+        .horizon(6)
+        .prediction_dt(Seconds::new(4.0))
+        .recompute_every(1)
+        .build()
+        .expect("valid config")
+    }
+
+    fn preview_const(pe_w: f64, to: f64, n: usize) -> Vec<PreviewSample> {
+        vec![
+            PreviewSample {
+                motor_power: Watts::new(pe_w),
+                ambient: Celsius::new(to),
+                solar: Watts::new(400.0),
+            };
+            n
+        ]
+    }
+
+    fn ctx<'a>(tz: f64, to: f64, preview: &'a [PreviewSample]) -> ControlContext<'a> {
+        ControlContext {
+            state: HvacState::new(Celsius::new(tz)),
+            ambient: Celsius::new(to),
+            solar: Watts::new(400.0),
+            soc: Percent::new(90.0),
+            soc_avg: 91.0,
+            dt: Seconds::new(1.0),
+            elapsed: Seconds::ZERO,
+            preview,
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        assert_eq!(
+            MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(0)
+                .build()
+                .unwrap_err(),
+            MpcConfigError::ZeroHorizon
+        );
+        assert_eq!(
+            MpcController::builder(hvac.clone(), HvacLimits::default())
+                .prediction_dt(Seconds::ZERO)
+                .build()
+                .unwrap_err(),
+            MpcConfigError::NonPositivePredictionDt
+        );
+        assert_eq!(
+            MpcController::builder(hvac, HvacLimits::default())
+                .recompute_every(0)
+                .build()
+                .unwrap_err(),
+            MpcConfigError::ZeroRecomputeInterval
+        );
+    }
+
+    #[test]
+    fn produces_feasible_input_when_hot() {
+        let mut c = mpc();
+        let preview = preview_const(10_000.0, 35.0, 24);
+        let context = ctx(26.5, 35.0, &preview);
+        let input = c.control(&context);
+        // Must actively cool: coil below the cabin temperature.
+        assert!(input.tc.value() < 26.5, "{input:?}");
+        // And satisfy the static constraint set.
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        assert!(HvacLimits::default()
+            .validate(&hvac, &input, context.state, context.ambient)
+            .is_ok());
+    }
+
+    #[test]
+    fn heats_when_cold() {
+        let mut c = mpc();
+        let preview = preview_const(10_000.0, 0.0, 24);
+        let context = ctx(21.5, 0.0, &preview);
+        let input = c.control(&context);
+        assert!(
+            input.ts.value() > 22.0,
+            "supply must be warm: {input:?}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_keeps_comfort_zone() {
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mut c = MpcController::builder(hvac.clone(), HvacLimits::default())
+            .horizon(6)
+            .recompute_every(4)
+            .build()
+            .unwrap();
+        let preview = preview_const(8_000.0, 35.0, 40);
+        let mut state = HvacState::new(Celsius::new(26.9));
+        for _ in 0..400 {
+            let context = ControlContext {
+                state,
+                ..ctx(state.tz.value(), 35.0, &preview)
+            };
+            let input = c.control(&context);
+            state = hvac
+                .step(state, &input, Celsius::new(35.0), Watts::new(400.0), Seconds::new(1.0))
+                .0;
+        }
+        let tz = state.tz.value();
+        assert!((21.0..=27.0).contains(&tz), "tz {tz} left comfort zone");
+        // MPC should settle close to target rather than ride the band edge
+        // into discomfort.
+        assert!((tz - 24.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn reduces_hvac_power_during_predicted_motor_peak() {
+        // Two scenarios at identical current state: flat low motor power
+        // vs an imminent large peak. The lifetime-aware MPC should spend
+        // less HVAC power (or pre-cool harder now and back off later);
+        // measure its *planned first-step* power in each.
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mk = || {
+            MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(6)
+                .recompute_every(1)
+                .build()
+                .unwrap()
+        };
+        // Peak now: 60 kW for the first 2 blocks, then low.
+        let mut peak_preview = preview_const(60_000.0, 35.0, 8);
+        peak_preview.extend(preview_const(2_000.0, 35.0, 16));
+        // Flat low power.
+        let flat_preview = preview_const(2_000.0, 35.0, 24);
+
+        let mut flat_mpc = mk();
+        let mut peak_mpc = mk();
+        let context_flat = ctx(25.5, 35.0, &flat_preview);
+        let context_peak = ctx(25.5, 35.0, &peak_preview);
+        let flat_input = flat_mpc.control(&context_flat);
+        let peak_input = peak_mpc.control(&context_peak);
+        let p_flat = hvac
+            .power(&flat_input, context_flat.state, context_flat.ambient)
+            .total()
+            .value();
+        let p_peak = hvac
+            .power(&peak_input, context_peak.state, context_peak.ambient)
+            .total()
+            .value();
+        assert!(
+            p_peak < p_flat + 1e-9,
+            "during a motor peak the MPC should not spend more: peak {p_peak} vs flat {p_flat}"
+        );
+    }
+
+    #[test]
+    fn held_input_between_recomputes() {
+        let mut c = MpcController::builder(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+        )
+        .horizon(4)
+        .recompute_every(3)
+        .build()
+        .unwrap();
+        let preview = preview_const(5_000.0, 32.0, 16);
+        let context = ctx(25.0, 32.0, &preview);
+        let first = c.control(&context);
+        let second = c.control(&context);
+        // Identical context, held input: equal commands.
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn empty_preview_falls_back_to_current_ambient() {
+        let mut c = mpc();
+        let context = ctx(25.0, 30.0, &[]);
+        let input = c.control(&context);
+        assert!(input.mz.value() >= 0.02 - 1e-12);
+    }
+}

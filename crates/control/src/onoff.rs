@@ -1,0 +1,294 @@
+//! The switching On/Off (bang-bang) baseline controller.
+
+use ev_hvac::{Hvac, HvacInput, HvacLimits};
+use ev_units::Celsius;
+
+use crate::{ClimateController, ControlContext};
+
+/// The switching On/Off climate-control baseline (the paper's refs
+/// \[8\]\[9\]): a thermostat with hysteresis that runs the HVAC at full
+/// capacity whenever the cabin temperature leaves the deadband and shuts
+/// it to minimum ventilation when it returns.
+///
+/// This is the i-MiEV-style production strategy the paper compares
+/// against; it produces the largest cabin-temperature fluctuation
+/// (its Fig. 5) and the highest power draw (its Fig. 8).
+///
+/// # Examples
+///
+/// ```
+/// use ev_control::{ClimateController, ControlContext, OnOffController};
+/// use ev_hvac::{CabinParams, Hvac, HvacLimits, HvacParams, HvacState};
+/// use ev_units::{Celsius, Percent, Seconds, Watts};
+///
+/// let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+/// let mut ctrl = OnOffController::new(hvac, HvacLimits::default(), Celsius::new(24.0), 1.5);
+/// let ctx = ControlContext {
+///     state: HvacState::new(Celsius::new(28.0)), // too hot → full cooling
+///     ambient: Celsius::new(35.0),
+///     solar: Watts::new(400.0),
+///     soc: Percent::new(90.0),
+///     soc_avg: 92.0,
+///     dt: Seconds::new(1.0),
+///     elapsed: Seconds::ZERO,
+///     preview: &[],
+/// };
+/// let input = ctrl.control(&ctx);
+/// assert_eq!(input.mz.value(), 0.25); // full fan
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnOffController {
+    hvac: Hvac,
+    limits: HvacLimits,
+    target: Celsius,
+    hysteresis: f64,
+    /// Whether the machine is currently running.
+    on: bool,
+    /// Safety margin on the power-cap-derived coil temperature span.
+    cap_margin: f64,
+}
+
+impl OnOffController {
+    /// Blower flow fraction (of the min–max span) held while the
+    /// coils are switched off.
+    const VENT_FLOW_FRACTION: f64 = 0.55;
+}
+
+impl OnOffController {
+    /// Creates the controller.
+    ///
+    /// `hysteresis` is the half-width of the thermostat deadband in
+    /// kelvins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis <= 0`.
+    #[must_use]
+    pub fn new(hvac: Hvac, limits: HvacLimits, target: Celsius, hysteresis: f64) -> Self {
+        assert!(hysteresis > 0.0, "hysteresis must be positive");
+        Self {
+            hvac,
+            limits,
+            target,
+            hysteresis,
+            on: false,
+            cap_margin: 0.98,
+        }
+    }
+
+    /// The thermostat target.
+    #[must_use]
+    pub fn target(&self) -> Celsius {
+        self.target
+    }
+
+    /// Whether the HVAC machine is currently switched on.
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Builds the full-capacity input for the current conditions: maximum
+    /// fan, coil driven as far as its power cap allows.
+    fn full_power_input(&self, ctx: &ControlContext<'_>, cooling: bool) -> HvacInput {
+        let p = self.hvac.params();
+        let cp = self.hvac.cabin().air_heat_capacity.value();
+        let mz = p.max_flow;
+        let dr = 0.5;
+        let probe = HvacInput {
+            ts: self.target,
+            tc: self.target,
+            dr,
+            mz,
+        };
+        let tm = self.hvac.mixed_air(&probe, ctx.state.tz, ctx.ambient);
+        if cooling {
+            // Pc = cp/ηc·ṁz·(Tm − Tc) ≤ P̄c ⇒ Tc ≥ Tm − P̄c·ηc/(cp·ṁz).
+            let span = p.max_cooling_power.value() * p.cooler_efficiency
+                / (cp * mz.value())
+                * self.cap_margin;
+            let tc = Celsius::new(tm.value() - span).max(p.min_coil_temp);
+            HvacInput {
+                ts: tc,
+                tc,
+                dr,
+                mz,
+            }
+        } else {
+            // Heater from a passive coil at Tm up its power cap.
+            let span = p.max_heating_power.value() * p.heater_efficiency
+                / (cp * mz.value())
+                * self.cap_margin;
+            let tc = tm;
+            let ts = Celsius::new(tm.value() + span).min(p.max_supply_temp);
+            HvacInput { ts, tc, dr, mz }
+        }
+    }
+}
+
+impl ClimateController for OnOffController {
+    fn name(&self) -> &'static str {
+        "on-off"
+    }
+
+    fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let error = ctx.state.tz.diff(self.target); // + = too hot
+        // Mode by the sign of the error once outside the deadband;
+        // hysteresis on the switch decision.
+        if error.abs() > self.hysteresis {
+            self.on = true;
+        } else if error.abs() < 0.15 * self.hysteresis {
+            self.on = false;
+        }
+        let input = if self.on {
+            self.full_power_input(ctx, error > 0.0)
+        } else {
+            // Production bang-bang systems (the i-MiEV-class reference
+            // [8]) cycle the compressor/heater but keep the blower
+            // running at its set speed: passive coils, ventilation flow.
+            let p = self.hvac.params();
+            let mz = Self::VENT_FLOW_FRACTION
+                * (p.max_flow.value() - p.min_flow.value())
+                + p.min_flow.value();
+            let probe = HvacInput {
+                ts: ctx.state.tz,
+                tc: ctx.state.tz,
+                dr: 0.5,
+                mz: ev_units::KgPerSecond::new(mz),
+            };
+            let tm = self.hvac.mixed_air(&probe, ctx.state.tz, ctx.ambient);
+            HvacInput {
+                ts: tm,
+                tc: tm,
+                dr: 0.5,
+                mz: ev_units::KgPerSecond::new(mz),
+            }
+        };
+        self.limits
+            .clamp_input(&self.hvac, input, ctx.state, ctx.ambient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_hvac::{CabinParams, HvacParams, HvacState};
+    use ev_units::{Percent, Seconds, Watts};
+
+    fn controller() -> OnOffController {
+        OnOffController::new(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+            Celsius::new(24.0),
+            1.5,
+        )
+    }
+
+    fn ctx_at(tz: f64, to: f64) -> ControlContext<'static> {
+        ControlContext {
+            state: HvacState::new(Celsius::new(tz)),
+            ambient: Celsius::new(to),
+            solar: Watts::new(400.0),
+            soc: Percent::new(90.0),
+            soc_avg: 92.0,
+            dt: Seconds::new(1.0),
+            elapsed: Seconds::ZERO,
+            preview: &[],
+        }
+    }
+
+    #[test]
+    fn switches_on_when_hot() {
+        let mut c = controller();
+        let input = c.control(&ctx_at(27.0, 35.0));
+        assert!(c.is_on());
+        assert_eq!(input.mz.value(), 0.25);
+        // Cooling: coil well below the mix temperature.
+        assert!(input.tc.value() < 24.0);
+        assert_eq!(input.ts, input.tc);
+    }
+
+    #[test]
+    fn switches_on_when_cold_in_heating_direction() {
+        let mut c = controller();
+        let input = c.control(&ctx_at(20.0, -5.0));
+        assert!(c.is_on());
+        assert!(input.ts.value() > input.tc.value(), "heater active");
+    }
+
+    #[test]
+    fn stays_off_inside_deadband_with_blower_running() {
+        let mut c = controller();
+        let input = c.control(&ctx_at(24.5, 35.0));
+        assert!(!c.is_on());
+        // Coils passive but the blower keeps its set speed.
+        assert!(input.mz.value() > c.hvac.params().min_flow.value());
+        let power = c.hvac.power(&input, HvacState::new(Celsius::new(24.5)), Celsius::new(35.0));
+        assert_eq!(power.heating.value(), 0.0);
+        assert!(power.cooling.value() < 1e-9);
+        assert!(power.fan.value() > 0.0);
+    }
+
+    #[test]
+    fn hysteresis_keeps_running_until_near_target() {
+        let mut c = controller();
+        let _ = c.control(&ctx_at(27.0, 35.0));
+        assert!(c.is_on());
+        // Still above the switch-off threshold: keeps cooling.
+        let _ = c.control(&ctx_at(25.0, 35.0));
+        assert!(c.is_on());
+        // Close enough to the target: switches off.
+        let _ = c.control(&ctx_at(24.1, 35.0));
+        assert!(!c.is_on());
+    }
+
+    #[test]
+    fn full_power_respects_caps() {
+        let mut c = controller();
+        // Extreme heat: the commanded input must stay within C8/C9.
+        let ctx = ctx_at(27.0, 43.0);
+        let input = c.control(&ctx);
+        let power = c.hvac.power(&input, ctx.state, ctx.ambient);
+        assert!(power.cooling.value() <= 6000.0 + 1.0, "{:?}", power);
+        assert!(power.heating.value() <= 6000.0 + 1.0);
+    }
+
+    #[test]
+    fn produces_limit_cycle_in_closed_loop() {
+        // Closed loop against the plant: temperature must oscillate
+        // around the deadband rather than diverge.
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mut c = controller();
+        let mut state = HvacState::new(Celsius::new(30.0));
+        let mut min_tz: f64 = f64::MAX;
+        let mut max_tz: f64 = f64::MIN;
+        for k in 0..1500 {
+            let ctx = ControlContext {
+                state,
+                ..ctx_at(state.tz.value(), 35.0)
+            };
+            let input = c.control(&ctx);
+            let (next, _) = hvac.step(state, &input, Celsius::new(35.0), Watts::new(400.0), Seconds::new(1.0));
+            state = next;
+            if k > 500 {
+                min_tz = min_tz.min(state.tz.value());
+                max_tz = max_tz.max(state.tz.value());
+            }
+        }
+        assert!(max_tz < 27.5, "max {max_tz}");
+        assert!(min_tz > 21.0, "min {min_tz}");
+        // Genuine oscillation, the signature of bang-bang control.
+        assert!(max_tz - min_tz > 1.0, "swing {}", max_tz - min_tz);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn rejects_non_positive_hysteresis() {
+        let _ = OnOffController::new(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+            Celsius::new(24.0),
+            0.0,
+        );
+    }
+}

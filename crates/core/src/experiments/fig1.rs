@@ -1,0 +1,203 @@
+//! Fig. 1 — percentages of the three power-consumption types in an EV
+//! and an ICE vehicle across ambient temperatures.
+
+use ev_hvac::HvacState;
+use ev_powertrain::{IceParams, IceVehicle, PowerTrain};
+use ev_units::{Celsius, KilometersPerHour, Seconds, Watts};
+
+use crate::ControllerKind;
+
+use super::{experiment_params, format_table};
+
+/// One ambient-temperature column of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Row {
+    /// Ambient temperature (°C).
+    pub ambient_c: f64,
+    /// EV: motor share of total power (%).
+    pub ev_motor_pct: f64,
+    /// EV: HVAC share (%).
+    pub ev_hvac_pct: f64,
+    /// EV: accessories share (%).
+    pub ev_accessories_pct: f64,
+    /// EV: absolute HVAC power (kW).
+    pub ev_hvac_kw: f64,
+    /// ICE: engine share of total fuel power (%).
+    pub ice_engine_pct: f64,
+    /// ICE: HVAC share (%).
+    pub ice_hvac_pct: f64,
+    /// ICE: accessories share (%).
+    pub ice_accessories_pct: f64,
+}
+
+/// Cruise speed of the comparison (both vehicles).
+const CRUISE_KMH: f64 = 60.0;
+/// Ambient sweep of the paper's figure.
+const AMBIENTS: [f64; 6] = [-10.0, 0.0, 10.0, 20.0, 30.0, 40.0];
+/// Settling time before averaging the HVAC power.
+const SETTLE_S: usize = 900;
+/// Averaging window after settling.
+const AVG_S: usize = 300;
+
+/// Steady-state EV HVAC power at an ambient: closed-loop fuzzy control at
+/// constant cruise, averaged after settling.
+fn ev_hvac_steady_w(ambient: Celsius) -> f64 {
+    let params = experiment_params();
+    let hvac = params.hvac_model();
+    let mut controller = ControllerKind::Fuzzy
+        .instantiate(&params)
+        .expect("fuzzy instantiates");
+    let mut state = HvacState::new(ambient); // soaked cabin
+    let solar = Watts::new(400.0);
+    let dt = Seconds::new(1.0);
+    let mut acc = 0.0;
+    for k in 0..SETTLE_S + AVG_S {
+        let ctx = ev_control::ControlContext {
+            state,
+            ambient,
+            solar,
+            soc: ev_units::Percent::new(90.0),
+            soc_avg: 92.0,
+            dt,
+            elapsed: Seconds::new(k as f64),
+            preview: &[],
+        };
+        let input = controller.control(&ctx);
+        let (next, power) = hvac.step(state, &input, ambient, solar, dt);
+        state = next;
+        if k >= SETTLE_S {
+            acc += power.total().value();
+        }
+    }
+    acc / AVG_S as f64
+}
+
+/// Runs the Fig. 1 sweep.
+///
+/// # Panics
+///
+/// Panics only if the built-in controllers fail to instantiate (they do
+/// not).
+#[must_use]
+pub fn fig1() -> Vec<Fig1Row> {
+    let params = experiment_params();
+    let train = PowerTrain::new(params.vehicle.clone());
+    let ice = IceVehicle::new(IceParams::corolla_like());
+    let v = KilometersPerHour::new(CRUISE_KMH).to_meters_per_second();
+    let accessories = params.accessory_power.value();
+
+    AMBIENTS
+        .iter()
+        .map(|&ambient_c| {
+            let ambient = Celsius::new(ambient_c);
+            // EV split.
+            let motor = train.power(v, 0.0, 0.0).value();
+            let hvac = ev_hvac_steady_w(ambient);
+            let total = motor + hvac + accessories;
+            // ICE split: cabin thermal load at the same ambient from the
+            // same cabin model, heating below the 24 °C target and
+            // cooling above.
+            let cabin_load = (params.cabin.shell_conductance.value()
+                * (ambient_c - 24.0))
+                .abs()
+                + 400.0;
+            let heating = ambient_c < 24.0;
+            let engine = ice.propulsion_fuel_power(v, 0.0, 0.0).value();
+            let ice_hvac = ice
+                .hvac_fuel_power(v, Watts::new(cabin_load), heating)
+                .value();
+            // Accessories through alternator + engine efficiency.
+            let ice_acc = accessories / 0.55 / 0.32;
+            let ice_total = engine + ice_hvac + ice_acc;
+            Fig1Row {
+                ambient_c,
+                ev_motor_pct: 100.0 * motor / total,
+                ev_hvac_pct: 100.0 * hvac / total,
+                ev_accessories_pct: 100.0 * accessories / total,
+                ev_hvac_kw: hvac / 1000.0,
+                ice_engine_pct: 100.0 * engine / ice_total,
+                ice_hvac_pct: 100.0 * ice_hvac / ice_total,
+                ice_accessories_pct: 100.0 * ice_acc / ice_total,
+            }
+        })
+        .collect()
+}
+
+/// Formats the Fig. 1 rows as a text table.
+#[must_use]
+pub fn render_fig1(rows: &[Fig1Row]) -> String {
+    let header: Vec<String> = [
+        "T_amb (°C)",
+        "EV motor %",
+        "EV HVAC %",
+        "EV acc %",
+        "EV HVAC kW",
+        "ICE engine %",
+        "ICE HVAC %",
+        "ICE acc %",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.ambient_c),
+                format!("{:.1}", r.ev_motor_pct),
+                format!("{:.1}", r.ev_hvac_pct),
+                format!("{:.1}", r.ev_accessories_pct),
+                format!("{:.2}", r.ev_hvac_kw),
+                format!("{:.1}", r.ice_engine_pct),
+                format!("{:.1}", r.ice_hvac_pct),
+                format!("{:.1}", r.ice_accessories_pct),
+            ]
+        })
+        .collect();
+    format!("Fig. 1 — power-type split at {CRUISE_KMH:.0} km/h cruise\n{}", format_table(&header, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_shape() {
+        let rows = fig1();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            let sum = r.ev_motor_pct + r.ev_hvac_pct + r.ev_accessories_pct;
+            assert!((sum - 100.0).abs() < 1e-9, "EV shares must sum to 100");
+            let ice_sum = r.ice_engine_pct + r.ice_hvac_pct + r.ice_accessories_pct;
+            assert!((ice_sum - 100.0).abs() < 1e-9);
+        }
+        // EV HVAC share is significant at temperature extremes (paper:
+        // "upto 20 %") and smaller at mild ambient.
+        let cold = &rows[0]; // −10 °C
+        let mild = &rows[3]; // 20 °C
+        let hot = &rows[5]; // 40 °C
+        assert!(cold.ev_hvac_pct > 2.0 * mild.ev_hvac_pct, "cold {} mild {}", cold.ev_hvac_pct, mild.ev_hvac_pct);
+        assert!(hot.ev_hvac_pct > 2.0 * mild.ev_hvac_pct);
+        assert!(cold.ev_hvac_pct > 10.0, "EV heating share substantial");
+        // ICE heating is nearly free: cold-side ICE HVAC share far below
+        // the EV share (paper: engine waste heat).
+        assert!(
+            cold.ice_hvac_pct < 0.5 * cold.ev_hvac_pct,
+            "ICE {} vs EV {}",
+            cold.ice_hvac_pct,
+            cold.ev_hvac_pct
+        );
+        // Hot side: both consume, EV HVAC share still higher than ICE's
+        // (paper: up to 20 % vs up to 9 %).
+        assert!(hot.ev_hvac_pct > hot.ice_hvac_pct);
+    }
+
+    #[test]
+    fn render_contains_all_ambients() {
+        let rows = fig1();
+        let table = render_fig1(&rows);
+        for a in ["-10", "0", "10", "20", "30", "40"] {
+            assert!(table.contains(a), "missing ambient {a}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal ASCII plotting for the `repro` binary: the paper's figures
+//! are line charts, so the terminal output renders them as such.
+
+/// Renders one or more series as an ASCII line chart.
+///
+/// All series share the x-axis (sample index) and the y-range is the
+/// union of the series. Each series draws with its own glyph; later
+/// series overwrite earlier ones where they collide.
+///
+/// # Panics
+///
+/// Panics if no series are given, any series is empty, lengths differ,
+/// or `width`/`height` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::experiments::ascii_chart;
+///
+/// let ramp: Vec<f64> = (0..50).map(f64::from).collect();
+/// let chart = ascii_chart(&[("ramp", &ramp)], 40, 8);
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("ramp"));
+/// ```
+#[must_use]
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "chart needs at least one series");
+    assert!(width > 0 && height > 0, "chart dimensions must be positive");
+    let n = series[0].1.len();
+    assert!(n > 0, "chart series must be non-empty");
+    assert!(
+        series.iter().all(|(_, s)| s.len() == n),
+        "chart series must share a length"
+    );
+
+    const GLYPHS: [char; 4] = ['*', 'o', '+', 'x'];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &v in *s {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // col addresses grid[row][col]
+        for col in 0..width {
+            // Down-sample: average the bucket covering this column.
+            let start = col * n / width;
+            let end = (((col + 1) * n / width).max(start + 1)).min(n);
+            let avg: f64 = s[start..end].iter().sum::<f64>() / (end - start) as f64;
+            let frac = (avg - lo) / (hi - lo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>9.2} |")
+        } else if r == height - 1 {
+            format!("{lo:>9.2} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    // Legend.
+    out.push_str(&format!("{:>11}", ""));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{} {}   ", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_renders_monotonically() {
+        let ramp: Vec<f64> = (0..100).map(f64::from).collect();
+        let chart = ascii_chart(&[("ramp", &ramp)], 50, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // The glyph column position in the top row must be to the right
+        // of the one in the bottom data row.
+        let top_pos = lines[0].find('*').expect("top row has a point");
+        let bottom_pos = lines[9].find('*').expect("bottom row has a point");
+        assert!(top_pos > bottom_pos);
+        // Axis labels present.
+        assert!(lines[0].contains("99"));
+        assert!(lines[9].contains("0.00"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = vec![0.0; 30];
+        let b = vec![1.0; 30];
+        let chart = ascii_chart(&[("low", &a), ("high", &b)], 30, 5);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("low"));
+        assert!(chart.contains("high"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let flat = vec![5.0; 10];
+        let chart = ascii_chart(&[("flat", &flat)], 20, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn downsampling_covers_every_column() {
+        let data: Vec<f64> = (0..1000).map(|k| f64::from(k % 7)).collect();
+        let chart = ascii_chart(&[("d", &data)], 60, 8);
+        // Every column must contain exactly one glyph across rows.
+        let lines: Vec<&str> = chart.lines().collect();
+        for col in 0..60 {
+            let mut count = 0;
+            for line in &lines[..8] {
+                let cell = line.chars().nth(11 + col);
+                if cell == Some('*') {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 1, "column {col}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn rejects_mismatched_series() {
+        let a = vec![0.0; 5];
+        let b = vec![0.0; 6];
+        let _ = ascii_chart(&[("a", &a), ("b", &b)], 10, 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! Simulation output: time series and the paper's figures of merit.
+
+use ev_battery::SocStats;
+use ev_units::{Celsius, Kilometers, KilowattHours, Kilowatts, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Per-sample time series recorded by a simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sample times (s).
+    pub t: Vec<f64>,
+    /// Cabin temperature (°C).
+    pub cabin: Vec<f64>,
+    /// Electric-motor power (W).
+    pub motor_power: Vec<f64>,
+    /// Total HVAC power (W).
+    pub hvac_power: Vec<f64>,
+    /// HVAC heating component (W).
+    pub heating_power: Vec<f64>,
+    /// HVAC cooling component (W).
+    pub cooling_power: Vec<f64>,
+    /// HVAC fan component (W).
+    pub fan_power: Vec<f64>,
+    /// Battery power after BMS clamping (W).
+    pub battery_power: Vec<f64>,
+    /// State of charge (%).
+    pub soc: Vec<f64>,
+}
+
+/// The figures of merit the paper reports for each run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// ΔSoH of the discharge cycle in *milli-percent* of nominal capacity
+    /// (Eq. 15; m% keeps typical values O(10)).
+    pub delta_soh_milli_percent: f64,
+    /// Battery lifetime if every cycle looked like this one (cycles to
+    /// 80 % capacity).
+    pub cycles_to_eol: f64,
+    /// Average total HVAC power over the drive (the paper's Fig. 8 /
+    /// Table I quantity).
+    pub avg_hvac_power: Kilowatts,
+    /// SoC statistics of the cycle (Eq. 16–17).
+    pub soc_stats: SocStats,
+    /// Final state of charge (%).
+    pub final_soc: f64,
+    /// Total energy drawn from the battery.
+    pub energy: KilowattHours,
+    /// Distance covered.
+    pub distance: Kilometers,
+    /// Consumption normalized to 100 km.
+    pub kwh_per_100km: f64,
+    /// Samples in which the cabin temperature sat outside the comfort
+    /// zone *after* the initial pull-in.
+    pub comfort_violations: usize,
+    /// Worst comfort excursion after pull-in (K beyond the band; 0 if
+    /// never violated).
+    pub max_comfort_excursion: f64,
+    /// Mean absolute cabin-temperature error from the target after
+    /// pull-in (K).
+    pub mean_temp_error: f64,
+}
+
+/// The full result of one simulated drive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// Profile name.
+    pub profile: String,
+    /// Controller name.
+    pub controller: String,
+    /// Sample period (s).
+    pub dt: f64,
+    /// Recorded time series.
+    pub series: TimeSeries,
+    metrics: Metrics,
+}
+
+impl SimulationResult {
+    /// Assembles a result, computing the metrics from the series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty or its vectors disagree in length.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // assembly point for one result
+    pub fn new(
+        profile: &str,
+        controller: &str,
+        dt: Seconds,
+        series: TimeSeries,
+        delta_soh_percent: f64,
+        cycles_to_eol: f64,
+        soc_stats: SocStats,
+        comfort_band: (Celsius, Celsius),
+        target: Celsius,
+    ) -> Self {
+        let n = series.t.len();
+        assert!(n > 0, "simulation series must be non-empty");
+        assert!(
+            [
+                series.cabin.len(),
+                series.motor_power.len(),
+                series.hvac_power.len(),
+                series.battery_power.len(),
+                series.soc.len(),
+            ]
+            .iter()
+            .all(|&l| l == n),
+            "series length mismatch"
+        );
+        let avg_hvac_w = series.hvac_power.iter().sum::<f64>() / n as f64;
+        let energy_j: f64 = series
+            .battery_power
+            .iter()
+            .map(|p| p.max(0.0) * dt.value())
+            .sum();
+        let mut distance_m = 0.0;
+        // Distance from the motor-power series is not recoverable; the
+        // simulation records it separately via `with_distance`.
+        let _ = &mut distance_m;
+
+        // Comfort accounting after the initial pull-in: start counting
+        // once the cabin first enters the band.
+        let (lo, hi) = (comfort_band.0.value(), comfort_band.1.value());
+        let pull_in = series
+            .cabin
+            .iter()
+            .position(|&tz| tz >= lo && tz <= hi)
+            .unwrap_or(n);
+        let mut violations = 0;
+        let mut worst: f64 = 0.0;
+        let mut abs_err = 0.0;
+        let mut counted = 0usize;
+        for &tz in &series.cabin[pull_in..] {
+            counted += 1;
+            abs_err += (tz - target.value()).abs();
+            if tz < lo {
+                violations += 1;
+                worst = worst.max(lo - tz);
+            } else if tz > hi {
+                violations += 1;
+                worst = worst.max(tz - hi);
+            }
+        }
+        let metrics = Metrics {
+            delta_soh_milli_percent: delta_soh_percent * 1000.0,
+            cycles_to_eol,
+            avg_hvac_power: Kilowatts::new(avg_hvac_w / 1000.0),
+            soc_stats,
+            final_soc: *series.soc.last().expect("non-empty"),
+            energy: KilowattHours::new(energy_j / 3.6e6),
+            distance: Kilometers::new(0.0),
+            kwh_per_100km: 0.0,
+            comfort_violations: violations,
+            max_comfort_excursion: worst,
+            mean_temp_error: if counted > 0 {
+                abs_err / counted as f64
+            } else {
+                f64::NAN
+            },
+        };
+        Self {
+            profile: profile.to_owned(),
+            controller: controller.to_owned(),
+            dt: dt.value(),
+            series,
+            metrics,
+        }
+    }
+
+    /// Attaches the driven distance and derives the normalized
+    /// consumption.
+    #[must_use]
+    pub fn with_distance(mut self, distance: Kilometers) -> Self {
+        self.metrics.distance = distance;
+        self.metrics.kwh_per_100km = if distance.value() > 0.0 {
+            self.metrics.energy.value() / distance.value() * 100.0
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Borrows the computed metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Estimated driving range at this consumption, from a full usable
+    /// battery of the given energy.
+    #[must_use]
+    pub fn range_estimate(&self, usable: KilowattHours) -> Kilometers {
+        if self.metrics.kwh_per_100km <= 0.0 {
+            return Kilometers::new(f64::INFINITY);
+        }
+        Kilometers::new(usable.value() / self.metrics.kwh_per_100km * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(cabin: Vec<f64>) -> TimeSeries {
+        let n = cabin.len();
+        TimeSeries {
+            t: (0..n).map(|k| k as f64).collect(),
+            cabin,
+            motor_power: vec![10_000.0; n],
+            hvac_power: vec![2_000.0; n],
+            heating_power: vec![0.0; n],
+            cooling_power: vec![1_900.0; n],
+            fan_power: vec![100.0; n],
+            battery_power: vec![12_300.0; n],
+            soc: (0..n).map(|k| 95.0 - 0.01 * k as f64).collect(),
+        }
+    }
+
+    fn result(cabin: Vec<f64>) -> SimulationResult {
+        SimulationResult::new(
+            "TEST",
+            "on-off",
+            Seconds::new(1.0),
+            series(cabin),
+            0.02,
+            1000.0,
+            SocStats { avg: 94.0, dev: 0.5 },
+            (Celsius::new(21.0), Celsius::new(27.0)),
+            Celsius::new(24.0),
+        )
+    }
+
+    #[test]
+    fn metrics_basic_quantities() {
+        let r = result(vec![24.0; 100]);
+        let m = r.metrics();
+        assert!((m.avg_hvac_power.value() - 2.0).abs() < 1e-12);
+        assert!((m.delta_soh_milli_percent - 20.0).abs() < 1e-12);
+        // 12.3 kW · 100 s = 0.3417 kWh.
+        assert!((m.energy.value() - 12_300.0 * 100.0 / 3.6e6).abs() < 1e-9);
+        assert_eq!(m.comfort_violations, 0);
+        assert_eq!(m.max_comfort_excursion, 0.0);
+        assert_eq!(m.mean_temp_error, 0.0);
+    }
+
+    #[test]
+    fn comfort_counting_starts_after_pull_in() {
+        // Starts hot (outside band), enters, then violates once.
+        let mut cabin = vec![30.0, 29.0, 28.0, 26.0, 24.0];
+        cabin.extend(vec![24.0; 10]);
+        cabin.push(27.5); // violation of 0.5 K
+        let r = result(cabin);
+        assert_eq!(r.metrics().comfort_violations, 1);
+        assert!((r.metrics().max_comfort_excursion - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_entering_band_counts_nothing() {
+        let r = result(vec![35.0; 20]);
+        assert_eq!(r.metrics().comfort_violations, 0);
+        assert!(r.metrics().mean_temp_error.is_nan());
+    }
+
+    #[test]
+    fn distance_and_range() {
+        let r = result(vec![24.0; 3600]).with_distance(Kilometers::new(20.0));
+        let m = r.metrics();
+        // 12.3 kW for 1 h = 12.3 kWh over 20 km = 61.5 kWh/100km.
+        assert!((m.kwh_per_100km - 61.5).abs() < 0.1);
+        let range = r.range_estimate(KilowattHours::new(21.0));
+        assert!((range.value() - 21.0 / 61.5 * 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = result(vec![24.0; 5]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.profile, "TEST");
+        assert_eq!(back.series.t.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_series() {
+        let mut s = series(vec![24.0; 10]);
+        s.soc.pop();
+        let _ = SimulationResult::new(
+            "TEST",
+            "x",
+            Seconds::new(1.0),
+            s,
+            0.0,
+            1.0,
+            SocStats::default(),
+            (Celsius::new(21.0), Celsius::new(27.0)),
+            Celsius::new(24.0),
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The co-simulation engine implementing the paper's Algorithm 1.
+
+use ev_control::{ClimateController, ControlContext, PreviewSample};
+use ev_drive::DriveProfile;
+use ev_units::{Seconds, Watts};
+
+use crate::{ElectricVehicle, EvParams, SimulationResult, TimeSeries};
+
+/// Errors from constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The drive profile has no samples.
+    EmptyProfile,
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyProfile => write!(f, "drive profile has no samples"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The fixed-step co-simulation loop of the paper's Algorithm 1:
+///
+/// 1. extract the route information and precompute the electric-motor
+///    power vector `e` from the drive profile (lines 2–5);
+/// 2. at every sample period, hand the controller the measured state,
+///    BMS feedback and the preview window of `e` and ambient (lines
+///    14–16), apply its input to the plant (line 18), and meter the total
+///    power through the BMS (lines 19–20);
+/// 3. evaluate ΔSoH of the whole discharge cycle at the end (line 23).
+///
+/// # Examples
+///
+/// ```no_run
+/// use ev_core::{ControllerKind, EvParams, Simulation};
+/// use ev_drive::{AmbientConditions, DriveCycle, DriveProfile};
+/// use ev_units::{Celsius, Seconds};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = EvParams::nissan_leaf_like();
+/// let profile = DriveProfile::from_cycle(
+///     &DriveCycle::ece15(),
+///     AmbientConditions::constant(Celsius::new(30.0)),
+///     Seconds::new(1.0),
+/// );
+/// let sim = Simulation::new(params.clone(), profile)?;
+/// let mut onoff = ControllerKind::OnOff.instantiate(&params)?;
+/// let result = sim.run(onoff.as_mut())?;
+/// assert!(result.metrics().avg_hvac_power.value() >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    params: EvParams,
+    profile: DriveProfile,
+    /// Motor-power vector `e` precomputed from the profile (W).
+    motor_power: Vec<f64>,
+    /// Length of the preview window handed to the controller (samples).
+    preview_len: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation, precomputing the motor-power vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyProfile`] if the profile has no samples.
+    pub fn new(params: EvParams, profile: DriveProfile) -> Result<Self, SimError> {
+        if profile.is_empty() {
+            return Err(SimError::EmptyProfile);
+        }
+        // Algorithm 1 lines 2–5: PowerTrain(d_t) for every sample.
+        let train = ev_powertrain::PowerTrain::new(params.vehicle.clone());
+        let motor_power: Vec<f64> = profile
+            .iter()
+            .map(|s| train.power(s.v, s.a, s.slope_percent).value())
+            .collect();
+        Ok(Self {
+            params,
+            profile,
+            motor_power,
+            preview_len: 64,
+        })
+    }
+
+    /// Overrides the preview window length (samples at the profile rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn with_preview_len(mut self, len: usize) -> Self {
+        assert!(len > 0, "preview length must be positive");
+        self.preview_len = len;
+        self
+    }
+
+    /// Borrows the drive profile.
+    #[must_use]
+    pub fn profile(&self) -> &DriveProfile {
+        &self.profile
+    }
+
+    /// Borrows the precomputed motor-power vector (W).
+    #[must_use]
+    pub fn motor_power(&self) -> &[f64] {
+        &self.motor_power
+    }
+
+    /// Runs the closed loop with the given controller and returns the
+    /// recorded result.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` is kept for
+    /// forward compatibility (plant fault injection).
+    pub fn run(&self, controller: &mut dyn ClimateController) -> Result<SimulationResult, SimError> {
+        let dt = self.profile.dt();
+        let n = self.profile.len();
+        let initial_cabin = self
+            .params
+            .initial_cabin
+            .unwrap_or_else(|| self.profile.sample(0).ambient);
+        let mut ev = ElectricVehicle::new(&self.params, initial_cabin);
+
+        let mut series = TimeSeries::default();
+        series.t.reserve(n);
+
+        // Reusable preview buffer.
+        let mut preview: Vec<PreviewSample> = Vec::with_capacity(self.preview_len);
+
+        for k in 0..n {
+            let sample = *self.profile.sample(k);
+            // Build the preview window (constant extension past the end).
+            preview.clear();
+            for j in k..k + self.preview_len {
+                let idx = j.min(n - 1);
+                let s = self.profile.sample(idx);
+                preview.push(PreviewSample {
+                    motor_power: Watts::new(self.motor_power[idx]),
+                    ambient: s.ambient,
+                    solar: s.solar,
+                });
+            }
+            let ctx = ControlContext {
+                state: ev.cabin_state(),
+                ambient: sample.ambient,
+                solar: sample.solar,
+                soc: ev.bms().soc(),
+                soc_avg: ev.bms().running_soc_avg(),
+                dt,
+                elapsed: Seconds::new(k as f64 * dt.value()),
+                preview: &preview,
+            };
+            let input = controller.control(&ctx);
+            let step = ev.step(&input, &sample, dt);
+
+            series.t.push(sample.t.value());
+            series.cabin.push(step.cabin.value());
+            series.motor_power.push(step.motor_power.value());
+            series.hvac_power.push(step.hvac_power.total().value());
+            series.heating_power.push(step.hvac_power.heating.value());
+            series.cooling_power.push(step.hvac_power.cooling.value());
+            series.fan_power.push(step.hvac_power.fan.value());
+            series.battery_power.push(step.battery_power.value());
+            series.soc.push(step.soc.value());
+        }
+
+        let stats = ev.bms().cycle_stats();
+        let delta_soh = ev.bms().cycle_degradation();
+        let cycles = ev.bms().cycles_to_eol();
+        let limits = self.params.limits();
+        Ok(SimulationResult::new(
+            self.profile.name(),
+            controller.name(),
+            dt,
+            series,
+            delta_soh,
+            cycles,
+            stats,
+            (limits.comfort_min, limits.comfort_max),
+            self.params.target,
+        )
+        .with_distance(self.profile.distance()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ControllerKind;
+    use ev_drive::{AmbientConditions, DriveCycle};
+    use ev_units::Celsius;
+
+    fn short_sim(to: f64) -> Simulation {
+        let profile = DriveProfile::from_cycle(
+            &DriveCycle::ece15(),
+            AmbientConditions::constant(Celsius::new(to)),
+            Seconds::new(1.0),
+        );
+        Simulation::new(EvParams::nissan_leaf_like(), profile).expect("profile non-empty")
+    }
+
+    #[test]
+    fn motor_power_precomputation_matches_profile() {
+        let sim = short_sim(30.0);
+        assert_eq!(sim.motor_power().len(), sim.profile().len());
+        // Standstill at t = 0: zero motor power.
+        assert_eq!(sim.motor_power()[0], 0.0);
+        // Some acceleration sample draws real power.
+        assert!(sim.motor_power().iter().any(|&p| p > 5_000.0));
+    }
+
+    #[test]
+    fn onoff_run_produces_complete_series() {
+        let sim = short_sim(35.0);
+        let mut c = ControllerKind::OnOff
+            .instantiate(&EvParams::nissan_leaf_like())
+            .unwrap();
+        let r = sim.run(c.as_mut()).unwrap();
+        assert_eq!(r.series.t.len(), sim.profile().len());
+        let m = r.metrics();
+        assert!(m.avg_hvac_power.value() > 0.0);
+        assert!(m.final_soc < 95.0);
+        assert!(m.delta_soh_milli_percent > 0.0);
+        assert!(m.distance.value() > 0.9);
+    }
+
+    #[test]
+    fn hot_start_cools_toward_band() {
+        let sim = short_sim(35.0);
+        let mut c = ControllerKind::Fuzzy
+            .instantiate(&EvParams::nissan_leaf_like())
+            .unwrap();
+        let r = sim.run(c.as_mut()).unwrap();
+        let last = *r.series.cabin.last().unwrap();
+        assert!(last < 32.0, "cabin should cool from 35 °C soak: {last}");
+    }
+
+    #[test]
+    fn soc_is_monotone_without_regen() {
+        // ECE-15 braking is gentle but regen exists; check the SoC never
+        // *increases more than regen can explain* — simply verify overall
+        // decrease and boundedness.
+        let sim = short_sim(21.0);
+        let mut c = ControllerKind::OnOff
+            .instantiate(&EvParams::nissan_leaf_like())
+            .unwrap();
+        let r = sim.run(c.as_mut()).unwrap();
+        let socs = &r.series.soc;
+        assert!(socs.first().unwrap() >= socs.last().unwrap());
+        assert!(socs.iter().all(|&s| (10.0..=100.0).contains(&s)));
+    }
+
+    #[test]
+    fn empty_profile_is_rejected() {
+        // An empty profile cannot be constructed through the public API;
+        // verify the error path directly through Simulation::new's check
+        // by using a profile with a single sample (valid) and confirming
+        // the error type exists for documentation.
+        assert_eq!(SimError::EmptyProfile.to_string(), "drive profile has no samples");
+    }
+
+    #[test]
+    fn initial_cabin_override() {
+        let profile = DriveProfile::from_cycle(
+            &DriveCycle::ece15(),
+            AmbientConditions::constant(Celsius::new(35.0)),
+            Seconds::new(1.0),
+        );
+        let mut params = EvParams::nissan_leaf_like();
+        params.initial_cabin = Some(Celsius::new(24.0));
+        let sim = Simulation::new(params.clone(), profile).unwrap();
+        let mut c = ControllerKind::OnOff.instantiate(&params).unwrap();
+        let r = sim.run(c.as_mut()).unwrap();
+        // Starting inside the band, comfort accounting begins at once.
+        assert!(r.series.cabin[0] < 27.0);
+    }
+}

@@ -1,0 +1,562 @@
+//! Standard driving cycles as piecewise-linear speed traces.
+
+use ev_units::{Kilometers, KilometersPerHour, MetersPerSecond, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A named driving cycle: vehicle speed versus time as a piecewise-linear
+/// trace.
+///
+/// NEDC, ECE-15 and EUDC are *defined* by regulation as piecewise-linear
+/// segments and are encoded here exactly (modulo gear-change plateaus).
+/// US06, SC03 and UDDS are measured dynamometer traces in reality; the
+/// constructors here synthesize piecewise-linear approximations that match
+/// the published duration, distance, average and maximum speed of each
+/// cycle (the controller only cares about the power-peak structure, which
+/// the approximations preserve — see `DESIGN.md`).
+///
+/// # Examples
+///
+/// ```
+/// use ev_drive::DriveCycle;
+///
+/// let udds = DriveCycle::udds();
+/// let stats = udds.stats();
+/// assert!((stats.duration.value() - 1369.0).abs() < 1.0);
+/// assert!(stats.max_speed.to_kilometers_per_hour().value() < 92.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveCycle {
+    name: String,
+    /// `(time s, speed m/s)` breakpoints, strictly increasing in time.
+    points: Vec<(f64, f64)>,
+}
+
+/// Summary statistics of a [`DriveCycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Total cycle duration.
+    pub duration: Seconds,
+    /// Distance covered.
+    pub distance: Kilometers,
+    /// Time-averaged speed (idle included).
+    pub avg_speed: MetersPerSecond,
+    /// Peak speed.
+    pub max_speed: MetersPerSecond,
+    /// Largest acceleration between breakpoints (m/s²).
+    pub max_accel: f64,
+    /// Largest deceleration between breakpoints (m/s², negative).
+    pub max_decel: f64,
+}
+
+/// One stop-to-stop speed hump used by the synthesized cycles:
+/// `(idle s, peak km/h, accel s, cruise s, decel s)`.
+type Hump = (f64, f64, f64, f64, f64);
+
+impl DriveCycle {
+    /// Creates a cycle from `(seconds, km/h)` breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two breakpoints are given, times are not
+    /// strictly increasing, or any speed is negative.
+    #[must_use]
+    pub fn from_breakpoints(name: &str, points_kmh: &[(f64, f64)]) -> Self {
+        assert!(points_kmh.len() >= 2, "cycle needs at least two breakpoints");
+        let mut points = Vec::with_capacity(points_kmh.len());
+        let mut prev_t = f64::NEG_INFINITY;
+        for &(t, v_kmh) in points_kmh {
+            assert!(t > prev_t, "cycle breakpoint times must strictly increase");
+            assert!(v_kmh >= 0.0, "cycle speed must be non-negative");
+            prev_t = t;
+            points.push((t, v_kmh / 3.6));
+        }
+        Self {
+            name: name.to_owned(),
+            points,
+        }
+    }
+
+    /// The ECE-15 urban cycle (195 s, ≈1 km), the urban building block of
+    /// the NEDC. Encoded from the regulatory segment definition.
+    #[must_use]
+    pub fn ece15() -> Self {
+        Self::from_breakpoints(
+            "ECE-15",
+            &[
+                (0.0, 0.0),
+                (11.0, 0.0),
+                (15.0, 15.0),
+                (23.0, 15.0),
+                (28.0, 0.0),
+                (49.0, 0.0),
+                (61.0, 32.0),
+                (85.0, 32.0),
+                (96.0, 0.0),
+                (117.0, 0.0),
+                (143.0, 50.0),
+                (155.0, 50.0),
+                (163.0, 35.0),
+                (176.0, 35.0),
+                (188.0, 0.0),
+                (195.0, 0.0),
+            ],
+        )
+    }
+
+    /// The Extra-Urban Driving Cycle (400 s, ≈6.9 km, 120 km/h peak).
+    /// Encoded from the regulatory segment definition.
+    #[must_use]
+    pub fn eudc() -> Self {
+        Self::from_breakpoints(
+            "EUDC",
+            &[
+                (0.0, 0.0),
+                (20.0, 0.0),
+                (61.0, 70.0),
+                (111.0, 70.0),
+                (119.0, 50.0),
+                (188.0, 50.0),
+                (201.0, 70.0),
+                (251.0, 70.0),
+                (286.0, 100.0),
+                (316.0, 100.0),
+                (336.0, 120.0),
+                (346.0, 120.0),
+                (380.0, 0.0),
+                (400.0, 0.0),
+            ],
+        )
+    }
+
+    /// The New European Driving Cycle: four ECE-15 repetitions followed by
+    /// one EUDC (1180 s, ≈10.8 km).
+    #[must_use]
+    pub fn nedc() -> Self {
+        let ece = Self::ece15();
+        let mut cycle = ece.clone();
+        for _ in 0..3 {
+            cycle = cycle.concat(&ece);
+        }
+        let mut nedc = cycle.concat(&Self::eudc());
+        nedc.name = "NEDC".to_owned();
+        nedc
+    }
+
+    /// The ECE + EUDC combination used by the paper's Table I and its
+    /// most-improved result in Fig. 7: one urban ECE-15 followed by the
+    /// EUDC (595 s, ≈7.8 km).
+    #[must_use]
+    pub fn ece_eudc() -> Self {
+        let mut c = Self::ece15().concat(&Self::eudc());
+        c.name = "ECE_EUDC".to_owned();
+        c
+    }
+
+    /// The US06 supplemental FTP cycle: aggressive, high-speed highway
+    /// driving (596 s, ≈12.8 km, 129.2 km/h peak). Synthesized to the
+    /// published duration / distance / speed envelope.
+    #[must_use]
+    pub fn us06() -> Self {
+        Self::from_humps(
+            "US06",
+            &[
+                (5.0, 112.0, 22.0, 30.0, 18.0),
+                (8.0, 129.2, 25.0, 60.0, 20.0),
+                (5.0, 95.0, 15.0, 20.0, 13.0),
+                (8.0, 125.0, 22.0, 55.0, 18.0),
+                (5.0, 80.0, 12.0, 15.0, 10.0),
+                (8.0, 120.0, 20.0, 60.0, 18.0),
+                (5.0, 100.0, 15.0, 35.0, 14.0),
+            ],
+            35.0,
+        )
+    }
+
+    /// The SC03 air-conditioning SFTP cycle: urban driving with stops
+    /// (596 s, ≈5.8 km, 88.2 km/h peak). Synthesized to the published
+    /// envelope.
+    #[must_use]
+    pub fn sc03() -> Self {
+        Self::from_humps(
+            "SC03",
+            &[
+                (20.0, 45.0, 16.0, 25.0, 13.0),
+                (15.0, 88.2, 30.0, 70.0, 25.0),
+                (20.0, 40.0, 14.0, 20.0, 12.0),
+                (15.0, 55.0, 18.0, 30.0, 15.0),
+                (20.0, 35.0, 12.0, 18.0, 10.0),
+                (15.0, 60.0, 20.0, 35.0, 16.0),
+                (20.0, 48.0, 16.0, 22.0, 13.0),
+            ],
+            21.0,
+        )
+    }
+
+    /// The EPA Urban Dynamometer Driving Schedule: city stop-and-go
+    /// (1369 s, ≈12 km, 91 km/h peak). Synthesized to the published
+    /// envelope with 15 stop-to-stop humps.
+    #[must_use]
+    pub fn udds() -> Self {
+        Self::from_humps(
+            "UDDS",
+            &[
+                (20.0, 40.0, 15.0, 30.0, 12.0),
+                (15.0, 50.0, 18.0, 40.0, 15.0),
+                (10.0, 91.0, 30.0, 60.0, 25.0),
+                (15.0, 60.0, 20.0, 45.0, 18.0),
+                (10.0, 45.0, 15.0, 25.0, 12.0),
+                (20.0, 55.0, 18.0, 35.0, 15.0),
+                (10.0, 70.0, 25.0, 50.0, 20.0),
+                (15.0, 35.0, 12.0, 20.0, 10.0),
+                (10.0, 50.0, 15.0, 30.0, 13.0),
+                (15.0, 65.0, 22.0, 40.0, 18.0),
+                (10.0, 40.0, 14.0, 22.0, 11.0),
+                (15.0, 55.0, 18.0, 30.0, 14.0),
+                (10.0, 48.0, 15.0, 25.0, 12.0),
+                (12.0, 58.0, 19.0, 35.0, 15.0),
+                (15.0, 30.0, 10.0, 20.0, 8.0),
+            ],
+            176.0,
+        )
+    }
+
+    /// The WLTC Class 3b cycle (1800 s, ≈23.3 km, 131.3 km/h peak), the
+    /// modern successor to the NEDC — not part of the paper's evaluation
+    /// (it postdates the paper's toolchain) but useful for forward
+    /// comparisons. Synthesized to the published envelope with its four
+    /// phases: Low, Medium, High, Extra-High.
+    #[must_use]
+    pub fn wltc_class3() -> Self {
+        Self::from_humps(
+            "WLTC-3",
+            &[
+                // Low phase (589 s, ≈3.1 km, ≤56.5 km/h): urban stop-go.
+                (12.0, 40.0, 15.0, 28.0, 12.0),
+                (10.0, 56.5, 20.0, 35.0, 16.0),
+                (14.0, 35.0, 12.0, 22.0, 10.0),
+                (10.0, 48.0, 16.0, 30.0, 13.0),
+                (12.0, 30.0, 10.0, 18.0, 9.0),
+                (16.0, 52.0, 18.0, 40.0, 15.0),
+                (24.0, 42.0, 14.0, 26.0, 12.0),
+                // Medium phase (433 s, ≈4.8 km, ≤76.6 km/h).
+                (37.0, 76.6, 26.0, 60.0, 20.0),
+                (35.0, 60.0, 18.0, 45.0, 16.0),
+                (12.0, 70.0, 22.0, 55.0, 18.0),
+                (14.0, 55.0, 16.0, 60.0, 15.0),
+                // High phase (455 s, ≈7.2 km, ≤97.4 km/h).
+                (35.0, 97.4, 30.0, 80.0, 24.0),
+                (8.0, 85.0, 24.0, 70.0, 20.0),
+                (10.0, 92.0, 26.0, 75.0, 22.0),
+                // Extra-high phase (323 s, ≈8.3 km, ≤131.3 km/h).
+                (33.0, 131.3, 38.0, 70.0, 30.0),
+                (6.0, 110.0, 26.0, 70.0, 24.0),
+            ],
+            121.0,
+        )
+    }
+
+    /// All five cycles of the paper's evaluation, in the order of its
+    /// figures: NEDC, US06, ECE_EUDC, SC03, UDDS.
+    #[must_use]
+    pub fn paper_evaluation_set() -> Vec<Self> {
+        vec![
+            Self::nedc(),
+            Self::us06(),
+            Self::ece_eudc(),
+            Self::sc03(),
+            Self::udds(),
+        ]
+    }
+
+    /// Builds a cycle from stop-to-stop humps.
+    fn from_humps(name: &str, humps: &[Hump], final_idle: f64) -> Self {
+        let mut pts: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+        let mut t = 0.0;
+        for &(idle, peak, accel, cruise, decel) in humps {
+            t += idle;
+            pts.push((t, 0.0));
+            t += accel;
+            pts.push((t, peak));
+            t += cruise;
+            pts.push((t, peak));
+            t += decel;
+            pts.push((t, 0.0));
+        }
+        t += final_idle;
+        pts.push((t, 0.0));
+        Self::from_breakpoints(name, &pts)
+    }
+
+    /// The cycle's name (e.g. `"NEDC"`).
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Breakpoints as `(seconds, m/s)` pairs.
+    #[inline]
+    #[must_use]
+    pub fn breakpoints(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Total duration of the cycle.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds::new(self.points.last().expect("non-empty").0 - self.points[0].0)
+    }
+
+    /// Linearly interpolated speed at time `t` (clamped to the cycle span).
+    #[must_use]
+    pub fn speed_at(&self, t: Seconds) -> MetersPerSecond {
+        let t = t.value();
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return MetersPerSecond::new(pts[0].1);
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return MetersPerSecond::new(pts[pts.len() - 1].1);
+        }
+        // Binary search for the bracketing segment.
+        let idx = pts.partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = pts[idx - 1];
+        let (t1, v1) = pts[idx];
+        let frac = (t - t0) / (t1 - t0);
+        MetersPerSecond::new(v0 + frac * (v1 - v0))
+    }
+
+    /// Distance covered over the whole cycle (exact trapezoidal integral of
+    /// the piecewise-linear trace).
+    #[must_use]
+    pub fn distance(&self) -> Kilometers {
+        let mut meters = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            meters += 0.5 * (v0 + v1) * (t1 - t0);
+        }
+        Kilometers::new(meters / 1000.0)
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> CycleStats {
+        let duration = self.duration();
+        let distance = self.distance();
+        let avg_speed =
+            MetersPerSecond::new(distance.to_meters().value() / duration.value().max(1e-9));
+        let max_speed = self
+            .points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        let mut max_accel = 0.0f64;
+        let mut max_decel = 0.0f64;
+        for w in self.points.windows(2) {
+            let a = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            max_accel = max_accel.max(a);
+            max_decel = max_decel.min(a);
+        }
+        CycleStats {
+            duration,
+            distance,
+            avg_speed,
+            max_speed: MetersPerSecond::new(max_speed),
+            max_accel,
+            max_decel,
+        }
+    }
+
+    /// Average speed over the cycle (idle included).
+    #[must_use]
+    pub fn avg_speed(&self) -> KilometersPerHour {
+        self.stats().avg_speed.to_kilometers_per_hour()
+    }
+
+    /// Concatenates another cycle after this one, shifting its times.
+    #[must_use]
+    pub fn concat(&self, other: &Self) -> Self {
+        let offset = self.points.last().expect("non-empty").0;
+        let mut points = self.points.clone();
+        for &(t, v) in &other.points {
+            let shifted = t + offset;
+            // Skip a duplicate junction breakpoint at identical speed.
+            if let Some(&(lt, lv)) = points.last() {
+                if (shifted - lt).abs() < 1e-9 {
+                    assert!(
+                        (v - lv).abs() < 1e-9,
+                        "cannot concatenate cycles with a speed discontinuity"
+                    );
+                    continue;
+                }
+            }
+            points.push((shifted, v));
+        }
+        Self {
+            name: format!("{}+{}", self.name, other.name),
+            points,
+        }
+    }
+
+    /// Returns this cycle repeated `n` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn repeat(&self, n: usize) -> Self {
+        assert!(n > 0, "repeat count must be positive");
+        let mut out = self.clone();
+        for _ in 1..n {
+            out = out.concat(self);
+        }
+        out.name = format!("{}x{n}", self.name);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published reference envelopes: (name, duration s, distance km,
+    /// max km/h). Distance tolerance ±5 % for the synthesized cycles.
+    const REFERENCE: &[(&str, f64, f64, f64)] = &[
+        ("ECE-15", 195.0, 1.013, 50.0),
+        ("EUDC", 400.0, 6.955, 120.0),
+        ("NEDC", 1180.0, 10.93, 120.0),
+        ("ECE_EUDC", 595.0, 7.97, 120.0),
+        ("US06", 596.0, 12.89, 129.2),
+        ("SC03", 596.0, 5.76, 88.2),
+        ("UDDS", 1369.0, 11.99, 91.0),
+    ];
+
+    fn by_name(name: &str) -> DriveCycle {
+        match name {
+            "ECE-15" => DriveCycle::ece15(),
+            "EUDC" => DriveCycle::eudc(),
+            "NEDC" => DriveCycle::nedc(),
+            "ECE_EUDC" => DriveCycle::ece_eudc(),
+            "US06" => DriveCycle::us06(),
+            "SC03" => DriveCycle::sc03(),
+            "UDDS" => DriveCycle::udds(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn cycles_match_published_envelopes() {
+        for &(name, dur, dist, vmax) in REFERENCE {
+            let c = by_name(name);
+            let s = c.stats();
+            assert!(
+                (s.duration.value() - dur).abs() < 1.0,
+                "{name}: duration {} vs {dur}",
+                s.duration.value()
+            );
+            let rel = (s.distance.value() - dist).abs() / dist;
+            assert!(
+                rel < 0.05,
+                "{name}: distance {} vs {dist} ({:.1}% off)",
+                s.distance.value(),
+                rel * 100.0
+            );
+            let mv = s.max_speed.to_kilometers_per_hour().value();
+            assert!(
+                (mv - vmax).abs() < 0.5,
+                "{name}: max speed {mv} vs {vmax}"
+            );
+        }
+    }
+
+    #[test]
+    fn accelerations_are_physically_plausible() {
+        for &(name, ..) in REFERENCE {
+            let s = by_name(name).stats();
+            assert!(s.max_accel > 0.0 && s.max_accel < 4.0, "{name} accel {}", s.max_accel);
+            assert!(s.max_decel < 0.0 && s.max_decel > -5.0, "{name} decel {}", s.max_decel);
+        }
+    }
+
+    #[test]
+    fn us06_is_the_most_aggressive() {
+        let us06 = DriveCycle::us06().stats();
+        let udds = DriveCycle::udds().stats();
+        let sc03 = DriveCycle::sc03().stats();
+        assert!(us06.avg_speed.value() > 2.0 * udds.avg_speed.value());
+        assert!(us06.max_speed.value() > sc03.max_speed.value());
+    }
+
+    #[test]
+    fn speed_interpolation() {
+        let c = DriveCycle::from_breakpoints("t", &[(0.0, 0.0), (10.0, 36.0), (20.0, 36.0)]);
+        assert_eq!(c.speed_at(Seconds::new(5.0)).value(), 5.0); // 18 km/h
+        assert_eq!(c.speed_at(Seconds::new(15.0)).value(), 10.0);
+        // Clamped outside the span.
+        assert_eq!(c.speed_at(Seconds::new(-1.0)).value(), 0.0);
+        assert_eq!(c.speed_at(Seconds::new(99.0)).value(), 10.0);
+    }
+
+    #[test]
+    fn nedc_is_four_ece_plus_eudc() {
+        let nedc = DriveCycle::nedc();
+        assert_eq!(nedc.name(), "NEDC");
+        let d4 = 4.0 * DriveCycle::ece15().distance().value();
+        let de = DriveCycle::eudc().distance().value();
+        assert!((nedc.distance().value() - d4 - de).abs() < 1e-9);
+        // Speed at 195 s into the second ECE repetition matches the first.
+        let v1 = nedc.speed_at(Seconds::new(100.0)).value();
+        let v2 = nedc.speed_at(Seconds::new(295.0)).value();
+        assert!((v1 - v2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_scales_duration_and_distance() {
+        let c = DriveCycle::ece15().repeat(3);
+        assert!((c.duration().value() - 585.0).abs() < 1e-9);
+        assert!((c.distance().value() - 3.0 * DriveCycle::ece15().distance().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wltc_matches_published_envelope() {
+        let c = DriveCycle::wltc_class3();
+        let s = c.stats();
+        assert!((s.duration.value() - 1800.0).abs() < 20.0, "duration {}", s.duration.value());
+        let rel = (s.distance.value() - 23.27).abs() / 23.27;
+        assert!(rel < 0.08, "distance {} ({:.1}% off)", s.distance.value(), rel * 100.0);
+        assert!((s.max_speed.to_kilometers_per_hour().value() - 131.3).abs() < 0.5);
+        // WLTC is faster than NEDC on average (the reason it replaced it).
+        assert!(s.avg_speed.value() > DriveCycle::nedc().stats().avg_speed.value());
+    }
+
+    #[test]
+    fn paper_set_has_five_cycles_in_order() {
+        let set = DriveCycle::paper_evaluation_set();
+        let names: Vec<&str> = set.iter().map(DriveCycle::name).collect();
+        assert_eq!(names, vec!["NEDC", "US06", "ECE_EUDC", "SC03", "UDDS"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_non_monotone_times() {
+        let _ = DriveCycle::from_breakpoints("bad", &[(0.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_speed() {
+        let _ = DriveCycle::from_breakpoints("bad", &[(0.0, 0.0), (1.0, -3.0)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = DriveCycle::ece15();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DriveCycle = serde_json::from_str(&json).unwrap();
+        assert_eq!(c.name(), back.name());
+        for (a, b) in c.breakpoints().iter().zip(back.breakpoints()) {
+            assert!((a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Standard driving cycles and multi-variable drive profiles.
+//!
+//! The paper's controller consumes a *drive profile* (its Section II-A): a
+//! discrete-time, multi-variable sample of the environment the EV drives
+//! through — vehicle speed, acceleration, road slope, ambient temperature
+//! and solar load. In the paper these come from navigation/traffic/climate
+//! databases or from standard regulatory driving cycles; the evaluation
+//! uses the cycles NEDC, US06, ECE_EUDC, SC03 and UDDS.
+//!
+//! This crate provides:
+//!
+//! * [`DriveCycle`] — a named piecewise-linear speed trace with
+//!   constructors for the six standard cycles. NEDC, ECE-15 and EUDC are
+//!   encoded from their piecewise-linear regulatory definitions; US06,
+//!   SC03 and UDDS (measured dynamometer traces in reality) are
+//!   *synthesized* piecewise-linear approximations matching the published
+//!   duration, distance, average and maximum speed of each cycle — see
+//!   `DESIGN.md` for the substitution rationale.
+//! * [`DriveProfile`] — the sampled multi-variable input the simulator and
+//!   MPC consume, built from a cycle plus [`AmbientConditions`] and an
+//!   optional slope profile.
+//! * [`synthetic`] — seeded generators for realistic commute routes
+//!   (hills, traffic waves) and diurnal ambient temperature, standing in
+//!   for the Google-Maps/NOAA databases the paper cites.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_drive::{AmbientConditions, DriveCycle, DriveProfile};
+//! use ev_units::{Celsius, Seconds};
+//!
+//! let cycle = DriveCycle::nedc();
+//! assert_eq!(cycle.name(), "NEDC");
+//! let profile = DriveProfile::from_cycle(
+//!     &cycle,
+//!     AmbientConditions::constant(Celsius::new(30.0)),
+//!     Seconds::new(1.0),
+//! );
+//! assert!(profile.distance().value() > 10.0); // km
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod profile;
+mod route;
+pub mod synthetic;
+
+pub use cycle::{CycleStats, DriveCycle};
+pub use profile::{AmbientConditions, DriveProfile, DriveSample, SlopeProfile};
+pub use route::{Route, RouteSegment};

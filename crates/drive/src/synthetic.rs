@@ -1,0 +1,371 @@
+//! Seeded synthetic route and climate generators.
+//!
+//! The paper builds drive profiles from navigation, traffic and climate
+//! databases (Google APIs and NOAA, its refs \[17\]\[18\]). Those services are
+//! not available offline, so this module generates deterministic synthetic
+//! equivalents: commute routes with hills and traffic waves, and a diurnal
+//! ambient-temperature model. The statistical character (stop-and-go
+//! urban phases, highway cruise, grade changes) is what the controller
+//! reacts to, and that is preserved.
+//!
+//! All generators are seeded for reproducibility.
+
+use ev_units::{Celsius, Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AmbientConditions, DriveProfile, DriveSample, SlopeProfile};
+
+/// Configuration of a synthetic commute route.
+///
+/// # Examples
+///
+/// ```
+/// use ev_drive::synthetic::RouteConfig;
+/// use ev_units::Celsius;
+///
+/// let profile = RouteConfig::new(42)
+///     .urban_minutes(8.0)
+///     .highway_minutes(12.0)
+///     .ambient(Celsius::new(33.0))
+///     .generate();
+/// assert!(profile.distance().value() > 5.0); // km
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteConfig {
+    seed: u64,
+    urban_minutes: f64,
+    highway_minutes: f64,
+    hilliness: f64,
+    ambient: Celsius,
+    solar: Watts,
+    dt: Seconds,
+}
+
+impl RouteConfig {
+    /// Creates a route configuration with the given RNG seed and defaults:
+    /// 10 urban minutes, 10 highway minutes, mild hills, 25 °C.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            urban_minutes: 10.0,
+            highway_minutes: 10.0,
+            hilliness: 2.0,
+            ambient: Celsius::new(25.0),
+            solar: Watts::new(AmbientConditions::DEFAULT_SOLAR_W),
+            dt: Seconds::new(1.0),
+        }
+    }
+
+    /// Sets the urban (stop-and-go) phase duration in minutes.
+    #[must_use]
+    pub fn urban_minutes(mut self, minutes: f64) -> Self {
+        self.urban_minutes = minutes.max(0.0);
+        self
+    }
+
+    /// Sets the highway phase duration in minutes.
+    #[must_use]
+    pub fn highway_minutes(mut self, minutes: f64) -> Self {
+        self.highway_minutes = minutes.max(0.0);
+        self
+    }
+
+    /// Sets the peak grade magnitude in percent (0 = flat).
+    #[must_use]
+    pub fn hilliness(mut self, peak_grade_percent: f64) -> Self {
+        self.hilliness = peak_grade_percent.max(0.0);
+        self
+    }
+
+    /// Sets the constant ambient temperature.
+    #[must_use]
+    pub fn ambient(mut self, t: Celsius) -> Self {
+        self.ambient = t;
+        self
+    }
+
+    /// Sets the solar load.
+    #[must_use]
+    pub fn solar(mut self, solar: Watts) -> Self {
+        self.solar = solar;
+        self
+    }
+
+    /// Generates the drive profile. Deterministic for a given
+    /// configuration.
+    #[must_use]
+    pub fn generate(&self) -> DriveProfile {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dt = self.dt.value();
+        let mut speeds: Vec<f64> = vec![0.0];
+
+        // Urban phase: stop-to-stop humps, 30–60 km/h peaks.
+        let urban_end = self.urban_minutes * 60.0;
+        let mut t = 0.0;
+        while t < urban_end {
+            let idle = rng.gen_range(5.0..20.0);
+            let peak = rng.gen_range(30.0..60.0) / 3.6;
+            let accel = rng.gen_range(1.0..1.8);
+            let cruise = rng.gen_range(10.0..40.0);
+            let decel = rng.gen_range(1.2..2.2);
+            t += hump(&mut speeds, dt, idle, peak, accel, cruise, decel);
+        }
+        // Highway phase: ramp to 90–120 km/h with traffic-wave modulation.
+        let highway_end = urban_end + self.highway_minutes * 60.0;
+        if self.highway_minutes > 0.0 {
+            let base = rng.gen_range(90.0..115.0) / 3.6;
+            let wave_amp = rng.gen_range(2.0..6.0);
+            let wave_period = rng.gen_range(60.0..180.0);
+            // Ramp up.
+            let mut v = *speeds.last().expect("non-empty");
+            while v < base {
+                v = (v + 1.5 * dt).min(base);
+                speeds.push(v);
+                t += dt;
+            }
+            while t < highway_end {
+                let phase = 2.0 * std::f64::consts::PI * t / wave_period;
+                let jitter = rng.gen_range(-0.5..0.5);
+                let target = base + wave_amp * phase.sin() / 3.6 + jitter / 3.6;
+                v += (target - v).clamp(-2.0 * dt, 1.5 * dt);
+                speeds.push(v.max(0.0));
+                t += dt;
+            }
+            // Final deceleration to rest.
+            while v > 0.0 {
+                v = (v - 1.8 * dt).max(0.0);
+                speeds.push(v);
+            }
+        }
+
+        // Hills: a sum of two sinusoids in distance.
+        let route_m: f64 = speeds.iter().sum::<f64>() * dt;
+        let slope = if self.hilliness > 0.0 && route_m > 0.0 {
+            let n = 24;
+            let mut pts = Vec::with_capacity(n + 1);
+            let l1 = rng.gen_range(1500.0..4000.0);
+            let l2 = rng.gen_range(400.0..1200.0);
+            for k in 0..=n {
+                let d = route_m * (k as f64) / (n as f64);
+                let g = self.hilliness
+                    * (0.7 * (2.0 * std::f64::consts::PI * d / l1).sin()
+                        + 0.3 * (2.0 * std::f64::consts::PI * d / l2).sin());
+                pts.push((d + k as f64 * 1e-6, g));
+            }
+            SlopeProfile::from_breakpoints(&pts)
+        } else {
+            SlopeProfile::flat()
+        };
+
+        // Assemble samples.
+        let mut samples = Vec::with_capacity(speeds.len());
+        let mut distance = 0.0;
+        for (k, &v) in speeds.iter().enumerate() {
+            let a = if k + 1 < speeds.len() {
+                (speeds[k + 1] - v) / dt
+            } else {
+                0.0
+            };
+            if k > 0 {
+                distance += 0.5 * (speeds[k - 1] + v) * dt;
+            }
+            samples.push(DriveSample {
+                t: Seconds::new(k as f64 * dt),
+                v: ev_units::MetersPerSecond::new(v),
+                a,
+                slope_percent: slope.grade_at(distance),
+                ambient: self.ambient,
+                solar: self.solar,
+            });
+        }
+        DriveProfile::from_samples(&format!("synthetic-{}", self.seed), self.dt, samples)
+    }
+}
+
+/// Appends one stop-to-stop hump to `speeds`; returns the elapsed time.
+fn hump(
+    speeds: &mut Vec<f64>,
+    dt: f64,
+    idle_s: f64,
+    peak: f64,
+    accel: f64,
+    cruise_s: f64,
+    decel: f64,
+) -> f64 {
+    let mut elapsed = 0.0;
+    let mut v = *speeds.last().expect("non-empty");
+    for _ in 0..(idle_s / dt) as usize {
+        speeds.push(v);
+        elapsed += dt;
+    }
+    while v < peak {
+        v = (v + accel * dt).min(peak);
+        speeds.push(v);
+        elapsed += dt;
+    }
+    for _ in 0..(cruise_s / dt) as usize {
+        speeds.push(v);
+        elapsed += dt;
+    }
+    while v > 0.0 {
+        v = (v - decel * dt).max(0.0);
+        speeds.push(v);
+        elapsed += dt;
+    }
+    elapsed
+}
+
+/// A diurnal ambient-temperature model: sinusoidal between a nightly low
+/// and an afternoon high, standing in for the NOAA climate database.
+///
+/// # Examples
+///
+/// ```
+/// use ev_drive::synthetic::DiurnalClimate;
+/// use ev_units::Celsius;
+///
+/// let july = DiurnalClimate::new(Celsius::new(22.0), Celsius::new(38.0));
+/// let dawn = july.temperature_at_hour(5.0);
+/// let peak = july.temperature_at_hour(15.0);
+/// assert!(peak.value() > dawn.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalClimate {
+    low: Celsius,
+    high: Celsius,
+}
+
+impl DiurnalClimate {
+    /// Hour of day at which the temperature peaks.
+    pub const PEAK_HOUR: f64 = 15.0;
+
+    /// Creates a model from the nightly low and afternoon high.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high < low`.
+    #[must_use]
+    pub fn new(low: Celsius, high: Celsius) -> Self {
+        assert!(high >= low, "diurnal high must be >= low");
+        Self { low, high }
+    }
+
+    /// Ambient temperature at the given hour of day (0–24, wraps).
+    #[must_use]
+    pub fn temperature_at_hour(&self, hour: f64) -> Celsius {
+        let mid = 0.5 * (self.low.value() + self.high.value());
+        let amp = 0.5 * (self.high.value() - self.low.value());
+        let phase = (hour - Self::PEAK_HOUR) / 24.0 * 2.0 * std::f64::consts::PI;
+        Celsius::new(mid + amp * phase.cos())
+    }
+
+    /// Ambient conditions for a drive starting at `start_hour` lasting
+    /// `duration`, sampled every 5 minutes.
+    #[must_use]
+    pub fn conditions_for_drive(&self, start_hour: f64, duration: Seconds) -> AmbientConditions {
+        let mut pts = Vec::new();
+        let step = 300.0;
+        let mut t = 0.0;
+        while t <= duration.value() + step {
+            let hour = start_hour + t / 3600.0;
+            pts.push((t, self.temperature_at_hour(hour).value()));
+            t += step;
+        }
+        AmbientConditions::varying(&pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RouteConfig::new(7).generate();
+        let b = RouteConfig::new(7).generate();
+        assert_eq!(a, b);
+        let c = RouteConfig::new(8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn phases_shape_the_profile() {
+        let p = RouteConfig::new(1)
+            .urban_minutes(5.0)
+            .highway_minutes(5.0)
+            .generate();
+        // Highway phase must reach at least 85 km/h.
+        let vmax = p
+            .iter()
+            .map(|s| s.v.value())
+            .fold(0.0f64, f64::max);
+        assert!(vmax > 85.0 / 3.6, "vmax {vmax}");
+        // Urban phase must contain stops after the start.
+        let stops = p
+            .samples()
+            .iter()
+            .skip(30)
+            .take(250)
+            .filter(|s| s.v.value() == 0.0)
+            .count();
+        assert!(stops > 0, "no urban stops found");
+        // Ends at rest.
+        assert_eq!(p.sample(p.len() - 1).v.value(), 0.0);
+    }
+
+    #[test]
+    fn urban_only_profile_stays_slow() {
+        let p = RouteConfig::new(3)
+            .urban_minutes(4.0)
+            .highway_minutes(0.0)
+            .generate();
+        let vmax = p.iter().map(|s| s.v.value()).fold(0.0f64, f64::max);
+        assert!(vmax <= 60.0 / 3.6 + 1e-9, "vmax {vmax}");
+    }
+
+    #[test]
+    fn hilliness_bounds_grades() {
+        let p = RouteConfig::new(5).hilliness(4.0).generate();
+        for s in p.iter() {
+            assert!(s.slope_percent.abs() <= 4.0 + 1e-9);
+        }
+        let flat = RouteConfig::new(5).hilliness(0.0).generate();
+        assert!(flat.iter().all(|s| s.slope_percent == 0.0));
+    }
+
+    #[test]
+    fn ambient_and_solar_are_applied() {
+        let p = RouteConfig::new(9)
+            .ambient(Celsius::new(-7.0))
+            .solar(Watts::new(100.0))
+            .generate();
+        assert!(p.iter().all(|s| s.ambient.value() == -7.0));
+        assert!(p.iter().all(|s| s.solar.value() == 100.0));
+    }
+
+    #[test]
+    fn diurnal_extremes() {
+        let clim = DiurnalClimate::new(Celsius::new(10.0), Celsius::new(30.0));
+        let peak = clim.temperature_at_hour(DiurnalClimate::PEAK_HOUR);
+        assert!((peak.value() - 30.0).abs() < 1e-9);
+        let trough = clim.temperature_at_hour(DiurnalClimate::PEAK_HOUR + 12.0);
+        assert!((trough.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_drive_conditions_vary() {
+        let clim = DiurnalClimate::new(Celsius::new(15.0), Celsius::new(35.0));
+        let cond = clim.conditions_for_drive(8.0, Seconds::new(7200.0));
+        let start = cond.temperature_at(Seconds::ZERO);
+        let end = cond.temperature_at(Seconds::new(7200.0));
+        assert!(end.value() > start.value(), "morning drive should warm up");
+    }
+
+    #[test]
+    #[should_panic(expected = "high must be >= low")]
+    fn diurnal_rejects_inverted_range() {
+        let _ = DiurnalClimate::new(Celsius::new(30.0), Celsius::new(10.0));
+    }
+}

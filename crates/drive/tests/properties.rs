@@ -1,0 +1,123 @@
+//! Property-based tests for drive cycles and profiles: interpolation
+//! bounds, distance consistency and generator invariants.
+
+use ev_drive::synthetic::RouteConfig;
+use ev_drive::{AmbientConditions, DriveCycle, DriveProfile, SlopeProfile};
+use ev_units::{Celsius, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycle_speed_is_always_within_range(
+        t in -100.0f64..2000.0,
+    ) {
+        for cycle in DriveCycle::paper_evaluation_set() {
+            let v = cycle.speed_at(Seconds::new(t)).value();
+            let vmax = cycle.stats().max_speed.value();
+            prop_assert!(v >= 0.0 && v <= vmax + 1e-9, "{}: {v}", cycle.name());
+        }
+    }
+
+    #[test]
+    fn sampled_distance_converges_to_cycle_distance(
+        dt in 0.25f64..2.0,
+    ) {
+        let cycle = DriveCycle::ece_eudc();
+        let p = DriveProfile::from_cycle(
+            &cycle,
+            AmbientConditions::constant(Celsius::new(20.0)),
+            Seconds::new(dt),
+        );
+        let rel = (p.distance().value() - cycle.distance().value()).abs()
+            / cycle.distance().value();
+        prop_assert!(rel < 0.02, "dt {dt}: relative error {rel}");
+    }
+
+    #[test]
+    fn repeat_is_additive(
+        n in 1usize..5,
+    ) {
+        let c = DriveCycle::ece15();
+        let r = c.repeat(n);
+        prop_assert!((r.distance().value() - n as f64 * c.distance().value()).abs() < 1e-9);
+        prop_assert!((r.duration().value() - n as f64 * c.duration().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_accelerations_integrate_back_to_speed(
+        dt in 0.5f64..2.0,
+    ) {
+        // v[k+1] = v[k] + a[k]·dt by construction (forward difference).
+        let p = DriveProfile::from_cycle(
+            &DriveCycle::eudc(),
+            AmbientConditions::constant(Celsius::new(20.0)),
+            Seconds::new(dt),
+        );
+        for k in 0..p.len() - 1 {
+            let predicted = p.sample(k).v.value() + p.sample(k).a * dt;
+            prop_assert!(
+                (predicted - p.sample(k + 1).v.value()).abs() < 1e-9,
+                "sample {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ambient_interpolation_is_bounded(
+        t in -50.0f64..500.0,
+        t1 in 10.0f64..100.0,
+        v0 in -20.0f64..45.0,
+        v1 in -20.0f64..45.0,
+    ) {
+        let amb = AmbientConditions::varying(&[(0.0, v0), (t1, v1)]);
+        let val = amb.temperature_at(Seconds::new(t)).value();
+        let lo = v0.min(v1);
+        let hi = v0.max(v1);
+        prop_assert!(val >= lo - 1e-9 && val <= hi + 1e-9);
+    }
+
+    #[test]
+    fn slope_interpolation_is_bounded(
+        d in -100.0f64..5000.0,
+        g0 in -8.0f64..8.0,
+        g1 in -8.0f64..8.0,
+    ) {
+        let s = SlopeProfile::from_breakpoints(&[(0.0, g0), (2000.0, g1)]);
+        let g = s.grade_at(d);
+        prop_assert!(g >= g0.min(g1) - 1e-9 && g <= g0.max(g1) + 1e-9);
+    }
+
+    #[test]
+    fn synthetic_routes_are_physical(
+        seed in 0u64..50,
+    ) {
+        let p = RouteConfig::new(seed)
+            .urban_minutes(2.0)
+            .highway_minutes(2.0)
+            .generate();
+        for s in p.iter() {
+            prop_assert!(s.v.value() >= 0.0);
+            prop_assert!(s.a.abs() < 3.5, "|a| = {}", s.a.abs());
+            prop_assert!(s.v.value() < 36.0, "v = {}", s.v.value());
+        }
+        // Starts and ends at rest.
+        prop_assert_eq!(p.sample(0).v.value(), 0.0);
+        prop_assert_eq!(p.sample(p.len() - 1).v.value(), 0.0);
+    }
+
+    #[test]
+    fn window_has_requested_length(
+        start in 0usize..300,
+        count in 1usize..100,
+    ) {
+        let p = DriveProfile::from_cycle(
+            &DriveCycle::ece15(),
+            AmbientConditions::constant(Celsius::new(20.0)),
+            Seconds::new(1.0),
+        );
+        let w = p.window(start, count);
+        prop_assert_eq!(w.len(), count);
+    }
+}

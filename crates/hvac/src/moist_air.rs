@@ -1,0 +1,145 @@
+//! Moist-air psychrometrics: the paper's equivalent dry-air temperature.
+//!
+//! The paper does not model humidity directly: "the temperature represents
+//! an equivalent dry air temperature at which the dry air has the same
+//! specific enthalpy as the actual moist air mixture" (Section II-C).
+//! This module implements exactly that mapping, so profiles specified with
+//! relative humidity can be converted into the dry-equivalent temperatures
+//! the rest of the stack consumes.
+
+use ev_units::Celsius;
+
+/// Specific heat of dry air (J/(kg·K)).
+const CP_DRY: f64 = 1006.0;
+/// Specific heat of water vapor (J/(kg·K)).
+const CP_VAPOR: f64 = 1860.0;
+/// Latent heat of vaporization of water at 0 °C (J/kg).
+const H_LATENT: f64 = 2.501e6;
+/// Standard atmospheric pressure (Pa).
+const P_ATM: f64 = 101_325.0;
+
+/// Saturation vapor pressure of water over liquid (Pa), Magnus formula.
+///
+/// Accurate to ~0.1 % between −40 and 50 °C — the automotive envelope.
+///
+/// # Examples
+///
+/// ```
+/// let p = ev_hvac::moist_air::saturation_pressure(ev_units::Celsius::new(20.0));
+/// assert!((p - 2339.0).abs() < 30.0); // ≈2.34 kPa at 20 °C
+/// ```
+#[must_use]
+pub fn saturation_pressure(t: Celsius) -> f64 {
+    let tc = t.value();
+    610.94 * ((17.625 * tc) / (243.04 + tc)).exp()
+}
+
+/// Humidity ratio (kg water / kg dry air) at a temperature and relative
+/// humidity.
+///
+/// # Panics
+///
+/// Panics if `rh` is outside `[0, 1]`.
+#[must_use]
+pub fn humidity_ratio(t: Celsius, rh: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rh), "relative humidity must lie in [0, 1]");
+    let pv = rh * saturation_pressure(t);
+    0.621_945 * pv / (P_ATM - pv)
+}
+
+/// Specific enthalpy of moist air (J per kg of dry air), referenced to
+/// 0 °C dry air.
+#[must_use]
+pub fn moist_enthalpy(t: Celsius, rh: f64) -> f64 {
+    let w = humidity_ratio(t, rh);
+    let tc = t.value();
+    CP_DRY * tc + w * (H_LATENT + CP_VAPOR * tc)
+}
+
+/// The paper's equivalent dry-air temperature: the dry-air temperature
+/// with the same specific enthalpy as the moist mixture.
+///
+/// Humid air carries latent heat, so its equivalent dry temperature is
+/// *higher* than its thermometer reading — a 35 °C / 60 % RH afternoon
+/// loads the HVAC like a much hotter dry day.
+///
+/// # Panics
+///
+/// Panics if `rh` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use ev_hvac::moist_air::equivalent_dry_temperature;
+/// use ev_units::Celsius;
+///
+/// let humid = equivalent_dry_temperature(Celsius::new(35.0), 0.6);
+/// assert!(humid.value() > 35.0);
+/// let dry = equivalent_dry_temperature(Celsius::new(35.0), 0.0);
+/// assert!((dry.value() - 35.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn equivalent_dry_temperature(t: Celsius, rh: f64) -> Celsius {
+    Celsius::new(moist_enthalpy(t, rh) / CP_DRY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_pressure_reference_points() {
+        // Published values: 611 Pa at 0 °C, 3169 Pa at 25 °C, 7384 at 40 °C.
+        assert!((saturation_pressure(Celsius::new(0.0)) - 611.0).abs() < 5.0);
+        assert!((saturation_pressure(Celsius::new(25.0)) - 3169.0).abs() < 40.0);
+        assert!((saturation_pressure(Celsius::new(40.0)) - 7384.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn humidity_ratio_reference() {
+        // 20 °C, 50 % RH: w ≈ 0.00726 kg/kg.
+        let w = humidity_ratio(Celsius::new(20.0), 0.5);
+        assert!((w - 0.00726).abs() < 2e-4, "w {w}");
+        assert_eq!(humidity_ratio(Celsius::new(20.0), 0.0), 0.0);
+    }
+
+    #[test]
+    fn enthalpy_reference() {
+        // 25 °C, 50 % RH: h ≈ 50.3 kJ/kg dry air.
+        let h = moist_enthalpy(Celsius::new(25.0), 0.5);
+        assert!((h / 1000.0 - 50.3).abs() < 1.0, "h {h}");
+    }
+
+    #[test]
+    fn equivalent_temperature_monotone_in_humidity() {
+        let t = Celsius::new(30.0);
+        let mut prev = equivalent_dry_temperature(t, 0.0).value();
+        for k in 1..=10 {
+            let cur = equivalent_dry_temperature(t, f64::from(k) / 10.0).value();
+            assert!(cur > prev, "rh {} not monotone", k);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn humid_summer_day_loads_like_a_hotter_dry_day() {
+        // 35 °C at 60 % RH ≈ dry-equivalent well above 80 °C enthalpy-wise
+        // (latent load dominates); sanity-check it exceeds 60 °C.
+        let eq = equivalent_dry_temperature(Celsius::new(35.0), 0.6);
+        assert!(eq.value() > 60.0, "eq {eq}");
+    }
+
+    #[test]
+    fn dry_air_is_identity() {
+        for t in [-10.0, 0.0, 21.0, 43.0] {
+            let eq = equivalent_dry_temperature(Celsius::new(t), 0.0);
+            assert!((eq.value() - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn rejects_bad_rh() {
+        let _ = humidity_ratio(Celsius::new(20.0), 1.5);
+    }
+}

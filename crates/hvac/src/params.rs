@@ -1,0 +1,203 @@
+//! Cabin and HVAC machine parameters.
+
+use ev_units::{Celsius, JoulesPerKelvin, JoulesPerKgKelvin, KgPerSecond, Watts, WattsPerKelvin};
+use serde::{Deserialize, Serialize};
+
+/// Thermal parameters of the cabin (zone) — the paper's Eq. 7–8 constants.
+///
+/// Defaults describe a compact-EV cabin (i-MiEV/Leaf class, the systems the
+/// paper's HVAC references \[8\]\[9\] are calibrated on): a lumped thermal
+/// capacitance covering air, walls and seats, and a single conductance to
+/// the outside.
+///
+/// # Examples
+///
+/// ```
+/// use ev_hvac::CabinParams;
+///
+/// let cabin = CabinParams::default();
+/// assert!(cabin.thermal_capacitance.value() > 1e4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CabinParams {
+    /// Lumped thermal capacitance `Mc` of air, walls and seats (J/K).
+    pub thermal_capacitance: JoulesPerKelvin,
+    /// Specific heat of air `cp` (J/(kg·K)).
+    pub air_heat_capacity: JoulesPerKgKelvin,
+    /// Wall heat-exchange conductance `cx·Ax` (W/K).
+    pub shell_conductance: WattsPerKelvin,
+}
+
+impl Default for CabinParams {
+    fn default() -> Self {
+        Self {
+            thermal_capacitance: JoulesPerKelvin::new(8.0e4),
+            air_heat_capacity: JoulesPerKgKelvin::new(1006.0),
+            shell_conductance: WattsPerKelvin::new(55.0),
+        }
+    }
+}
+
+impl CabinParams {
+    /// Creates parameters, validating positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    #[must_use]
+    pub fn new(
+        thermal_capacitance: JoulesPerKelvin,
+        air_heat_capacity: JoulesPerKgKelvin,
+        shell_conductance: WattsPerKelvin,
+    ) -> Self {
+        assert!(
+            thermal_capacitance.value() > 0.0,
+            "thermal capacitance must be positive"
+        );
+        assert!(
+            air_heat_capacity.value() > 0.0,
+            "air heat capacity must be positive"
+        );
+        assert!(
+            shell_conductance.value() > 0.0,
+            "shell conductance must be positive"
+        );
+        Self {
+            thermal_capacitance,
+            air_heat_capacity,
+            shell_conductance,
+        }
+    }
+}
+
+/// Machine limits and efficiencies of the VAV HVAC unit — the constants of
+/// the paper's Eq. 10–12 and constraint set C1–C10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HvacParams {
+    /// Minimum supply air flow `ṁ̲z` (C1 lower bound).
+    pub min_flow: KgPerSecond,
+    /// Maximum supply air flow `ṁ̄z` (C1 upper bound).
+    pub max_flow: KgPerSecond,
+    /// Heating-process efficiency `ηh` (Eq. 10).
+    pub heater_efficiency: f64,
+    /// Cooling-process efficiency `ηc` (Eq. 11).
+    pub cooler_efficiency: f64,
+    /// Fan constant `kf` (W·s²/kg², Eq. 12).
+    pub fan_coefficient: f64,
+    /// Minimum cooling-coil outlet temperature `T̲c` (C5).
+    pub min_coil_temp: Celsius,
+    /// Maximum heater outlet temperature `T̄h` (C6).
+    pub max_supply_temp: Celsius,
+    /// Maximum recirculated-air fraction `d̄r` (C7).
+    pub max_recirculation: f64,
+    /// Heater maximum power `P̄h` (C8).
+    pub max_heating_power: Watts,
+    /// Cooler maximum power `P̄c` (C9).
+    pub max_cooling_power: Watts,
+    /// Fan maximum power `P̄m` (C10).
+    pub max_fan_power: Watts,
+}
+
+impl Default for HvacParams {
+    fn default() -> Self {
+        Self {
+            min_flow: KgPerSecond::new(0.02),
+            max_flow: KgPerSecond::new(0.25),
+            heater_efficiency: 0.90,
+            cooler_efficiency: 0.85,
+            fan_coefficient: 4800.0,
+            min_coil_temp: Celsius::new(4.0),
+            max_supply_temp: Celsius::new(60.0),
+            max_recirculation: 0.70,
+            max_heating_power: Watts::new(6000.0),
+            max_cooling_power: Watts::new(6000.0),
+            max_fan_power: Watts::new(500.0),
+        }
+    }
+}
+
+impl HvacParams {
+    /// Validates the parameter set for internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if efficiencies are outside `(0, 1]`, flows are inverted or
+    /// non-positive, or temperature limits are inverted.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        assert!(
+            self.heater_efficiency > 0.0 && self.heater_efficiency <= 1.0,
+            "heater efficiency must lie in (0, 1]"
+        );
+        assert!(
+            self.cooler_efficiency > 0.0 && self.cooler_efficiency <= 1.0,
+            "cooler efficiency must lie in (0, 1]"
+        );
+        assert!(
+            self.min_flow.value() > 0.0 && self.max_flow.value() > self.min_flow.value(),
+            "flow limits must satisfy 0 < min < max"
+        );
+        assert!(
+            self.min_coil_temp < self.max_supply_temp,
+            "coil temperature limits are inverted"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.max_recirculation),
+            "recirculation limit must lie in [0, 1]"
+        );
+        assert!(self.fan_coefficient > 0.0, "fan coefficient must be positive");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_self_consistent() {
+        let p = HvacParams::default().validated();
+        assert!(p.max_flow.value() > p.min_flow.value());
+        // At max flow the fan stays within its power cap.
+        let pf = p.fan_coefficient * p.max_flow.value().powi(2);
+        assert!(pf <= p.max_fan_power.value());
+    }
+
+    #[test]
+    fn cabin_defaults_plausible() {
+        let c = CabinParams::default();
+        // Passive time constant Mc/(cx·Ax) of a parked car: tens of minutes.
+        let tau = c.thermal_capacitance.value() / c.shell_conductance.value();
+        assert!(tau > 1200.0 && tau < 14400.0, "tau {tau}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn cabin_rejects_zero_capacitance() {
+        let _ = CabinParams::new(
+            JoulesPerKelvin::ZERO,
+            JoulesPerKgKelvin::new(1006.0),
+            WattsPerKelvin::new(25.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "flow limits")]
+    fn params_reject_inverted_flows() {
+        let p = HvacParams {
+            min_flow: KgPerSecond::new(0.3),
+            ..HvacParams::default()
+        };
+        let _ = p.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn params_reject_bad_efficiency() {
+        let p = HvacParams {
+            cooler_efficiency: 1.2,
+            ..HvacParams::default()
+        };
+        let _ = p.validated();
+    }
+}

@@ -1,0 +1,198 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// Used to solve the (regularized, hence SPD) Hessian systems inside the
+/// SQP solver about twice as fast as LU, and to *certify* positive
+/// definiteness: [`Cholesky::factor`] failing with
+/// [`LinalgError::NotPositiveDefinite`] is the signal for the optimizer to
+/// add Levenberg regularization.
+///
+/// # Examples
+///
+/// ```
+/// use ev_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), ev_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = Cholesky::factor(&a)?;
+/// let x = ch.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored dense.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility (checked loosely in debug
+    /// builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is not
+    /// strictly positive.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        debug_assert!(
+            a.is_symmetric(1e-8 * a.norm_max().max(1.0)),
+            "Cholesky::factor called with an asymmetric matrix"
+        );
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    #[inline]
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via the two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                actual: (b.len(), 1),
+            });
+        }
+        // Forward: L·y = b.
+        let mut x = b.to_vec();
+        for r in 0..n {
+            let mut sum = x[r];
+            for c in 0..r {
+                sum -= self.l.get(r, c) * x[c];
+            }
+            x[r] = sum / self.l.get(r, r);
+        }
+        // Backward: Lᵀ·x = y.
+        for r in (0..n).rev() {
+            let mut sum = x[r];
+            for c in (r + 1)..n {
+                sum -= self.l.get(c, r) * x[c];
+            }
+            x[r] = sum / self.l.get(r, r);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix (product of squared pivots).
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.dim() {
+            let l = self.l.get(i, i);
+            d *= l * l;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_spd() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let expected =
+            Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[3.0, 3.0, 0.0], &[-1.0, 1.0, 3.0]]).unwrap();
+        assert!(ch.l().sub(&expected).unwrap().norm_max() < 1e-12);
+        assert!((ch.det() - 2025.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0], &[2.0, 5.0]]).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&[8.0, 7.0]).unwrap();
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - 8.0).abs() < 1e-12);
+        assert!((r[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap(); // rank 1
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs() {
+        let ch = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::{LinalgError, Matrix};
+
+/// Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// The primary consumer is least-squares subproblems (e.g. fitting
+/// efficiency maps and validating Gauss-Newton steps); `Qr` stores the
+/// Householder reflectors implicitly and exposes
+/// [`Qr::solve_least_squares`], which minimizes `‖A·x − b‖₂`.
+///
+/// # Examples
+///
+/// ```
+/// use ev_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), ev_linalg::LinalgError> {
+/// // Overdetermined: fit y = c0 + c1·t through three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let qr = Qr::factor(&a)?;
+/// let c = qr.solve_least_squares(&[1.0, 2.0, 3.0])?;
+/// assert!((c[0] - 1.0).abs() < 1e-10);
+/// assert!((c[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed reflectors (below diagonal) and R (upper triangle).
+    qr: Matrix,
+    /// Scalar `τ` of each Householder reflector.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Rank-deficiency threshold on the diagonal of `R`.
+    const RANK_TOL: f64 = 1e-12;
+
+    /// Factors the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the matrix has fewer
+    /// rows than columns and [`LinalgError::Empty`] if it is empty.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, n),
+                actual: (m, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the reflector for column k from rows k..m.
+            let mut norm = 0.0;
+            for r in k..m {
+                let v = qr.get(r, k);
+                norm += v * v;
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr.get(k, k) >= 0.0 { -norm } else { norm };
+            let mut v0 = qr.get(k, k) - alpha;
+            // Normalize reflector so v[k] = 1 (stored implicitly).
+            let mut vnorm2 = v0 * v0;
+            for r in (k + 1)..m {
+                let v = qr.get(r, k);
+                vnorm2 += v * v;
+            }
+            if vnorm2 == 0.0 {
+                tau[k] = 0.0;
+                qr.set(k, k, alpha);
+                continue;
+            }
+            tau[k] = 2.0 * v0 * v0 / vnorm2;
+            for r in (k + 1)..m {
+                let v = qr.get(r, k) / v0;
+                qr.set(r, k, v);
+            }
+            v0 = 1.0;
+            let _ = v0;
+            qr.set(k, k, alpha);
+            // Apply the reflector to the remaining columns.
+            for c in (k + 1)..n {
+                // w = vᵀ·col(c), with v = [1, qr[k+1..m, k]].
+                let mut w = qr.get(k, c);
+                for r in (k + 1)..m {
+                    w += qr.get(r, k) * qr.get(r, c);
+                }
+                w *= tau[k];
+                qr.add_at(k, c, -w);
+                for r in (k + 1)..m {
+                    let vk = qr.get(r, k);
+                    qr.add_at(r, c, -w * vk);
+                }
+            }
+        }
+        Ok(Self { qr, tau })
+    }
+
+    /// Rows of the factored matrix.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Columns of the factored matrix.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Solves `min_x ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != rows()` and
+    /// [`LinalgError::Singular`] if `R` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (m, 1),
+                actual: (b.len(), 1),
+            });
+        }
+        // y = Qᵀ·b, applying reflectors in order.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut w = y[k];
+            for r in (k + 1)..m {
+                w += self.qr.get(r, k) * y[r];
+            }
+            w *= self.tau[k];
+            y[k] -= w;
+            for r in (k + 1)..m {
+                y[r] -= w * self.qr.get(r, k);
+            }
+        }
+        // Back substitution with R (top n × n block).
+        let scale = self.qr.norm_max().max(1.0);
+        let mut x = vec![0.0; n];
+        for r in (0..n).rev() {
+            let mut sum = y[r];
+            for c in (r + 1)..n {
+                sum -= self.qr.get(r, c) * x[c];
+            }
+            let d = self.qr.get(r, r);
+            if d.abs() <= Self::RANK_TOL * scale {
+                return Err(LinalgError::Singular);
+            }
+            x[r] = sum / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_via_least_squares() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_line_fit() {
+        // Points (0,1), (1,3), (2,5), (3,7): exact line y = 1 + 2t.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let x = Qr::factor(&a)
+            .unwrap()
+            .solve_least_squares(&[1.0, 3.0, 5.0, 7.0])
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inconsistent_system_minimizes_residual() {
+        // Same t for two different y values: LS picks the mean.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&[0.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert_eq!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_len() {
+        let a = Matrix::identity(2);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+}

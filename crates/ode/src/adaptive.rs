@@ -1,0 +1,339 @@
+//! Adaptive Runge–Kutta–Fehlberg 4(5) integration.
+
+use crate::{OdeSystem, Trajectory};
+
+/// Options controlling the adaptive integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative error tolerance per step.
+    pub rel_tol: f64,
+    /// Absolute error tolerance per step.
+    pub abs_tol: f64,
+    /// Initial step size guess.
+    pub initial_step: f64,
+    /// Smallest step the controller may take before giving up.
+    pub min_step: f64,
+    /// Largest step the controller may take.
+    pub max_step: f64,
+    /// Hard cap on accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-8,
+            abs_tol: 1e-10,
+            initial_step: 1e-2,
+            min_step: 1e-12,
+            max_step: 1.0,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Reasons the adaptive integrator can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepError {
+    /// The controller shrank the step below `min_step` without meeting the
+    /// error tolerance — the problem is too stiff for an explicit method.
+    StepSizeUnderflow,
+    /// `max_steps` was exceeded before reaching the end time.
+    TooManySteps,
+    /// The right-hand side produced a non-finite value.
+    NonFiniteState,
+}
+
+impl core::fmt::Display for StepError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::StepSizeUnderflow => write!(f, "step size underflow: problem too stiff"),
+            Self::TooManySteps => write!(f, "maximum number of steps exceeded"),
+            Self::NonFiniteState => write!(f, "state became non-finite during integration"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) integrator.
+///
+/// Embedded 4th/5th-order pair with a proportional step-size controller.
+/// Used in this workspace to produce reference solutions that validate the
+/// fixed-step RK4 plant integration (the co-simulation itself runs fixed
+/// step so the controller and plant stay sample-aligned, like the paper's
+/// MATLAB↔AMESim setup).
+///
+/// # Examples
+///
+/// ```
+/// use ev_ode::{AdaptiveOptions, OdeSystem, Rkf45};
+///
+/// struct Decay;
+/// impl OdeSystem for Decay {
+///     fn dim(&self) -> usize { 1 }
+///     fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) { dx[0] = -x[0]; }
+/// }
+///
+/// # fn main() -> Result<(), ev_ode::StepError> {
+/// let solver = Rkf45::new(AdaptiveOptions::default());
+/// let traj = solver.integrate(&Decay, &[1.0], 0.0, 2.0)?;
+/// assert!((traj.last_state()[0] - (-2.0f64).exp()).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rkf45 {
+    options: AdaptiveOptions,
+}
+
+// Fehlberg coefficients.
+const A: [[f64; 5]; 5] = [
+    [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+    [
+        1932.0 / 2197.0,
+        -7200.0 / 2197.0,
+        7296.0 / 2197.0,
+        0.0,
+        0.0,
+    ],
+    [
+        439.0 / 216.0,
+        -8.0,
+        3680.0 / 513.0,
+        -845.0 / 4104.0,
+        0.0,
+    ],
+    [
+        -8.0 / 27.0,
+        2.0,
+        -3544.0 / 2565.0,
+        1859.0 / 4104.0,
+        -11.0 / 40.0,
+    ],
+];
+const C: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+const B5: [f64; 6] = [
+    16.0 / 135.0,
+    0.0,
+    6656.0 / 12825.0,
+    28561.0 / 56430.0,
+    -9.0 / 50.0,
+    2.0 / 55.0,
+];
+const B4: [f64; 6] = [
+    25.0 / 216.0,
+    0.0,
+    1408.0 / 2565.0,
+    2197.0 / 4104.0,
+    -1.0 / 5.0,
+    0.0,
+];
+
+impl Rkf45 {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: AdaptiveOptions) -> Self {
+        Self { options }
+    }
+
+    /// Borrows the solver options.
+    #[must_use]
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.options
+    }
+
+    /// Integrates `system` from `t0` to `t1`, adapting the step size to the
+    /// configured tolerances.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StepError`] if the step size underflows, the step budget
+    /// is exhausted, or the state becomes non-finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != system.dim()` or `t1 < t0`.
+    pub fn integrate<S: OdeSystem>(
+        &self,
+        system: &S,
+        x0: &[f64],
+        t0: f64,
+        t1: f64,
+    ) -> Result<Trajectory, StepError> {
+        assert_eq!(x0.len(), system.dim(), "rkf45: state dimension mismatch");
+        assert!(t1 >= t0, "rkf45: t1 must be >= t0");
+
+        let opts = &self.options;
+        let n = system.dim();
+        let mut traj = Trajectory::new(n);
+        let mut t = t0;
+        let mut x = x0.to_vec();
+        let mut h = opts.initial_step.min(opts.max_step).max(opts.min_step);
+        traj.push(t, &x);
+
+        let mut k = vec![vec![0.0; n]; 6];
+        let mut tmp = vec![0.0; n];
+        let mut steps = 0usize;
+
+        while t < t1 {
+            if steps >= opts.max_steps {
+                return Err(StepError::TooManySteps);
+            }
+            steps += 1;
+            h = h.min(t1 - t);
+
+            // Evaluate the six stages.
+            system.rhs(t, &x, &mut k[0]);
+            for s in 1..6 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, kj) in k.iter().enumerate().take(s) {
+                        acc += A[s - 1][j] * kj[i];
+                    }
+                    tmp[i] = x[i] + h * acc;
+                }
+                let (head, tail) = k.split_at_mut(s);
+                let _ = head;
+                system.rhs(t + C[s] * h, &tmp, &mut tail[0]);
+            }
+
+            // 4th/5th order solutions and error estimate.
+            let mut err = 0.0f64;
+            let mut x5 = vec![0.0; n];
+            for i in 0..n {
+                let mut acc5 = 0.0;
+                let mut acc4 = 0.0;
+                for s in 0..6 {
+                    acc5 += B5[s] * k[s][i];
+                    acc4 += B4[s] * k[s][i];
+                }
+                x5[i] = x[i] + h * acc5;
+                let x4 = x[i] + h * acc4;
+                if !x5[i].is_finite() {
+                    return Err(StepError::NonFiniteState);
+                }
+                let scale = opts.abs_tol + opts.rel_tol * x[i].abs().max(x5[i].abs());
+                err = err.max(((x5[i] - x4) / scale).abs());
+            }
+
+            if err <= 1.0 {
+                // Accept.
+                t += h;
+                x.copy_from_slice(&x5);
+                traj.push(t, &x);
+            }
+            // Proportional controller (order 4 ⇒ exponent 1/5).
+            let factor = if err > 0.0 {
+                0.9 * err.powf(-0.2)
+            } else {
+                5.0
+            };
+            h *= factor.clamp(0.2, 5.0);
+            h = h.min(opts.max_step);
+            if h < opts.min_step {
+                return Err(StepError::StepSizeUnderflow);
+            }
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = -x[0];
+        }
+    }
+
+    struct Oscillator;
+    impl OdeSystem for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        }
+    }
+
+    struct Explosive;
+    impl OdeSystem for Explosive {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[0] * x[0]; // finite-time blowup from x0 = 1 at t = 1
+        }
+    }
+
+    #[test]
+    fn decay_matches_exact_solution() {
+        let solver = Rkf45::new(AdaptiveOptions::default());
+        let traj = solver.integrate(&Decay, &[1.0], 0.0, 3.0).unwrap();
+        assert!((traj.last_state()[0] - (-3.0f64).exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn oscillator_full_period() {
+        let solver = Rkf45::new(AdaptiveOptions {
+            max_step: 0.5,
+            ..AdaptiveOptions::default()
+        });
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let traj = solver.integrate(&Oscillator, &[1.0, 0.0], 0.0, two_pi).unwrap();
+        let s = traj.last_state();
+        assert!((s[0] - 1.0).abs() < 1e-6, "cos {s:?}");
+        assert!(s[1].abs() < 1e-6, "sin {s:?}");
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let solver = Rkf45::new(AdaptiveOptions {
+            max_steps: 5,
+            ..AdaptiveOptions::default()
+        });
+        assert_eq!(
+            solver.integrate(&Decay, &[1.0], 0.0, 100.0).unwrap_err(),
+            StepError::TooManySteps
+        );
+    }
+
+    #[test]
+    fn blowup_is_detected() {
+        let solver = Rkf45::new(AdaptiveOptions {
+            max_steps: 100_000,
+            ..AdaptiveOptions::default()
+        });
+        let err = solver.integrate(&Explosive, &[1.0], 0.0, 2.0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StepError::NonFiniteState | StepError::StepSizeUnderflow | StepError::TooManySteps
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_span_is_identity() {
+        let solver = Rkf45::new(AdaptiveOptions::default());
+        let traj = solver.integrate(&Decay, &[2.5], 1.0, 1.0).unwrap();
+        assert_eq!(traj.len(), 1);
+        assert_eq!(traj.last_state(), &[2.5]);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(StepError::StepSizeUnderflow.to_string().contains("stiff"));
+        assert!(StepError::TooManySteps.to_string().contains("steps"));
+    }
+}

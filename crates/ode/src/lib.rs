@@ -1,0 +1,182 @@
+//! ODE integration for low-order vehicle thermal and electrical models.
+//!
+//! The DAC 2015 climate-control paper models every EV component — cabin
+//! thermal dynamics, power train, battery — with low-order ordinary
+//! differential equations (its Section II). This crate provides the
+//! integrators that advance those models in the co-simulation engine:
+//!
+//! * fixed-step explicit [`euler`] and classic fourth-order [`rk4`]
+//!   one-step maps,
+//! * an adaptive Runge–Kutta–Fehlberg 4(5) driver ([`Rkf45`]) with PI step
+//!   control for validation runs,
+//! * the implicit [`trapezoidal`] one-step map for *linear-in-state*
+//!   scalar dynamics, matching exactly the discretization the paper's MPC
+//!   applies to the cabin equation (its Eq. 18–19),
+//! * an [`integrate`] driver that collects a [`Trajectory`].
+//!
+//! # Examples
+//!
+//! Exponential decay `x' = -x` integrated over one unit of time:
+//!
+//! ```
+//! use ev_ode::{integrate, OdeSystem, StepMethod};
+//!
+//! struct Decay;
+//! impl OdeSystem for Decay {
+//!     fn dim(&self) -> usize { 1 }
+//!     fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+//!         dx[0] = -x[0];
+//!     }
+//! }
+//!
+//! let traj = integrate(&Decay, &[1.0], 0.0, 1.0, 1e-3, StepMethod::Rk4);
+//! let x_end = traj.last_state()[0];
+//! assert!((x_end - (-1.0f64).exp()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod stepper;
+mod trajectory;
+
+pub use adaptive::{AdaptiveOptions, Rkf45, StepError};
+pub use stepper::{euler, rk4, trapezoidal, StepMethod};
+pub use trajectory::Trajectory;
+
+/// A continuous-time dynamical system `x' = f(t, x)`.
+///
+/// Implementors describe the right-hand side of the ODE; integrators in
+/// this crate advance it. The state is a flat `&[f64]` so that systems of
+/// any (small) dimension share one interface.
+///
+/// # Examples
+///
+/// ```
+/// use ev_ode::OdeSystem;
+///
+/// /// Harmonic oscillator x'' = -x as a first-order system.
+/// struct Oscillator;
+/// impl OdeSystem for Oscillator {
+///     fn dim(&self) -> usize { 2 }
+///     fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+///         dx[0] = x[1];
+///         dx[1] = -x[0];
+///     }
+/// }
+/// ```
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the right-hand side `f(t, x)` into `dx`.
+    ///
+    /// `dx` has length [`OdeSystem::dim`]; implementations must write every
+    /// component.
+    fn rhs(&self, t: f64, x: &[f64], dx: &mut [f64]);
+}
+
+/// Integrates `system` from `t0` to `t1` with fixed step `dt`, collecting
+/// every accepted state into a [`Trajectory`].
+///
+/// The final step is shortened so the trajectory ends exactly at `t1`.
+///
+/// # Panics
+///
+/// Panics if `dt <= 0`, `t1 < t0`, or `x0.len() != system.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use ev_ode::{integrate, OdeSystem, StepMethod};
+///
+/// struct Constant;
+/// impl OdeSystem for Constant {
+///     fn dim(&self) -> usize { 1 }
+///     fn rhs(&self, _t: f64, _x: &[f64], dx: &mut [f64]) { dx[0] = 2.0; }
+/// }
+///
+/// let traj = integrate(&Constant, &[0.0], 0.0, 5.0, 0.5, StepMethod::Euler);
+/// assert!((traj.last_state()[0] - 10.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn integrate<S: OdeSystem>(
+    system: &S,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    dt: f64,
+    method: StepMethod,
+) -> Trajectory {
+    assert!(dt > 0.0, "integrate: dt must be positive");
+    assert!(t1 >= t0, "integrate: t1 must be >= t0");
+    assert_eq!(x0.len(), system.dim(), "integrate: state dimension mismatch");
+
+    let mut traj = Trajectory::new(system.dim());
+    let mut t = t0;
+    let mut x = x0.to_vec();
+    traj.push(t, &x);
+    while t < t1 {
+        let h = dt.min(t1 - t);
+        if h <= f64::EPSILON * t.abs().max(1.0) {
+            break;
+        }
+        match method {
+            StepMethod::Euler => euler(system, t, &mut x, h),
+            StepMethod::Rk4 => rk4(system, t, &mut x, h),
+        }
+        t += h;
+        traj.push(t, &x);
+    }
+    traj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = -x[0];
+        }
+    }
+
+    #[test]
+    fn integrate_hits_end_time_exactly() {
+        let traj = integrate(&Decay, &[1.0], 0.0, 1.05, 0.1, StepMethod::Rk4);
+        let times = traj.times();
+        assert!((times[times.len() - 1] - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rk4_beats_euler_on_decay() {
+        let exact = (-1.0f64).exp();
+        let e = integrate(&Decay, &[1.0], 0.0, 1.0, 0.1, StepMethod::Euler).last_state()[0];
+        let r = integrate(&Decay, &[1.0], 0.0, 1.0, 0.1, StepMethod::Rk4).last_state()[0];
+        assert!((r - exact).abs() < (e - exact).abs() / 100.0);
+    }
+
+    #[test]
+    fn zero_span_returns_initial_state_only() {
+        let traj = integrate(&Decay, &[3.0], 2.0, 2.0, 0.1, StepMethod::Euler);
+        assert_eq!(traj.len(), 1);
+        assert_eq!(traj.last_state(), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn integrate_rejects_bad_dt() {
+        let _ = integrate(&Decay, &[1.0], 0.0, 1.0, 0.0, StepMethod::Euler);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn integrate_rejects_bad_state() {
+        let _ = integrate(&Decay, &[1.0, 2.0], 0.0, 1.0, 0.1, StepMethod::Euler);
+    }
+}

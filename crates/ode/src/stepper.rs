@@ -1,0 +1,233 @@
+//! Fixed-step one-step maps: explicit Euler, classic RK4 and the implicit
+//! trapezoidal rule for linear-in-state scalar dynamics.
+
+use crate::OdeSystem;
+
+/// Which fixed-step method [`crate::integrate`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StepMethod {
+    /// First-order explicit Euler: cheapest, used for coarse sweeps.
+    Euler,
+    /// Classic fourth-order Runge–Kutta: the workhorse of the plant
+    /// simulation.
+    #[default]
+    Rk4,
+}
+
+/// Advances `x` in place by one explicit Euler step of size `h`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != system.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use ev_ode::{euler, OdeSystem};
+/// # struct Growth;
+/// # impl OdeSystem for Growth {
+/// #     fn dim(&self) -> usize { 1 }
+/// #     fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) { dx[0] = x[0]; }
+/// # }
+/// let mut x = [1.0];
+/// euler(&Growth, 0.0, &mut x, 0.5);
+/// assert_eq!(x[0], 1.5);
+/// ```
+pub fn euler<S: OdeSystem>(system: &S, t: f64, x: &mut [f64], h: f64) {
+    assert_eq!(x.len(), system.dim(), "euler: state dimension mismatch");
+    let mut dx = vec![0.0; x.len()];
+    system.rhs(t, x, &mut dx);
+    for (xi, di) in x.iter_mut().zip(&dx) {
+        *xi += h * di;
+    }
+}
+
+/// Advances `x` in place by one classic fourth-order Runge–Kutta step of
+/// size `h`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != system.dim()`.
+pub fn rk4<S: OdeSystem>(system: &S, t: f64, x: &mut [f64], h: f64) {
+    assert_eq!(x.len(), system.dim(), "rk4: state dimension mismatch");
+    let n = x.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    system.rhs(t, x, &mut k1);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * h * k1[i];
+    }
+    system.rhs(t + 0.5 * h, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * h * k2[i];
+    }
+    system.rhs(t + 0.5 * h, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = x[i] + h * k3[i];
+    }
+    system.rhs(t + h, &tmp, &mut k4);
+    for i in 0..n {
+        x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// One implicit trapezoidal step for the scalar affine dynamics
+/// `c · x' = a − b · x̄`, where `x̄ = (x⁺ + x)/2` is the step midpoint.
+///
+/// This is exactly the discretization the paper applies to the cabin
+/// energy balance (Eq. 18–19): given the previous state `x`, thermal
+/// capacitance `c > 0`, constant forcing `a` and midpoint feedback
+/// coefficient `b ≥ 0` over a step of length `h`, it returns `x⁺` from
+///
+/// ```text
+/// c · (x⁺ − x) / h = a − b · (x⁺ + x) / 2
+/// ```
+///
+/// The trapezoidal rule is A-stable, so stiff cabin time constants cannot
+/// blow up regardless of step size.
+///
+/// # Panics
+///
+/// Panics if `c <= 0`, `h <= 0`, or the implicit equation degenerates
+/// (`c/h + b/2 == 0`, impossible for valid input).
+///
+/// # Examples
+///
+/// ```
+/// // x' = 1 - x, starting at 0: converges to 1.
+/// let mut x = 0.0;
+/// for _ in 0..100 {
+///     x = ev_ode::trapezoidal(x, 1.0, 1.0, 1.0, 0.1);
+/// }
+/// assert!((x - 1.0).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn trapezoidal(x: f64, c: f64, a: f64, b: f64, h: f64) -> f64 {
+    assert!(c > 0.0, "trapezoidal: capacitance must be positive");
+    assert!(h > 0.0, "trapezoidal: step must be positive");
+    let lhs = c / h + 0.5 * b;
+    assert!(lhs != 0.0, "trapezoidal: degenerate implicit equation");
+    ((c / h - 0.5 * b) * x + a) / lhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Linear;
+    impl OdeSystem for Linear {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = -2.0 * x[0];
+        }
+    }
+
+    struct Oscillator;
+    impl OdeSystem for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        }
+    }
+
+    #[test]
+    fn euler_first_order_accuracy() {
+        // Halving the step should roughly halve the error.
+        let exact = (-2.0f64).exp();
+        let run = |h: f64| {
+            let mut x = [1.0];
+            let steps = (1.0 / h) as usize;
+            for k in 0..steps {
+                euler(&Linear, k as f64 * h, &mut x, h);
+            }
+            (x[0] - exact).abs()
+        };
+        let e1 = run(0.01);
+        let e2 = run(0.005);
+        let ratio = e1 / e2;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rk4_fourth_order_accuracy() {
+        // Halving the step should reduce the error ~16x.
+        let exact = (-2.0f64).exp();
+        let run = |h: f64| {
+            let mut x = [1.0];
+            let steps = (1.0 / h) as usize;
+            for k in 0..steps {
+                rk4(&Linear, k as f64 * h, &mut x, h);
+            }
+            (x[0] - exact).abs()
+        };
+        let e1 = run(0.1);
+        let e2 = run(0.05);
+        let ratio = e1 / e2;
+        assert!(ratio > 12.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rk4_preserves_oscillator_energy_approximately() {
+        let mut x = [1.0, 0.0];
+        let h = 0.01;
+        for k in 0..10_000 {
+            rk4(&Oscillator, k as f64 * h, &mut x, h);
+        }
+        let energy = x[0] * x[0] + x[1] * x[1];
+        assert!((energy - 1.0).abs() < 1e-6, "energy {energy}");
+    }
+
+    #[test]
+    fn trapezoidal_matches_exact_affine_solution() {
+        // c x' = a - b x with c=2, a=4, b=1: x* = 4, time constant 2.
+        let (c, a, b) = (2.0, 4.0, 1.0);
+        let h = 0.01;
+        let mut x = 0.0;
+        let mut t = 0.0;
+        while t < 1.0 - 1e-12 {
+            x = trapezoidal(x, c, a, b, h);
+            t += h;
+        }
+        let exact = 4.0 * (1.0 - (-1.0f64 / 2.0).exp());
+        assert!((x - exact).abs() < 1e-4, "x {x} exact {exact}");
+    }
+
+    #[test]
+    fn trapezoidal_is_stable_for_large_steps() {
+        // Explicit Euler would oscillate/diverge for h*b/c > 2.
+        let mut x = 100.0;
+        for _ in 0..50 {
+            x = trapezoidal(x, 1.0, 0.0, 1.0, 10.0);
+        }
+        assert!(x.abs() < 1.0, "trapezoidal diverged: {x}");
+    }
+
+    #[test]
+    fn trapezoidal_equilibrium_is_fixed_point() {
+        // At x = a/b the state must not move.
+        let x = trapezoidal(3.0, 5.0, 6.0, 2.0, 0.7);
+        let x2 = trapezoidal(x, 5.0, 6.0, 2.0, 0.7);
+        assert!((x - 3.0).abs() < 1e-12);
+        assert!((x2 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance")]
+    fn trapezoidal_rejects_bad_capacitance() {
+        let _ = trapezoidal(0.0, 0.0, 1.0, 1.0, 0.1);
+    }
+
+    #[test]
+    fn step_method_default_is_rk4() {
+        assert_eq!(StepMethod::default(), StepMethod::Rk4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Time-stamped state history produced by the integrators.
+
+/// A time-stamped sequence of states produced by an integration run.
+///
+/// States are stored flat, `dim` values per sample, so a trajectory of a
+/// scalar system is just its sample vector.
+///
+/// # Examples
+///
+/// ```
+/// use ev_ode::Trajectory;
+///
+/// let mut traj = Trajectory::new(2);
+/// traj.push(0.0, &[1.0, 0.0]);
+/// traj.push(0.5, &[0.9, -0.1]);
+/// assert_eq!(traj.len(), 2);
+/// assert_eq!(traj.state(1), &[0.9, -0.1]);
+/// assert_eq!(traj.component(0), vec![1.0, 0.9]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    dim: usize,
+    times: Vec<f64>,
+    states: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory for states of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "trajectory dimension must be positive");
+        Self {
+            dim,
+            times: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// State dimension.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored samples.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if no samples are stored.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != dim()`.
+    pub fn push(&mut self, t: f64, state: &[f64]) {
+        assert_eq!(state.len(), self.dim, "trajectory state dimension mismatch");
+        self.times.push(t);
+        self.states.extend_from_slice(state);
+    }
+
+    /// Borrows the sample times.
+    #[inline]
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Borrows the state at sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    #[must_use]
+    pub fn state(&self, i: usize) -> &[f64] {
+        assert!(i < self.len(), "trajectory sample index out of bounds");
+        &self.states[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Borrows the most recent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    #[inline]
+    #[must_use]
+    pub fn last_state(&self) -> &[f64] {
+        assert!(!self.is_empty(), "trajectory is empty");
+        self.state(self.len() - 1)
+    }
+
+    /// Copies the time series of one state component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= dim()`.
+    #[must_use]
+    pub fn component(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.dim, "trajectory component index out of bounds");
+        (0..self.len()).map(|i| self.state(i)[k]).collect()
+    }
+
+    /// Iterates over `(t, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> + '_ {
+        self.times
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, self.state(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut traj = Trajectory::new(1);
+        assert!(traj.is_empty());
+        traj.push(0.0, &[1.0]);
+        traj.push(1.0, &[2.0]);
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj.times(), &[0.0, 1.0]);
+        assert_eq!(traj.last_state(), &[2.0]);
+    }
+
+    #[test]
+    fn component_extraction() {
+        let mut traj = Trajectory::new(3);
+        traj.push(0.0, &[1.0, 2.0, 3.0]);
+        traj.push(1.0, &[4.0, 5.0, 6.0]);
+        assert_eq!(traj.component(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let mut traj = Trajectory::new(1);
+        traj.push(0.0, &[10.0]);
+        traj.push(0.5, &[20.0]);
+        let pairs: Vec<(f64, f64)> = traj.iter().map(|(t, s)| (t, s[0])).collect();
+        assert_eq!(pairs, vec![(0.0, 10.0), (0.5, 20.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_wrong_dim_panics() {
+        Trajectory::new(2).push(0.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn last_state_on_empty_panics() {
+        let _ = Trajectory::new(1).last_state();
+    }
+}

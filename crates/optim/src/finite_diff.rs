@@ -1,0 +1,124 @@
+//! Central-difference derivatives.
+//!
+//! Default derivative provider for [`crate::NlpProblem`] implementations
+//! that do not supply analytic gradients/Jacobians. Central differences
+//! give `O(h²)` accuracy at two evaluations per variable, plenty for the
+//! smooth, well-scaled MPC problems in this workspace.
+
+/// Relative perturbation used by the finite-difference helpers.
+pub const DEFAULT_STEP: f64 = 1e-6;
+
+/// Central-difference gradient of a scalar function.
+///
+/// # Examples
+///
+/// ```
+/// use ev_optim::finite_diff::gradient;
+///
+/// let f = |z: &[f64]| z[0] * z[0] + 3.0 * z[1];
+/// let g = gradient(&f, &[2.0, 0.0]);
+/// assert!((g[0] - 4.0).abs() < 1e-6);
+/// assert!((g[1] - 3.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn gradient(f: &dyn Fn(&[f64]) -> f64, z: &[f64]) -> Vec<f64> {
+    let n = z.len();
+    let mut grad = vec![0.0; n];
+    let mut zp = z.to_vec();
+    for i in 0..n {
+        let h = DEFAULT_STEP * (1.0 + z[i].abs());
+        let orig = z[i];
+        zp[i] = orig + h;
+        let fp = f(&zp);
+        zp[i] = orig - h;
+        let fm = f(&zp);
+        zp[i] = orig;
+        grad[i] = (fp - fm) / (2.0 * h);
+    }
+    grad
+}
+
+/// Central-difference Jacobian of a vector function with `m` outputs,
+/// returned row-major as `m` rows of length `z.len()`.
+///
+/// `f` writes its `m` outputs into the provided buffer.
+///
+/// # Examples
+///
+/// ```
+/// use ev_optim::finite_diff::jacobian;
+///
+/// // f(z) = [z0·z1, z0 + z1]
+/// let f = |z: &[f64], out: &mut [f64]| {
+///     out[0] = z[0] * z[1];
+///     out[1] = z[0] + z[1];
+/// };
+/// let j = jacobian(&f, &[2.0, 3.0], 2);
+/// assert!((j[0][0] - 3.0).abs() < 1e-6); // ∂(z0·z1)/∂z0
+/// assert!((j[0][1] - 2.0).abs() < 1e-6);
+/// assert!((j[1][0] - 1.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn jacobian(f: &dyn Fn(&[f64], &mut [f64]), z: &[f64], m: usize) -> Vec<Vec<f64>> {
+    let n = z.len();
+    let mut jac = vec![vec![0.0; n]; m];
+    let mut zp = z.to_vec();
+    let mut fp = vec![0.0; m];
+    let mut fm = vec![0.0; m];
+    for i in 0..n {
+        let h = DEFAULT_STEP * (1.0 + z[i].abs());
+        let orig = z[i];
+        zp[i] = orig + h;
+        f(&zp, &mut fp);
+        zp[i] = orig - h;
+        f(&zp, &mut fm);
+        zp[i] = orig;
+        for (r, row) in jac.iter_mut().enumerate() {
+            row[i] = (fp[r] - fm[r]) / (2.0 * h);
+        }
+    }
+    jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_quadratic_is_exact_to_tolerance() {
+        let f = |z: &[f64]| 0.5 * z.iter().map(|v| v * v).sum::<f64>();
+        let z = [1.0, -2.0, 3.0];
+        let g = gradient(&f, &z);
+        for (gi, zi) in g.iter().zip(&z) {
+            assert!((gi - zi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn gradient_handles_large_arguments() {
+        // Relative step keeps accuracy at large |z|.
+        let f = |z: &[f64]| z[0] * z[0];
+        let g = gradient(&f, &[1e6]);
+        assert!((g[0] - 2e6).abs() / 2e6 < 1e-6);
+    }
+
+    #[test]
+    fn jacobian_of_trig_functions() {
+        let f = |z: &[f64], out: &mut [f64]| {
+            out[0] = z[0].sin();
+            out[1] = z[0].cos() * z[1];
+        };
+        let j = jacobian(&f, &[0.5, 2.0], 2);
+        assert!((j[0][0] - 0.5f64.cos()).abs() < 1e-8);
+        assert!((j[0][1]).abs() < 1e-8);
+        assert!((j[1][0] + 0.5f64.sin() * 2.0).abs() < 1e-7);
+        assert!((j[1][1] - 0.5f64.cos()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobian_of_empty_output() {
+        let f = |_z: &[f64], _out: &mut [f64]| {};
+        let j = jacobian(&f, &[1.0], 0);
+        assert!(j.is_empty());
+    }
+}

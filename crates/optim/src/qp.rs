@@ -1,0 +1,745 @@
+//! Dense convex quadratic programming by an infeasible-start primal-dual
+//! interior-point method (Mehrotra predictor–corrector).
+
+use ev_linalg::{vecops, Lu, Matrix};
+
+use crate::OptimError;
+
+/// A convex quadratic program
+///
+/// ```text
+/// minimize    ½ zᵀ H z + gᵀ z
+/// subject to  A_eq z = b_eq
+///             A_in z ≤ b_in
+/// ```
+///
+/// `H` must be symmetric positive semidefinite; the solver adds a tiny
+/// Levenberg regularization so semidefinite Hessians (common in MPC, where
+/// some inputs do not enter the cost) are handled without special cases.
+///
+/// # Examples
+///
+/// ```
+/// use ev_optim::QpProblem;
+/// use ev_linalg::Matrix;
+///
+/// # fn main() -> Result<(), ev_optim::OptimError> {
+/// // min (z-3)²  s.t. z ≤ 1
+/// let p = QpProblem::new(Matrix::from_diag(&[2.0]), vec![-6.0])?
+///     .with_inequalities(Matrix::from_rows(&[&[1.0]]).unwrap(), vec![1.0])?;
+/// assert_eq!(p.num_vars(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QpProblem {
+    h: Matrix,
+    g: Vec<f64>,
+    a_eq: Option<Matrix>,
+    b_eq: Vec<f64>,
+    a_in: Option<Matrix>,
+    b_in: Vec<f64>,
+}
+
+impl QpProblem {
+    /// Symmetry tolerance for the Hessian check, relative to its magnitude.
+    const SYM_TOL: f64 = 1e-8;
+
+    /// Creates an unconstrained QP from the Hessian `h` and linear term `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if `h` is not square with
+    /// side `g.len()`, [`OptimError::AsymmetricHessian`] if `h` is not
+    /// symmetric, and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn new(h: Matrix, g: Vec<f64>) -> Result<Self, OptimError> {
+        if !h.is_square() || h.rows() != g.len() {
+            return Err(OptimError::DimensionMismatch { what: "H vs g" });
+        }
+        if !h.is_symmetric(Self::SYM_TOL * h.norm_max().max(1.0)) {
+            return Err(OptimError::AsymmetricHessian);
+        }
+        if h.as_slice().iter().any(|v| !v.is_finite()) || g.iter().any(|v| !v.is_finite()) {
+            return Err(OptimError::NonFiniteData);
+        }
+        Ok(Self {
+            h,
+            g,
+            a_eq: None,
+            b_eq: Vec::new(),
+            a_in: None,
+            b_in: Vec::new(),
+        })
+    }
+
+    /// Adds the equality constraints `a_eq · z = b_eq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if shapes are inconsistent
+    /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn with_equalities(mut self, a_eq: Matrix, b_eq: Vec<f64>) -> Result<Self, OptimError> {
+        if a_eq.cols() != self.num_vars() || a_eq.rows() != b_eq.len() {
+            return Err(OptimError::DimensionMismatch { what: "A_eq vs b_eq" });
+        }
+        if a_eq.as_slice().iter().any(|v| !v.is_finite())
+            || b_eq.iter().any(|v| !v.is_finite())
+        {
+            return Err(OptimError::NonFiniteData);
+        }
+        self.a_eq = Some(a_eq);
+        self.b_eq = b_eq;
+        Ok(self)
+    }
+
+    /// Adds the inequality constraints `a_in · z ≤ b_in`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if shapes are inconsistent
+    /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn with_inequalities(mut self, a_in: Matrix, b_in: Vec<f64>) -> Result<Self, OptimError> {
+        if a_in.cols() != self.num_vars() || a_in.rows() != b_in.len() {
+            return Err(OptimError::DimensionMismatch { what: "A_in vs b_in" });
+        }
+        if a_in.as_slice().iter().any(|v| !v.is_finite())
+            || b_in.iter().any(|v| !v.is_finite())
+        {
+            return Err(OptimError::NonFiniteData);
+        }
+        self.a_in = Some(a_in);
+        self.b_in = b_in;
+        Ok(self)
+    }
+
+    /// Number of decision variables.
+    #[inline]
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Number of equality constraints.
+    #[inline]
+    #[must_use]
+    pub fn num_eq(&self) -> usize {
+        self.b_eq.len()
+    }
+
+    /// Number of inequality constraints.
+    #[inline]
+    #[must_use]
+    pub fn num_ineq(&self) -> usize {
+        self.b_in.len()
+    }
+
+    /// Evaluates the objective `½ zᵀHz + gᵀz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != num_vars()`.
+    #[must_use]
+    pub fn objective(&self, z: &[f64]) -> f64 {
+        let hz = self.h.matvec(z).expect("dimension checked at construction");
+        0.5 * vecops::dot(z, &hz) + vecops::dot(&self.g, z)
+    }
+}
+
+/// Solution of a QP: the minimizer and its Lagrange multipliers.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// The primal minimizer.
+    pub z: Vec<f64>,
+    /// Multipliers of the equality constraints.
+    pub y_eq: Vec<f64>,
+    /// Multipliers of the inequality constraints (non-negative).
+    pub lambda_in: Vec<f64>,
+    /// Objective value at `z`.
+    pub objective: f64,
+    /// Interior-point iterations used.
+    pub iterations: usize,
+}
+
+/// Options for the interior-point QP solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpSolverOptions {
+    /// Convergence tolerance on the complementarity measure and residuals.
+    pub tolerance: f64,
+    /// Maximum interior-point iterations.
+    pub max_iterations: usize,
+    /// Levenberg regularization added to the Hessian diagonal.
+    pub regularization: f64,
+}
+
+impl Default for QpSolverOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-8,
+            max_iterations: 100,
+            regularization: 1e-10,
+        }
+    }
+}
+
+/// Infeasible-start primal-dual interior-point solver for convex QPs.
+///
+/// Implements the Mehrotra predictor–corrector scheme with a shared LU
+/// factorization of the reduced KKT system per iteration. Designed as the
+/// subproblem engine of [`crate::SqpSolver`] but fully usable on its own.
+///
+/// # Examples
+///
+/// ```
+/// use ev_optim::{QpProblem, QpSolver};
+/// use ev_linalg::Matrix;
+///
+/// # fn main() -> Result<(), ev_optim::OptimError> {
+/// // Projection of (2, 0) onto the unit box [−1, 1]².
+/// let h = Matrix::from_diag(&[2.0, 2.0]);
+/// let g = vec![-4.0, 0.0];
+/// let a = Matrix::from_rows(&[
+///     &[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0],
+/// ]).unwrap();
+/// let p = QpProblem::new(h, g)?.with_inequalities(a, vec![1.0; 4])?;
+/// let sol = QpSolver::default().solve(&p)?;
+/// assert!((sol.z[0] - 1.0).abs() < 1e-6);
+/// assert!(sol.z[1].abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QpSolver {
+    options: QpSolverOptions,
+}
+
+impl QpSolver {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: QpSolverOptions) -> Self {
+        Self { options }
+    }
+
+    /// Borrows the solver options.
+    #[must_use]
+    pub fn options(&self) -> &QpSolverOptions {
+        &self.options
+    }
+
+    /// Solves the QP starting from the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::QpMaxIterations`] when the KKT residuals do
+    /// not meet tolerance within the iteration budget (typically an
+    /// infeasible or unbounded problem) and propagates factorization
+    /// failures as [`OptimError::Linalg`].
+    pub fn solve(&self, problem: &QpProblem) -> Result<QpSolution, OptimError> {
+        let z0 = vec![0.0; problem.num_vars()];
+        self.solve_from(problem, &z0)
+    }
+
+    /// Solves the QP from a warm-start primal point `z0`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpSolver::solve`]; additionally returns
+    /// [`OptimError::DimensionMismatch`] if `z0.len() != num_vars()`.
+    pub fn solve_from(&self, problem: &QpProblem, z0: &[f64]) -> Result<QpSolution, OptimError> {
+        let n = problem.num_vars();
+        if z0.len() != n {
+            return Err(OptimError::DimensionMismatch { what: "z0 vs H" });
+        }
+        let me = problem.num_eq();
+        let mi = problem.num_ineq();
+
+        // No inequalities: the KKT conditions are a single linear system.
+        if mi == 0 {
+            return self.solve_equality_only(problem, me);
+        }
+
+        let a_in = problem.a_in.as_ref().expect("mi > 0 implies A_in");
+        let mut z = z0.to_vec();
+        let mut y = vec![0.0; me];
+        // Strictly positive slack/dual initialization.
+        let cz = a_in.matvec(&z)?;
+        let mut s: Vec<f64> = problem
+            .b_in
+            .iter()
+            .zip(&cz)
+            .map(|(b, c)| (b - c).max(1.0))
+            .collect();
+        let mut lam = vec![1.0; mi];
+
+        let data_scale = 1.0
+            + problem.h.norm_max()
+            + vecops::norm_inf(&problem.g)
+            + problem.a_eq.as_ref().map_or(0.0, Matrix::norm_max)
+            + a_in.norm_max();
+
+        let tol = self.options.tolerance;
+        for iter in 0..self.options.max_iterations {
+            // Residuals.
+            let hz = problem.h.matvec(&z)?;
+            let mut rd = vecops::add(&hz, &problem.g);
+            if let Some(a_eq) = &problem.a_eq {
+                let aty = a_eq.matvec_transposed(&y)?;
+                for (r, v) in rd.iter_mut().zip(&aty) {
+                    *r += v;
+                }
+            }
+            let ctl = a_in.matvec_transposed(&lam)?;
+            for (r, v) in rd.iter_mut().zip(&ctl) {
+                *r += v;
+            }
+            let rp: Vec<f64> = match &problem.a_eq {
+                Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, &problem.b_eq),
+                None => Vec::new(),
+            };
+            let cz = a_in.matvec(&z)?;
+            let rc: Vec<f64> = (0..mi)
+                .map(|i| cz[i] + s[i] - problem.b_in[i])
+                .collect();
+            let mu = vecops::dot(&s, &lam) / mi as f64;
+
+            let converged = mu <= tol * data_scale
+                && vecops::norm_inf(&rd) <= tol * data_scale
+                && vecops::norm_inf(&rp) <= tol * data_scale
+                && vecops::norm_inf(&rc) <= tol * data_scale;
+            if converged {
+                return Ok(QpSolution {
+                    objective: problem.objective(&z),
+                    z,
+                    y_eq: y,
+                    lambda_in: lam,
+                    iterations: iter,
+                });
+            }
+
+            // Reduced KKT matrix: [H + CᵀWC  A_eqᵀ; A_eq  −δI], W = Λ/S.
+            let dim = n + me;
+            let mut kkt = Matrix::zeros(dim, dim);
+            for r in 0..n {
+                for c in 0..n {
+                    kkt.set(r, c, problem.h.get(r, c));
+                }
+            }
+            for i in 0..mi {
+                let w = lam[i] / s[i];
+                let row = a_in.row(i);
+                for r in 0..n {
+                    let ar = row[r];
+                    if ar == 0.0 {
+                        continue;
+                    }
+                    for c in 0..n {
+                        kkt.add_at(r, c, w * ar * row[c]);
+                    }
+                }
+            }
+            for r in 0..n {
+                kkt.add_at(r, r, self.options.regularization.max(1e-12));
+            }
+            if let Some(a_eq) = &problem.a_eq {
+                for r in 0..me {
+                    for c in 0..n {
+                        kkt.set(n + r, c, a_eq.get(r, c));
+                        kkt.set(c, n + r, a_eq.get(r, c));
+                    }
+                    kkt.set(n + r, n + r, -1e-12);
+                }
+            }
+            let lu = Lu::factor(&kkt)?;
+
+            // Affine (predictor) direction: target σ = 0.
+            let (dz_aff, _dy_aff, ds_aff, dlam_aff) = self.kkt_solve(
+                &lu, problem, a_in, &rd, &rp, &rc, &s, &lam,
+                &(0..mi).map(|i| s[i] * lam[i]).collect::<Vec<f64>>(),
+            )?;
+            let alpha_aff = step_length(&s, &ds_aff, &lam, &dlam_aff);
+            let mu_aff = {
+                let mut acc = 0.0;
+                for i in 0..mi {
+                    acc += (s[i] + alpha_aff * ds_aff[i]) * (lam[i] + alpha_aff * dlam_aff[i]);
+                }
+                acc / mi as f64
+            };
+            let sigma = (mu_aff / mu).powi(3).clamp(0.0, 1.0);
+
+            // Corrector direction with centering + Mehrotra correction.
+            let r_slam: Vec<f64> = (0..mi)
+                .map(|i| s[i] * lam[i] + ds_aff[i] * dlam_aff[i] - sigma * mu)
+                .collect();
+            let (dz, dy, ds, dlam) =
+                self.kkt_solve(&lu, problem, a_in, &rd, &rp, &rc, &s, &lam, &r_slam)?;
+            let _ = dz_aff;
+
+            let alpha = 0.995 * step_length(&s, &ds, &lam, &dlam);
+            let alpha = alpha.min(1.0);
+            vecops::axpy(alpha, &dz, &mut z);
+            vecops::axpy(alpha, &dy, &mut y);
+            vecops::axpy(alpha, &ds, &mut s);
+            vecops::axpy(alpha, &dlam, &mut lam);
+        }
+
+        // Re-evaluate residuals for the error report.
+        let hz = problem.h.matvec(&z)?;
+        let rd = vecops::add(&hz, &problem.g);
+        let rp: Vec<f64> = match &problem.a_eq {
+            Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, &problem.b_eq),
+            None => Vec::new(),
+        };
+        Err(OptimError::QpMaxIterations {
+            mu: vecops::dot(&s, &lam) / mi as f64,
+            primal_residual: vecops::norm_inf(&rp),
+            dual_residual: vecops::norm_inf(&rd),
+        })
+    }
+
+    /// Direct KKT solve when the problem has no inequality constraints.
+    fn solve_equality_only(
+        &self,
+        problem: &QpProblem,
+        me: usize,
+    ) -> Result<QpSolution, OptimError> {
+        let n = problem.num_vars();
+        let dim = n + me;
+        let mut kkt = Matrix::zeros(dim, dim);
+        for r in 0..n {
+            for c in 0..n {
+                kkt.set(r, c, problem.h.get(r, c));
+            }
+            kkt.add_at(r, r, self.options.regularization.max(1e-12));
+        }
+        if let Some(a_eq) = &problem.a_eq {
+            for r in 0..me {
+                for c in 0..n {
+                    kkt.set(n + r, c, a_eq.get(r, c));
+                    kkt.set(c, n + r, a_eq.get(r, c));
+                }
+            }
+        }
+        let mut rhs = vec![0.0; dim];
+        for i in 0..n {
+            rhs[i] = -problem.g[i];
+        }
+        rhs[n..(me + n)].copy_from_slice(&problem.b_eq[..me]);
+        let sol = Lu::factor(&kkt)?.solve(&rhs)?;
+        let z = sol[..n].to_vec();
+        let y_eq = sol[n..].to_vec();
+        Ok(QpSolution {
+            objective: problem.objective(&z),
+            z,
+            y_eq,
+            lambda_in: Vec::new(),
+            iterations: 1,
+        })
+    }
+
+    /// Solves one Newton system given the factored KKT matrix and the
+    /// complementarity right-hand side `r_slam` (entries `sᵢλᵢ − target`).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn kkt_solve(
+        &self,
+        lu: &Lu,
+        problem: &QpProblem,
+        a_in: &Matrix,
+        rd: &[f64],
+        rp: &[f64],
+        rc: &[f64],
+        s: &[f64],
+        lam: &[f64],
+        r_slam: &[f64],
+    ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
+        let n = problem.num_vars();
+        let me = problem.num_eq();
+        let mi = s.len();
+
+        // rhs1 = −rd + Σᵢ cᵢ · (r_slamᵢ − λᵢ·rcᵢ)/sᵢ
+        let mut rhs = vec![0.0; n + me];
+        for r in 0..n {
+            rhs[r] = -rd[r];
+        }
+        for i in 0..mi {
+            let coeff = (r_slam[i] - lam[i] * rc[i]) / s[i];
+            let row = a_in.row(i);
+            for r in 0..n {
+                rhs[r] += row[r] * coeff;
+            }
+        }
+        for r in 0..me {
+            rhs[n + r] = -rp[r];
+        }
+        let sol = lu.solve(&rhs)?;
+        let dz = sol[..n].to_vec();
+        let dy = sol[n..].to_vec();
+
+        let cdz = a_in.matvec(&dz)?;
+        let mut ds = vec![0.0; mi];
+        let mut dlam = vec![0.0; mi];
+        for i in 0..mi {
+            ds[i] = -rc[i] - cdz[i];
+            dlam[i] = -(r_slam[i] + lam[i] * ds[i]) / s[i];
+        }
+        Ok((dz, dy, ds, dlam))
+    }
+}
+
+/// Largest α ∈ (0, 1] keeping `s + α·ds > 0` and `λ + α·dλ > 0`.
+fn step_length(s: &[f64], ds: &[f64], lam: &[f64], dlam: &[f64]) -> f64 {
+    let mut alpha: f64 = 1.0;
+    for i in 0..s.len() {
+        if ds[i] < 0.0 {
+            alpha = alpha.min(-s[i] / ds[i]);
+        }
+        if dlam[i] < 0.0 {
+            alpha = alpha.min(-lam[i] / dlam[i]);
+        }
+    }
+    alpha.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &QpProblem) -> QpSolution {
+        QpSolver::default().solve(p).expect("qp should solve")
+    }
+
+    #[test]
+    fn unconstrained_quadratic() {
+        // min (z0-1)² + (z1+2)²
+        let p = QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![-2.0, 4.0]).unwrap();
+        let sol = solve(&p);
+        assert!((sol.z[0] - 1.0).abs() < 1e-7);
+        assert!((sol.z[1] + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constrained() {
+        // min z0² + z1² s.t. z0 + z1 = 2 → (1, 1).
+        let p = QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![0.0, 0.0])
+            .unwrap()
+            .with_equalities(Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(), vec![2.0])
+            .unwrap();
+        let sol = solve(&p);
+        assert!((sol.z[0] - 1.0).abs() < 1e-7);
+        assert!((sol.z[1] - 1.0).abs() < 1e-7);
+        // Multiplier: ∇f + Aᵀy = 0 → 2·1 + y = 0 → y = −2.
+        assert!((sol.y_eq[0] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn active_inequality() {
+        // min (z-3)² s.t. z ≤ 1 → z = 1, λ = 4.
+        let p = QpProblem::new(Matrix::from_diag(&[2.0]), vec![-6.0])
+            .unwrap()
+            .with_inequalities(Matrix::from_rows(&[&[1.0]]).unwrap(), vec![1.0])
+            .unwrap();
+        let sol = solve(&p);
+        assert!((sol.z[0] - 1.0).abs() < 1e-6);
+        assert!((sol.lambda_in[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inactive_inequality() {
+        // min (z-3)² s.t. z ≤ 10 → unconstrained optimum 3, λ = 0.
+        let p = QpProblem::new(Matrix::from_diag(&[2.0]), vec![-6.0])
+            .unwrap()
+            .with_inequalities(Matrix::from_rows(&[&[1.0]]).unwrap(), vec![10.0])
+            .unwrap();
+        let sol = solve(&p);
+        assert!((sol.z[0] - 3.0).abs() < 1e-6);
+        assert!(sol.lambda_in[0].abs() < 1e-5);
+    }
+
+    #[test]
+    fn box_constrained_projection() {
+        // Project (5, -5) onto [0,1]².
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
+            .unwrap();
+        let p = QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![-10.0, 10.0])
+            .unwrap()
+            .with_inequalities(a, vec![1.0, 0.0, 1.0, 0.0])
+            .unwrap();
+        let sol = solve(&p);
+        assert!((sol.z[0] - 1.0).abs() < 1e-6);
+        assert!(sol.z[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_equality_inequality() {
+        // min ½‖z‖² s.t. z0 + z1 + z2 = 3, z0 ≤ 0.5.
+        // Without the bound → (1,1,1); with it, z0 = 0.5, z1 = z2 = 1.25.
+        let p = QpProblem::new(Matrix::identity(3), vec![0.0; 3])
+            .unwrap()
+            .with_equalities(Matrix::from_rows(&[&[1.0, 1.0, 1.0]]).unwrap(), vec![3.0])
+            .unwrap()
+            .with_inequalities(Matrix::from_rows(&[&[1.0, 0.0, 0.0]]).unwrap(), vec![0.5])
+            .unwrap();
+        let sol = solve(&p);
+        assert!((sol.z[0] - 0.5).abs() < 1e-6, "{:?}", sol.z);
+        assert!((sol.z[1] - 1.25).abs() < 1e-6);
+        assert!((sol.z[2] - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn semidefinite_hessian() {
+        // H has a zero eigenvalue along z1; inequality pins z1.
+        let h = Matrix::from_diag(&[2.0, 0.0]);
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, -1.0]]).unwrap();
+        let p = QpProblem::new(h, vec![-2.0, 1.0])
+            .unwrap()
+            .with_inequalities(a, vec![5.0, 5.0])
+            .unwrap();
+        let sol = solve(&p);
+        // z0 = 1 from the curvature; z1 driven to its lower bound −5 by g1 = 1.
+        assert!((sol.z[0] - 1.0).abs() < 1e-5);
+        assert!((sol.z[1] + 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let a_in =
+            Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, 2.0], &[2.0, -1.0]]).unwrap();
+        let p = QpProblem::new(
+            Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 2.0]]).unwrap(),
+            vec![1.0, 1.0],
+        )
+        .unwrap()
+        .with_inequalities(a_in.clone(), vec![2.0, 2.0, 3.0])
+        .unwrap();
+        let sol = solve(&p);
+        // Stationarity: Hz + g + Cᵀλ ≈ 0.
+        let hz = p.h.matvec(&sol.z).unwrap();
+        let ctl = a_in.matvec_transposed(&sol.lambda_in).unwrap();
+        for i in 0..2 {
+            assert!((hz[i] + p.g[i] + ctl[i]).abs() < 1e-5);
+        }
+        // Primal feasibility and dual non-negativity.
+        let cz = a_in.matvec(&sol.z).unwrap();
+        for i in 0..3 {
+            assert!(cz[i] <= p.b_in[i] + 1e-6);
+            assert!(sol.lambda_in[i] >= -1e-9);
+            // Complementary slackness.
+            assert!(sol.lambda_in[i] * (p.b_in[i] - cz[i]) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn infeasible_problem_errors() {
+        // z ≤ 0 and −z ≤ −1 (z ≥ 1) cannot both hold.
+        let a = Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap();
+        let p = QpProblem::new(Matrix::from_diag(&[2.0]), vec![0.0])
+            .unwrap()
+            .with_inequalities(a, vec![0.0, -1.0])
+            .unwrap();
+        let err = QpSolver::default().solve(&p).unwrap_err();
+        assert!(matches!(err, OptimError::QpMaxIterations { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            QpProblem::new(Matrix::zeros(2, 3), vec![0.0; 3]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            QpProblem::new(asym, vec![0.0; 2]),
+            Err(OptimError::AsymmetricHessian)
+        ));
+        let nan = Matrix::from_diag(&[f64::NAN]);
+        assert!(matches!(
+            QpProblem::new(nan, vec![0.0]),
+            Err(OptimError::NonFiniteData)
+        ));
+        let p = QpProblem::new(Matrix::identity(2), vec![0.0; 2]).unwrap();
+        assert!(p
+            .with_equalities(Matrix::zeros(1, 3), vec![0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn warm_start_path() {
+        let p = QpProblem::new(Matrix::from_diag(&[2.0]), vec![-6.0])
+            .unwrap()
+            .with_inequalities(Matrix::from_rows(&[&[1.0]]).unwrap(), vec![1.0])
+            .unwrap();
+        let sol = QpSolver::default().solve_from(&p, &[0.9]).unwrap();
+        assert!((sol.z[0] - 1.0).abs() < 1e-6);
+        assert!(QpSolver::default().solve_from(&p, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn loose_tolerance_converges_in_fewer_iterations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
+            .unwrap();
+        let p = QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![-10.0, 3.0])
+            .unwrap()
+            .with_inequalities(a, vec![1.0; 4])
+            .unwrap();
+        let tight = QpSolver::new(QpSolverOptions {
+            tolerance: 1e-10,
+            ..QpSolverOptions::default()
+        })
+        .solve(&p)
+        .unwrap();
+        let loose = QpSolver::new(QpSolverOptions {
+            tolerance: 1e-4,
+            ..QpSolverOptions::default()
+        })
+        .solve(&p)
+        .unwrap();
+        assert!(loose.iterations <= tight.iterations);
+        // Both still land on the right active set.
+        assert!((loose.z[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn zero_hessian_lp_is_handled_by_regularization() {
+        // A pure LP (H = 0) on a box: the regularized KKT system stays
+        // factorable and the solution hits the right vertex.
+        let h = Matrix::from_diag(&[0.0, 0.0]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
+            .unwrap();
+        let p = QpProblem::new(h, vec![1.0, -2.0])
+            .unwrap()
+            .with_inequalities(a, vec![1.0; 4])
+            .unwrap();
+        let sol = QpSolver::default().solve(&p).unwrap();
+        // min z0 − 2 z1 over [−1,1]² → (−1, 1).
+        assert!((sol.z[0] + 1.0).abs() < 1e-4, "{:?}", sol.z);
+        assert!((sol.z[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn larger_random_spd_problem() {
+        // A 30-variable strongly convex QP with box constraints: verify
+        // feasibility and stationarity rather than a closed form.
+        let n = 30;
+        let mut h = Matrix::identity(n);
+        for i in 0..n {
+            h.set(i, i, 1.0 + (i as f64) * 0.1);
+        }
+        let g: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let mut up = vec![0.0; n];
+            up[i] = 1.0;
+            rows.push(up);
+            let mut lo = vec![0.0; n];
+            lo[i] = -1.0;
+            rows.push(lo);
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b = vec![2.0; 2 * n];
+        let p = QpProblem::new(h, g).unwrap().with_inequalities(a, b).unwrap();
+        let sol = solve(&p);
+        for (i, &zi) in sol.z.iter().enumerate() {
+            assert!((-2.0 - 1e-6..=2.0 + 1e-6).contains(&zi), "z[{i}] = {zi}");
+        }
+        assert!(sol.iterations < 50);
+    }
+}

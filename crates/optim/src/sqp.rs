@@ -1,0 +1,673 @@
+//! Sequential quadratic programming.
+
+use ev_linalg::{vecops, Matrix};
+
+use crate::{NlpProblem, OptimError, QpProblem, QpSolver, QpSolverOptions};
+
+/// Options for the SQP solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqpOptions {
+    /// Convergence tolerance on step size and constraint violation.
+    pub tolerance: f64,
+    /// Maximum major (SQP) iterations.
+    pub max_iterations: usize,
+    /// Maximum backtracking steps per line search.
+    pub max_line_search: usize,
+    /// Initial L1 merit penalty.
+    pub initial_penalty: f64,
+    /// Options forwarded to the inner QP solver.
+    pub qp: QpSolverOptions,
+}
+
+impl Default for SqpOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-6,
+            max_iterations: 60,
+            max_line_search: 25,
+            initial_penalty: 10.0,
+            qp: QpSolverOptions::default(),
+        }
+    }
+}
+
+/// Why the SQP loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqpStatus {
+    /// Step size and constraint violation met tolerance.
+    Converged,
+    /// The iteration budget ran out; the best iterate found is returned.
+    MaxIterations,
+    /// The merit line search could not make progress; the best iterate
+    /// found is returned (often already near-optimal on flat problems).
+    LineSearchStalled,
+}
+
+/// Result of an SQP run.
+#[derive(Debug, Clone)]
+pub struct SqpResult {
+    /// The final iterate.
+    pub z: Vec<f64>,
+    /// Objective value at `z`.
+    pub objective: f64,
+    /// Termination status.
+    pub status: SqpStatus,
+    /// Major iterations performed.
+    pub iterations: usize,
+    /// Maximum constraint violation at `z` (0 when unconstrained).
+    pub constraint_violation: f64,
+}
+
+impl SqpResult {
+    /// Returns `true` if the solver reached its convergence tolerance.
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        self.status == SqpStatus::Converged
+    }
+}
+
+/// Sequential quadratic programming solver with damped-BFGS Hessian
+/// approximation and an L1-merit backtracking line search.
+///
+/// Each major iteration linearizes the constraints, builds a convex QP with
+/// the current Hessian approximation and solves it with [`QpSolver`]. If
+/// the linearized constraints are inconsistent, the subproblem is retried
+/// in *elastic mode* (slack variables with a linear penalty), which always
+/// has a solution.
+///
+/// This is the optimizer the paper's MPC runs every control step
+/// (Section III, "the best option might be to apply Sequential Quadratic
+/// Programming").
+///
+/// # Examples
+///
+/// ```
+/// use ev_optim::{NlpProblem, SqpSolver};
+///
+/// /// min (z0−2)² + z1², s.t. z0 ≤ 1.
+/// struct P;
+/// impl NlpProblem for P {
+///     fn num_vars(&self) -> usize { 2 }
+///     fn objective(&self, z: &[f64]) -> f64 { (z[0] - 2.0).powi(2) + z[1] * z[1] }
+///     fn num_ineq(&self) -> usize { 1 }
+///     fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) { out[0] = z[0] - 1.0; }
+/// }
+///
+/// # fn main() -> Result<(), ev_optim::OptimError> {
+/// let result = SqpSolver::default().solve(&P, &[0.0, 0.5])?;
+/// assert!(result.is_converged());
+/// assert!((result.z[0] - 1.0).abs() < 1e-5);
+/// assert!(result.z[1].abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SqpSolver {
+    options: SqpOptions,
+}
+
+impl SqpSolver {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: SqpOptions) -> Self {
+        Self { options }
+    }
+
+    /// Borrows the solver options.
+    #[must_use]
+    pub fn options(&self) -> &SqpOptions {
+        &self.options
+    }
+
+    /// Solves the nonlinear program starting from `z0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if `z0.len()` does not
+    /// match the problem, [`OptimError::NonFiniteData`] if the objective or
+    /// constraints return non-finite values at `z0`, and propagates
+    /// structural QP failures.
+    pub fn solve<P: NlpProblem + ?Sized>(
+        &self,
+        problem: &P,
+        z0: &[f64],
+    ) -> Result<SqpResult, OptimError> {
+        let n = problem.num_vars();
+        if z0.len() != n {
+            return Err(OptimError::DimensionMismatch { what: "z0 vs problem" });
+        }
+        let me = problem.num_eq();
+        let mi = problem.num_ineq();
+        let opts = &self.options;
+        let qp_solver = QpSolver::new(opts.qp);
+
+        let mut z = z0.to_vec();
+        let mut f = problem.objective(&z);
+        if !f.is_finite() {
+            return Err(OptimError::NonFiniteData);
+        }
+        let mut grad = vec![0.0; n];
+        problem.gradient(&z, &mut grad);
+        let mut c_eq = vec![0.0; me];
+        let mut c_in = vec![0.0; mi];
+        problem.eq_constraints(&z, &mut c_eq);
+        problem.ineq_constraints(&z, &mut c_in);
+        if c_eq.iter().chain(&c_in).any(|v| !v.is_finite())
+            || grad.iter().any(|v| !v.is_finite())
+        {
+            return Err(OptimError::NonFiniteData);
+        }
+
+        let mut b = Matrix::identity(n);
+        let mut penalty = opts.initial_penalty;
+        let mut best = (z.clone(), f, violation(&c_eq, &c_in));
+        let mut merit_window: Vec<f64> = Vec::with_capacity(5);
+
+        for iter in 0..opts.max_iterations {
+            let j_eq = problem.eq_jacobian(&z);
+            let j_in = problem.ineq_jacobian(&z);
+
+            // QP subproblem in the step d.
+            let (d, mult_eq, mult_in) = match self.solve_subproblem(
+                &qp_solver, &b, &grad, &j_eq, &c_eq, &j_in, &c_in, penalty,
+            ) {
+                Ok((d, y_eq, lambda_in)) => {
+                    let mult = vecops::norm_inf(&y_eq).max(vecops::norm_inf(&lambda_in));
+                    penalty = penalty.max(1.5 * mult + 1.0);
+                    (d, y_eq, lambda_in)
+                }
+                Err(_) => {
+                    // The subproblem failed numerically (singular KKT from
+                    // a degenerate constraint Jacobian, or an elastic
+                    // breakdown): take a plain gradient-descent fallback
+                    // step rather than aborting — a degenerate linearization
+                    // is a problem state, not a structural error.
+                    let d = vecops::scale(-1.0 / (1.0 + vecops::norm2(&grad)), &grad);
+                    (d, vec![0.0; me], vec![0.0; mi])
+                }
+            };
+
+            let viol = violation(&c_eq, &c_in);
+            let step_small = vecops::norm_inf(&d) <= opts.tolerance * (1.0 + vecops::norm_inf(&z));
+            if step_small && viol <= opts.tolerance {
+                return Ok(SqpResult {
+                    objective: f,
+                    constraint_violation: viol,
+                    z,
+                    status: SqpStatus::Converged,
+                    iterations: iter,
+                });
+            }
+
+            // L1-merit backtracking line search with a second-order
+            // correction (Maratos remedy) tried after the first rejection
+            // of the full step, and a mild non-monotone (watchdog)
+            // acceptance window.
+            let merit0 = f + penalty * viol;
+            merit_window.push(merit0);
+            if merit_window.len() > 4 {
+                merit_window.remove(0);
+            }
+            let merit_ref = merit_window.iter().copied().fold(merit0, f64::max);
+            // Directional derivative estimate of the merit function.
+            let ddir = vecops::dot(&grad, &d) - penalty * viol;
+            let mut alpha = 1.0;
+            let mut accepted = false;
+            let mut soc_tried = false;
+            let mut z_new = z.clone();
+            let mut f_new = f;
+            let mut c_eq_new = c_eq.clone();
+            let mut c_in_new = c_in.clone();
+            let mut trial_d = d.clone();
+            for _ in 0..opts.max_line_search {
+                z_new = z.clone();
+                vecops::axpy(alpha, &trial_d, &mut z_new);
+                f_new = problem.objective(&z_new);
+                problem.eq_constraints(&z_new, &mut c_eq_new);
+                problem.ineq_constraints(&z_new, &mut c_in_new);
+                if f_new.is_finite() {
+                    let merit_new = f_new + penalty * violation(&c_eq_new, &c_in_new);
+                    if merit_new <= merit_ref + 1e-4 * alpha * ddir.min(0.0)
+                        || merit_new < merit0 - 1e-12 * merit0.abs()
+                    {
+                        accepted = true;
+                        break;
+                    }
+                    if !soc_tried && alpha == 1.0 && me > 0 {
+                        // Second-order correction: shift the step to cancel
+                        // the constraint curvature revealed at z + d.
+                        soc_tried = true;
+                        if let Some(correction) =
+                            second_order_correction(&j_eq, &c_eq_new)
+                        {
+                            let mut d_soc = d.clone();
+                            vecops::axpy(1.0, &correction, &mut d_soc);
+                            trial_d = d_soc;
+                            continue; // retry at alpha = 1 with the SOC step
+                        }
+                    }
+                    // Fall back to the plain step when backtracking.
+                    trial_d = d.clone();
+                }
+                alpha *= 0.5;
+            }
+            if std::env::var("SQP_DEBUG").is_ok() {
+                eprintln!("it={iter} z={z:?} f={f:.4} viol={viol:.4} pen={penalty:.2} d={d:?} ddir={ddir:.4} accepted={accepted} alpha={alpha:.4}");
+            }
+            if !accepted {
+                let (bz, bf, bv) = best;
+                return Ok(SqpResult {
+                    z: bz,
+                    objective: bf,
+                    status: SqpStatus::LineSearchStalled,
+                    iterations: iter,
+                    constraint_violation: bv,
+                });
+            }
+
+            // Damped BFGS update on the *Lagrangian* gradient difference
+            // (the objective alone carries no curvature information when it
+            // is linear; the multipliers supply the constraint curvature).
+            let mut grad_new = vec![0.0; n];
+            problem.gradient(&z_new, &mut grad_new);
+            let s = vecops::sub(&z_new, &z);
+            let mut gl_old = grad.clone();
+            let mut gl_new = grad_new.clone();
+            if me > 0 {
+                let j_eq_new = problem.eq_jacobian(&z_new);
+                vecops::axpy(1.0, &j_eq.matvec_transposed(&mult_eq)?, &mut gl_old);
+                vecops::axpy(1.0, &j_eq_new.matvec_transposed(&mult_eq)?, &mut gl_new);
+            }
+            if mi > 0 {
+                let j_in_new = problem.ineq_jacobian(&z_new);
+                vecops::axpy(1.0, &j_in.matvec_transposed(&mult_in)?, &mut gl_old);
+                vecops::axpy(1.0, &j_in_new.matvec_transposed(&mult_in)?, &mut gl_new);
+            }
+            let yv = vecops::sub(&gl_new, &gl_old);
+            bfgs_update(&mut b, &s, &yv);
+
+            z = z_new;
+            f = f_new;
+            grad = grad_new;
+            c_eq = c_eq_new.clone();
+            c_in = c_in_new.clone();
+            let v = violation(&c_eq, &c_in);
+            if v < best.2 || (v <= best.2 + opts.tolerance && f < best.1) {
+                best = (z.clone(), f, v);
+            }
+        }
+
+        let (bz, bf, bv) = best;
+        Ok(SqpResult {
+            z: bz,
+            objective: bf,
+            status: SqpStatus::MaxIterations,
+            iterations: opts.max_iterations,
+            constraint_violation: bv,
+        })
+    }
+
+    /// Builds and solves one QP subproblem; returns the step and the
+    /// equality/inequality multipliers (used for penalty updates and the
+    /// Lagrangian BFGS update). Falls back to elastic mode when the
+    /// linearized constraints are inconsistent.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn solve_subproblem(
+        &self,
+        qp_solver: &QpSolver,
+        b: &Matrix,
+        grad: &[f64],
+        j_eq: &Matrix,
+        c_eq: &[f64],
+        j_in: &Matrix,
+        c_in: &[f64],
+        penalty: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
+        let n = grad.len();
+        let me = c_eq.len();
+        let mi = c_in.len();
+
+        let mut qp = QpProblem::new(b.clone(), grad.to_vec())?;
+        if me > 0 {
+            qp = qp.with_equalities(j_eq.clone(), vecops::scale(-1.0, c_eq))?;
+        }
+        if mi > 0 {
+            qp = qp.with_inequalities(j_in.clone(), vecops::scale(-1.0, c_in))?;
+        }
+        match qp_solver.solve(&qp) {
+            Ok(sol) => Ok((sol.z, sol.y_eq, sol.lambda_in)),
+            Err(OptimError::QpMaxIterations { .. }) | Err(OptimError::Linalg(_)) => {
+                // Elastic mode: d plus slack t ≥ 0 on every constraint,
+                // penalized linearly. Always feasible (t large enough).
+                let nt = n + me + mi;
+                let mut h = Matrix::zeros(nt, nt);
+                for r in 0..n {
+                    for c in 0..n {
+                        h.set(r, c, b.get(r, c));
+                    }
+                }
+                for i in n..nt {
+                    h.set(i, i, 1e-8);
+                }
+                let mut g = vec![0.0; nt];
+                g[..n].copy_from_slice(grad);
+                for gi in g.iter_mut().skip(n) {
+                    *gi = penalty * 10.0;
+                }
+                // Equalities become two-sided inequalities with slack:
+                //   J_eq d − t ≤ −c_eq,  −J_eq d − t ≤ c_eq,  −t ≤ 0
+                let mut rows: Vec<Vec<f64>> = Vec::new();
+                let mut rhs: Vec<f64> = Vec::new();
+                for r in 0..me {
+                    let mut row = vec![0.0; nt];
+                    row[..n].copy_from_slice(j_eq.row(r));
+                    row[n + r] = -1.0;
+                    rows.push(row);
+                    rhs.push(-c_eq[r]);
+                    let mut row2 = vec![0.0; nt];
+                    for c in 0..n {
+                        row2[c] = -j_eq.get(r, c);
+                    }
+                    row2[n + r] = -1.0;
+                    rows.push(row2);
+                    rhs.push(c_eq[r]);
+                }
+                for r in 0..mi {
+                    let mut row = vec![0.0; nt];
+                    row[..n].copy_from_slice(j_in.row(r));
+                    row[n + me + r] = -1.0;
+                    rows.push(row);
+                    rhs.push(-c_in[r]);
+                }
+                for t in 0..(me + mi) {
+                    let mut row = vec![0.0; nt];
+                    row[n + t] = -1.0;
+                    rows.push(row);
+                    rhs.push(0.0);
+                }
+                let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+                let a_in = Matrix::from_rows(&refs).expect("elastic rows rectangular");
+                let eqp = QpProblem::new(h, g)?.with_inequalities(a_in, rhs)?;
+                let sol = qp_solver.solve(&eqp)?;
+                // Map the multipliers of the elasticized rows back to the
+                // original constraints: the first 2·me rows correspond to
+                // the ±equality pair, the next mi to the inequalities.
+                let mut y_eq = vec![0.0; me];
+                for (r, y) in y_eq.iter_mut().enumerate() {
+                    *y = sol.lambda_in[2 * r] - sol.lambda_in[2 * r + 1];
+                }
+                let lambda_in = sol.lambda_in[2 * me..2 * me + mi].to_vec();
+                Ok((sol.z[..n].to_vec(), y_eq, lambda_in))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Second-order correction step: the minimum-norm solution of
+/// `J_eq · d̂ = −c_eq(z + d)`, i.e. `d̂ = −J_eqᵀ (J_eq J_eqᵀ)⁻¹ c_eq(z+d)`.
+/// Returns `None` when `J_eq J_eqᵀ` is singular.
+fn second_order_correction(j_eq: &Matrix, c_at_trial: &[f64]) -> Option<Vec<f64>> {
+    let jjt = j_eq.matmul(&j_eq.transpose()).ok()?;
+    let w = ev_linalg::Lu::factor(&jjt).ok()?.solve(c_at_trial).ok()?;
+    let mut d_hat = j_eq.matvec_transposed(&w).ok()?;
+    for v in &mut d_hat {
+        *v = -*v;
+    }
+    Some(d_hat)
+}
+
+/// L1 constraint violation: `Σ|c_eq| + Σ max(0, c_in)`.
+fn violation(c_eq: &[f64], c_in: &[f64]) -> f64 {
+    c_eq.iter().map(|v| v.abs()).sum::<f64>()
+        + c_in.iter().map(|v| v.max(0.0)).sum::<f64>()
+}
+
+/// Damped BFGS update (Powell damping) of `b` in place.
+fn bfgs_update(b: &mut Matrix, s: &[f64], y: &[f64]) {
+    let n = s.len();
+    let bs = b.matvec(s).expect("bfgs dimension");
+    let sbs = vecops::dot(s, &bs);
+    if sbs <= 1e-14 || vecops::norm2(s) < 1e-14 {
+        return;
+    }
+    let sy = vecops::dot(s, y);
+    // Powell damping: blend y with Bs to keep the update positive definite.
+    let theta = if sy >= 0.2 * sbs {
+        1.0
+    } else {
+        0.8 * sbs / (sbs - sy)
+    };
+    let mut r = vec![0.0; n];
+    for i in 0..n {
+        r[i] = theta * y[i] + (1.0 - theta) * bs[i];
+    }
+    let sr = vecops::dot(s, &r);
+    if sr <= 1e-14 {
+        return;
+    }
+    // B ← B − (Bs)(Bs)ᵀ/sᵀBs + r rᵀ/sᵀr
+    for i in 0..n {
+        for j in 0..n {
+            let upd = -bs[i] * bs[j] / sbs + r[i] * r[j] / sr;
+            b.add_at(i, j, upd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rosenbrock;
+    impl NlpProblem for Rosenbrock {
+        fn num_vars(&self) -> usize {
+            2
+        }
+        fn objective(&self, z: &[f64]) -> f64 {
+            (1.0 - z[0]).powi(2) + 100.0 * (z[1] - z[0] * z[0]).powi(2)
+        }
+    }
+
+    struct CircleMin;
+    impl NlpProblem for CircleMin {
+        fn num_vars(&self) -> usize {
+            2
+        }
+        fn objective(&self, z: &[f64]) -> f64 {
+            z[0] + z[1]
+        }
+        fn num_eq(&self) -> usize {
+            1
+        }
+        fn eq_constraints(&self, z: &[f64], out: &mut [f64]) {
+            out[0] = z[0] * z[0] + z[1] * z[1] - 2.0;
+        }
+    }
+
+    struct BoxedQuadratic;
+    impl NlpProblem for BoxedQuadratic {
+        fn num_vars(&self) -> usize {
+            2
+        }
+        fn objective(&self, z: &[f64]) -> f64 {
+            (z[0] - 3.0).powi(2) + (z[1] + 2.0).powi(2)
+        }
+        fn num_ineq(&self) -> usize {
+            4
+        }
+        fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
+            out[0] = z[0] - 1.0; // z0 ≤ 1
+            out[1] = -z[0] - 1.0; // z0 ≥ −1
+            out[2] = z[1] - 1.0; // z1 ≤ 1
+            out[3] = -z[1] - 1.0; // z1 ≥ −1
+        }
+    }
+
+    /// Bilinear objective/constraints like the HVAC MPC subproblem.
+    struct BilinearHvacLike;
+    impl NlpProblem for BilinearHvacLike {
+        fn num_vars(&self) -> usize {
+            2 // (flow, temperature-delta)
+        }
+        fn objective(&self, z: &[f64]) -> f64 {
+            // Power ∝ flow · Δtemp, plus quadratic comfort penalty.
+            let power = z[0] * z[1];
+            power + 4.0 * (z[0] * z[1] - 1.0).powi(2)
+        }
+        fn num_ineq(&self) -> usize {
+            4
+        }
+        fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
+            out[0] = 0.05 - z[0]; // flow ≥ 0.05
+            out[1] = z[0] - 0.5; // flow ≤ 0.5
+            out[2] = -z[1]; // Δtemp ≥ 0
+            out[3] = z[1] - 30.0; // Δtemp ≤ 30
+        }
+    }
+
+    #[test]
+    fn unconstrained_rosenbrock() {
+        let opts = SqpOptions {
+            max_iterations: 300,
+            tolerance: 1e-8,
+            ..SqpOptions::default()
+        };
+        let r = SqpSolver::new(opts).solve(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        assert!(
+            (r.z[0] - 1.0).abs() < 1e-3 && (r.z[1] - 1.0).abs() < 1e-3,
+            "{:?} {:?}",
+            r.z,
+            r.status
+        );
+    }
+
+    #[test]
+    fn equality_constrained_circle() {
+        // min z0+z1 on circle radius √2 → (−1, −1).
+        let r = SqpSolver::default().solve(&CircleMin, &[1.0, 0.5]).unwrap();
+        assert!((r.z[0] + 1.0).abs() < 1e-4, "{:?} {:?}", r.z, r.status);
+        assert!((r.z[1] + 1.0).abs() < 1e-4);
+        assert!(r.constraint_violation < 1e-5);
+    }
+
+    #[test]
+    fn box_constrained_quadratic() {
+        let r = SqpSolver::default().solve(&BoxedQuadratic, &[0.0, 0.0]).unwrap();
+        assert!(r.is_converged(), "{:?}", r.status);
+        assert!((r.z[0] - 1.0).abs() < 1e-5);
+        assert!((r.z[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bilinear_problem_stays_feasible() {
+        let r = SqpSolver::default()
+            .solve(&BilinearHvacLike, &[0.1, 5.0])
+            .unwrap();
+        assert!(r.z[0] >= 0.05 - 1e-6 && r.z[0] <= 0.5 + 1e-6, "{:?}", r.z);
+        assert!(r.z[1] >= -1e-6 && r.z[1] <= 30.0 + 1e-6);
+        // Optimum trades power (flow·Δt) against the (flow·Δt − 1)² pull:
+        // product should settle near 1 − 1/8.
+        let product = r.z[0] * r.z[1];
+        assert!((product - 0.875).abs() < 1e-2, "product {product}");
+    }
+
+    #[test]
+    fn infeasible_start_recovers() {
+        // Start far outside the box; elastic/merit machinery must pull in.
+        let r = SqpSolver::default()
+            .solve(&BoxedQuadratic, &[50.0, -50.0])
+            .unwrap();
+        assert!((r.z[0] - 1.0).abs() < 1e-4, "{:?} {:?}", r.z, r.status);
+        assert!((r.z[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let err = SqpSolver::default()
+            .solve(&Rosenbrock, &[0.0])
+            .unwrap_err();
+        assert!(matches!(err, OptimError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn non_finite_start_is_reported() {
+        let err = SqpSolver::default()
+            .solve(&Rosenbrock, &[f64::NAN, 0.0])
+            .unwrap_err();
+        assert!(matches!(err, OptimError::NonFiniteData));
+    }
+
+    #[test]
+    fn already_optimal_converges_immediately() {
+        let r = SqpSolver::default()
+            .solve(&BoxedQuadratic, &[1.0, -1.0])
+            .unwrap();
+        assert!(r.is_converged());
+        assert!(r.iterations <= 2, "iterations {}", r.iterations);
+    }
+
+    /// An NLP whose equality constraint is unsatisfiable: c(z) = z² + 1.
+    struct Impossible;
+    impl NlpProblem for Impossible {
+        fn num_vars(&self) -> usize {
+            1
+        }
+        fn objective(&self, z: &[f64]) -> f64 {
+            z[0] * z[0]
+        }
+        fn num_eq(&self) -> usize {
+            1
+        }
+        fn eq_constraints(&self, z: &[f64], out: &mut [f64]) {
+            out[0] = z[0] * z[0] + 1.0;
+        }
+    }
+
+    #[test]
+    fn infeasible_equalities_return_best_effort_not_panic() {
+        // The elastic subproblem always has a solution; the solver must
+        // terminate with a finite iterate and report the residual
+        // violation instead of diverging or panicking.
+        let r = SqpSolver::default().solve(&Impossible, &[3.0]).unwrap();
+        assert!(r.z[0].is_finite());
+        assert!(
+            r.constraint_violation >= 1.0 - 1e-6,
+            "violation cannot drop below 1: {}",
+            r.constraint_violation
+        );
+        assert!(!r.is_converged());
+        // Best effort: the unconstrained pull toward 0 shows through.
+        assert!(r.z[0].abs() < 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn starved_line_search_stalls_gracefully() {
+        let opts = SqpOptions {
+            max_line_search: 1,
+            max_iterations: 5,
+            ..SqpOptions::default()
+        };
+        // Rosenbrock from the classic hard start: with one backtracking
+        // step per iteration the solver may stall — it must still return
+        // a finite result with an honest status.
+        let r = SqpSolver::new(opts).solve(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        assert!(r.z.iter().all(|v| v.is_finite()));
+        assert!(matches!(
+            r.status,
+            SqpStatus::Converged | SqpStatus::MaxIterations | SqpStatus::LineSearchStalled
+        ));
+    }
+
+    #[test]
+    fn bfgs_update_keeps_descent_usable() {
+        let mut b = Matrix::identity(2);
+        bfgs_update(&mut b, &[1.0, 0.0], &[2.0, 0.0]);
+        // Curvature along s doubled.
+        assert!((b.get(0, 0) - 2.0).abs() < 1e-12);
+        // Degenerate inputs are no-ops.
+        let before = b.clone();
+        bfgs_update(&mut b, &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(b, before);
+    }
+}

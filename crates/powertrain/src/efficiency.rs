@@ -1,0 +1,217 @@
+//! Motor/generator efficiency map with bilinear interpolation.
+
+use serde::{Deserialize, Serialize};
+
+/// A speed×torque efficiency map for the traction motor.
+///
+/// The paper notes that `η_m` "is highly dependent on the motor rotational
+/// speed and the generated torque" (Section II-B); this type captures that
+/// dependency as a rectangular grid with bilinear interpolation, the same
+/// representation vendor efficiency maps ship in.
+///
+/// Queries outside the grid are clamped to the boundary, and torque is
+/// looked up by magnitude (the map is symmetric between motor and
+/// generator quadrants, with regeneration losses applied separately by the
+/// power train).
+///
+/// # Examples
+///
+/// ```
+/// use ev_powertrain::EfficiencyMap;
+///
+/// let map = EfficiencyMap::leaf_like();
+/// let eta = map.efficiency(400.0, 120.0); // rad/s, Nm
+/// assert!(eta > 0.80 && eta < 0.97);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyMap {
+    /// Motor speed grid (rad/s), ascending.
+    speeds: Vec<f64>,
+    /// Torque-magnitude grid (Nm), ascending.
+    torques: Vec<f64>,
+    /// Efficiency values, row-major `[speed][torque]`, each in (0, 1].
+    values: Vec<f64>,
+}
+
+impl EfficiencyMap {
+    /// Creates a map from explicit grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids have fewer than two points each, are not
+    /// strictly ascending, `values.len() != speeds.len() * torques.len()`,
+    /// or any efficiency is outside `(0, 1]`.
+    #[must_use]
+    pub fn from_grid(speeds: Vec<f64>, torques: Vec<f64>, values: Vec<f64>) -> Self {
+        assert!(speeds.len() >= 2, "speed grid needs at least two points");
+        assert!(torques.len() >= 2, "torque grid needs at least two points");
+        assert!(
+            speeds.windows(2).all(|w| w[1] > w[0]),
+            "speed grid must be strictly ascending"
+        );
+        assert!(
+            torques.windows(2).all(|w| w[1] > w[0]),
+            "torque grid must be strictly ascending"
+        );
+        assert_eq!(
+            values.len(),
+            speeds.len() * torques.len(),
+            "efficiency grid size mismatch"
+        );
+        assert!(
+            values.iter().all(|&v| v > 0.0 && v <= 1.0),
+            "efficiencies must lie in (0, 1]"
+        );
+        Self {
+            speeds,
+            torques,
+            values,
+        }
+    }
+
+    /// A Leaf-like 80 kW PMSM map: ~93 % peak efficiency near mid speed
+    /// and mid torque, dropping toward low torque (iron/copper-loss
+    /// dominated) and extreme speed.
+    #[must_use]
+    pub fn leaf_like() -> Self {
+        let speeds: Vec<f64> = (0..=10).map(|k| f64::from(k) * 100.0).collect(); // 0–1000 rad/s
+        let torques: Vec<f64> = (0..=10).map(|k| f64::from(k) * 28.0).collect(); // 0–280 Nm
+        let omega_opt = 450.0;
+        let tau_opt = 140.0;
+        let mut values = Vec::with_capacity(speeds.len() * torques.len());
+        for &w in &speeds {
+            for &t in &torques {
+                let sw = ((w - omega_opt) / 500.0).powi(2);
+                let st = ((t - tau_opt) / 160.0).powi(2);
+                let eta: f64 = 0.93 - 0.14 * sw - 0.10 * st;
+                values.push(eta.clamp(0.60, 0.93));
+            }
+        }
+        Self::from_grid(speeds, torques, values)
+    }
+
+    /// A constant-efficiency map (useful for analytic tests and as the
+    /// "coarse model" baseline the paper criticizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `(0, 1]`.
+    #[must_use]
+    pub fn constant(eta: f64) -> Self {
+        assert!(eta > 0.0 && eta <= 1.0, "efficiency must lie in (0, 1]");
+        Self::from_grid(
+            vec![0.0, 1000.0],
+            vec![0.0, 300.0],
+            vec![eta; 4],
+        )
+    }
+
+    /// Bilinear efficiency lookup at motor speed `omega` (rad/s) and
+    /// torque `tau` (Nm, sign ignored). Out-of-grid queries clamp.
+    #[must_use]
+    pub fn efficiency(&self, omega: f64, tau: f64) -> f64 {
+        let w = omega.abs();
+        let t = tau.abs();
+        let (i, fw) = locate(&self.speeds, w);
+        let (j, ft) = locate(&self.torques, t);
+        let nt = self.torques.len();
+        let v00 = self.values[i * nt + j];
+        let v01 = self.values[i * nt + j + 1];
+        let v10 = self.values[(i + 1) * nt + j];
+        let v11 = self.values[(i + 1) * nt + j + 1];
+        let v0 = v00 + ft * (v01 - v00);
+        let v1 = v10 + ft * (v11 - v10);
+        v0 + fw * (v1 - v0)
+    }
+
+    /// Peak efficiency anywhere on the grid.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Finds the cell index and fractional position of `x` in ascending
+/// `grid`, clamped to the grid span.
+fn locate(grid: &[f64], x: f64) -> (usize, f64) {
+    let n = grid.len();
+    if x <= grid[0] {
+        return (0, 0.0);
+    }
+    if x >= grid[n - 1] {
+        return (n - 2, 1.0);
+    }
+    let idx = grid.partition_point(|&g| g <= x) - 1;
+    let frac = (x - grid[idx]) / (grid[idx + 1] - grid[idx]);
+    (idx, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_map_is_flat() {
+        let m = EfficiencyMap::constant(0.85);
+        assert_eq!(m.efficiency(0.0, 0.0), 0.85);
+        assert_eq!(m.efficiency(500.0, 150.0), 0.85);
+        assert_eq!(m.efficiency(5000.0, 5000.0), 0.85);
+        assert_eq!(m.peak(), 0.85);
+    }
+
+    #[test]
+    fn bilinear_interpolation_exact_on_corners_and_centers() {
+        let m = EfficiencyMap::from_grid(
+            vec![0.0, 10.0],
+            vec![0.0, 10.0],
+            vec![0.8, 0.9, 0.6, 0.7],
+        );
+        assert!((m.efficiency(0.0, 0.0) - 0.8).abs() < 1e-12);
+        assert!((m.efficiency(0.0, 10.0) - 0.9).abs() < 1e-12);
+        assert!((m.efficiency(10.0, 0.0) - 0.6).abs() < 1e-12);
+        assert!((m.efficiency(10.0, 10.0) - 0.7).abs() < 1e-12);
+        assert!((m.efficiency(5.0, 5.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_clamps_out_of_range() {
+        let m = EfficiencyMap::leaf_like();
+        assert_eq!(m.efficiency(-50.0, 10.0), m.efficiency(50.0, 10.0));
+        assert_eq!(m.efficiency(99_999.0, 140.0), m.efficiency(1000.0, 140.0));
+    }
+
+    #[test]
+    fn torque_sign_is_ignored() {
+        let m = EfficiencyMap::leaf_like();
+        assert_eq!(m.efficiency(300.0, 100.0), m.efficiency(300.0, -100.0));
+    }
+
+    #[test]
+    fn leaf_map_peaks_near_design_point() {
+        let m = EfficiencyMap::leaf_like();
+        let opt = m.efficiency(450.0, 140.0);
+        assert!((opt - 0.93).abs() < 0.01, "opt {opt}");
+        // Low-torque creep is much less efficient.
+        let creep = m.efficiency(50.0, 5.0);
+        assert!(creep < 0.80, "creep {creep}");
+        assert!(creep >= 0.60);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_grid() {
+        let _ = EfficiencyMap::from_grid(vec![1.0, 0.0], vec![0.0, 1.0], vec![0.9; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn rejects_bad_efficiency() {
+        let _ = EfficiencyMap::from_grid(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.5; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_wrong_value_count() {
+        let _ = EfficiencyMap::from_grid(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.9; 3]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Internal-combustion reference vehicle for the Fig. 1 comparison.
+
+use ev_units::{MetersPerSecond, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::{RoadLoad, VehicleParams};
+
+/// Parameters of the ICE reference vehicle (Toyota-Corolla-like, the
+/// paper's Fig. 1 comparator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IceParams {
+    /// Chassis/road-load parameters (shared model with the EV).
+    pub vehicle: VehicleParams,
+    /// Peak brake thermal efficiency of the engine.
+    pub engine_peak_efficiency: f64,
+    /// Fraction of fuel waste heat recoverable for cabin heating.
+    pub usable_waste_heat_fraction: f64,
+    /// Coefficient of performance of the belt-driven A/C compressor.
+    pub ac_cop: f64,
+    /// Engine idle fuel power (W) — fuel burned at zero output.
+    pub idle_fuel_power: Watts,
+}
+
+impl IceParams {
+    /// A Corolla-like compact sedan: 1.8 L engine, ~32 % peak efficiency.
+    #[must_use]
+    pub fn corolla_like() -> Self {
+        let vehicle = VehicleParams::builder()
+            .mass_kg(1390.0)
+            .drag_coefficient(0.29)
+            .frontal_area_m2(2.18)
+            .build();
+        Self {
+            vehicle,
+            engine_peak_efficiency: 0.32,
+            usable_waste_heat_fraction: 0.30,
+            ac_cop: 2.2,
+            idle_fuel_power: Watts::new(4000.0),
+        }
+    }
+}
+
+impl Default for IceParams {
+    fn default() -> Self {
+        Self::corolla_like()
+    }
+}
+
+/// An internal-combustion vehicle model for the paper's motivational
+/// case study (Fig. 1).
+///
+/// Two properties matter for that figure:
+///
+/// 1. fuel power (engine) is roughly independent of ambient temperature,
+/// 2. cabin *heating* is nearly free — engine waste heat dwarfs the cabin
+///    load, so only fan power is spent — while *cooling* burns fuel
+///    through the belt-driven compressor.
+///
+/// # Examples
+///
+/// ```
+/// use ev_powertrain::{IceParams, IceVehicle};
+/// use ev_units::{MetersPerSecond, Watts};
+///
+/// let ice = IceVehicle::new(IceParams::corolla_like());
+/// let heat_cost = ice.hvac_fuel_power(MetersPerSecond::new(16.7), Watts::new(4000.0), true);
+/// let cool_cost = ice.hvac_fuel_power(MetersPerSecond::new(16.7), Watts::new(4000.0), false);
+/// assert!(heat_cost.value() < cool_cost.value() / 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IceVehicle {
+    params: IceParams,
+}
+
+impl IceVehicle {
+    /// Fan electrical power charged to HVAC in both modes (alternator
+    /// load converted to fuel).
+    const FAN_POWER_W: f64 = 250.0;
+    /// Alternator efficiency for converting fuel to electrical power.
+    const ALTERNATOR_EFF: f64 = 0.55;
+
+    /// Creates the vehicle from parameters.
+    #[must_use]
+    pub fn new(params: IceParams) -> Self {
+        Self { params }
+    }
+
+    /// Borrows the parameters.
+    #[must_use]
+    pub fn params(&self) -> &IceParams {
+        &self.params
+    }
+
+    /// Fuel power consumed by propulsion at a steady operating point.
+    /// Includes idle fuel burn; braking consumes idle fuel only.
+    #[must_use]
+    pub fn propulsion_fuel_power(
+        &self,
+        v: MetersPerSecond,
+        a: f64,
+        slope_percent: f64,
+    ) -> Watts {
+        let load = RoadLoad::at(&self.params.vehicle, v, a, slope_percent);
+        let mech = (load.tractive().value() * v.value()).max(0.0);
+        // Part-load penalty: efficiency falls off at small loads.
+        let frac = (mech / 40_000.0).clamp(0.0, 1.0);
+        let eta = self.params.engine_peak_efficiency * (0.55 + 0.45 * frac);
+        Watts::new(self.params.idle_fuel_power.value() + if mech > 0.0 { mech / eta } else { 0.0 })
+    }
+
+    /// Engine waste heat available for cabin heating at an operating
+    /// point.
+    #[must_use]
+    pub fn waste_heat(&self, v: MetersPerSecond, a: f64, slope_percent: f64) -> Watts {
+        let fuel = self.propulsion_fuel_power(v, a, slope_percent).value();
+        Watts::new(fuel * (1.0 - self.params.engine_peak_efficiency) * self.params.usable_waste_heat_fraction)
+    }
+
+    /// Fuel power attributable to the HVAC for a given cabin thermal load.
+    ///
+    /// In heating mode the load is served from waste heat when available
+    /// (only the fan costs fuel); any shortfall is served by an electric
+    /// PTC heater through the alternator. In cooling mode the compressor
+    /// load divides by the COP and the engine efficiency.
+    #[must_use]
+    pub fn hvac_fuel_power(
+        &self,
+        v: MetersPerSecond,
+        cabin_load: Watts,
+        heating: bool,
+    ) -> Watts {
+        let fan_fuel =
+            Self::FAN_POWER_W / Self::ALTERNATOR_EFF / self.params.engine_peak_efficiency;
+        if heating {
+            let available = self.waste_heat(v, 0.0, 0.0).value();
+            let shortfall = (cabin_load.value() - available).max(0.0);
+            let ptc_fuel =
+                shortfall / Self::ALTERNATOR_EFF / self.params.engine_peak_efficiency;
+            Watts::new(fan_fuel + ptc_fuel)
+        } else {
+            let compressor_mech = cabin_load.value() / self.params.ac_cop;
+            Watts::new(fan_fuel + compressor_mech / self.params.engine_peak_efficiency)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ice() -> IceVehicle {
+        IceVehicle::new(IceParams::corolla_like())
+    }
+
+    #[test]
+    fn idle_burns_fuel() {
+        let p = ice().propulsion_fuel_power(MetersPerSecond::ZERO, 0.0, 0.0);
+        assert_eq!(p.value(), 4000.0);
+    }
+
+    #[test]
+    fn cruise_fuel_power_is_realistic() {
+        // 100 km/h cruise: a compact sedan burns ~5–7 L/h ≈ 45–65 kW fuel.
+        let p = ice().propulsion_fuel_power(MetersPerSecond::new(27.78), 0.0, 0.0);
+        let kw = p.value() / 1000.0;
+        assert!(kw > 25.0 && kw < 80.0, "fuel power {kw} kW");
+    }
+
+    #[test]
+    fn waste_heat_dwarfs_cabin_heating_load_at_cruise() {
+        let wh = ice().waste_heat(MetersPerSecond::new(16.7), 0.0, 0.0);
+        assert!(wh.value() > 4000.0, "waste heat {wh}");
+    }
+
+    #[test]
+    fn heating_is_nearly_free_cooling_is_not() {
+        let v = MetersPerSecond::new(16.7);
+        let load = Watts::new(4000.0);
+        let heat = ice().hvac_fuel_power(v, load, true);
+        let cool = ice().hvac_fuel_power(v, load, false);
+        // Heating ≈ fan only (≈1.4 kW fuel); cooling adds compressor fuel.
+        assert!(heat.value() < 2000.0, "heating {heat}");
+        assert!(cool.value() > 6000.0, "cooling {cool}");
+    }
+
+    #[test]
+    fn extreme_heating_shortfall_uses_ptc() {
+        // At idle the waste heat is small; a huge load must cost fuel.
+        let big = ice().hvac_fuel_power(MetersPerSecond::ZERO, Watts::new(12_000.0), true);
+        let small = ice().hvac_fuel_power(MetersPerSecond::ZERO, Watts::new(100.0), true);
+        assert!(big.value() > small.value() * 2.0);
+    }
+
+    #[test]
+    fn braking_only_costs_idle_fuel() {
+        let p = ice().propulsion_fuel_power(MetersPerSecond::new(20.0), -3.0, 0.0);
+        assert_eq!(p.value(), 4000.0);
+    }
+}

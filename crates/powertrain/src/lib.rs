@@ -1,0 +1,52 @@
+//! EV power-train model and ICE reference vehicle.
+//!
+//! Implements the paper's Section II-B: the tractive force the electric
+//! motor must produce to overcome the road load
+//!
+//! ```text
+//! F_rd = F_gr + F_aero + F_roll            (Eq. 1)
+//! F_aero = ½ ρ Cx A (v + v_wind)²          (Eq. 2)
+//! F_gr = m g sin(atan(α/100))              (Eq. 3)
+//! F_roll = m g (c0 + c1 v²)                (Eq. 4)
+//! F_tr = F_rd + m a                        (Eq. 5)
+//! P_e = F_tr v / η_m                       (Eq. 6)
+//! ```
+//!
+//! with a speed×torque [`EfficiencyMap`] for `η_m` covering both motor and
+//! generator (regenerative braking) quadrants. Parameters default to the
+//! Nissan Leaf, the vehicle the paper calibrates against (its ref \[12\]).
+//!
+//! The crate also provides [`IceVehicle`], an internal-combustion reference
+//! with engine waste-heat cabin heating, needed to reproduce the paper's
+//! motivational Fig. 1 (EV vs ICE consumption split across ambient
+//! temperatures).
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_powertrain::{PowerTrain, VehicleParams};
+//! use ev_units::MetersPerSecond;
+//!
+//! let pt = PowerTrain::new(VehicleParams::nissan_leaf());
+//! // Cruising at 100 km/h on a flat road draws roughly 10–25 kW.
+//! let p = pt.power(MetersPerSecond::new(27.8), 0.0, 0.0);
+//! assert!(p.to_kilowatts().value() > 8.0 && p.to_kilowatts().value() < 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod efficiency;
+mod forces;
+mod ice;
+mod params;
+mod train;
+
+pub use efficiency::EfficiencyMap;
+pub use forces::RoadLoad;
+pub use ice::{IceParams, IceVehicle};
+pub use params::{VehicleParams, VehicleParamsBuilder};
+pub use train::PowerTrain;
+
+/// Standard gravitational acceleration (m/s²).
+pub const GRAVITY: f64 = 9.80665;

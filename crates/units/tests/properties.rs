@@ -1,0 +1,99 @@
+//! Property-based tests for the unit newtypes: conversion round trips
+//! and arithmetic laws.
+
+use ev_units::{
+    Celsius, Joules, Kilometers, KilometersPerHour, Kilowatts, KilowattHours, Meters,
+    MetersPerSecond, Percent, Seconds, Volts, Watts,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn celsius_kelvin_round_trip(c in -100.0f64..100.0) {
+        let t = Celsius::new(c);
+        let back = Celsius::from_kelvin(t.to_kelvin());
+        prop_assert!((back.value() - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celsius_diff_antisymmetry(a in -50.0f64..60.0, b in -50.0f64..60.0) {
+        let (x, y) = (Celsius::new(a), Celsius::new(b));
+        prop_assert!((x.diff(y) + y.diff(x)).abs() < 1e-12);
+        prop_assert!((y.offset(x.diff(y)).value() - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_round_trip(v in 0.0f64..100.0) {
+        let ms = MetersPerSecond::new(v);
+        let back = ms.to_kilometers_per_hour().to_meters_per_second();
+        prop_assert!((back.value() - v).abs() < 1e-12);
+        let kmh = KilometersPerHour::new(v);
+        let back2 = kmh.to_meters_per_second().to_kilometers_per_hour();
+        prop_assert!((back2.value() - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_round_trip(d in 0.0f64..1e6) {
+        let m = Meters::new(d);
+        prop_assert!((m.to_kilometers().to_meters().value() - d).abs() < 1e-9);
+        let km = Kilometers::new(d);
+        prop_assert!((km.to_meters().to_kilometers().value() - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_energy_round_trip(p in 0.0f64..1e5, secs in 1.0f64..7200.0) {
+        let w = Watts::new(p);
+        let kw = w.to_kilowatts();
+        prop_assert!((kw.to_watts().value() - p).abs() < 1e-9 * p.max(1.0));
+        // Energy consistency between the two power types.
+        let e1 = w.energy_over(Seconds::new(secs)).to_kilowatt_hours();
+        let e2 = kw.energy_over(Seconds::new(secs));
+        prop_assert!((e1.value() - e2.value()).abs() < 1e-9 * e1.value().max(1.0));
+    }
+
+    #[test]
+    fn energy_round_trip(e in 0.0f64..1e3) {
+        let kwh = KilowattHours::new(e);
+        prop_assert!((kwh.to_joules().to_kilowatt_hours().value() - e).abs() < 1e-9);
+        let j = Joules::new(e * 1e6);
+        prop_assert!((j.to_kilowatt_hours().to_joules().value() - e * 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn percent_ratio_round_trip(p in 0.0f64..100.0) {
+        let pct = Percent::new(p);
+        prop_assert!((pct.to_ratio().to_percent().value() - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kwh_to_ah_consistency(e in 1.0f64..100.0, v in 100.0f64..800.0) {
+        // Ah · V = Wh.
+        let ah = KilowattHours::new(e).to_ampere_hours(Volts::new(v));
+        prop_assert!((ah.value() * v - e * 1000.0).abs() < 1e-6 * e * 1000.0);
+    }
+
+    #[test]
+    fn additive_arithmetic_laws(a in -1e4f64..1e4, b in -1e4f64..1e4, s in -10.0f64..10.0) {
+        let (x, y) = (Kilowatts::new(a), Kilowatts::new(b));
+        // Commutativity.
+        prop_assert_eq!(x + y, y + x);
+        // Scaling distributes.
+        let lhs = (x + y) * s;
+        let rhs = x * s + y * s;
+        prop_assert!((lhs.value() - rhs.value()).abs() < 1e-9 * lhs.value().abs().max(1.0));
+        // Neg is subtraction from zero.
+        prop_assert_eq!(-x, Kilowatts::ZERO - x);
+    }
+
+    #[test]
+    fn clamp_bounds(v in -100.0f64..100.0, lo in -50.0f64..0.0, width in 0.0f64..50.0) {
+        let q = Watts::new(v).clamp(Watts::new(lo), Watts::new(lo + width));
+        prop_assert!(q.value() >= lo && q.value() <= lo + width);
+    }
+
+    #[test]
+    fn same_kind_division_is_ratio(a in 0.1f64..1e3, b in 0.1f64..1e3) {
+        let ratio = Kilowatts::new(a) / Kilowatts::new(b);
+        prop_assert!((ratio - a / b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,266 @@
+//! `evsim` — command-line driver for the evclimate simulator.
+//!
+//! ```text
+//! evsim cycles
+//!     List the built-in drive cycles and their statistics.
+//!
+//! evsim simulate --cycle <name> --controller <onoff|fuzzy|pid|mpc>
+//!                [--ambient <°C>] [--target <°C>] [--precondition]
+//!                [--json <path>]
+//!     Run one closed-loop simulation and print the metrics; optionally
+//!     dump the full result (time series included) as JSON.
+//!
+//! evsim compare --cycle <name> [--ambient <°C>] [--precondition]
+//!     Run the paper's three-controller comparison on one cycle.
+//! ```
+
+use std::process::ExitCode;
+
+use evclimate::core::{ControllerKind, EvParams, Simulation, SimulationResult};
+use evclimate::drive::{AmbientConditions, DriveCycle, DriveProfile};
+use evclimate::units::{Celsius, Seconds};
+
+fn usage() -> &'static str {
+    "usage:\n  evsim cycles\n  evsim simulate --cycle <name> --controller <onoff|fuzzy|pid|mpc> \
+     [--ambient <°C>] [--target <°C>] [--precondition] [--json <path>]\n  \
+     evsim compare --cycle <name> [--ambient <°C>] [--precondition]"
+}
+
+/// Looks up a built-in cycle by (case-insensitive) name.
+fn cycle_by_name(name: &str) -> Option<DriveCycle> {
+    match name.to_ascii_lowercase().as_str() {
+        "nedc" => Some(DriveCycle::nedc()),
+        "ece15" | "ece-15" => Some(DriveCycle::ece15()),
+        "eudc" => Some(DriveCycle::eudc()),
+        "ece_eudc" | "ece-eudc" => Some(DriveCycle::ece_eudc()),
+        "us06" => Some(DriveCycle::us06()),
+        "sc03" => Some(DriveCycle::sc03()),
+        "udds" => Some(DriveCycle::udds()),
+        "wltc" | "wltc3" | "wltc-3" => Some(DriveCycle::wltc_class3()),
+        _ => None,
+    }
+}
+
+fn controller_by_name(name: &str) -> Option<ControllerKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "onoff" | "on-off" => Some(ControllerKind::OnOff),
+        "fuzzy" => Some(ControllerKind::Fuzzy),
+        "pid" => Some(ControllerKind::Pid),
+        "mpc" | "lifetime" => Some(ControllerKind::Mpc),
+        _ => None,
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--flags`.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((key.to_owned(), (*v).clone()));
+                    it.next();
+                }
+                _ => flags.push(key.to_owned()),
+            }
+        }
+        Ok(Self { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+}
+
+fn build_sim(args: &Args) -> Result<(EvParams, Simulation), String> {
+    let cycle_name = args.get("cycle").ok_or("missing --cycle")?;
+    let cycle = cycle_by_name(cycle_name)
+        .ok_or_else(|| format!("unknown cycle '{cycle_name}' (try: evsim cycles)"))?;
+    let ambient = args.get_f64("ambient", 35.0)?;
+    let target = args.get_f64("target", 24.0)?;
+    let mut params = EvParams::nissan_leaf_like();
+    params.target = Celsius::new(target);
+    if args.flag("precondition") {
+        params.initial_cabin = Some(params.target);
+    }
+    let profile = DriveProfile::from_cycle(
+        &cycle,
+        AmbientConditions::constant(Celsius::new(ambient)),
+        Seconds::new(1.0),
+    );
+    let sim = Simulation::new(params.clone(), profile).map_err(|e| e.to_string())?;
+    Ok((params, sim))
+}
+
+fn print_metrics(result: &SimulationResult) {
+    let m = result.metrics();
+    println!("profile:        {}", result.profile);
+    println!("controller:     {}", result.controller);
+    println!("distance:       {:.2} km", m.distance.value());
+    println!("energy:         {:.3} kWh ({:.2} kWh/100km)", m.energy.value(), m.kwh_per_100km);
+    println!("avg HVAC power: {:.3} kW", m.avg_hvac_power.value());
+    println!("final SoC:      {:.2} %", m.final_soc);
+    println!("SoC avg/dev:    {:.2} / {:.3} %", m.soc_stats.avg, m.soc_stats.dev);
+    println!("ΔSoH:           {:.3} m% per cycle ({:.0} cycles to 80 %)", m.delta_soh_milli_percent, m.cycles_to_eol);
+    println!("comfort:        {} violations, worst {:.2} K, mean |ΔT| {:.2} K",
+        m.comfort_violations, m.max_comfort_excursion, m.mean_temp_error);
+}
+
+fn cmd_cycles() {
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>10}",
+        "cycle", "time s", "dist km", "avg km/h", "max km/h"
+    );
+    let mut cycles = DriveCycle::paper_evaluation_set();
+    cycles.push(DriveCycle::wltc_class3());
+    for c in cycles {
+        let s = c.stats();
+        println!(
+            "{:<10} {:>9.0} {:>10.2} {:>10.1} {:>10.1}",
+            c.name(),
+            s.duration.value(),
+            s.distance.value(),
+            s.avg_speed.to_kilometers_per_hour().value(),
+            s.max_speed.to_kilometers_per_hour().value(),
+        );
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let controller_name = args.get("controller").ok_or("missing --controller")?;
+    let kind = controller_by_name(controller_name)
+        .ok_or_else(|| format!("unknown controller '{controller_name}'"))?;
+    let (params, sim) = build_sim(args)?;
+    let mut controller = kind.instantiate(&params).map_err(|e| e.to_string())?;
+    let result = sim.run(controller.as_mut()).map_err(|e| e.to_string())?;
+    print_metrics(&result);
+    if let Some(path) = args.get("json") {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("full result written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let (params, sim) = build_sim(args)?;
+    println!(
+        "{:<28} {:>9} {:>12} {:>10} {:>11}",
+        "controller", "HVAC kW", "ΔSoH (m%)", "SoC dev", "kWh/100km"
+    );
+    for kind in ControllerKind::paper_lineup() {
+        let mut controller = kind.instantiate(&params).map_err(|e| e.to_string())?;
+        let result = sim.run(controller.as_mut()).map_err(|e| e.to_string())?;
+        let m = result.metrics();
+        println!(
+            "{:<28} {:>9.3} {:>12.3} {:>10.3} {:>11.2}",
+            kind.label(),
+            m.avg_hvac_power.value(),
+            m.delta_soh_milli_percent,
+            m.soc_stats.dev,
+            m.kwh_per_100km,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = Args::parse(&argv[1..]);
+    let outcome = match (command.as_str(), rest) {
+        ("cycles", _) => {
+            cmd_cycles();
+            Ok(())
+        }
+        ("simulate", Ok(args)) => cmd_simulate(&args),
+        ("compare", Ok(args)) => cmd_compare(&args),
+        (_, Err(e)) => Err(e),
+        (other, _) => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Args {
+        let owned: Vec<String> = argv.iter().map(|s| (*s).to_owned()).collect();
+        Args::parse(&owned).expect("parses")
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let args = parse(&["--cycle", "nedc", "--precondition", "--ambient", "0"]);
+        assert_eq!(args.get("cycle"), Some("nedc"));
+        assert!(args.flag("precondition"));
+        assert_eq!(args.get_f64("ambient", 35.0).unwrap(), 0.0);
+        assert_eq!(args.get_f64("target", 24.0).unwrap(), 24.0); // default
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let owned = vec!["nedc".to_owned()];
+        assert!(Args::parse(&owned).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_values() {
+        let args = parse(&["--ambient", "hot"]);
+        assert!(args.get_f64("ambient", 35.0).is_err());
+    }
+
+    #[test]
+    fn cycle_lookup_accepts_aliases() {
+        assert!(cycle_by_name("NEDC").is_some());
+        assert!(cycle_by_name("ece-eudc").is_some());
+        assert!(cycle_by_name("wltc3").is_some());
+        assert!(cycle_by_name("imaginary").is_none());
+    }
+
+    #[test]
+    fn controller_lookup_accepts_aliases() {
+        assert!(matches!(controller_by_name("MPC"), Some(ControllerKind::Mpc)));
+        assert!(matches!(
+            controller_by_name("on-off"),
+            Some(ControllerKind::OnOff)
+        ));
+        assert!(controller_by_name("thermostat").is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the paper's headline claims: the orderings and
+//! relative improvements its evaluation section reports must emerge from
+//! our reproduction (absolute magnitudes are calibration-dependent and
+//! recorded in EXPERIMENTS.md instead).
+
+use evclimate::core::experiments::{evaluation_sweep_at, find, table1_row};
+use evclimate::core::ControllerKind;
+use evclimate::prelude::*;
+
+/// Runs the three-controller comparison on one cycle at one ambient.
+fn lineup(ambient_c: f64, cycle: &DriveCycle) -> (Metrics, Metrics, Metrics) {
+    let cells = evaluation_sweep_at(ambient_c, std::slice::from_ref(cycle));
+    let get = |kind| {
+        *find(&cells, cycle.name(), kind)
+            .expect("cell present")
+            .result
+            .metrics()
+    };
+    (
+        get(ControllerKind::OnOff),
+        get(ControllerKind::Fuzzy),
+        get(ControllerKind::Mpc),
+    )
+}
+
+#[test]
+fn mpc_beats_onoff_on_soh_for_urban_and_mixed_cycles() {
+    for cycle in [DriveCycle::ece15(), DriveCycle::ece_eudc()] {
+        let (onoff, _fuzzy, mpc) = lineup(35.0, &cycle);
+        assert!(
+            mpc.delta_soh_milli_percent < onoff.delta_soh_milli_percent,
+            "{}: mpc {} vs onoff {}",
+            cycle.name(),
+            mpc.delta_soh_milli_percent,
+            onoff.delta_soh_milli_percent
+        );
+    }
+}
+
+#[test]
+fn hvac_power_ordering_matches_fig8() {
+    // Paper Fig. 8: ours ≤ fuzzy ≤ On/Off on every profile.
+    let (onoff, fuzzy, mpc) = lineup(35.0, &DriveCycle::ece_eudc());
+    let (po, pf, pm) = (
+        onoff.avg_hvac_power.value(),
+        fuzzy.avg_hvac_power.value(),
+        mpc.avg_hvac_power.value(),
+    );
+    assert!(pf < po, "fuzzy {pf} vs onoff {po}");
+    assert!(pm <= pf, "mpc {pm} vs fuzzy {pf}");
+}
+
+#[test]
+fn improvement_grows_with_hvac_load() {
+    // Paper Table I: "in the conditions when the HVAC power consumption
+    // is more considerable, our methodology demonstrates more
+    // improvement". Compare a mild ambient against a cold extreme.
+    let mild = table1_row(21.0);
+    let cold = table1_row(0.0);
+    assert!(
+        cold.soh_improvement_vs_onoff_pct > mild.soh_improvement_vs_onoff_pct,
+        "cold {} vs mild {}",
+        cold.soh_improvement_vs_onoff_pct,
+        mild.soh_improvement_vs_onoff_pct
+    );
+    assert!(cold.onoff_kw > mild.onoff_kw, "cold HVAC load must be higher");
+}
+
+#[test]
+fn all_controllers_maintain_comfort_when_preconditioned() {
+    for kind in ControllerKind::paper_lineup() {
+        let cells = evaluation_sweep_at(35.0, &[DriveCycle::ece15()]);
+        let cell = find(&cells, "ECE-15", kind).expect("cell present");
+        let m = cell.result.metrics();
+        // Small transient excursions are tolerated; sustained violation
+        // is not (< 5 % of samples and < 1 K depth).
+        let frac = m.comfort_violations as f64 / cell.result.series.t.len() as f64;
+        assert!(frac < 0.05, "{kind:?}: {frac:.3} of samples violated comfort");
+        assert!(
+            m.max_comfort_excursion < 1.0,
+            "{kind:?}: excursion {}",
+            m.max_comfort_excursion
+        );
+    }
+}
+
+#[test]
+fn soc_deviation_is_what_the_mpc_flattens() {
+    // The mechanism behind the paper's Fig. 7: the MPC's ΔSoH win comes
+    // from a flatter SoC trajectory (smaller SoC_dev at comparable or
+    // lower SoC_avg drop), not from sacrificing comfort.
+    let (onoff, _fuzzy, mpc) = lineup(35.0, &DriveCycle::ece_eudc());
+    assert!(
+        mpc.soc_stats.dev <= onoff.soc_stats.dev,
+        "mpc dev {} vs onoff dev {}",
+        mpc.soc_stats.dev,
+        onoff.soc_stats.dev
+    );
+    assert!(mpc.mean_temp_error < 3.0, "comfort kept: {}", mpc.mean_temp_error);
+}
+
+#[test]
+fn energy_savings_translate_into_range() {
+    // Paper Section I: HVAC can cut driving range substantially; the
+    // lifetime-aware controller claws range back.
+    let (onoff, _fuzzy, mpc) = lineup(43.0, &DriveCycle::ece_eudc());
+    let usable = KilowattHours::new(21.0);
+    let r_onoff = {
+        let cells = evaluation_sweep_at(43.0, &[DriveCycle::ece_eudc()]);
+        find(&cells, "ECE_EUDC", ControllerKind::OnOff)
+            .expect("cell")
+            .result
+            .range_estimate(usable)
+            .value()
+    };
+    let _ = onoff;
+    let r_mpc = {
+        let cells = evaluation_sweep_at(43.0, &[DriveCycle::ece_eudc()]);
+        find(&cells, "ECE_EUDC", ControllerKind::Mpc)
+            .expect("cell")
+            .result
+            .range_estimate(usable)
+            .value()
+    };
+    let _ = mpc;
+    assert!(
+        r_mpc > r_onoff,
+        "range with MPC {r_mpc:.1} km must exceed On/Off {r_onoff:.1} km"
+    );
+}
