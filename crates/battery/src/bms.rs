@@ -126,10 +126,11 @@ impl Bms {
     ///
     /// Panics if `dt <= 0`.
     pub fn apply_load(&mut self, power: Watts, dt: Seconds) -> Watts {
-        let clamped = Watts::new(power.value().clamp(
-            -self.max_charge.value(),
-            self.max_discharge.value(),
-        ));
+        let clamped = Watts::new(
+            power
+                .value()
+                .clamp(-self.max_charge.value(), self.max_discharge.value()),
+        );
         self.battery.step(clamped, dt);
         self.trace.push(self.battery.soc().value());
         clamped

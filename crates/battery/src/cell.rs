@@ -143,10 +143,8 @@ impl Battery {
         let i_eff = self.effective_current(i).value();
         let cn_as = self.params.nominal_capacity.value() * 3600.0;
         let delta = 100.0 * i_eff * dt.value() / cn_as;
-        self.soc = (self.soc - delta).clamp(
-            self.params.min_soc.value(),
-            self.params.max_soc.value(),
-        );
+        self.soc =
+            (self.soc - delta).clamp(self.params.min_soc.value(), self.params.max_soc.value());
         let ah = i.value().abs() * dt.value() / 3600.0;
         if i.value() > 0.0 {
             self.discharged_ah += ah;
@@ -225,9 +223,7 @@ mod tests {
         let mut with_pc = ideal().params.clone();
         with_pc.peukert_constant = 1.3;
         let b2 = Battery::new(with_pc);
-        assert!(
-            (b.effective_current(i).value() - b2.effective_current(i).value()).abs() < 1e-12
-        );
+        assert!((b.effective_current(i).value() - b2.effective_current(i).value()).abs() < 1e-12);
     }
 
     #[test]

@@ -186,7 +186,11 @@ mod tests {
         assert!(hours > 2.0 && hours < 6.0, "charge took {hours} h");
         assert!(session.final_soc.value() >= 94.9);
         // Grid energy exceeds the stored energy (efficiency + IR).
-        assert!(session.grid_energy_kwh > 13.0, "{}", session.grid_energy_kwh);
+        assert!(
+            session.grid_energy_kwh > 13.0,
+            "{}",
+            session.grid_energy_kwh
+        );
     }
 
     #[test]

@@ -317,7 +317,10 @@ mod tests {
         c.exchange(Watts::new(-10_000.0), Seconds::new(1.0));
         c.exchange(Watts::new(10_000.0 * 0.95), Seconds::new(1.0));
         let e1 = c.usable_energy_j();
-        assert!((e1 - e0).abs() < 1.0, "95 % in, 95 % of request out: {e0} vs {e1}");
+        assert!(
+            (e1 - e0).abs() < 1.0,
+            "95 % in, 95 % of request out: {e0} vs {e1}"
+        );
     }
 
     #[test]
@@ -399,7 +402,13 @@ mod tests {
     fn hess_battery_soc_flatter_with_peak_shave() {
         // Same spiky load with and without the cap: the HESS battery ends
         // at a higher SoC (fewer Peukert losses).
-        let load = |k: usize| if k.is_multiple_of(4) { 60_000.0 } else { 4_000.0 };
+        let load = |k: usize| {
+            if k.is_multiple_of(4) {
+                60_000.0
+            } else {
+                4_000.0
+            }
+        };
         let mut plain = Hess::new(BatteryParams::leaf_24kwh(), cap(), SplitPolicy::BatteryOnly);
         let mut hybrid = Hess::new(
             BatteryParams::leaf_24kwh(),

@@ -129,14 +129,26 @@ impl BatteryParams {
     /// limits are inconsistent.
     #[must_use]
     pub fn validated(self) -> Self {
-        assert!(self.nominal_capacity.value() > 0.0, "capacity must be positive");
-        assert!(self.nominal_current.value() > 0.0, "nominal current must be positive");
-        assert!(self.peukert_constant >= 1.0, "peukert constant must be >= 1");
+        assert!(
+            self.nominal_capacity.value() > 0.0,
+            "capacity must be positive"
+        );
+        assert!(
+            self.nominal_current.value() > 0.0,
+            "nominal current must be positive"
+        );
+        assert!(
+            self.peukert_constant >= 1.0,
+            "peukert constant must be >= 1"
+        );
         assert!(
             self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0,
             "charge efficiency must lie in (0, 1]"
         );
-        assert!(self.internal_resistance.value() >= 0.0, "resistance must be non-negative");
+        assert!(
+            self.internal_resistance.value() >= 0.0,
+            "resistance must be non-negative"
+        );
         assert!(
             self.min_soc.value() < self.max_soc.value(),
             "soc limits are inverted"

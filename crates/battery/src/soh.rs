@@ -53,9 +53,18 @@ impl SohParams {
     /// the exponents are negative.
     #[must_use]
     pub fn validated(self) -> Self {
-        assert!(self.a1 >= 0.0 && self.a2 >= 0.0 && self.a3 >= 0.0, "soh scales must be non-negative");
-        assert!(self.alpha >= 0.0 && self.beta >= 0.0, "soh exponents must be non-negative");
-        assert!(self.temperature_factor >= 0.0, "temperature factor must be non-negative");
+        assert!(
+            self.a1 >= 0.0 && self.a2 >= 0.0 && self.a3 >= 0.0,
+            "soh scales must be non-negative"
+        );
+        assert!(
+            self.alpha >= 0.0 && self.beta >= 0.0,
+            "soh exponents must be non-negative"
+        );
+        assert!(
+            self.temperature_factor >= 0.0,
+            "temperature factor must be non-negative"
+        );
         self
     }
 }
@@ -157,15 +166,24 @@ mod tests {
     fn typical_cycle_life_is_plausible() {
         // SoC_avg 85 %, SoC_dev 3 %: the Leaf-class pack should survive
         // roughly 1000–2500 cycles.
-        let stats = SocStats { avg: 85.0, dev: 3.0 };
+        let stats = SocStats {
+            avg: 85.0,
+            dev: 3.0,
+        };
         let cycles = model().cycles_to_eol(stats);
         assert!(cycles > 800.0 && cycles < 3000.0, "cycles {cycles}");
     }
 
     #[test]
     fn degradation_increases_with_deviation() {
-        let lo = model().degradation(SocStats { avg: 80.0, dev: 1.0 });
-        let hi = model().degradation(SocStats { avg: 80.0, dev: 8.0 });
+        let lo = model().degradation(SocStats {
+            avg: 80.0,
+            dev: 1.0,
+        });
+        let hi = model().degradation(SocStats {
+            avg: 80.0,
+            dev: 8.0,
+        });
         assert!(hi > lo);
         // Exponential: ratio matches e^(α·Δdev) on the a1 term.
         let p = SohParams::default();
@@ -176,8 +194,14 @@ mod tests {
 
     #[test]
     fn degradation_increases_with_average() {
-        let lo = model().degradation(SocStats { avg: 60.0, dev: 3.0 });
-        let hi = model().degradation(SocStats { avg: 95.0, dev: 3.0 });
+        let lo = model().degradation(SocStats {
+            avg: 60.0,
+            dev: 3.0,
+        });
+        let hi = model().degradation(SocStats {
+            avg: 95.0,
+            dev: 3.0,
+        });
         assert!(hi > lo);
         let ratio = hi / lo;
         let expected = (SohParams::default().beta * 35.0).exp();
@@ -194,15 +218,30 @@ mod tests {
             beta: 0.0,
             temperature_factor: 1.0,
         });
-        assert_eq!(m.degradation(SocStats { avg: 90.0, dev: 5.0 }), 0.0);
-        assert_eq!(m.cycles_to_eol(SocStats { avg: 90.0, dev: 5.0 }), f64::INFINITY);
+        assert_eq!(
+            m.degradation(SocStats {
+                avg: 90.0,
+                dev: 5.0
+            }),
+            0.0
+        );
+        assert_eq!(
+            m.cycles_to_eol(SocStats {
+                avg: 90.0,
+                dev: 5.0
+            }),
+            f64::INFINITY
+        );
     }
 
     #[test]
     fn temperature_extension_doubles_per_step() {
         let base = model();
         let hot = base.with_battery_temperature(35.0, 25.0, 10.0);
-        let stats = SocStats { avg: 85.0, dev: 3.0 };
+        let stats = SocStats {
+            avg: 85.0,
+            dev: 3.0,
+        };
         assert!((hot.degradation(stats) / base.degradation(stats) - 2.0).abs() < 1e-12);
         let cold = base.with_battery_temperature(15.0, 25.0, 10.0);
         assert!((cold.degradation(stats) / base.degradation(stats) - 0.5).abs() < 1e-12);

@@ -62,6 +62,12 @@ impl PackThermal {
         }
     }
 
+    /// Borrows the model parameters.
+    #[must_use]
+    pub fn params(&self) -> &PackThermalParams {
+        &self.params
+    }
+
     /// Present pack temperature.
     #[must_use]
     pub fn temperature(&self) -> Celsius {
@@ -157,7 +163,10 @@ mod tests {
         }
         let hot_model =
             SohModel::default().with_battery_temperature(p.temperature().value(), 25.0, 10.0);
-        let stats = SocStats { avg: 85.0, dev: 3.0 };
+        let stats = SocStats {
+            avg: 85.0,
+            dev: 3.0,
+        };
         assert!(hot_model.degradation(stats) > SohModel::default().degradation(stats));
     }
 }

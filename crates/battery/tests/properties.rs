@@ -162,5 +162,11 @@ fn zero_temperature_factor_freezes_aging() {
         temperature_factor: 0.0,
         ..SohParams::default()
     });
-    assert_eq!(m.degradation(SocStats { avg: 90.0, dev: 9.0 }), 0.0);
+    assert_eq!(
+        m.degradation(SocStats {
+            avg: 90.0,
+            dev: 9.0
+        }),
+        0.0
+    );
 }

@@ -93,15 +93,7 @@ fn bench_recompute(c: &mut Criterion) {
     group.sample_size(10);
     for interval in [1usize, 4, 8] {
         group.bench_function(format!("every_{interval}s"), |b| {
-            b.iter(|| {
-                black_box(run_mpc(
-                    &params,
-                    &s,
-                    8,
-                    MpcWeights::default(),
-                    interval,
-                ))
-            })
+            b.iter(|| black_box(run_mpc(&params, &s, 8, MpcWeights::default(), interval)))
         });
     }
     group.finish();

@@ -81,23 +81,62 @@ impl FuzzyController {
     fn build_engine() -> FuzzyEngine {
         let tri = |a: f64, b: f64, c: f64| MembershipFunction::Triangle { a, b, c };
         let error_terms = vec![
-            Term { label: "NL", mf: tri(-1.0, -1.0, -0.4) },
-            Term { label: "NS", mf: tri(-0.8, -0.35, 0.0) },
-            Term { label: "ZE", mf: tri(-0.15, 0.0, 0.15) },
-            Term { label: "PS", mf: tri(0.0, 0.35, 0.8) },
-            Term { label: "PL", mf: tri(0.4, 1.0, 1.0) },
+            Term {
+                label: "NL",
+                mf: tri(-1.0, -1.0, -0.4),
+            },
+            Term {
+                label: "NS",
+                mf: tri(-0.8, -0.35, 0.0),
+            },
+            Term {
+                label: "ZE",
+                mf: tri(-0.15, 0.0, 0.15),
+            },
+            Term {
+                label: "PS",
+                mf: tri(0.0, 0.35, 0.8),
+            },
+            Term {
+                label: "PL",
+                mf: tri(0.4, 1.0, 1.0),
+            },
         ];
         let rate_terms = vec![
-            Term { label: "N", mf: tri(-1.0, -1.0, 0.0) },
-            Term { label: "Z", mf: tri(-0.4, 0.0, 0.4) },
-            Term { label: "P", mf: tri(0.0, 1.0, 1.0) },
+            Term {
+                label: "N",
+                mf: tri(-1.0, -1.0, 0.0),
+            },
+            Term {
+                label: "Z",
+                mf: tri(-0.4, 0.0, 0.4),
+            },
+            Term {
+                label: "P",
+                mf: tri(0.0, 1.0, 1.0),
+            },
         ];
         let duty_terms = vec![
-            Term { label: "heat-strong", mf: tri(-1.0, -1.0, -0.5) },
-            Term { label: "heat-weak", mf: tri(-0.8, -0.4, 0.0) },
-            Term { label: "rest", mf: tri(-0.15, 0.0, 0.15) },
-            Term { label: "cool-weak", mf: tri(0.0, 0.4, 0.8) },
-            Term { label: "cool-strong", mf: tri(0.5, 1.0, 1.0) },
+            Term {
+                label: "heat-strong",
+                mf: tri(-1.0, -1.0, -0.5),
+            },
+            Term {
+                label: "heat-weak",
+                mf: tri(-0.8, -0.4, 0.0),
+            },
+            Term {
+                label: "rest",
+                mf: tri(-0.15, 0.0, 0.15),
+            },
+            Term {
+                label: "cool-weak",
+                mf: tri(0.0, 0.4, 0.8),
+            },
+            Term {
+                label: "cool-strong",
+                mf: tri(0.5, 1.0, 1.0),
+            },
         ];
         // Rule matrix: rows = error term, columns = rate term.
         // Rates reinforce or soften the action (classic PD-like table).
@@ -212,7 +251,13 @@ mod tests {
             };
             let input = c.control(&ctx);
             state = hvac
-                .step(state, &input, Celsius::new(35.0), Watts::new(400.0), Seconds::new(1.0))
+                .step(
+                    state,
+                    &input,
+                    Celsius::new(35.0),
+                    Watts::new(400.0),
+                    Seconds::new(1.0),
+                )
                 .0;
             if k > 1200 {
                 min_tz = min_tz.min(state.tz.value());

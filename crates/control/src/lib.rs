@@ -142,12 +142,7 @@ pub fn duty_to_input(
         // Heating from a passive coil at the mix temperature.
         let span_cap = p.max_heating_power.value() * p.heater_efficiency / (cp * mz.value());
         let ts = Celsius::new(tm.value() + magnitude * DT_FULL_SPAN.min(span_cap));
-        HvacInput {
-            ts,
-            tc: tm,
-            dr,
-            mz,
-        }
+        HvacInput { ts, tc: tm, dr, mz }
     };
     limits.clamp_input(hvac, input, ctx.state, ctx.ambient)
 }
@@ -188,7 +183,10 @@ mod tests {
         let input = duty_to_input(&h, &HvacLimits::default(), &ctx, 1.0);
         let power = h.power(&input, ctx.state, ctx.ambient);
         assert!(power.cooling.value() <= 6000.0 + 1.0, "{power:?}");
-        assert!(power.cooling.value() > 4000.0, "should be near cap: {power:?}");
+        assert!(
+            power.cooling.value() > 4000.0,
+            "should be near cap: {power:?}"
+        );
     }
 
     #[test]

@@ -295,7 +295,9 @@ impl MpcController {
     /// prediction period: motor power is block-averaged (the paper's
     /// `Pe` vector), ambient/solar taken at block start.
     fn resample_preview(&self, ctx: &ControlContext<'_>) -> Vec<PreviewSample> {
-        let block = (self.prediction_dt.value() / ctx.dt.value()).round().max(1.0) as usize;
+        let block = (self.prediction_dt.value() / ctx.dt.value())
+            .round()
+            .max(1.0) as usize;
         let mut out = Vec::with_capacity(self.horizon);
         for k in 0..self.horizon {
             let start = k * block;
@@ -658,10 +660,7 @@ mod tests {
         let preview = preview_const(10_000.0, 0.0, 24);
         let context = ctx(21.5, 0.0, &preview);
         let input = c.control(&context);
-        assert!(
-            input.ts.value() > 22.0,
-            "supply must be warm: {input:?}"
-        );
+        assert!(input.ts.value() > 22.0, "supply must be warm: {input:?}");
     }
 
     #[test]
@@ -681,7 +680,13 @@ mod tests {
             };
             let input = c.control(&context);
             state = hvac
-                .step(state, &input, Celsius::new(35.0), Watts::new(400.0), Seconds::new(1.0))
+                .step(
+                    state,
+                    &input,
+                    Celsius::new(35.0),
+                    Watts::new(400.0),
+                    Seconds::new(1.0),
+                )
                 .0;
         }
         let tz = state.tz.value();

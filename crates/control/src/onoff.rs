@@ -104,20 +104,13 @@ impl OnOffController {
         let tm = self.hvac.mixed_air(&probe, ctx.state.tz, ctx.ambient);
         if cooling {
             // Pc = cp/ηc·ṁz·(Tm − Tc) ≤ P̄c ⇒ Tc ≥ Tm − P̄c·ηc/(cp·ṁz).
-            let span = p.max_cooling_power.value() * p.cooler_efficiency
-                / (cp * mz.value())
+            let span = p.max_cooling_power.value() * p.cooler_efficiency / (cp * mz.value())
                 * self.cap_margin;
             let tc = Celsius::new(tm.value() - span).max(p.min_coil_temp);
-            HvacInput {
-                ts: tc,
-                tc,
-                dr,
-                mz,
-            }
+            HvacInput { ts: tc, tc, dr, mz }
         } else {
             // Heater from a passive coil at Tm up its power cap.
-            let span = p.max_heating_power.value() * p.heater_efficiency
-                / (cp * mz.value())
+            let span = p.max_heating_power.value() * p.heater_efficiency / (cp * mz.value())
                 * self.cap_margin;
             let tc = tm;
             let ts = Celsius::new(tm.value() + span).min(p.max_supply_temp);
@@ -133,8 +126,8 @@ impl ClimateController for OnOffController {
 
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         let error = ctx.state.tz.diff(self.target); // + = too hot
-        // Mode by the sign of the error once outside the deadband;
-        // hysteresis on the switch decision.
+                                                    // Mode by the sign of the error once outside the deadband;
+                                                    // hysteresis on the switch decision.
         if error.abs() > self.hysteresis {
             self.on = true;
         } else if error.abs() < 0.15 * self.hysteresis {
@@ -147,8 +140,7 @@ impl ClimateController for OnOffController {
             // [8]) cycle the compressor/heater but keep the blower
             // running at its set speed: passive coils, ventilation flow.
             let p = self.hvac.params();
-            let mz = Self::VENT_FLOW_FRACTION
-                * (p.max_flow.value() - p.min_flow.value())
+            let mz = Self::VENT_FLOW_FRACTION * (p.max_flow.value() - p.min_flow.value())
                 + p.min_flow.value();
             let probe = HvacInput {
                 ts: ctx.state.tz,
@@ -223,7 +215,11 @@ mod tests {
         assert!(!c.is_on());
         // Coils passive but the blower keeps its set speed.
         assert!(input.mz.value() > c.hvac.params().min_flow.value());
-        let power = c.hvac.power(&input, HvacState::new(Celsius::new(24.5)), Celsius::new(35.0));
+        let power = c.hvac.power(
+            &input,
+            HvacState::new(Celsius::new(24.5)),
+            Celsius::new(35.0),
+        );
         assert_eq!(power.heating.value(), 0.0);
         assert!(power.cooling.value() < 1e-9);
         assert!(power.fan.value() > 0.0);
@@ -268,7 +264,13 @@ mod tests {
                 ..ctx_at(state.tz.value(), 35.0)
             };
             let input = c.control(&ctx);
-            let (next, _) = hvac.step(state, &input, Celsius::new(35.0), Watts::new(400.0), Seconds::new(1.0));
+            let (next, _) = hvac.step(
+                state,
+                &input,
+                Celsius::new(35.0),
+                Watts::new(400.0),
+                Seconds::new(1.0),
+            );
             state = next;
             if k > 500 {
                 min_tz = min_tz.min(state.tz.value());

@@ -176,7 +176,13 @@ mod tests {
             };
             let input = c.control(&ctx);
             state = hvac
-                .step(state, &input, Celsius::new(35.0), Watts::new(400.0), Seconds::new(1.0))
+                .step(
+                    state,
+                    &input,
+                    Celsius::new(35.0),
+                    Watts::new(400.0),
+                    Seconds::new(1.0),
+                )
                 .0;
         }
         assert!(

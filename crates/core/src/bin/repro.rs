@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use ev_core::experiments::{
     ablation_horizon, ablation_w2, evaluation_sweep, fig1, fig5, fig6, fig7_from, fig8_from,
-    full_cycle, render_ablation, render_fig1, render_fig5, render_fig6, render_fig7,
-    render_fig8, render_full_cycle, render_robustness, render_table1, robustness_sweep, table1,
+    full_cycle, render_ablation, render_fig1, render_fig5, render_fig6, render_fig7, render_fig8,
+    render_full_cycle, render_robustness, render_table1, robustness_sweep, table1,
 };
 
 fn usage() -> &'static str {
@@ -41,8 +41,14 @@ fn run(which: &str) -> Result<(), String> {
         }
         "table1" => println!("{}", render_table1(&table1())),
         "ablation" => {
-            println!("{}", render_ablation("Ablation — MPC horizon", &ablation_horizon()));
-            println!("{}", render_ablation("Ablation — lifetime weight w2", &ablation_w2()));
+            println!(
+                "{}",
+                render_ablation("Ablation — MPC horizon", &ablation_horizon())
+            );
+            println!(
+                "{}",
+                render_ablation("Ablation — lifetime weight w2", &ablation_w2())
+            );
         }
         "robustness" => println!("{}", render_robustness(&robustness_sweep())),
         "fullcycle" => println!("{}", render_full_cycle(&full_cycle())),
@@ -55,8 +61,14 @@ fn run(which: &str) -> Result<(), String> {
             println!("{}", render_fig7(&fig7_from(&cells)));
             println!("{}", render_fig8(&fig8_from(&cells)));
             println!("{}", render_table1(&table1()));
-            println!("{}", render_ablation("Ablation — MPC horizon", &ablation_horizon()));
-            println!("{}", render_ablation("Ablation — lifetime weight w2", &ablation_w2()));
+            println!(
+                "{}",
+                render_ablation("Ablation — MPC horizon", &ablation_horizon())
+            );
+            println!(
+                "{}",
+                render_ablation("Ablation — lifetime weight w2", &ablation_w2())
+            );
             println!("{}", render_robustness(&robustness_sweep()));
             println!("{}", render_full_cycle(&full_cycle()));
         }

@@ -133,7 +133,14 @@ mod tests {
     fn w2_reduces_soc_deviation() {
         // The paper's central knob: turning the lifetime term up must not
         // worsen the SoC deviation it penalizes.
-        let blind = run("blind", 8, MpcWeights { w2: 0.0, ..MpcWeights::default() });
+        let blind = run(
+            "blind",
+            8,
+            MpcWeights {
+                w2: 0.0,
+                ..MpcWeights::default()
+            },
+        );
         let heavy = run(
             "heavy",
             8,

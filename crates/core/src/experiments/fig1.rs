@@ -97,10 +97,8 @@ pub fn fig1() -> Vec<Fig1Row> {
             // ICE split: cabin thermal load at the same ambient from the
             // same cabin model, heating below the 24 °C target and
             // cooling above.
-            let cabin_load = (params.cabin.shell_conductance.value()
-                * (ambient_c - 24.0))
-                .abs()
-                + 400.0;
+            let cabin_load =
+                (params.cabin.shell_conductance.value() * (ambient_c - 24.0)).abs() + 400.0;
             let heating = ambient_c < 24.0;
             let engine = ice.propulsion_fuel_power(v, 0.0, 0.0).value();
             let ice_hvac = ice
@@ -154,7 +152,10 @@ pub fn render_fig1(rows: &[Fig1Row]) -> String {
             ]
         })
         .collect();
-    format!("Fig. 1 — power-type split at {CRUISE_KMH:.0} km/h cruise\n{}", format_table(&header, &body))
+    format!(
+        "Fig. 1 — power-type split at {CRUISE_KMH:.0} km/h cruise\n{}",
+        format_table(&header, &body)
+    )
 }
 
 #[cfg(test)]
@@ -176,7 +177,12 @@ mod tests {
         let cold = &rows[0]; // −10 °C
         let mild = &rows[3]; // 20 °C
         let hot = &rows[5]; // 40 °C
-        assert!(cold.ev_hvac_pct > 2.0 * mild.ev_hvac_pct, "cold {} mild {}", cold.ev_hvac_pct, mild.ev_hvac_pct);
+        assert!(
+            cold.ev_hvac_pct > 2.0 * mild.ev_hvac_pct,
+            "cold {} mild {}",
+            cold.ev_hvac_pct,
+            mild.ev_hvac_pct
+        );
         assert!(hot.ev_hvac_pct > 2.0 * mild.ev_hvac_pct);
         assert!(cold.ev_hvac_pct > 10.0, "EV heating share substantial");
         // ICE heating is nearly free: cold-side ICE HVAC share far below

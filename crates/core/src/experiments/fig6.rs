@@ -39,7 +39,9 @@ pub fn fig6() -> Fig6Data {
     params.initial_cabin = Some(params.target);
     let profile = profile_at(&DriveCycle::nedc(), COMPARISON_AMBIENT_C);
     let sim = Simulation::new(params.clone(), profile).expect("profile non-empty");
-    let mut mpc = ControllerKind::Mpc.instantiate(&params).expect("instantiates");
+    let mut mpc = ControllerKind::Mpc
+        .instantiate(&params)
+        .expect("instantiates");
     let result = sim.run(mpc.as_mut()).expect("runs");
 
     let n = 1000.min(result.series.t.len());
@@ -106,7 +108,11 @@ pub fn render_fig6(data: &Fig6Data) -> String {
         14,
     ));
     out.push_str("\ncabin temperature (°C):\n");
-    out.push_str(&super::ascii_chart(&[("cabin °C", data.cabin.as_slice())], 72, 8));
+    out.push_str(&super::ascii_chart(
+        &[("cabin °C", data.cabin.as_slice())],
+        72,
+        8,
+    ));
     out
 }
 

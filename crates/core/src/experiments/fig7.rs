@@ -2,8 +2,8 @@
 
 use crate::ControllerKind;
 
-use super::sweep::{evaluation_sweep, SweepCell};
 use super::format_table;
+use super::sweep::{evaluation_sweep, SweepCell};
 
 /// One drive profile's SoH-degradation comparison, normalized to the
 /// On/Off controller = 100 % (the paper's y-axis).
@@ -96,11 +96,7 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
             ]
         })
         .collect();
-    let avg_impr: f64 = rows
-        .iter()
-        .map(|r| 100.0 - r.mpc_pct)
-        .sum::<f64>()
-        / rows.len() as f64;
+    let avg_impr: f64 = rows.iter().map(|r| 100.0 - r.mpc_pct).sum::<f64>() / rows.len() as f64;
     format!(
         "Fig. 7 — SoH degradation per drive profile (% of On/Off)\n{}\naverage ΔSoH improvement vs On/Off: {:.1} % (paper: ~14 %)\n",
         format_table(&header, &body),
@@ -127,7 +123,12 @@ mod tests {
         // battery less than On/Off on every profile.
         assert!(r.mpc_pct < 100.0, "mpc {}", r.mpc_pct);
         // And no worse than fuzzy (the MPC additionally flattens SoC).
-        assert!(r.mpc_pct <= r.fuzzy_pct + 1.0, "mpc {} fuzzy {}", r.mpc_pct, r.fuzzy_pct);
+        assert!(
+            r.mpc_pct <= r.fuzzy_pct + 1.0,
+            "mpc {} fuzzy {}",
+            r.mpc_pct,
+            r.fuzzy_pct
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::ControllerKind;
 
-use super::sweep::{evaluation_sweep, SweepCell};
 use super::format_table;
+use super::sweep::{evaluation_sweep, SweepCell};
 
 /// One drive profile's average-HVAC-power comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +106,24 @@ mod tests {
         let rows = fig8_from(&cells);
         let r = &rows[0];
         // Paper Fig. 8 ordering: On/Off ≥ fuzzy ≥ ours.
-        assert!(r.onoff_kw > r.fuzzy_kw, "onoff {} fuzzy {}", r.onoff_kw, r.fuzzy_kw);
-        assert!(r.mpc_kw <= r.fuzzy_kw * 1.05, "mpc {} fuzzy {}", r.mpc_kw, r.fuzzy_kw);
-        assert!(r.mpc_kw < r.onoff_kw, "mpc {} onoff {}", r.mpc_kw, r.onoff_kw);
+        assert!(
+            r.onoff_kw > r.fuzzy_kw,
+            "onoff {} fuzzy {}",
+            r.onoff_kw,
+            r.fuzzy_kw
+        );
+        assert!(
+            r.mpc_kw <= r.fuzzy_kw * 1.05,
+            "mpc {} fuzzy {}",
+            r.mpc_kw,
+            r.fuzzy_kw
+        );
+        assert!(
+            r.mpc_kw < r.onoff_kw,
+            "mpc {} onoff {}",
+            r.mpc_kw,
+            r.onoff_kw
+        );
         // Everything is in a physically plausible band (< 6 kW cap).
         for v in [r.onoff_kw, r.fuzzy_kw, r.mpc_kw] {
             assert!(v > 0.0 && v < 6.0, "power {v}");

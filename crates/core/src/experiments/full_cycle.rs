@@ -53,8 +53,7 @@ pub fn full_cycle() -> Vec<FullCycleRow> {
             let mut controller = kind.instantiate(&params).expect("instantiates");
             let result = sim.run(controller.as_mut()).expect("runs");
             let drive_trace = result.series.soc.clone();
-            let drive_only =
-                soh.degradation(SocStats::from_trace(&drive_trace)) * 1000.0;
+            let drive_only = soh.degradation(SocStats::from_trace(&drive_trace)) * 1000.0;
 
             // Recharge from the final drive SoC back to the initial SoC.
             let mut battery = Battery::new(params.battery.clone());

@@ -18,14 +18,14 @@
 //! depend on our calibration; the claims that must reproduce are the
 //! *orderings and relative improvements* (see `EXPERIMENTS.md`).
 
+mod ablation;
 mod fig1;
 mod fig5;
 mod fig6;
-mod ablation;
 mod fig7;
+mod fig8;
 mod full_cycle;
 mod plot;
-mod fig8;
 mod robustness;
 mod sweep;
 mod table1;
@@ -39,7 +39,9 @@ pub use fig8::{fig8, fig8_from, render_fig8, Fig8Row};
 pub use full_cycle::{full_cycle, render_full_cycle, FullCycleRow};
 pub use plot::ascii_chart;
 pub use robustness::{render_robustness, robustness_sweep, NoisyPreview, RobustnessRow};
-pub use sweep::{evaluation_sweep, evaluation_sweep_at, find, SweepCell};
+pub use sweep::{
+    evaluation_sweep, evaluation_sweep_at, evaluation_sweep_observed, find, SweepCell,
+};
 pub use table1::{render_table1, table1, table1_row, Table1Row, TABLE1_AMBIENTS};
 
 use ev_drive::{AmbientConditions, DriveCycle, DriveProfile};

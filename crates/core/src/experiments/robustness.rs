@@ -48,7 +48,9 @@ impl<C: ClimateController> NoisyPreview<C> {
 
     /// Deterministic pseudo-random value in [−1, 1] (splitmix64 hash).
     fn noise(&self, k: u64) -> f64 {
-        let mut z = (self.step << 32).wrapping_add(k).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = (self.step << 32)
+            .wrapping_add(k)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -110,7 +112,9 @@ pub fn robustness_sweep() -> Vec<RobustnessRow> {
     [0.0, 0.25, 0.5, 1.0]
         .into_iter()
         .map(|sigma| {
-            let inner = ControllerKind::Mpc.instantiate(&params).expect("instantiates");
+            let inner = ControllerKind::Mpc
+                .instantiate(&params)
+                .expect("instantiates");
             let mut noisy = NoisyPreview::new(BoxedController(inner), sigma);
             let r = sim.run(&mut noisy).expect("runs");
             let m = r.metrics();

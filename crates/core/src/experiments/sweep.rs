@@ -2,6 +2,7 @@
 
 use ev_drive::DriveCycle;
 
+use crate::observe::{NoopObserver, StepObserver};
 use crate::{ControllerKind, Simulation, SimulationResult};
 
 use super::{experiment_params, profile_at, COMPARISON_AMBIENT_C};
@@ -40,6 +41,32 @@ pub fn evaluation_sweep() -> Vec<SweepCell> {
 /// built-in cycles and parameters).
 #[must_use]
 pub fn evaluation_sweep_at(ambient_c: f64, cycles: &[DriveCycle]) -> Vec<SweepCell> {
+    evaluation_sweep_observed(ambient_c, cycles, |_, _| NoopObserver)
+        .into_iter()
+        .map(|(cell, NoopObserver)| cell)
+        .collect()
+}
+
+/// The evaluation matrix with a [`StepObserver`] attached to every cell,
+/// so callers (the physics-invariant harness in `ev-testkit`, trace
+/// exporters) can watch each simulated step of each cell. `make_observer`
+/// is called once per cell with the profile name and controller kind;
+/// the driven observers are returned alongside their cells.
+///
+/// # Panics
+///
+/// Panics if a simulation cannot be constructed (cannot happen for the
+/// built-in cycles and parameters).
+#[must_use]
+pub fn evaluation_sweep_observed<O, F>(
+    ambient_c: f64,
+    cycles: &[DriveCycle],
+    make_observer: F,
+) -> Vec<(SweepCell, O)>
+where
+    O: StepObserver + Send,
+    F: Fn(&str, ControllerKind) -> O + Sync,
+{
     let mut params = experiment_params();
     // The paper compares the steady *regulation* behavior of the three
     // methodologies (its Fig. 5 traces start settled); start from a
@@ -64,15 +91,21 @@ pub fn evaluation_sweep_at(ambient_c: f64, cycles: &[DriveCycle]) -> Vec<SweepCe
         for (name, sim) in &sims {
             for kind in ControllerKind::paper_lineup() {
                 let params = &params;
+                let make_observer = &make_observer;
                 handles.push(scope.spawn(move || {
-                    let mut controller =
-                        kind.instantiate(params).expect("controller instantiates");
-                    let result = sim.run(controller.as_mut()).expect("simulation runs");
-                    SweepCell {
-                        profile: name.clone(),
-                        controller: kind,
-                        result,
-                    }
+                    let mut controller = kind.instantiate(params).expect("controller instantiates");
+                    let mut observer = make_observer(name, kind);
+                    let result = sim
+                        .run_observed(controller.as_mut(), &mut observer)
+                        .expect("simulation runs");
+                    (
+                        SweepCell {
+                            profile: name.clone(),
+                            controller: kind,
+                            result,
+                        },
+                        observer,
+                    )
                 }));
             }
         }

@@ -43,11 +43,16 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observe;
 mod params;
 mod result;
 mod sim;
 mod vehicle;
 
+pub use observe::{
+    ChannelStats, ControllerMode, ModeCounts, NoopObserver, StatsObserver, StepObserver,
+    StepRecord, TraceRecorder, TraceWriter,
+};
 pub use params::{ControllerKind, EvParams};
 pub use result::{Metrics, SimulationResult, TimeSeries};
 pub use sim::{SimError, Simulation};

@@ -1,9 +1,9 @@
 //! The integrated EV parameter set and controller factory.
 
-use ev_battery::{BatteryParams, SohParams};
+use ev_battery::{BatteryParams, PackThermalParams, SohParams};
 use ev_control::{
-    ClimateController, FuzzyController, MpcBatteryModel, MpcConfigError, MpcController,
-    MpcWeights, OnOffController, PidController,
+    ClimateController, FuzzyController, MpcBatteryModel, MpcConfigError, MpcController, MpcWeights,
+    OnOffController, PidController,
 };
 use ev_hvac::{CabinParams, Hvac, HvacLimits, HvacParams};
 use ev_powertrain::VehicleParams;
@@ -26,6 +26,9 @@ pub struct EvParams {
     pub battery: BatteryParams,
     /// SoH degradation model parameters.
     pub soh: SohParams,
+    /// Battery-pack thermal model parameters.
+    #[serde(default)]
+    pub pack_thermal: PackThermalParams,
     /// Constant accessory power (entertainment, lights, pumps).
     pub accessory_power: Watts,
     /// Cabin temperature target shared by all controllers.
@@ -47,6 +50,7 @@ impl EvParams {
             hvac: HvacParams::default(),
             battery: BatteryParams::leaf_24kwh(),
             soh: SohParams::default(),
+            pack_thermal: PackThermalParams::default(),
             accessory_power: Watts::new(300.0),
             target: Celsius::new(24.0),
             comfort_half_width: 3.0,

@@ -25,6 +25,9 @@ pub struct TimeSeries {
     pub battery_power: Vec<f64>,
     /// State of charge (%).
     pub soc: Vec<f64>,
+    /// Battery-pack temperature (°C).
+    #[serde(default)]
+    pub pack_temp: Vec<f64>,
 }
 
 /// The figures of merit the paper reports for each run.
@@ -100,8 +103,12 @@ impl SimulationResult {
                 series.cabin.len(),
                 series.motor_power.len(),
                 series.hvac_power.len(),
+                series.heating_power.len(),
+                series.cooling_power.len(),
+                series.fan_power.len(),
                 series.battery_power.len(),
                 series.soc.len(),
+                series.pack_temp.len(),
             ]
             .iter()
             .all(|&l| l == n),
@@ -213,6 +220,7 @@ mod tests {
             fan_power: vec![100.0; n],
             battery_power: vec![12_300.0; n],
             soc: (0..n).map(|k| 95.0 - 0.01 * k as f64).collect(),
+            pack_temp: vec![30.0; n],
         }
     }
 
@@ -224,7 +232,10 @@ mod tests {
             series(cabin),
             0.02,
             1000.0,
-            SocStats { avg: 94.0, dev: 0.5 },
+            SocStats {
+                avg: 94.0,
+                dev: 0.5,
+            },
             (Celsius::new(21.0), Celsius::new(27.0)),
             Celsius::new(24.0),
         )

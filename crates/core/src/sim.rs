@@ -4,19 +4,27 @@ use ev_control::{ClimateController, ControlContext, PreviewSample};
 use ev_drive::DriveProfile;
 use ev_units::{Seconds, Watts};
 
+use crate::observe::{ControllerMode, NoopObserver, StepObserver, StepRecord};
 use crate::{ElectricVehicle, EvParams, SimulationResult, TimeSeries};
 
 /// Errors from constructing or running a simulation.
+///
+/// Marked non-exhaustive: future variants (plant fault injection,
+/// observer-requested aborts) must not break downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The drive profile has no samples.
     EmptyProfile,
+    /// The requested preview window length is zero.
+    ZeroPreview,
 }
 
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::EmptyProfile => write!(f, "drive profile has no samples"),
+            Self::ZeroPreview => write!(f, "preview window length must be positive"),
         }
     }
 }
@@ -92,12 +100,26 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `len == 0`.
+    /// Panics if `len == 0`; use
+    /// [`try_with_preview_len`](Self::try_with_preview_len) to handle
+    /// that case as an error.
     #[must_use]
-    pub fn with_preview_len(mut self, len: usize) -> Self {
-        assert!(len > 0, "preview length must be positive");
+    pub fn with_preview_len(self, len: usize) -> Self {
+        self.try_with_preview_len(len)
+            .expect("preview length must be positive")
+    }
+
+    /// Fallible variant of [`with_preview_len`](Self::with_preview_len).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroPreview`] if `len == 0`.
+    pub fn try_with_preview_len(mut self, len: usize) -> Result<Self, SimError> {
+        if len == 0 {
+            return Err(SimError::ZeroPreview);
+        }
         self.preview_len = len;
-        self
+        Ok(self)
     }
 
     /// Borrows the drive profile.
@@ -119,14 +141,38 @@ impl Simulation {
     ///
     /// Currently infallible after construction; the `Result` is kept for
     /// forward compatibility (plant fault injection).
-    pub fn run(&self, controller: &mut dyn ClimateController) -> Result<SimulationResult, SimError> {
+    pub fn run(
+        &self,
+        controller: &mut dyn ClimateController,
+    ) -> Result<SimulationResult, SimError> {
+        self.run_observed(controller, &mut NoopObserver)
+    }
+
+    /// Runs the closed loop, invoking `observer` with the full
+    /// [`StepRecord`] after every plant step. The observer is statically
+    /// dispatched, so [`NoopObserver`] costs nothing; see
+    /// [`crate::observe`] for ready-made observers.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` is kept for
+    /// forward compatibility (plant fault injection).
+    pub fn run_observed<O: StepObserver>(
+        &self,
+        controller: &mut dyn ClimateController,
+        observer: &mut O,
+    ) -> Result<SimulationResult, SimError> {
         let dt = self.profile.dt();
         let n = self.profile.len();
-        let initial_cabin = self
-            .params
-            .initial_cabin
-            .unwrap_or_else(|| self.profile.sample(0).ambient);
-        let mut ev = ElectricVehicle::new(&self.params, initial_cabin);
+        let first_ambient = self.profile.sample(0).ambient;
+        let initial_cabin = self.params.initial_cabin.unwrap_or(first_ambient);
+        // A parked pack soaks to ambient regardless of any cabin
+        // preconditioning.
+        let mut ev =
+            ElectricVehicle::new(&self.params, initial_cabin).with_pack_temperature(first_ambient);
+        let min_flow = self.params.hvac.min_flow.value();
+
+        observer.on_start(self.profile.name(), controller.name(), n);
 
         let mut series = TimeSeries::default();
         series.t.reserve(n);
@@ -169,13 +215,41 @@ impl Simulation {
             series.fan_power.push(step.hvac_power.fan.value());
             series.battery_power.push(step.battery_power.value());
             series.soc.push(step.soc.value());
+            series.pack_temp.push(step.pack_temp.value());
+
+            observer.on_step(&StepRecord {
+                step: k,
+                t: sample.t.value(),
+                dt: dt.value(),
+                motor_power: step.motor_power.value(),
+                heating_power: step.hvac_power.heating.value(),
+                cooling_power: step.hvac_power.cooling.value(),
+                fan_power: step.hvac_power.fan.value(),
+                accessory_power: step.accessory_power.value(),
+                battery_power: step.battery_power.value(),
+                soc: step.soc.value(),
+                cabin_temp: step.cabin.value(),
+                pack_temp: step.pack_temp.value(),
+                ambient: sample.ambient.value(),
+                solar: sample.solar.value(),
+                supply_temp: input.ts.value(),
+                coil_temp: input.tc.value(),
+                recirculation: input.dr,
+                flow: input.mz.value(),
+                mode: ControllerMode::classify(
+                    step.hvac_power.heating.value(),
+                    step.hvac_power.cooling.value(),
+                    input.mz.value(),
+                    min_flow,
+                ),
+            });
         }
 
         let stats = ev.bms().cycle_stats();
         let delta_soh = ev.bms().cycle_degradation();
         let cycles = ev.bms().cycles_to_eol();
         let limits = self.params.limits();
-        Ok(SimulationResult::new(
+        let result = SimulationResult::new(
             self.profile.name(),
             controller.name(),
             dt,
@@ -186,7 +260,9 @@ impl Simulation {
             (limits.comfort_min, limits.comfort_max),
             self.params.target,
         )
-        .with_distance(self.profile.distance()))
+        .with_distance(self.profile.distance());
+        observer.on_finish(&result);
+        Ok(result)
     }
 }
 
@@ -258,12 +334,99 @@ mod tests {
     }
 
     #[test]
-    fn empty_profile_is_rejected() {
-        // An empty profile cannot be constructed through the public API;
-        // verify the error path directly through Simulation::new's check
-        // by using a profile with a single sample (valid) and confirming
-        // the error type exists for documentation.
-        assert_eq!(SimError::EmptyProfile.to_string(), "drive profile has no samples");
+    fn sim_error_display_is_stable() {
+        assert_eq!(
+            SimError::EmptyProfile.to_string(),
+            "drive profile has no samples"
+        );
+        assert_eq!(
+            SimError::ZeroPreview.to_string(),
+            "preview window length must be positive"
+        );
+    }
+
+    #[test]
+    fn sim_error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::ZeroPreview);
+        assert!(e.source().is_none());
+        assert!(!format!("{e:?}").is_empty());
+    }
+
+    #[test]
+    fn zero_preview_is_rejected() {
+        let sim = short_sim(30.0);
+        assert_eq!(
+            sim.clone().try_with_preview_len(0).unwrap_err(),
+            SimError::ZeroPreview
+        );
+        assert_eq!(sim.try_with_preview_len(16).unwrap().preview_len, 16);
+    }
+
+    #[test]
+    fn observer_sees_every_step_consistently() {
+        use crate::observe::{StatsObserver, TraceRecorder};
+        let sim = short_sim(35.0);
+        let mut c = ControllerKind::OnOff
+            .instantiate(&EvParams::nissan_leaf_like())
+            .unwrap();
+        let mut obs = (TraceRecorder::new(), StatsObserver::new());
+        let r = sim.run_observed(c.as_mut(), &mut obs).unwrap();
+        let (trace, stats) = obs;
+        assert_eq!(trace.records().len(), r.series.t.len());
+        assert_eq!(stats.steps(), r.series.t.len());
+        assert_eq!(trace.profile(), r.profile);
+        assert_eq!(trace.controller(), r.controller);
+        // The observed stream and the recorded series agree sample by
+        // sample.
+        for (k, rec) in trace.records().iter().enumerate() {
+            assert_eq!(rec.step, k);
+            assert_eq!(rec.t, r.series.t[k]);
+            assert_eq!(rec.soc, r.series.soc[k]);
+            assert_eq!(rec.cabin_temp, r.series.cabin[k]);
+            assert_eq!(rec.pack_temp, r.series.pack_temp[k]);
+            assert_eq!(rec.battery_power, r.series.battery_power[k]);
+            assert!((rec.hvac_power() - r.series.hvac_power[k]).abs() < 1e-12);
+        }
+        // Hot soak at 35 °C: the On/Off controller must spend time
+        // cooling.
+        assert!(stats.modes.cooling > 0);
+    }
+
+    #[test]
+    fn observed_run_equals_plain_run() {
+        // Precondition the cabin so mean_temp_error is a number (NaN is
+        // not equal to itself, which would defeat the whole-result
+        // comparison).
+        let mut params = EvParams::nissan_leaf_like();
+        params.initial_cabin = Some(params.target);
+        let profile = DriveProfile::from_cycle(
+            &DriveCycle::ece15(),
+            AmbientConditions::constant(Celsius::new(35.0)),
+            Seconds::new(1.0),
+        );
+        let sim = Simulation::new(params.clone(), profile).expect("profile non-empty");
+        let mut c1 = ControllerKind::Fuzzy.instantiate(&params).unwrap();
+        let mut c2 = ControllerKind::Fuzzy.instantiate(&params).unwrap();
+        let plain = sim.run(c1.as_mut()).unwrap();
+        let mut trace = crate::observe::TraceRecorder::new();
+        let observed = sim.run_observed(c2.as_mut(), &mut trace).unwrap();
+        assert_eq!(plain, observed, "observation must not perturb the physics");
+    }
+
+    #[test]
+    fn pack_starts_at_ambient_and_heats_under_load() {
+        let sim = short_sim(35.0);
+        let mut c = ControllerKind::OnOff
+            .instantiate(&EvParams::nissan_leaf_like())
+            .unwrap();
+        let r = sim.run(c.as_mut()).unwrap();
+        assert!((r.series.pack_temp[0] - 35.0).abs() < 0.1);
+        // Sustained discharge generates I²R heat faster than a 35 °C
+        // ambient removes it.
+        assert!(
+            r.series.pack_temp.last().unwrap() >= &r.series.pack_temp[0],
+            "pack must not spontaneously cool below ambient"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The physical plant: power train + HVAC + battery behind the BMS.
 
-use ev_battery::{Bms, SohModel};
+use ev_battery::{Bms, PackThermal, SohModel};
 use ev_drive::DriveSample;
 use ev_hvac::{Hvac, HvacInput, HvacPower, HvacState};
 use ev_powertrain::PowerTrain;
@@ -21,6 +21,8 @@ pub struct PlantStep {
     pub battery_power: Watts,
     /// Cabin temperature after the step.
     pub cabin: Celsius,
+    /// Battery-pack temperature after the step.
+    pub pack_temp: Celsius,
     /// State of charge after the step.
     pub soc: Percent,
 }
@@ -59,12 +61,15 @@ pub struct ElectricVehicle {
     power_train: PowerTrain,
     hvac: Hvac,
     bms: Bms,
+    pack: PackThermal,
     accessory_power: Watts,
     cabin: HvacState,
 }
 
 impl ElectricVehicle {
-    /// Creates the plant with the given initial cabin temperature.
+    /// Creates the plant with the given initial cabin temperature. The
+    /// battery pack starts soaked to the same temperature; override with
+    /// [`ElectricVehicle::with_pack_temperature`].
     #[must_use]
     pub fn new(params: &EvParams, initial_cabin: Celsius) -> Self {
         Self {
@@ -74,9 +79,18 @@ impl ElectricVehicle {
                 params.battery.clone().validated(),
                 SohModel::new(params.soh),
             ),
+            pack: PackThermal::new(params.pack_thermal, initial_cabin),
             accessory_power: params.accessory_power,
             cabin: HvacState::new(initial_cabin),
         }
+    }
+
+    /// Overrides the initial battery-pack temperature (a parked vehicle
+    /// soaks to ambient even when the cabin is preconditioned).
+    #[must_use]
+    pub fn with_pack_temperature(mut self, initial: Celsius) -> Self {
+        self.pack = PackThermal::new(*self.pack.params(), initial);
+        self
     }
 
     /// The current cabin temperature.
@@ -95,6 +109,12 @@ impl ElectricVehicle {
     #[must_use]
     pub fn bms(&self) -> &Bms {
         &self.bms
+    }
+
+    /// The current battery-pack temperature.
+    #[must_use]
+    pub fn pack_temperature(&self) -> Celsius {
+        self.pack.temperature()
     }
 
     /// Borrows the power train (for precomputing motor power).
@@ -132,12 +152,17 @@ impl ElectricVehicle {
         self.cabin = next_cabin;
         let total = motor_power + hvac_power.total() + self.accessory_power;
         let battery_power = self.bms.apply_load(total, dt);
+        // The pack heats with I²R losses of the metered current and cools
+        // toward ambient.
+        let current = self.bms.battery().current_for_power(battery_power);
+        let pack_temp = self.pack.step(current, sample.ambient, dt);
         PlantStep {
             motor_power,
             hvac_power,
             accessory_power: self.accessory_power,
             battery_power,
             cabin: self.cabin.tz,
+            pack_temp,
             soc: self.bms.soc(),
         }
     }

@@ -1,0 +1,136 @@
+//! Property-based tests for the simulation result layer: any
+//! well-formed time series must produce consistent lengths, finite
+//! figures of merit and a lossless serde round-trip.
+
+use ev_battery::SocStats;
+use ev_core::{SimulationResult, TimeSeries};
+use ev_units::{Celsius, Kilometers, Seconds};
+use proptest::prelude::*;
+
+/// Builds a rectangular series from generated channels.
+fn series(cabin: &[f64], hvac: &[f64], battery: &[f64], soc0: f64) -> TimeSeries {
+    let n = cabin.len();
+    TimeSeries {
+        t: (0..n).map(|k| k as f64).collect(),
+        cabin: cabin.to_vec(),
+        motor_power: battery
+            .iter()
+            .zip(hvac)
+            .map(|(b, h)| b - h - 300.0)
+            .collect(),
+        hvac_power: hvac.to_vec(),
+        heating_power: vec![0.0; n],
+        cooling_power: hvac.iter().map(|h| (h - 100.0).max(0.0)).collect(),
+        fan_power: hvac.iter().map(|h| h.min(100.0)).collect(),
+        battery_power: battery.to_vec(),
+        soc: (0..n).map(|k| soc0 - 0.002 * k as f64).collect(),
+        pack_temp: vec![32.0; n],
+    }
+}
+
+fn result(s: TimeSeries) -> SimulationResult {
+    SimulationResult::new(
+        "PROP",
+        "on-off",
+        Seconds::new(1.0),
+        s,
+        0.015,
+        1500.0,
+        SocStats {
+            avg: 90.0,
+            dev: 1.0,
+        },
+        (Celsius::new(21.0), Celsius::new(27.0)),
+        Celsius::new(24.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lengths_stay_consistent(
+        cabin in proptest::collection::vec(10.0f64..45.0, 1..150),
+        hvac_w in 0.0f64..6_000.0,
+        battery_w in -20_000.0f64..60_000.0,
+    ) {
+        let n = cabin.len();
+        let r = result(series(&cabin, &vec![hvac_w; n], &vec![battery_w; n], 95.0));
+        prop_assert_eq!(r.series.t.len(), n);
+        prop_assert_eq!(r.series.cabin.len(), n);
+        prop_assert_eq!(r.series.hvac_power.len(), n);
+        prop_assert_eq!(r.series.battery_power.len(), n);
+        prop_assert_eq!(r.series.soc.len(), n);
+        prop_assert_eq!(r.series.pack_temp.len(), n);
+    }
+
+    #[test]
+    fn metrics_are_finite_and_sane(
+        cabin in proptest::collection::vec(10.0f64..45.0, 1..150),
+        hvac_w in 0.0f64..6_000.0,
+        battery_w in -20_000.0f64..60_000.0,
+    ) {
+        let n = cabin.len();
+        let r = result(series(&cabin, &vec![hvac_w; n], &vec![battery_w; n], 95.0));
+        let m = r.metrics();
+        prop_assert!(m.avg_hvac_power.value().is_finite());
+        prop_assert!((m.avg_hvac_power.value() - hvac_w / 1000.0).abs() < 1e-9);
+        prop_assert!(m.energy.value().is_finite());
+        prop_assert!(m.energy.value() >= 0.0);
+        // Energy is the integral of the positive battery power only.
+        let expected_kwh = battery_w.max(0.0) * n as f64 / 3.6e6;
+        prop_assert!((m.energy.value() - expected_kwh).abs() < 1e-9);
+        prop_assert!(m.final_soc.is_finite());
+        prop_assert!((m.final_soc - (95.0 - 0.002 * (n - 1) as f64)).abs() < 1e-9);
+        prop_assert!(m.delta_soh_milli_percent.is_finite());
+        prop_assert!(m.comfort_violations <= n);
+        prop_assert!(m.max_comfort_excursion >= 0.0);
+        // mean_temp_error is NaN exactly when the cabin never enters the
+        // comfort band; otherwise it must be finite and non-negative.
+        let entered = cabin.iter().any(|&tz| (21.0..=27.0).contains(&tz));
+        if entered {
+            prop_assert!(m.mean_temp_error.is_finite() && m.mean_temp_error >= 0.0);
+        } else {
+            prop_assert!(m.mean_temp_error.is_nan());
+        }
+    }
+
+    #[test]
+    fn distance_normalization_is_consistent(
+        cabin in proptest::collection::vec(20.0f64..30.0, 2..100),
+        battery_w in 1_000.0f64..60_000.0,
+        km in 0.5f64..100.0,
+    ) {
+        let n = cabin.len();
+        let r = result(series(&cabin, &vec![500.0; n], &vec![battery_w; n], 95.0))
+            .with_distance(Kilometers::new(km));
+        let m = r.metrics();
+        prop_assert!(m.kwh_per_100km.is_finite());
+        prop_assert!((m.kwh_per_100km - m.energy.value() / km * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_result_serde_round_trips(
+        cabin in proptest::collection::vec(10.0f64..45.0, 1..80),
+        hvac_w in 0.0f64..6_000.0,
+        battery_w in -20_000.0f64..60_000.0,
+    ) {
+        // NaN has no JSON representation (it serializes as null), so pin
+        // one in-band sample to keep mean_temp_error finite.
+        let mut cabin = cabin;
+        cabin[0] = 24.0;
+        let n = cabin.len();
+        let r = result(series(&cabin, &vec![hvac_w; n], &vec![battery_w; n], 95.0));
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: SimulationResult = serde_json::from_str(&json).expect("deserializes");
+        // Bitwise equality of every channel; metric equality where
+        // comparable (mean_temp_error may be NaN, which != NaN).
+        prop_assert_eq!(&back.series, &r.series);
+        prop_assert_eq!(&back.profile, &r.profile);
+        prop_assert_eq!(&back.controller, &r.controller);
+        prop_assert!(back.dt == r.dt);
+        prop_assert!(back.metrics().final_soc == r.metrics().final_soc);
+        prop_assert!(back.metrics().energy.value() == r.metrics().energy.value());
+        prop_assert!(back.metrics().mean_temp_error == r.metrics().mean_temp_error);
+    }
+}

@@ -61,7 +61,10 @@ impl DriveCycle {
     /// strictly increasing, or any speed is negative.
     #[must_use]
     pub fn from_breakpoints(name: &str, points_kmh: &[(f64, f64)]) -> Self {
-        assert!(points_kmh.len() >= 2, "cycle needs at least two breakpoints");
+        assert!(
+            points_kmh.len() >= 2,
+            "cycle needs at least two breakpoints"
+        );
         let mut points = Vec::with_capacity(points_kmh.len());
         let mut prev_t = f64::NEG_INFINITY;
         for &(t, v_kmh) in points_kmh {
@@ -346,11 +349,7 @@ impl DriveCycle {
         let distance = self.distance();
         let avg_speed =
             MetersPerSecond::new(distance.to_meters().value() / duration.value().max(1e-9));
-        let max_speed = self
-            .points
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(0.0f64, f64::max);
+        let max_speed = self.points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
         let mut max_accel = 0.0f64;
         let mut max_decel = 0.0f64;
         for w in self.points.windows(2) {
@@ -463,10 +462,7 @@ mod tests {
                 rel * 100.0
             );
             let mv = s.max_speed.to_kilometers_per_hour().value();
-            assert!(
-                (mv - vmax).abs() < 0.5,
-                "{name}: max speed {mv} vs {vmax}"
-            );
+            assert!((mv - vmax).abs() < 0.5, "{name}: max speed {mv} vs {vmax}");
         }
     }
 
@@ -474,8 +470,16 @@ mod tests {
     fn accelerations_are_physically_plausible() {
         for &(name, ..) in REFERENCE {
             let s = by_name(name).stats();
-            assert!(s.max_accel > 0.0 && s.max_accel < 4.0, "{name} accel {}", s.max_accel);
-            assert!(s.max_decel < 0.0 && s.max_decel > -5.0, "{name} decel {}", s.max_decel);
+            assert!(
+                s.max_accel > 0.0 && s.max_accel < 4.0,
+                "{name} accel {}",
+                s.max_accel
+            );
+            assert!(
+                s.max_decel < 0.0 && s.max_decel > -5.0,
+                "{name} decel {}",
+                s.max_decel
+            );
         }
     }
 
@@ -522,9 +526,18 @@ mod tests {
     fn wltc_matches_published_envelope() {
         let c = DriveCycle::wltc_class3();
         let s = c.stats();
-        assert!((s.duration.value() - 1800.0).abs() < 20.0, "duration {}", s.duration.value());
+        assert!(
+            (s.duration.value() - 1800.0).abs() < 20.0,
+            "duration {}",
+            s.duration.value()
+        );
         let rel = (s.distance.value() - 23.27).abs() / 23.27;
-        assert!(rel < 0.08, "distance {} ({:.1}% off)", s.distance.value(), rel * 100.0);
+        assert!(
+            rel < 0.08,
+            "distance {} ({:.1}% off)",
+            s.distance.value(),
+            rel * 100.0
+        );
         assert!((s.max_speed.to_kilometers_per_hour().value() - 131.3).abs() < 0.5);
         // WLTC is faster than NEDC on average (the reason it replaced it).
         assert!(s.avg_speed.value() > DriveCycle::nedc().stats().avg_speed.value());

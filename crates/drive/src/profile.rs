@@ -143,7 +143,10 @@ impl SlopeProfile {
         assert!(!points.is_empty(), "slope needs at least one breakpoint");
         let mut prev = f64::NEG_INFINITY;
         for &(d, _) in points {
-            assert!(d > prev, "slope breakpoint distances must strictly increase");
+            assert!(
+                d > prev,
+                "slope breakpoint distances must strictly increase"
+            );
             prev = d;
         }
         Self {
@@ -449,7 +452,10 @@ mod tests {
         );
         assert_eq!(p.sample(0).slope_percent, 0.0);
         let last = p.sample(p.len() - 1);
-        assert!((last.slope_percent - 8.0).abs() < 1e-9, "total distance ≈ 1 km");
+        assert!(
+            (last.slope_percent - 8.0).abs() < 1e-9,
+            "total distance ≈ 1 km"
+        );
     }
 
     #[test]

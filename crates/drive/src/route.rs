@@ -120,7 +120,10 @@ impl Route {
     #[must_use]
     pub fn with_stop_after(mut self, index: usize, duration: Seconds) -> Self {
         assert!(index < self.segments.len(), "segment index out of range");
-        assert!(duration.value() >= 0.0, "stop duration must be non-negative");
+        assert!(
+            duration.value() >= 0.0,
+            "stop duration must be non-negative"
+        );
         self.stops[index] = duration.value();
         self
     }
@@ -132,7 +135,10 @@ impl Route {
     /// Panics if either value is non-positive.
     #[must_use]
     pub fn with_comfort_limits(mut self, accel: f64, decel: f64) -> Self {
-        assert!(accel > 0.0 && decel > 0.0, "comfort limits must be positive");
+        assert!(
+            accel > 0.0 && decel > 0.0,
+            "comfort limits must be positive"
+        );
         self.accel = accel;
         self.decel = decel;
         self
@@ -263,8 +269,7 @@ mod tests {
             AmbientConditions::constant(Celsius::new(25.0)),
             Seconds::new(1.0),
         );
-        let rel =
-            (p.distance().value() - route.length().value()).abs() / route.length().value();
+        let rel = (p.distance().value() - route.length().value()).abs() / route.length().value();
         assert!(rel < 0.05, "distance off by {:.1}%", rel * 100.0);
     }
 

@@ -297,10 +297,7 @@ mod tests {
             .highway_minutes(5.0)
             .generate();
         // Highway phase must reach at least 85 km/h.
-        let vmax = p
-            .iter()
-            .map(|s| s.v.value())
-            .fold(0.0f64, f64::max);
+        let vmax = p.iter().map(|s| s.v.value()).fold(0.0f64, f64::max);
         assert!(vmax > 85.0 / 3.6, "vmax {vmax}");
         // Urban phase must contain stops after the start.
         let stops = p

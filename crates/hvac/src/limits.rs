@@ -196,7 +196,13 @@ impl HvacLimits {
     /// and the comfort zone (C2) are dynamic and remain the controller's
     /// responsibility.
     #[must_use]
-    pub fn clamp_input(&self, hvac: &Hvac, input: HvacInput, state: HvacState, to: Celsius) -> HvacInput {
+    pub fn clamp_input(
+        &self,
+        hvac: &Hvac,
+        input: HvacInput,
+        state: HvacState,
+        to: Celsius,
+    ) -> HvacInput {
         let p = hvac.params();
         let mz = input.mz.clamp(p.min_flow, p.max_flow);
         let dr = input.dr.clamp(0.0, p.max_recirculation);
@@ -325,7 +331,12 @@ mod tests {
             mz: KgPerSecond::new(0.25),
         };
         assert!(matches!(
-            l.validate(&h, &i, HvacState::new(Celsius::new(22.0)), Celsius::new(-10.0)),
+            l.validate(
+                &h,
+                &i,
+                HvacState::new(Celsius::new(22.0)),
+                Celsius::new(-10.0)
+            ),
             Err(ConstraintViolation::C8HeatingPower { .. })
         ));
         // Huge cooling at 43 °C with no recirculation.
@@ -336,7 +347,12 @@ mod tests {
             mz: KgPerSecond::new(0.25),
         };
         assert!(matches!(
-            l.validate(&h, &i, HvacState::new(Celsius::new(26.0)), Celsius::new(43.0)),
+            l.validate(
+                &h,
+                &i,
+                HvacState::new(Celsius::new(26.0)),
+                Celsius::new(43.0)
+            ),
             Err(ConstraintViolation::C9CoolingPower { .. })
         ));
     }

@@ -131,14 +131,8 @@ impl Hvac {
         let cp = self.cabin.air_heat_capacity.value();
         let mz = input.mz.value();
         let tm = self.mixed_air(input, state.tz, to);
-        let heating = (cp / self.params.heater_efficiency
-            * mz
-            * input.ts.diff(input.tc))
-        .max(0.0);
-        let cooling = (cp / self.params.cooler_efficiency
-            * mz
-            * tm.diff(input.tc))
-        .max(0.0);
+        let heating = (cp / self.params.heater_efficiency * mz * input.ts.diff(input.tc)).max(0.0);
+        let cooling = (cp / self.params.cooler_efficiency * mz * tm.diff(input.tc)).max(0.0);
         let fan = self.params.fan_coefficient * mz * mz;
         HvacPower {
             heating: Watts::new(heating),
@@ -266,7 +260,11 @@ mod tests {
             dr: 0.9,
             mz: KgPerSecond::new(0.1),
         };
-        let p = h.power(&input, HvacState::new(Celsius::new(15.0)), Celsius::new(0.0));
+        let p = h.power(
+            &input,
+            HvacState::new(Celsius::new(15.0)),
+            Celsius::new(0.0),
+        );
         let expected = 1006.0 / 0.90 * 0.1 * 35.0;
         assert!((p.heating.value() - expected).abs() < 1e-9);
     }
@@ -281,7 +279,11 @@ mod tests {
             dr: 0.0,
             mz: KgPerSecond::new(0.1),
         };
-        let p = h.power(&input, HvacState::new(Celsius::new(24.0)), Celsius::new(20.0));
+        let p = h.power(
+            &input,
+            HvacState::new(Celsius::new(24.0)),
+            Celsius::new(20.0),
+        );
         assert_eq!(p.cooling.value(), 0.0);
         assert_eq!(p.heating.value(), 0.0); // Ts < Tc likewise clamped
     }
@@ -319,7 +321,11 @@ mod tests {
         let cp = 1006.0;
         let cx = 55.0;
         let expected = (400.0 + cx * 35.0 + 0.15 * cp * 12.0) / (cx + 0.15 * cp);
-        assert!((state.tz.value() - expected).abs() < 1e-6, "tz {}", state.tz);
+        assert!(
+            (state.tz.value() - expected).abs() < 1e-6,
+            "tz {}",
+            state.tz
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn saturation_pressure(t: Celsius) -> f64 {
 /// Panics if `rh` is outside `[0, 1]`.
 #[must_use]
 pub fn humidity_ratio(t: Celsius, rh: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rh), "relative humidity must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&rh),
+        "relative humidity must lie in [0, 1]"
+    );
     let pv = rh * saturation_pressure(t);
     0.621_945 * pv / (P_ATM - pv)
 }

@@ -145,7 +145,10 @@ impl HvacParams {
             (0.0..=1.0).contains(&self.max_recirculation),
             "recirculation limit must lie in [0, 1]"
         );
-        assert!(self.fan_coefficient > 0.0, "fan coefficient must be positive");
+        assert!(
+            self.fan_coefficient > 0.0,
+            "fan coefficient must be positive"
+        );
         self
     }
 }

@@ -11,18 +11,14 @@ fn hvac() -> Hvac {
 
 /// Strategy for an arbitrary (possibly wild) input vector.
 fn any_input() -> impl Strategy<Value = HvacInput> {
-    (
-        -20.0f64..80.0,
-        -20.0f64..80.0,
-        -0.5f64..1.5,
-        0.0f64..0.6,
-    )
-        .prop_map(|(ts, tc, dr, mz)| HvacInput {
+    (-20.0f64..80.0, -20.0f64..80.0, -0.5f64..1.5, 0.0f64..0.6).prop_map(|(ts, tc, dr, mz)| {
+        HvacInput {
             ts: Celsius::new(ts),
             tc: Celsius::new(tc),
             dr,
             mz: KgPerSecond::new(mz),
-        })
+        }
+    })
 }
 
 proptest! {

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn square_solve_via_least_squares() {
         let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
-        let x = Qr::factor(&a).unwrap().solve_least_squares(&[5.0, 10.0]).unwrap();
+        let x = Qr::factor(&a)
+            .unwrap()
+            .solve_least_squares(&[5.0, 10.0])
+            .unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
     }
@@ -196,7 +199,10 @@ mod tests {
     fn inconsistent_system_minimizes_residual() {
         // Same t for two different y values: LS picks the mean.
         let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
-        let x = Qr::factor(&a).unwrap().solve_least_squares(&[0.0, 2.0]).unwrap();
+        let x = Qr::factor(&a)
+            .unwrap()
+            .solve_least_squares(&[0.0, 2.0])
+            .unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
     }
 

@@ -91,20 +91,8 @@ pub struct Rkf45 {
 const A: [[f64; 5]; 5] = [
     [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
     [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
-    [
-        1932.0 / 2197.0,
-        -7200.0 / 2197.0,
-        7296.0 / 2197.0,
-        0.0,
-        0.0,
-    ],
-    [
-        439.0 / 216.0,
-        -8.0,
-        3680.0 / 513.0,
-        -845.0 / 4104.0,
-        0.0,
-    ],
+    [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+    [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
     [
         -8.0 / 27.0,
         2.0,
@@ -225,11 +213,7 @@ impl Rkf45 {
                 traj.push(t, &x);
             }
             // Proportional controller (order 4 ⇒ exponent 1/5).
-            let factor = if err > 0.0 {
-                0.9 * err.powf(-0.2)
-            } else {
-                5.0
-            };
+            let factor = if err > 0.0 { 0.9 * err.powf(-0.2) } else { 5.0 };
             h *= factor.clamp(0.2, 5.0);
             h = h.min(opts.max_step);
             if h < opts.min_step {
@@ -289,7 +273,9 @@ mod tests {
             ..AdaptiveOptions::default()
         });
         let two_pi = 2.0 * std::f64::consts::PI;
-        let traj = solver.integrate(&Oscillator, &[1.0, 0.0], 0.0, two_pi).unwrap();
+        let traj = solver
+            .integrate(&Oscillator, &[1.0, 0.0], 0.0, two_pi)
+            .unwrap();
         let s = traj.last_state();
         assert!((s[0] - 1.0).abs() < 1e-6, "cos {s:?}");
         assert!(s[1].abs() < 1e-6, "sin {s:?}");

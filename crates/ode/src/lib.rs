@@ -111,7 +111,11 @@ pub fn integrate<S: OdeSystem>(
 ) -> Trajectory {
     assert!(dt > 0.0, "integrate: dt must be positive");
     assert!(t1 >= t0, "integrate: t1 must be >= t0");
-    assert_eq!(x0.len(), system.dim(), "integrate: state dimension mismatch");
+    assert_eq!(
+        x0.len(),
+        system.dim(),
+        "integrate: state dimension mismatch"
+    );
 
     let mut traj = Trajectory::new(system.dim());
     let mut t = t0;

@@ -88,7 +88,9 @@ mod tests {
     fn display_messages() {
         let e = OptimError::DimensionMismatch { what: "g vs H" };
         assert!(e.to_string().contains("g vs H"));
-        assert!(OptimError::AsymmetricHessian.to_string().contains("symmetric"));
+        assert!(OptimError::AsymmetricHessian
+            .to_string()
+            .contains("symmetric"));
         let q = OptimError::QpMaxIterations {
             mu: 1e-3,
             primal_residual: 1e-2,

@@ -104,12 +104,7 @@ pub trait NlpProblem {
 }
 
 /// Builds an `m × n` [`Matrix`] Jacobian via finite differences.
-fn jacobian_matrix(
-    f: &dyn Fn(&[f64], &mut [f64]),
-    z: &[f64],
-    m: usize,
-    n: usize,
-) -> Matrix {
+fn jacobian_matrix(f: &dyn Fn(&[f64], &mut [f64]), z: &[f64], m: usize, n: usize) -> Matrix {
     if m == 0 {
         return Matrix::zeros(0, n.max(1));
     }

@@ -80,11 +80,11 @@ impl QpProblem {
     /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
     pub fn with_equalities(mut self, a_eq: Matrix, b_eq: Vec<f64>) -> Result<Self, OptimError> {
         if a_eq.cols() != self.num_vars() || a_eq.rows() != b_eq.len() {
-            return Err(OptimError::DimensionMismatch { what: "A_eq vs b_eq" });
+            return Err(OptimError::DimensionMismatch {
+                what: "A_eq vs b_eq",
+            });
         }
-        if a_eq.as_slice().iter().any(|v| !v.is_finite())
-            || b_eq.iter().any(|v| !v.is_finite())
-        {
+        if a_eq.as_slice().iter().any(|v| !v.is_finite()) || b_eq.iter().any(|v| !v.is_finite()) {
             return Err(OptimError::NonFiniteData);
         }
         self.a_eq = Some(a_eq);
@@ -100,11 +100,11 @@ impl QpProblem {
     /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
     pub fn with_inequalities(mut self, a_in: Matrix, b_in: Vec<f64>) -> Result<Self, OptimError> {
         if a_in.cols() != self.num_vars() || a_in.rows() != b_in.len() {
-            return Err(OptimError::DimensionMismatch { what: "A_in vs b_in" });
+            return Err(OptimError::DimensionMismatch {
+                what: "A_in vs b_in",
+            });
         }
-        if a_in.as_slice().iter().any(|v| !v.is_finite())
-            || b_in.iter().any(|v| !v.is_finite())
-        {
+        if a_in.as_slice().iter().any(|v| !v.is_finite()) || b_in.iter().any(|v| !v.is_finite()) {
             return Err(OptimError::NonFiniteData);
         }
         self.a_in = Some(a_in);
@@ -296,9 +296,7 @@ impl QpSolver {
                 None => Vec::new(),
             };
             let cz = a_in.matvec(&z)?;
-            let rc: Vec<f64> = (0..mi)
-                .map(|i| cz[i] + s[i] - problem.b_in[i])
-                .collect();
+            let rc: Vec<f64> = (0..mi).map(|i| cz[i] + s[i] - problem.b_in[i]).collect();
             let mu = vecops::dot(&s, &lam) / mi as f64;
 
             let converged = mu <= tol * data_scale
@@ -352,7 +350,14 @@ impl QpSolver {
 
             // Affine (predictor) direction: target σ = 0.
             let (dz_aff, _dy_aff, ds_aff, dlam_aff) = self.kkt_solve(
-                &lu, problem, a_in, &rd, &rp, &rc, &s, &lam,
+                &lu,
+                problem,
+                a_in,
+                &rd,
+                &rp,
+                &rc,
+                &s,
+                &lam,
                 &(0..mi).map(|i| s[i] * lam[i]).collect::<Vec<f64>>(),
             )?;
             let alpha_aff = step_length(&s, &ds_aff, &lam, &dlam_aff);
@@ -556,8 +561,7 @@ mod tests {
     #[test]
     fn box_constrained_projection() {
         // Project (5, -5) onto [0,1]².
-        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).unwrap();
         let p = QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![-10.0, 10.0])
             .unwrap()
             .with_inequalities(a, vec![1.0, 0.0, 1.0, 0.0])
@@ -600,8 +604,7 @@ mod tests {
 
     #[test]
     fn kkt_conditions_hold() {
-        let a_in =
-            Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, 2.0], &[2.0, -1.0]]).unwrap();
+        let a_in = Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, 2.0], &[2.0, -1.0]]).unwrap();
         let p = QpProblem::new(
             Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 2.0]]).unwrap(),
             vec![1.0, 1.0],
@@ -655,9 +658,7 @@ mod tests {
             Err(OptimError::NonFiniteData)
         ));
         let p = QpProblem::new(Matrix::identity(2), vec![0.0; 2]).unwrap();
-        assert!(p
-            .with_equalities(Matrix::zeros(1, 3), vec![0.0])
-            .is_err());
+        assert!(p.with_equalities(Matrix::zeros(1, 3), vec![0.0]).is_err());
     }
 
     #[test]
@@ -673,8 +674,7 @@ mod tests {
 
     #[test]
     fn loose_tolerance_converges_in_fewer_iterations() {
-        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).unwrap();
         let p = QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![-10.0, 3.0])
             .unwrap()
             .with_inequalities(a, vec![1.0; 4])
@@ -701,8 +701,7 @@ mod tests {
         // A pure LP (H = 0) on a box: the regularized KKT system stays
         // factorable and the solution hits the right vertex.
         let h = Matrix::from_diag(&[0.0, 0.0]);
-        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 1.0], &[0.0, -1.0]]).unwrap();
         let p = QpProblem::new(h, vec![1.0, -2.0])
             .unwrap()
             .with_inequalities(a, vec![1.0; 4])
@@ -735,7 +734,10 @@ mod tests {
         let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let a = Matrix::from_rows(&row_refs).unwrap();
         let b = vec![2.0; 2 * n];
-        let p = QpProblem::new(h, g).unwrap().with_inequalities(a, b).unwrap();
+        let p = QpProblem::new(h, g)
+            .unwrap()
+            .with_inequalities(a, b)
+            .unwrap();
         let sol = solve(&p);
         for (i, &zi) in sol.z.iter().enumerate() {
             assert!((-2.0 - 1e-6..=2.0 + 1e-6).contains(&zi), "z[{i}] = {zi}");

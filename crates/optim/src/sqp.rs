@@ -134,7 +134,9 @@ impl SqpSolver {
     ) -> Result<SqpResult, OptimError> {
         let n = problem.num_vars();
         if z0.len() != n {
-            return Err(OptimError::DimensionMismatch { what: "z0 vs problem" });
+            return Err(OptimError::DimensionMismatch {
+                what: "z0 vs problem",
+            });
         }
         let me = problem.num_eq();
         let mi = problem.num_ineq();
@@ -152,9 +154,7 @@ impl SqpSolver {
         let mut c_in = vec![0.0; mi];
         problem.eq_constraints(&z, &mut c_eq);
         problem.ineq_constraints(&z, &mut c_in);
-        if c_eq.iter().chain(&c_in).any(|v| !v.is_finite())
-            || grad.iter().any(|v| !v.is_finite())
-        {
+        if c_eq.iter().chain(&c_in).any(|v| !v.is_finite()) || grad.iter().any(|v| !v.is_finite()) {
             return Err(OptimError::NonFiniteData);
         }
 
@@ -168,9 +168,9 @@ impl SqpSolver {
             let j_in = problem.ineq_jacobian(&z);
 
             // QP subproblem in the step d.
-            let (d, mult_eq, mult_in) = match self.solve_subproblem(
-                &qp_solver, &b, &grad, &j_eq, &c_eq, &j_in, &c_in, penalty,
-            ) {
+            let (d, mult_eq, mult_in) = match self
+                .solve_subproblem(&qp_solver, &b, &grad, &j_eq, &c_eq, &j_in, &c_in, penalty)
+            {
                 Ok((d, y_eq, lambda_in)) => {
                     let mult = vecops::norm_inf(&y_eq).max(vecops::norm_inf(&lambda_in));
                     penalty = penalty.max(1.5 * mult + 1.0);
@@ -237,9 +237,7 @@ impl SqpSolver {
                         // Second-order correction: shift the step to cancel
                         // the constraint curvature revealed at z + d.
                         soc_tried = true;
-                        if let Some(correction) =
-                            second_order_correction(&j_eq, &c_eq_new)
-                        {
+                        if let Some(correction) = second_order_correction(&j_eq, &c_eq_new) {
                             let mut d_soc = d.clone();
                             vecops::axpy(1.0, &correction, &mut d_soc);
                             trial_d = d_soc;
@@ -419,8 +417,7 @@ fn second_order_correction(j_eq: &Matrix, c_at_trial: &[f64]) -> Option<Vec<f64>
 
 /// L1 constraint violation: `Σ|c_eq| + Σ max(0, c_in)`.
 fn violation(c_eq: &[f64], c_in: &[f64]) -> f64 {
-    c_eq.iter().map(|v| v.abs()).sum::<f64>()
-        + c_in.iter().map(|v| v.max(0.0)).sum::<f64>()
+    c_eq.iter().map(|v| v.abs()).sum::<f64>() + c_in.iter().map(|v| v.max(0.0)).sum::<f64>()
 }
 
 /// Damped BFGS update (Powell damping) of `b` in place.
@@ -533,7 +530,9 @@ mod tests {
             tolerance: 1e-8,
             ..SqpOptions::default()
         };
-        let r = SqpSolver::new(opts).solve(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        let r = SqpSolver::new(opts)
+            .solve(&Rosenbrock, &[-1.2, 1.0])
+            .unwrap();
         assert!(
             (r.z[0] - 1.0).abs() < 1e-3 && (r.z[1] - 1.0).abs() < 1e-3,
             "{:?} {:?}",
@@ -553,7 +552,9 @@ mod tests {
 
     #[test]
     fn box_constrained_quadratic() {
-        let r = SqpSolver::default().solve(&BoxedQuadratic, &[0.0, 0.0]).unwrap();
+        let r = SqpSolver::default()
+            .solve(&BoxedQuadratic, &[0.0, 0.0])
+            .unwrap();
         assert!(r.is_converged(), "{:?}", r.status);
         assert!((r.z[0] - 1.0).abs() < 1e-5);
         assert!((r.z[1] + 1.0).abs() < 1e-5);
@@ -584,9 +585,7 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_is_reported() {
-        let err = SqpSolver::default()
-            .solve(&Rosenbrock, &[0.0])
-            .unwrap_err();
+        let err = SqpSolver::default().solve(&Rosenbrock, &[0.0]).unwrap_err();
         assert!(matches!(err, OptimError::DimensionMismatch { .. }));
     }
 
@@ -651,7 +650,9 @@ mod tests {
         // Rosenbrock from the classic hard start: with one backtracking
         // step per iteration the solver may stall — it must still return
         // a finite result with an honest status.
-        let r = SqpSolver::new(opts).solve(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        let r = SqpSolver::new(opts)
+            .solve(&Rosenbrock, &[-1.2, 1.0])
+            .unwrap();
         assert!(r.z.iter().all(|v| v.is_finite()));
         assert!(matches!(
             r.status,

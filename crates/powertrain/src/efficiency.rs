@@ -99,11 +99,7 @@ impl EfficiencyMap {
     #[must_use]
     pub fn constant(eta: f64) -> Self {
         assert!(eta > 0.0 && eta <= 1.0, "efficiency must lie in (0, 1]");
-        Self::from_grid(
-            vec![0.0, 1000.0],
-            vec![0.0, 300.0],
-            vec![eta; 4],
-        )
+        Self::from_grid(vec![0.0, 1000.0], vec![0.0, 300.0], vec![eta; 4])
     }
 
     /// Bilinear efficiency lookup at motor speed `omega` (rad/s) and
@@ -161,11 +157,8 @@ mod tests {
 
     #[test]
     fn bilinear_interpolation_exact_on_corners_and_centers() {
-        let m = EfficiencyMap::from_grid(
-            vec![0.0, 10.0],
-            vec![0.0, 10.0],
-            vec![0.8, 0.9, 0.6, 0.7],
-        );
+        let m =
+            EfficiencyMap::from_grid(vec![0.0, 10.0], vec![0.0, 10.0], vec![0.8, 0.9, 0.6, 0.7]);
         assert!((m.efficiency(0.0, 0.0) - 0.8).abs() < 1e-12);
         assert!((m.efficiency(0.0, 10.0) - 0.9).abs() < 1e-12);
         assert!((m.efficiency(10.0, 0.0) - 0.6).abs() < 1e-12);

@@ -94,12 +94,7 @@ impl IceVehicle {
     /// Fuel power consumed by propulsion at a steady operating point.
     /// Includes idle fuel burn; braking consumes idle fuel only.
     #[must_use]
-    pub fn propulsion_fuel_power(
-        &self,
-        v: MetersPerSecond,
-        a: f64,
-        slope_percent: f64,
-    ) -> Watts {
+    pub fn propulsion_fuel_power(&self, v: MetersPerSecond, a: f64, slope_percent: f64) -> Watts {
         let load = RoadLoad::at(&self.params.vehicle, v, a, slope_percent);
         let mech = (load.tractive().value() * v.value()).max(0.0);
         // Part-load penalty: efficiency falls off at small loads.
@@ -113,7 +108,10 @@ impl IceVehicle {
     #[must_use]
     pub fn waste_heat(&self, v: MetersPerSecond, a: f64, slope_percent: f64) -> Watts {
         let fuel = self.propulsion_fuel_power(v, a, slope_percent).value();
-        Watts::new(fuel * (1.0 - self.params.engine_peak_efficiency) * self.params.usable_waste_heat_fraction)
+        Watts::new(
+            fuel * (1.0 - self.params.engine_peak_efficiency)
+                * self.params.usable_waste_heat_fraction,
+        )
     }
 
     /// Fuel power attributable to the HVAC for a given cabin thermal load.
@@ -123,19 +121,13 @@ impl IceVehicle {
     /// PTC heater through the alternator. In cooling mode the compressor
     /// load divides by the COP and the engine efficiency.
     #[must_use]
-    pub fn hvac_fuel_power(
-        &self,
-        v: MetersPerSecond,
-        cabin_load: Watts,
-        heating: bool,
-    ) -> Watts {
+    pub fn hvac_fuel_power(&self, v: MetersPerSecond, cabin_load: Watts, heating: bool) -> Watts {
         let fan_fuel =
             Self::FAN_POWER_W / Self::ALTERNATOR_EFF / self.params.engine_peak_efficiency;
         if heating {
             let available = self.waste_heat(v, 0.0, 0.0).value();
             let shortfall = (cabin_load.value() - available).max(0.0);
-            let ptc_fuel =
-                shortfall / Self::ALTERNATOR_EFF / self.params.engine_peak_efficiency;
+            let ptc_fuel = shortfall / Self::ALTERNATOR_EFF / self.params.engine_peak_efficiency;
             Watts::new(fan_fuel + ptc_fuel)
         } else {
             let compressor_mech = cabin_load.value() / self.params.ac_cop;

@@ -152,7 +152,10 @@ impl VehicleParamsBuilder {
     /// Panics if either coefficient is negative.
     #[must_use]
     pub fn rolling_resistance(mut self, c0: f64, c1: f64) -> Self {
-        assert!(c0 >= 0.0 && c1 >= 0.0, "rolling coefficients must be non-negative");
+        assert!(
+            c0 >= 0.0 && c1 >= 0.0,
+            "rolling coefficients must be non-negative"
+        );
         self.params.rolling_c0 = c0;
         self.params.rolling_c1 = c1;
         self

@@ -1,0 +1,88 @@
+//! Convenience runners that wire observers into a simulation.
+
+use ev_core::{ControllerKind, EvParams, SimulationResult, StepObserver, TraceRecorder};
+use ev_drive::DriveProfile;
+
+use crate::invariants::{InvariantObserver, InvariantReport};
+
+/// Runs one (profile × controller) cell and returns the result together
+/// with the full step-level trace.
+///
+/// # Panics
+///
+/// Panics if the profile is empty or the controller cannot be
+/// instantiated for `params` (cannot happen for the built-in cycles and
+/// parameter sets).
+#[must_use]
+pub fn run_traced(
+    params: &EvParams,
+    profile: DriveProfile,
+    kind: ControllerKind,
+) -> (SimulationResult, TraceRecorder) {
+    let sim = ev_core::Simulation::new(params.clone(), profile).expect("profile non-empty");
+    let mut controller = kind.instantiate(params).expect("controller instantiates");
+    let mut recorder = TraceRecorder::new();
+    let result = sim
+        .run_observed(controller.as_mut(), &mut recorder)
+        .expect("simulation runs");
+    (result, recorder)
+}
+
+/// Runs one cell with both a trace recorder and an invariant observer
+/// attached, returning the result, the trace and the invariant report.
+/// The harness behind the golden-trace suite.
+///
+/// # Panics
+///
+/// Panics as [`run_traced`] does.
+#[must_use]
+pub fn run_checked(
+    params: &EvParams,
+    profile: DriveProfile,
+    kind: ControllerKind,
+) -> (SimulationResult, TraceRecorder, InvariantReport) {
+    let sim = ev_core::Simulation::new(params.clone(), profile).expect("profile non-empty");
+    let mut controller = kind.instantiate(params).expect("controller instantiates");
+    let mut observers = (TraceRecorder::new(), InvariantObserver::for_params(params));
+    let result = sim
+        .run_observed(controller.as_mut(), &mut observers)
+        .expect("simulation runs");
+    let (recorder, invariants) = observers;
+    (result, recorder, invariants.into_report())
+}
+
+/// Drives an arbitrary observer over one cell; returns result + observer.
+///
+/// # Panics
+///
+/// Panics as [`run_traced`] does.
+#[must_use]
+pub fn run_with<O: StepObserver>(
+    params: &EvParams,
+    profile: DriveProfile,
+    kind: ControllerKind,
+    mut observer: O,
+) -> (SimulationResult, O) {
+    let sim = ev_core::Simulation::new(params.clone(), profile).expect("profile non-empty");
+    let mut controller = kind.instantiate(params).expect("controller instantiates");
+    let result = sim
+        .run_observed(controller.as_mut(), &mut observer)
+        .expect("simulation runs");
+    (result, observer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::experiments::profile_at;
+    use ev_drive::DriveCycle;
+
+    #[test]
+    fn run_checked_is_clean_on_the_builtin_cell() {
+        let params = EvParams::nissan_leaf_like();
+        let profile = profile_at(&DriveCycle::ece15(), 35.0);
+        let (result, trace, report) = run_checked(&params, profile, ControllerKind::OnOff);
+        assert_eq!(trace.records().len(), result.series.t.len());
+        report.assert_clean();
+    }
+}

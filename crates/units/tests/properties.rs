@@ -2,7 +2,7 @@
 //! and arithmetic laws.
 
 use ev_units::{
-    Celsius, Joules, Kilometers, KilometersPerHour, Kilowatts, KilowattHours, Meters,
+    Celsius, Joules, Kilometers, KilometersPerHour, KilowattHours, Kilowatts, Meters,
     MetersPerSecond, Percent, Seconds, Volts, Watts,
 };
 use proptest::prelude::*;

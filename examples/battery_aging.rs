@@ -27,10 +27,7 @@ const WORKDAYS_PER_YEAR: f64 = 250.0;
 /// Two commutes (there and back) per working day.
 const CYCLES_PER_YEAR: f64 = 2.0 * WORKDAYS_PER_YEAR;
 
-fn per_cycle_soh(
-    kind: ControllerKind,
-    ambient_c: f64,
-) -> Result<f64, Box<dyn std::error::Error>> {
+fn per_cycle_soh(kind: ControllerKind, ambient_c: f64) -> Result<f64, Box<dyn std::error::Error>> {
     let profile = DriveProfile::from_cycle(
         &DriveCycle::udds(),
         AmbientConditions::constant(Celsius::new(ambient_c)),
@@ -40,7 +37,11 @@ fn per_cycle_soh(
     params.initial_cabin = Some(params.target);
     let sim = Simulation::new(params.clone(), profile)?;
     let mut controller = kind.instantiate(&params)?;
-    Ok(sim.run(controller.as_mut())?.metrics().delta_soh_milli_percent / 1000.0)
+    Ok(sim
+        .run(controller.as_mut())?
+        .metrics()
+        .delta_soh_milli_percent
+        / 1000.0)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

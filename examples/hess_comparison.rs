@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, run, policy) in [
         ("On/Off, battery only", &onoff_run, SplitPolicy::BatteryOnly),
         ("On/Off + ultracap peak-shave (hardware)", &onoff_run, shave),
-        ("Lifetime-aware MPC, battery only (software)", &mpc_run, SplitPolicy::BatteryOnly),
+        (
+            "Lifetime-aware MPC, battery only (software)",
+            &mpc_run,
+            SplitPolicy::BatteryOnly,
+        ),
         ("Lifetime-aware MPC + ultracap (both)", &mpc_run, shave),
     ] {
         let (stats, soh) = replay_through_hess(run, policy);

@@ -123,13 +123,25 @@ fn print_metrics(result: &SimulationResult) {
     println!("profile:        {}", result.profile);
     println!("controller:     {}", result.controller);
     println!("distance:       {:.2} km", m.distance.value());
-    println!("energy:         {:.3} kWh ({:.2} kWh/100km)", m.energy.value(), m.kwh_per_100km);
+    println!(
+        "energy:         {:.3} kWh ({:.2} kWh/100km)",
+        m.energy.value(),
+        m.kwh_per_100km
+    );
     println!("avg HVAC power: {:.3} kW", m.avg_hvac_power.value());
     println!("final SoC:      {:.2} %", m.final_soc);
-    println!("SoC avg/dev:    {:.2} / {:.3} %", m.soc_stats.avg, m.soc_stats.dev);
-    println!("ΔSoH:           {:.3} m% per cycle ({:.0} cycles to 80 %)", m.delta_soh_milli_percent, m.cycles_to_eol);
-    println!("comfort:        {} violations, worst {:.2} K, mean |ΔT| {:.2} K",
-        m.comfort_violations, m.max_comfort_excursion, m.mean_temp_error);
+    println!(
+        "SoC avg/dev:    {:.2} / {:.3} %",
+        m.soc_stats.avg, m.soc_stats.dev
+    );
+    println!(
+        "ΔSoH:           {:.3} m% per cycle ({:.0} cycles to 80 %)",
+        m.delta_soh_milli_percent, m.cycles_to_eol
+    );
+    println!(
+        "comfort:        {} violations, worst {:.2} K, mean |ΔT| {:.2} K",
+        m.comfort_violations, m.max_comfort_excursion, m.mean_temp_error
+    );
 }
 
 fn cmd_cycles() {
@@ -256,7 +268,10 @@ mod tests {
 
     #[test]
     fn controller_lookup_accepts_aliases() {
-        assert!(matches!(controller_by_name("MPC"), Some(ControllerKind::Mpc)));
+        assert!(matches!(
+            controller_by_name("MPC"),
+            Some(ControllerKind::Mpc)
+        ));
         assert!(matches!(
             controller_by_name("on-off"),
             Some(ControllerKind::OnOff)

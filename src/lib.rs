@@ -83,10 +83,12 @@ pub mod prelude {
     pub use ev_core::{
         ControllerKind, ElectricVehicle, EvParams, Metrics, Simulation, SimulationResult,
     };
-    pub use ev_drive::{AmbientConditions, DriveCycle, DriveProfile, DriveSample, Route, RouteSegment};
+    pub use ev_drive::{
+        AmbientConditions, DriveCycle, DriveProfile, DriveSample, Route, RouteSegment,
+    };
     pub use ev_hvac::{CabinParams, Hvac, HvacInput, HvacLimits, HvacParams, HvacState};
     pub use ev_powertrain::{IceVehicle, PowerTrain, VehicleParams};
     pub use ev_units::{
-        Celsius, Kilowatts, KilowattHours, KgPerSecond, MetersPerSecond, Percent, Seconds, Watts,
+        Celsius, KgPerSecond, KilowattHours, Kilowatts, MetersPerSecond, Percent, Seconds, Watts,
     };
 }

@@ -3,13 +3,31 @@
 //! our reproduction (absolute magnitudes are calibration-dependent and
 //! recorded in EXPERIMENTS.md instead).
 
-use evclimate::core::experiments::{evaluation_sweep_at, find, table1_row};
+use ev_testkit::InvariantObserver;
+use evclimate::core::experiments::{
+    evaluation_sweep_at, evaluation_sweep_observed, experiment_params, find, table1_row,
+};
 use evclimate::core::ControllerKind;
 use evclimate::prelude::*;
 
-/// Runs the three-controller comparison on one cycle at one ambient.
+/// Runs the three-controller comparison on one cycle at one ambient,
+/// with the `ev-testkit` physics invariants checked at every step of
+/// every cell.
 fn lineup(ambient_c: f64, cycle: &DriveCycle) -> (Metrics, Metrics, Metrics) {
-    let cells = evaluation_sweep_at(ambient_c, std::slice::from_ref(cycle));
+    let params = experiment_params();
+    let cells = evaluation_sweep_observed(ambient_c, std::slice::from_ref(cycle), |_, _| {
+        InvariantObserver::for_params(&params)
+    });
+    for (cell, observer) in &cells {
+        assert!(
+            observer.report().is_clean(),
+            "{} × {:?}: {}",
+            cell.profile,
+            cell.controller,
+            observer.report()
+        );
+    }
+    let cells: Vec<_> = cells.into_iter().map(|(cell, _)| cell).collect();
     let get = |kind| {
         *find(&cells, cycle.name(), kind)
             .expect("cell present")
@@ -63,7 +81,10 @@ fn improvement_grows_with_hvac_load() {
         cold.soh_improvement_vs_onoff_pct,
         mild.soh_improvement_vs_onoff_pct
     );
-    assert!(cold.onoff_kw > mild.onoff_kw, "cold HVAC load must be higher");
+    assert!(
+        cold.onoff_kw > mild.onoff_kw,
+        "cold HVAC load must be higher"
+    );
 }
 
 #[test]
@@ -75,7 +96,10 @@ fn all_controllers_maintain_comfort_when_preconditioned() {
         // Small transient excursions are tolerated; sustained violation
         // is not (< 5 % of samples and < 1 K depth).
         let frac = m.comfort_violations as f64 / cell.result.series.t.len() as f64;
-        assert!(frac < 0.05, "{kind:?}: {frac:.3} of samples violated comfort");
+        assert!(
+            frac < 0.05,
+            "{kind:?}: {frac:.3} of samples violated comfort"
+        );
         assert!(
             m.max_comfort_excursion < 1.0,
             "{kind:?}: excursion {}",
@@ -96,7 +120,11 @@ fn soc_deviation_is_what_the_mpc_flattens() {
         mpc.soc_stats.dev,
         onoff.soc_stats.dev
     );
-    assert!(mpc.mean_temp_error < 3.0, "comfort kept: {}", mpc.mean_temp_error);
+    assert!(
+        mpc.mean_temp_error < 3.0,
+        "comfort kept: {}",
+        mpc.mean_temp_error
+    );
 }
 
 #[test]

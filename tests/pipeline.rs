@@ -1,16 +1,24 @@
 //! End-to-end pipeline tests spanning every crate: drive-profile
 //! generation → power train → controller → HVAC → battery → metrics.
 
+use ev_testkit::InvariantObserver;
 use evclimate::core::ControllerKind;
 use evclimate::drive::synthetic::RouteConfig;
 use evclimate::prelude::*;
 
+/// Runs one cell with the `ev-testkit` physics invariants checked at
+/// every simulated step.
 fn run(kind: ControllerKind, profile: DriveProfile) -> SimulationResult {
     let mut params = EvParams::nissan_leaf_like();
     params.initial_cabin = Some(params.target);
     let sim = Simulation::new(params.clone(), profile).expect("profile non-empty");
     let mut controller = kind.instantiate(&params).expect("instantiates");
-    sim.run(controller.as_mut()).expect("runs")
+    let mut invariants = InvariantObserver::for_params(&params);
+    let result = sim
+        .run_observed(controller.as_mut(), &mut invariants)
+        .expect("runs");
+    invariants.report().assert_clean();
+    result
 }
 
 fn synthetic_profile() -> DriveProfile {
@@ -29,7 +37,11 @@ fn synthetic_route_full_pipeline() {
         let m = r.metrics();
         assert!(m.distance.value() > 2.0, "{kind:?}: {m:?}");
         assert!(m.energy.value() > 0.0);
-        assert!(m.kwh_per_100km > 5.0 && m.kwh_per_100km < 40.0, "{kind:?}: {}", m.kwh_per_100km);
+        assert!(
+            m.kwh_per_100km > 5.0 && m.kwh_per_100km < 40.0,
+            "{kind:?}: {}",
+            m.kwh_per_100km
+        );
         assert!(m.final_soc < 95.0 && m.final_soc > 80.0);
         assert!(m.delta_soh_milli_percent > 0.0);
         assert!(m.cycles_to_eol.is_finite() && m.cycles_to_eol > 100.0);
@@ -71,8 +83,7 @@ fn energy_accounting_is_consistent() {
         / 3.6e6;
     assert!((integral - r.metrics().energy.value()).abs() < 1e-9);
     for k in 0..r.series.t.len() {
-        let total =
-            r.series.motor_power[k] + r.series.hvac_power[k] + 300.0;
+        let total = r.series.motor_power[k] + r.series.hvac_power[k] + 300.0;
         let clamped = total.clamp(-50_000.0, 90_000.0);
         assert!(
             (r.series.battery_power[k] - clamped).abs() < 1e-6,
@@ -86,8 +97,7 @@ fn energy_accounting_is_consistent() {
 fn hvac_power_split_sums_to_total() {
     let r = run(ControllerKind::Fuzzy, synthetic_profile());
     for k in 0..r.series.t.len() {
-        let sum =
-            r.series.heating_power[k] + r.series.cooling_power[k] + r.series.fan_power[k];
+        let sum = r.series.heating_power[k] + r.series.cooling_power[k] + r.series.fan_power[k];
         assert!(
             (sum - r.series.hvac_power[k]).abs() < 1e-9,
             "sample {k}: {sum} vs {}",

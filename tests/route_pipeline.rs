@@ -1,6 +1,7 @@
 //! Integration: navigation-style routes (the paper's §II-A input) driven
 //! end-to-end through the full simulator stack.
 
+use ev_testkit::InvariantObserver;
 use evclimate::core::ControllerKind;
 use evclimate::drive::{Route, RouteSegment};
 use evclimate::prelude::*;
@@ -33,8 +34,14 @@ fn route_drives_through_the_full_stack() {
     let mut params = EvParams::nissan_leaf_like();
     params.initial_cabin = Some(params.target);
     let sim = Simulation::new(params.clone(), profile).expect("profile non-empty");
-    let mut mpc = ControllerKind::Mpc.instantiate(&params).expect("instantiates");
-    let r = sim.run(mpc.as_mut()).expect("runs");
+    let mut mpc = ControllerKind::Mpc
+        .instantiate(&params)
+        .expect("instantiates");
+    let mut invariants = InvariantObserver::for_params(&params);
+    let r = sim
+        .run_observed(mpc.as_mut(), &mut invariants)
+        .expect("runs");
+    invariants.report().assert_clean();
     let m = r.metrics();
     // ~12.1 km route.
     assert!((m.distance.value() - commute().length().value()).abs() < 0.7);
@@ -70,7 +77,10 @@ fn traffic_factor_slows_and_cheapens_the_drive() {
         );
         let sim = Simulation::new(params.clone(), profile).expect("non-empty");
         let mut c = ControllerKind::Fuzzy.instantiate(&params).expect("ok");
-        sim.run(c.as_mut()).expect("runs")
+        let mut invariants = InvariantObserver::for_params(&params);
+        let result = sim.run_observed(c.as_mut(), &mut invariants).expect("runs");
+        invariants.report().assert_clean();
+        result
     };
     let fast = run(&free);
     let slow = run(&jammed);

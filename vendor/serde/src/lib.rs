@@ -1,0 +1,296 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! a minimal (de)serialization core with the same *surface* the workspace
+//! uses — `#[derive(Serialize, Deserialize)]`, `#[serde(transparent)]`
+//! newtypes, and JSON round-trips through the sibling `serde_json` stub —
+//! but a much simpler design: values serialize into a self-describing
+//! [`Value`] tree, and deserialize back out of one. The derive macros live
+//! in the sibling `serde_derive` crate and generate `to_value`/`from_value`
+//! implementations against these traits.
+//!
+//! This is intentionally not wire-compatible with every corner of real
+//! serde (no zero-copy, no custom Serializer/Deserializer); it preserves
+//! exactly the behavior the workspace relies on: lossless JSON round-trips
+//! of plain-old-data structs, newtype units, and unit-variant enums.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, which is lossless for every
+    /// integer the workspace serializes).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of a map value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if `self` is not a map or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected map with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Looks up an element of a sequence value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if `self` is not a sequence or is too short.
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Seq(items) => items
+                .get(i)
+                .ok_or_else(|| Error::msg(format!("missing element {i}"))),
+            other => Err(Error::msg(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Extracts a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    /// Extracts a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if `self` is not a number.
+    pub fn as_num(&self) -> Result<f64, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error::msg(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+/// (De)serialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(v.as_num()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::msg(format!("expected {N} elements, found {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::from_value(v.index($idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), None);
+        let s = Some(4.0);
+        assert_eq!(Option::<f64>::from_value(&s.to_value()).unwrap(), s);
+        let t = (1.0, "x".to_string());
+        assert_eq!(<(f64, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn map_field_access_reports_missing() {
+        let m = Value::Map(vec![("a".into(), Value::Num(1.0))]);
+        assert!(m.field("a").is_ok());
+        assert!(m.field("b").unwrap_err().to_string().contains("missing"));
+        assert!(Value::Null.field("a").is_err());
+    }
+}

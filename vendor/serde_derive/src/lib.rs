@@ -1,0 +1,434 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored
+//! value-tree `serde` core. `syn`/`quote` are unavailable in this
+//! container, so the item is parsed directly from the raw
+//! [`TokenStream`]: attributes and visibility are skipped, the field or
+//! variant lists are extracted, and the impl is emitted as a formatted
+//! string parsed back into tokens.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields → JSON object
+//! - tuple structs with one field → transparent (the inner value)
+//! - tuple structs with several fields → JSON array
+//! - unit structs → `null`
+//! - enums of unit variants → the variant name as a string
+//! - enums with named-field variants → externally tagged object
+//!   `{"Variant": {fields...}}`
+//!
+//! Generics are not supported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier and whether `#[serde(default)]`
+/// was applied (missing JSON key → `Default::default()`).
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<Field>),
+    /// Tuple fields (arity only).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// What the derive was applied to.
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => serialize_struct_body(fields),
+        Kind::Enum(variants) => serialize_enum_body(variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    );
+    parse_code(&code)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => deserialize_struct_body(fields),
+        Kind::Enum(variants) => deserialize_enum_body(&item.name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    );
+    parse_code(&code)
+}
+
+fn parse_code(code: &str) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    let f = &f.name;
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn deserialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names.iter().map(named_field_init).collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(v.index({i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self({}))", inits.join(", "))
+        }
+        Fields::Unit => "::std::result::Result::Ok(Self)".to_string(),
+    }
+}
+
+/// The initializer expression for one named field during
+/// deserialization; `#[serde(default)]` fields fall back to
+/// `Default::default()` when the key is absent.
+fn named_field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match v.field(\"{name}\") {{ \
+                 ::std::result::Result::Ok(fv) => ::serde::Deserialize::from_value(fv)?, \
+                 ::std::result::Result::Err(_) => ::std::default::Default::default() \
+             }}"
+        )
+    } else {
+        format!("{name}: ::serde::Deserialize::from_value(v.field(\"{name}\")?)?")
+    }
+}
+
+fn serialize_enum_body(variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "Self::{v} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Fields::Named(names) => {
+                let binds = names
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        let f = &f.name;
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "Self::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Value::Map(::std::vec![{}])\
+                     )]),",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(_) => panic!("tuple enum variants are not supported by this derive"),
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut out = String::new();
+    // Unit variants arrive as a plain string.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => return ::std::result::Result::Ok(Self::{v}),"))
+        .collect();
+    if !unit_arms.is_empty() {
+        out.push_str(&format!(
+            "if let ::std::result::Result::Ok(s) = v.as_str() {{\n\
+                 match s {{\n{}\n_ => {{}}\n}}\n\
+             }}\n",
+            unit_arms.join("\n")
+        ));
+    }
+    // Data variants arrive externally tagged: {"Variant": {...}}.
+    for (v, fields) in variants {
+        if let Fields::Named(names) = fields {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| named_field_init(f).replace("v.field(", "inner.field("))
+                .collect();
+            out.push_str(&format!(
+                "if let ::std::result::Result::Ok(inner) = v.field(\"{v}\") {{\n\
+                     return ::std::result::Result::Ok(Self::{v} {{ {} }});\n\
+                 }}\n",
+                inits.join(", ")
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "::std::result::Result::Err(::serde::Error::msg(\
+             format!(\"no variant of `{name}` matches {{v:?}}\")))"
+    ));
+    out
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // attribute
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => panic!("serde_derive: unexpected token before struct/enum: {other:?}"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stub");
+    }
+    let kind = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Extracts field names from the brace-group of a named-field struct or
+/// enum variant, skipping attributes, visibility, and type tokens.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut pending_default = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if attr_is_serde_default(tokens.get(i + 1)) {
+                    pending_default = true;
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                names.push(Field {
+                    name: id.to_string(),
+                    default: pending_default,
+                });
+                pending_default = false;
+                i += 1;
+                assert!(
+                    matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                    "serde_derive: expected `:` after field `{}`",
+                    names.last().unwrap().name
+                );
+                i += 1;
+                i = skip_type(&tokens, i);
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    names
+}
+
+/// Whether the attribute body (the `[...]` group after `#`) is exactly
+/// `serde(default)`.
+fn attr_is_serde_default(tt: Option<&TokenTree>) -> bool {
+    let Some(TokenTree::Group(g)) = tt else {
+        return false;
+    };
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(inner.as_slice(),
+                [TokenTree::Ident(d)] if d.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
+/// Advances past a type expression, stopping at a top-level `,`.
+/// Tracks angle-bracket depth so commas inside generics don't split the
+/// type; `->` inside fn types is treated as a unit.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if depth == 0 => return i,
+                '<' => depth += 1,
+                '-' if matches!(tokens.get(i + 1), Some(TokenTree::Punct(q))
+                    if q.as_char() == '>') =>
+                {
+                    i += 1; // the `>` of `->` is not a closing bracket
+                }
+                '>' => depth = depth.saturating_sub(1),
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts the fields of a tuple struct's paren group (top-level commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        let next = skip_type(&tokens, i);
+        if next < tokens.len() {
+            count += 1;
+            i = next + 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+/// Extracts `(variant name, fields)` pairs from an enum's brace group.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push((name, fields));
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
