@@ -46,5 +46,5 @@ pub use charger::{charge_to, ChargeSession, Charger};
 pub use estimator::{EstimatorConfig, SocEstimator};
 pub use hess::{Hess, HessSplit, SplitPolicy, Ultracapacitor};
 pub use params::{BatteryParams, OcvCurve};
-pub use soh::{SohModel, SohParams};
+pub use soh::{SohModel, SohParams, SohParamsError};
 pub use thermal::{PackThermal, PackThermalParams};

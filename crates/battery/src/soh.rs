@@ -44,28 +44,95 @@ impl Default for SohParams {
     }
 }
 
+/// Why a [`SohParams`] value was rejected.
+///
+/// Marked non-exhaustive (matching [`ev_core::SimError`]'s precedent):
+/// future validation rules must not break downstream matches.
+///
+/// [`ev_core::SimError`]: https://docs.rs/ev-core
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SohParamsError {
+    /// One of the scale weights `a1`, `a2`, `a3` is negative or NaN.
+    NegativeScale {
+        /// Which field failed.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// One of the exponents `alpha`, `beta` is negative or NaN.
+    NegativeExponent {
+        /// Which field failed.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The battery-temperature multiplier is negative or NaN.
+    NegativeTemperatureFactor {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for SohParamsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NegativeScale { field, value } => {
+                write!(f, "soh scale {field} must be non-negative, got {value}")
+            }
+            Self::NegativeExponent { field, value } => {
+                write!(f, "soh exponent {field} must be non-negative, got {value}")
+            }
+            Self::NegativeTemperatureFactor { value } => {
+                write!(f, "temperature factor must be non-negative, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SohParamsError {}
+
 impl SohParams {
+    /// Validates positivity of the parameters, reporting which field is
+    /// out of range instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SohParamsError`] naming the first field that is
+    /// negative or NaN.
+    pub fn try_validated(self) -> Result<Self, SohParamsError> {
+        for (field, value) in [("a1", self.a1), ("a2", self.a2), ("a3", self.a3)] {
+            if value.is_nan() || value < 0.0 {
+                return Err(SohParamsError::NegativeScale { field, value });
+            }
+        }
+        for (field, value) in [("alpha", self.alpha), ("beta", self.beta)] {
+            if value.is_nan() || value < 0.0 {
+                return Err(SohParamsError::NegativeExponent { field, value });
+            }
+        }
+        if self.temperature_factor.is_nan() || self.temperature_factor < 0.0 {
+            return Err(SohParamsError::NegativeTemperatureFactor {
+                value: self.temperature_factor,
+            });
+        }
+        Ok(self)
+    }
+
     /// Validates positivity of the parameters.
     ///
     /// # Panics
     ///
     /// Panics if any of `a1, a2, a3, temperature_factor` is negative or
-    /// the exponents are negative.
+    /// the exponents are negative; prefer
+    /// [`try_validated`](Self::try_validated) where the error can be
+    /// routed.
     #[must_use]
     pub fn validated(self) -> Self {
-        assert!(
-            self.a1 >= 0.0 && self.a2 >= 0.0 && self.a3 >= 0.0,
-            "soh scales must be non-negative"
-        );
-        assert!(
-            self.alpha >= 0.0 && self.beta >= 0.0,
-            "soh exponents must be non-negative"
-        );
-        assert!(
-            self.temperature_factor >= 0.0,
-            "temperature factor must be non-negative"
-        );
-        self
+        match self.try_validated() {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -94,12 +161,28 @@ impl SohModel {
     /// capacity, i.e. after 20 % total degradation (paper's Section I).
     pub const EOL_FADE_PERCENT: f64 = 20.0;
 
-    /// Creates the model from parameters.
+    /// Creates the model from parameters, panicking on invalid ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`SohParams::try_validated`]; prefer
+    /// [`try_new`](Self::try_new) where the error can be routed.
     #[must_use]
     pub fn new(params: SohParams) -> Self {
         Self {
             params: params.validated(),
         }
+    }
+
+    /// Creates the model from parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SohParamsError`] naming the first out-of-range field.
+    pub fn try_new(params: SohParams) -> Result<Self, SohParamsError> {
+        Ok(Self {
+            params: params.try_validated()?,
+        })
     }
 
     /// Borrows the parameters.
@@ -254,5 +337,48 @@ mod tests {
             a1: -1.0,
             ..SohParams::default()
         });
+    }
+
+    #[test]
+    fn try_validated_names_the_offending_field() {
+        assert_eq!(
+            SohParams {
+                a3: -0.5,
+                ..SohParams::default()
+            }
+            .try_validated()
+            .unwrap_err(),
+            SohParamsError::NegativeScale {
+                field: "a3",
+                value: -0.5
+            }
+        );
+        assert_eq!(
+            SohParams {
+                beta: -1.0,
+                ..SohParams::default()
+            }
+            .try_validated()
+            .unwrap_err(),
+            SohParamsError::NegativeExponent {
+                field: "beta",
+                value: -1.0
+            }
+        );
+        assert!(matches!(
+            SohParams {
+                temperature_factor: f64::NAN,
+                ..SohParams::default()
+            }
+            .try_validated(),
+            Err(SohParamsError::NegativeTemperatureFactor { .. })
+        ));
+        let err = SohModel::try_new(SohParams {
+            alpha: -2.0,
+            ..SohParams::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("alpha"), "{err}");
+        assert!(SohModel::try_new(SohParams::default()).is_ok());
     }
 }

@@ -1,0 +1,117 @@
+//! Analytic vs finite-difference MPC derivative benchmarks.
+//!
+//! The MPC NLP supplies an adjoint objective gradient and a
+//! forward-sensitivity inequality Jacobian; the solver's fallback is
+//! central differencing (2·n extra rollouts per gradient, another 2·n per
+//! Jacobian). These benches pin the speedup at the two granularities that
+//! matter: one `MpcController::control` solve and a whole
+//! evaluation-sweep cell. `BENCH_mpc.json` at the repository root records
+//! the baseline medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ev_bench::{bench_context, bench_preview, paper_mpc, run_mpc_cell};
+use ev_control::{ClimateController, MpcController};
+use ev_core::EvParams;
+use ev_drive::DriveCycle;
+use ev_optim::NlpProblem;
+
+/// One gradient + inequality-Jacobian evaluation of the paper MPC's NLP
+/// (32 variables, 104 constraints): the analytic adjoint/sensitivity
+/// sweeps against the central-difference fallback the solver would
+/// otherwise use. This is where the exact-derivative speedup lives —
+/// end-to-end solves dilute it with QP time.
+fn bench_derivative_eval(c: &mut Criterion) {
+    let params = EvParams::nissan_leaf_like();
+    let mpc = paper_mpc(&params, false);
+    let preview = bench_preview(64);
+    let ctx = bench_context(&preview);
+    let nlp = mpc.nlp(&ctx);
+    let n = nlp.num_vars();
+    let m = nlp.num_ineq();
+    let base: Vec<f64> = (0..n)
+        .map(|i| [2.0, 1.8, 0.5, 1.2][i % 4] + 0.01 * (i % 3) as f64)
+        .collect();
+
+    let mut group = c.benchmark_group("mpc_derivatives");
+    group.sample_size(20);
+    group.bench_function("derivative_eval_analytic", |b| {
+        let mut z = base.clone();
+        let mut grad = vec![0.0; n];
+        b.iter(|| {
+            // Nudge the iterate so the shared-rollout cache cannot hide
+            // the forward pass.
+            z[0] += 1e-9;
+            nlp.gradient(black_box(&z), &mut grad);
+            black_box(nlp.ineq_jacobian(black_box(&z)));
+            black_box(grad[0])
+        })
+    });
+    group.bench_function("derivative_eval_finite_diff", |b| {
+        let mut z = base.clone();
+        b.iter(|| {
+            z[0] += 1e-9;
+            let g = ev_optim::finite_diff::gradient(&|p: &[f64]| nlp.objective(p), &z);
+            let j = ev_optim::finite_diff::jacobian(
+                &|p: &[f64], out: &mut [f64]| nlp.ineq_constraints(p, out),
+                &z,
+                m,
+            );
+            black_box((g[0], j[0][0]))
+        })
+    });
+    group.finish();
+}
+
+/// One full MPC solve (horizon 8, re-solve every call), analytic vs
+/// finite-difference derivatives on the same hot-day context.
+fn bench_control_step(c: &mut Criterion) {
+    let preview = bench_preview(64);
+    let mut group = c.benchmark_group("mpc_derivatives");
+    group.sample_size(15);
+    for (label, fd) in [
+        ("control_step_analytic", false),
+        ("control_step_finite_diff", true),
+    ] {
+        group.bench_function(label, |b| {
+            let params = EvParams::nissan_leaf_like();
+            let mut mpc = MpcController::builder(params.hvac_model(), params.limits())
+                .target(params.target)
+                .horizon(8)
+                .recompute_every(1)
+                .battery(params.mpc_battery_model())
+                .accessory_power(params.accessory_power)
+                .finite_difference_derivatives(fd)
+                .build()
+                .expect("valid config");
+            let ctx = bench_context(&preview);
+            b.iter(|| black_box(mpc.control(black_box(&ctx))))
+        });
+    }
+    group.finish();
+}
+
+/// One whole ECE-15 × MPC evaluation-sweep cell (the granularity
+/// `evaluation_sweep` parallelizes over), analytic vs finite-difference.
+fn bench_sweep_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_derivatives");
+    group.sample_size(2);
+    for (label, fd) in [
+        ("sweep_cell_ece15_analytic", false),
+        ("sweep_cell_ece15_finite_diff", true),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_mpc_cell(&DriveCycle::ece15(), 35.0, fd)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    mpc_derivatives,
+    bench_derivative_eval,
+    bench_control_step,
+    bench_sweep_cell
+);
+criterion_main!(mpc_derivatives);

@@ -42,6 +42,44 @@ pub fn run_cell(cycle: &DriveCycle, ambient_c: f64, kind: ControllerKind) -> Sim
     sim.run(controller.as_mut()).expect("simulation runs")
 }
 
+/// Builds the paper-configured MPC controller (the configuration
+/// [`ControllerKind::Mpc`] instantiates), optionally forced onto the
+/// central-difference derivative fallback so the analytic-derivative
+/// speedup can be measured A/B on identical problems.
+///
+/// # Panics
+///
+/// Panics if the built-in configuration fails to construct (it does not).
+#[must_use]
+pub fn paper_mpc(params: &EvParams, finite_diff: bool) -> ev_control::MpcController {
+    ev_control::MpcController::builder(params.hvac_model(), params.limits())
+        .target(params.target)
+        .horizon(8)
+        .prediction_dt(Seconds::new(4.0))
+        .recompute_every(4)
+        .battery(params.mpc_battery_model())
+        .accessory_power(params.accessory_power)
+        .finite_difference_derivatives(finite_diff)
+        .build()
+        .expect("paper mpc config is valid")
+}
+
+/// Runs one cycle × MPC cell like [`run_cell`], but through
+/// [`paper_mpc`] so the derivative mode can be selected.
+///
+/// # Panics
+///
+/// Panics if the built-in configuration fails to construct (it does not).
+#[must_use]
+pub fn run_mpc_cell(cycle: &DriveCycle, ambient_c: f64, finite_diff: bool) -> SimulationResult {
+    let mut params = EvParams::nissan_leaf_like();
+    params.initial_cabin = Some(params.target);
+    let sim = Simulation::new(params.clone(), bench_profile(cycle, ambient_c))
+        .expect("profile non-empty");
+    let mut mpc = paper_mpc(&params, finite_diff);
+    sim.run(&mut mpc).expect("simulation runs")
+}
+
 /// A representative hot-day control context for single-step controller
 /// benchmarks. The preview alternates motor-power peaks and lulls so the
 /// MPC has something to optimize.

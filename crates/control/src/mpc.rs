@@ -1,7 +1,10 @@
 //! The battery lifetime-aware MPC climate controller (the paper's
 //! Section III).
 
+use std::cell::RefCell;
+
 use ev_hvac::{Hvac, HvacInput, HvacLimits};
+use ev_linalg::Matrix;
 use ev_optim::{NlpProblem, SqpOptions, SqpSolver};
 use ev_units::{AmpereHours, Amperes, Celsius, KgPerSecond, Seconds, Volts, Watts};
 
@@ -95,6 +98,7 @@ pub struct MpcBuilder {
     weights: MpcWeights,
     battery: MpcBatteryModel,
     accessory_power: Watts,
+    finite_difference_derivatives: bool,
 }
 
 impl MpcBuilder {
@@ -156,6 +160,16 @@ impl MpcBuilder {
         self
     }
 
+    /// Forces the solver onto the central-difference derivative fallback
+    /// instead of the analytic adjoint/sensitivity derivatives. Exists for
+    /// A/B benchmarking and derivative regression tests; the default
+    /// (`false`) is strictly faster and more accurate.
+    #[must_use]
+    pub fn finite_difference_derivatives(mut self, fd: bool) -> Self {
+        self.finite_difference_derivatives = fd;
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Errors
@@ -193,6 +207,7 @@ impl MpcBuilder {
             warm_start: None,
             cached_input: None,
             steps_since_solve: 0,
+            use_finite_diff: self.finite_difference_derivatives,
         })
     }
 }
@@ -242,6 +257,7 @@ pub struct MpcController {
     warm_start: Option<Vec<f64>>,
     cached_input: Option<HvacInput>,
     steps_since_solve: usize,
+    use_finite_diff: bool,
 }
 
 /// Scale factors mapping decision variables to physical inputs:
@@ -254,6 +270,13 @@ const MZ_SCALE: f64 = 0.1;
 const VARS_PER_STEP: usize = 4;
 /// Inequality constraints per horizon step.
 const INEQ_PER_STEP: usize = 13;
+/// Comfort funnel: when the cabin starts outside the band (hot or cold
+/// soak), a hard C2 would make every rollout infeasible. The band is
+/// therefore widened to the current state plus slack and tightened at the
+/// fastest pull-in rate the HVAC can deliver, so the optimizer is always
+/// asked for achievable progress.
+const PULL_RATE_K_PER_S: f64 = 0.025;
+const SOAK_SLACK_K: f64 = 0.5;
 
 impl MpcController {
     /// Starts a builder with sensible defaults: N = 8 steps of 4 s,
@@ -270,6 +293,7 @@ impl MpcController {
             weights: MpcWeights::default(),
             battery: MpcBatteryModel::default(),
             accessory_power: Watts::new(300.0),
+            finite_difference_derivatives: false,
         }
     }
 
@@ -340,12 +364,27 @@ impl MpcController {
         z
     }
 
-    /// Shifts the previous solution one block forward (standard MPC warm
-    /// start): drops the first step, repeats the last.
-    fn shifted_warm_start(&self, prev: &[f64]) -> Vec<f64> {
-        let mut z = prev[VARS_PER_STEP..].to_vec();
+    /// How many *prediction* blocks of simulated time have elapsed since
+    /// the previous solve: `round(recompute_every·dt / prediction_dt)`.
+    /// The previous fixed one-block shift silently misaligned the warm
+    /// start whenever the re-solve cadence differed from the prediction
+    /// period (e.g. re-solving every simulation step leaves the plan where
+    /// it is; re-solving every two blocks must drop two).
+    fn elapsed_blocks(&self, ctx: &ControlContext<'_>) -> usize {
+        let blocks = (self.recompute_every as f64 * ctx.dt.value() / self.prediction_dt.value())
+            .round() as usize;
+        blocks.min(self.horizon)
+    }
+
+    /// Shifts the previous solution `blocks` prediction blocks forward
+    /// (standard MPC warm start): drops the leading steps that have
+    /// already been executed, repeats the last step to fill the tail.
+    fn shifted_warm_start(&self, prev: &[f64], blocks: usize) -> Vec<f64> {
+        let mut z = prev[blocks * VARS_PER_STEP..].to_vec();
         let tail = prev[prev.len() - VARS_PER_STEP..].to_vec();
-        z.extend_from_slice(&tail);
+        for _ in 0..blocks {
+            z.extend_from_slice(&tail);
+        }
         z
     }
 
@@ -359,10 +398,17 @@ impl MpcController {
         }
     }
 
-    /// Solves the receding-horizon problem and caches the first input.
-    fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
-        let preview = self.resample_preview(ctx);
-        let nlp = MpcNlp {
+    /// Builds the receding-horizon NLP for the given context without
+    /// solving it. Public so harnesses (benchmarks, derivative
+    /// cross-checks) can evaluate the problem's exact derivatives against
+    /// the finite-difference fallback at arbitrary points.
+    #[must_use]
+    pub fn nlp(&self, ctx: &ControlContext<'_>) -> impl NlpProblem + '_ {
+        self.build_nlp(ctx)
+    }
+
+    fn build_nlp(&self, ctx: &ControlContext<'_>) -> MpcNlp<'_> {
+        MpcNlp {
             hvac: &self.hvac,
             limits: &self.limits,
             target: self.target,
@@ -374,15 +420,26 @@ impl MpcController {
             tz0: ctx.state.tz.value(),
             soc0: ctx.soc.value(),
             soc_avg_ref: ctx.soc_avg,
-            preview,
-        };
+            preview: self.resample_preview(ctx),
+            cache: RefCell::new(None),
+        }
+    }
+
+    /// Solves the receding-horizon problem and caches the first input.
+    fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let nlp = self.build_nlp(ctx);
         let z0 = match &self.warm_start {
             Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => {
-                self.shifted_warm_start(prev)
+                self.shifted_warm_start(prev, self.elapsed_blocks(ctx))
             }
             _ => self.cold_start(ctx),
         };
-        let input = match self.solver.solve(&nlp, &z0) {
+        let solved = if self.use_finite_diff {
+            self.solver.solve(&FiniteDiffMpcNlp(&nlp), &z0)
+        } else {
+            self.solver.solve(&nlp, &z0)
+        };
+        let input = match solved {
             Ok(result) => {
                 let input = Self::first_input(&result.z);
                 self.warm_start = Some(result.z);
@@ -390,7 +447,11 @@ impl MpcController {
             }
             Err(_) => {
                 // Structural failure (should not happen with finite data):
-                // fall back to the previous input or idle.
+                // fall back to the previous input or idle. Drop the warm
+                // start too — it described a plan anchored at an older
+                // state, and re-shifting it again next solve would anchor
+                // it even further in the past.
+                self.warm_start = None;
                 self.cached_input
                     .unwrap_or_else(|| HvacInput::idle(self.hvac.params(), ctx.state.tz))
             }
@@ -423,6 +484,16 @@ impl ClimateController for MpcController {
 /// The single-shooting NLP built every control step: decision variables
 /// are the scaled HVAC inputs over the horizon; the cabin temperature and
 /// SoC trajectories are rolled out inside the objective/constraints.
+///
+/// Unlike a generic [`NlpProblem`], this one supplies *exact* derivatives:
+/// the forward rollout records per-step intermediates, an adjoint sweep
+/// through the trapezoidal cabin recursion (Eq. 18–19) and the smoothed
+/// Peukert SoC recursion (Eq. 13–14) produces the objective gradient, and
+/// a forward sensitivity pass produces the sparse inequality Jacobian
+/// (see `DESIGN.md`, "Analytic MPC derivatives"). One rollout per iterate
+/// is shared between the objective, constraints, gradient and Jacobian
+/// through an interior-mutability cache — the SQP solver evaluates all
+/// four at the same `z`.
 struct MpcNlp<'a> {
     hvac: &'a Hvac,
     limits: &'a HvacLimits,
@@ -436,9 +507,12 @@ struct MpcNlp<'a> {
     soc0: f64,
     soc_avg_ref: f64,
     preview: Vec<PreviewSample>,
+    /// Last rollout, keyed by the iterate it was computed at.
+    cache: RefCell<Option<(Vec<f64>, Rollout)>>,
 }
 
-/// The rollout products needed by both objective and constraints.
+/// The rollout products needed by the objective, the constraints and
+/// their exact derivatives.
 struct Rollout {
     /// Tz after each step (length N).
     tz: Vec<f64>,
@@ -448,6 +522,12 @@ struct Rollout {
     powers: Vec<(f64, f64, f64)>,
     /// Mix temperature per step.
     tm: Vec<f64>,
+    /// `∂Tz_k/∂Tz_{k−1} = (Mc/dt − b/2)/(Mc/dt + b/2)` per step.
+    alpha: Vec<f64>,
+    /// `1/(Mc/dt + b/2)` per step.
+    inv_den: Vec<f64>,
+    /// `∂i_eff/∂P_total` per step (A/W), through the smoothed Peukert map.
+    dieff_dp: Vec<f64>,
 }
 
 impl MpcNlp<'_> {
@@ -461,6 +541,16 @@ impl MpcNlp<'_> {
         )
     }
 
+    /// Cabin temperature entering step `k` (the state the step's mix and
+    /// trapezoidal update read).
+    fn tz_in(&self, r: &Rollout, k: usize) -> f64 {
+        if k == 0 {
+            self.tz0
+        } else {
+            r.tz[k - 1]
+        }
+    }
+
     fn rollout(&self, z: &[f64]) -> Rollout {
         let cabin = self.hvac.cabin();
         let cp = cabin.air_heat_capacity.value();
@@ -471,14 +561,19 @@ impl MpcNlp<'_> {
         let cn_as = bat.capacity.value() * 3600.0;
         let v = bat.voltage.value();
         let in_a = bat.nominal_current.value();
+        let peukert_exp = 0.5 * (bat.peukert - 1.0);
 
         let mut tz = self.tz0;
         let mut soc = self.soc0;
+        let n = self.horizon;
         let mut out = Rollout {
-            tz: Vec::with_capacity(self.horizon),
-            soc: Vec::with_capacity(self.horizon),
-            powers: Vec::with_capacity(self.horizon),
-            tm: Vec::with_capacity(self.horizon),
+            tz: Vec::with_capacity(n),
+            soc: Vec::with_capacity(n),
+            powers: Vec::with_capacity(n),
+            tm: Vec::with_capacity(n),
+            alpha: Vec::with_capacity(n),
+            inv_den: Vec::with_capacity(n),
+            dieff_dp: Vec::with_capacity(n),
         };
         for k in 0..self.horizon {
             let (ts, tc, dr, mz) = Self::decode(z, k);
@@ -493,28 +588,44 @@ impl MpcNlp<'_> {
             // Trapezoidal cabin update (Eq. 18–19).
             let a = s.solar.value() + cx * to + mz * cp * ts;
             let b = cx + mz * cp;
-            tz = ((mc / self.dt - 0.5 * b) * tz + a) / (mc / self.dt + 0.5 * b);
+            let inv_den = 1.0 / (mc / self.dt + 0.5 * b);
+            let alpha = (mc / self.dt - 0.5 * b) * inv_den;
+            tz = ((mc / self.dt - 0.5 * b) * tz + a) * inv_den;
             // SoC update with smoothed Peukert effective current (Eq. 13–14).
             let total = s.motor_power.value() + self.accessory_power + ph + pc + pf;
             let i = total / v;
-            let i_eff = i * ((i * i + 1.0) / (in_a * in_a)).powf(0.5 * (bat.peukert - 1.0));
+            let u = (i * i + 1.0) / (in_a * in_a);
+            let u_pow = u.powf(peukert_exp);
+            let i_eff = i * u_pow;
+            // d i_eff/dP = (1/V)·uᵉ·(1 + 2e·i²/(i²+1)).
+            let dieff_dp = u_pow * (1.0 + 2.0 * peukert_exp * i * i / (i * i + 1.0)) / v;
             soc -= 100.0 * i_eff * self.dt / cn_as;
             out.tz.push(tz);
             out.soc.push(soc);
             out.powers.push((ph, pc, pf));
             out.tm.push(tm);
+            out.alpha.push(alpha);
+            out.inv_den.push(inv_den);
+            out.dieff_dp.push(dieff_dp);
         }
         out
     }
-}
 
-impl NlpProblem for MpcNlp<'_> {
-    fn num_vars(&self) -> usize {
-        self.horizon * VARS_PER_STEP
+    /// Runs `f` with the rollout at `z`, reusing the cached one when the
+    /// iterate is unchanged (the SQP solver evaluates the objective,
+    /// constraints, gradient and Jacobian at the same point).
+    fn with_rollout<T>(&self, z: &[f64], f: impl FnOnce(&Rollout) -> T) -> T {
+        let mut cache = self.cache.borrow_mut();
+        let hit = matches!(&*cache, Some((zc, _)) if zc.as_slice() == z);
+        if !hit {
+            *cache = Some((z.to_vec(), self.rollout(z)));
+        }
+        let (_, r) = cache.as_ref().expect("cache filled above");
+        f(r)
     }
 
-    fn objective(&self, z: &[f64]) -> f64 {
-        let r = self.rollout(z);
+    /// The objective value from an existing rollout.
+    fn objective_of(&self, r: &Rollout) -> f64 {
         let w = &self.weights;
         let mut cost = 0.0;
         for k in 0..self.horizon {
@@ -528,20 +639,10 @@ impl NlpProblem for MpcNlp<'_> {
         cost
     }
 
-    fn num_ineq(&self) -> usize {
-        self.horizon * INEQ_PER_STEP
-    }
-
-    fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
-        let r = self.rollout(z);
+    /// The constraint values from an existing rollout (see
+    /// [`NlpProblem::ineq_constraints`] for the row layout).
+    fn constraints_of(&self, z: &[f64], r: &Rollout, out: &mut [f64]) {
         let hp = self.hvac.params();
-        // Comfort funnel: when the cabin starts outside the band (hot or
-        // cold soak), a hard C2 would make every rollout infeasible. The
-        // band is therefore widened to the current state plus slack and
-        // tightened at the fastest pull-in rate the HVAC can deliver, so
-        // the optimizer is always asked for achievable progress.
-        const PULL_RATE_K_PER_S: f64 = 0.025;
-        const SOAK_SLACK_K: f64 = 0.5;
         let comfort_lo = self.limits.comfort_min.value();
         let comfort_hi = self.limits.comfort_max.value();
         for k in 0..self.horizon {
@@ -568,6 +669,213 @@ impl NlpProblem for MpcNlp<'_> {
             out[o + 11] = pc - hp.max_cooling_power.value(); // C9
             out[o + 12] = pf - hp.max_fan_power.value(); // C10
         }
+    }
+
+    /// Exact objective gradient by a reverse (adjoint) sweep through the
+    /// cabin and SoC recursions.
+    ///
+    /// Per step the forward pass computed `Tz_k = α_k·Tz_{k−1} + a_k/den_k`
+    /// and `SoC_k = SoC_{k−1} − s_c·i_eff(P_k)`. Walking backwards, `λ`
+    /// carries `∂f/∂Tz_k` (the future's view of the current cabin state:
+    /// the direct comfort-error term, the next step's trapezoidal
+    /// coefficient `α`, and the next step's mix-temperature path into the
+    /// cooler power), and `μ` carries `∂f/∂SoC_k`, a plain suffix sum
+    /// because the SoC recursion has unit gain.
+    fn gradient_of(&self, z: &[f64], r: &Rollout, grad: &mut [f64]) {
+        let cabin = self.hvac.cabin();
+        let cp = cabin.air_heat_capacity.value();
+        let hp = self.hvac.params();
+        let ch = cp / hp.heater_efficiency;
+        let cc = cp / hp.cooler_efficiency;
+        let kf = hp.fan_coefficient;
+        let w = &self.weights;
+        let w1p = w.w1 / 1000.0;
+        // ∂SoC_k/∂i_eff_k = −s_c.
+        let s_c = 100.0 * self.dt / (self.battery.capacity.value() * 3600.0);
+
+        let mut lam = 0.0; // ∂f/∂Tz_k flowing in from steps > k
+        let mut mu = 0.0; // ∂f/∂SoC_k flowing in from steps > k
+        for k in (0..self.horizon).rev() {
+            let (ts, tc, dr, mz) = Self::decode(z, k);
+            let to = self.preview[k].ambient.value();
+            let tz_in = self.tz_in(r, k);
+            let tz_k = r.tz[k];
+            let tm = r.tm[k];
+            let lam_k = lam + 2.0 * w.w3 * (tz_k - self.target.value());
+            let mu_k = mu + 2.0 * w.w2 * (r.soc[k] - self.soc_avg_ref);
+            // ∂f/∂(any power component at step k): the direct w1 term plus
+            // the battery-stress path through every later SoC sample.
+            let c_p = w1p - mu_k * s_c * r.dieff_dp[k];
+            let d_tz_d_ts = mz * cp * r.inv_den[k];
+            let d_tz_d_mz = cp * (ts - 0.5 * (tz_in + tz_k)) * r.inv_den[k];
+            let o = k * VARS_PER_STEP;
+            grad[o] = (c_p * ch * mz + lam_k * d_tz_d_ts) * TS_SCALE;
+            grad[o + 1] = (c_p * (-ch * mz - cc * mz)) * TC_SCALE;
+            grad[o + 2] = c_p * cc * mz * (tz_in - to);
+            grad[o + 3] = (c_p * (ch * (ts - tc) + cc * (tm - tc) + 2.0 * kf * mz)
+                + lam_k * d_tz_d_mz)
+                * MZ_SCALE;
+            // Propagate to Tz_{k−1}: the trapezoidal coefficient plus this
+            // step's recirculated-mix path (∂tm/∂Tz_{k−1} = dr).
+            lam = lam_k * r.alpha[k] + c_p * cc * mz * dr;
+            mu = mu_k;
+        }
+    }
+
+    /// Exact inequality Jacobian by forward sensitivity accumulation.
+    ///
+    /// `stz` carries `∂Tz_{k−1}/∂z` into step `k` (nonzero only in the
+    /// `ts`/`mz` columns of earlier steps — the cabin recursion never sees
+    /// `tc` or `dr`); each constraint row is assembled from it and the
+    /// step-local partials recorded by the rollout.
+    fn ineq_jacobian_of(&self, z: &[f64], r: &Rollout) -> Matrix {
+        let n = self.horizon * VARS_PER_STEP;
+        let cabin = self.hvac.cabin();
+        let cp = cabin.air_heat_capacity.value();
+        let hp = self.hvac.params();
+        let ch = cp / hp.heater_efficiency;
+        let cc = cp / hp.cooler_efficiency;
+        let kf = hp.fan_coefficient;
+        let min_coil = hp.min_coil_temp.value();
+
+        let mut jac = Matrix::zeros(self.horizon * INEQ_PER_STEP, n);
+        // ∂Tz_{k−1}/∂z entering the step below (zero for k = 0).
+        let mut stz = vec![0.0; n];
+        // ∂tm_k/∂z scratch row.
+        let mut stm = vec![0.0; n];
+        for k in 0..self.horizon {
+            let (ts, tc, dr, mz) = Self::decode(z, k);
+            let to = self.preview[k].ambient.value();
+            let tz_in = self.tz_in(r, k);
+            let tz_k = r.tz[k];
+            let o = k * INEQ_PER_STEP;
+            let c_ts = k * VARS_PER_STEP;
+            let c_tc = c_ts + 1;
+            let c_dr = c_ts + 2;
+            let c_mz = c_ts + 3;
+
+            // tm_k = (1−dr)·To + dr·Tz_{k−1}.
+            for (sm, sz) in stm.iter_mut().zip(&stz) {
+                *sm = dr * sz;
+            }
+            stm[c_dr] += tz_in - to;
+
+            // Rows with only step-local entries.
+            jac.set(o, c_mz, -MZ_SCALE); // C1 lower
+            jac.set(o + 1, c_mz, MZ_SCALE); // C1 upper
+            jac.set(o + 2, c_dr, -1.0); // C7 lower
+            jac.set(o + 3, c_dr, 1.0); // C7 upper
+                                       // C5: floor is the coil minimum (constant) unless the passive
+                                       // mix is colder — then it tracks tm and inherits its
+                                       // sensitivities. Branch matches the value computation.
+            if r.tm[k] < min_coil {
+                let row = jac.row_mut(o + 4);
+                row.copy_from_slice(&stm);
+                row[c_tc] -= TC_SCALE;
+            } else {
+                jac.set(o + 4, c_tc, -TC_SCALE);
+            }
+            // C4: tc − tm.
+            {
+                let row = jac.row_mut(o + 5);
+                for (out, sm) in row.iter_mut().zip(&stm) {
+                    *out = -sm;
+                }
+                row[c_tc] += TC_SCALE;
+            }
+            jac.set(o + 6, c_tc, TC_SCALE); // C3
+            jac.set(o + 6, c_ts, -TS_SCALE);
+            jac.set(o + 7, c_ts, TS_SCALE); // C6
+                                            // Advance the cabin sensitivity to ∂Tz_k/∂z before the C2 rows
+                                            // (they read the post-step state).
+            let d_tz_d_ts = mz * cp * r.inv_den[k];
+            let d_tz_d_mz = cp * (ts - 0.5 * (tz_in + tz_k)) * r.inv_den[k];
+            for s in stz.iter_mut() {
+                *s *= r.alpha[k];
+            }
+            stz[c_ts] += d_tz_d_ts * TS_SCALE;
+            stz[c_mz] += d_tz_d_mz * MZ_SCALE;
+            {
+                let row = jac.row_mut(o + 8); // C2 lower: lo − Tz_k
+                for (out, s) in row.iter_mut().zip(&stz) {
+                    *out = -s;
+                }
+            }
+            {
+                let row = jac.row_mut(o + 9); // C2 upper: Tz_k − hi
+                row.copy_from_slice(&stz);
+            }
+            // C8: ph = ch·mz·(ts − tc).
+            jac.set(o + 10, c_ts, ch * mz * TS_SCALE);
+            jac.set(o + 10, c_tc, -ch * mz * TC_SCALE);
+            jac.set(o + 10, c_mz, ch * (ts - tc) * MZ_SCALE);
+            // C9: pc = cc·mz·(tm − tc) — inherits tm's sensitivities.
+            {
+                let row = jac.row_mut(o + 11);
+                for (out, sm) in row.iter_mut().zip(&stm) {
+                    *out = cc * mz * sm;
+                }
+                row[c_tc] -= cc * mz * TC_SCALE;
+                row[c_mz] += cc * (r.tm[k] - tc) * MZ_SCALE;
+            }
+            // C10: pf = kf·mz².
+            jac.set(o + 12, c_mz, 2.0 * kf * mz * MZ_SCALE);
+        }
+        jac
+    }
+}
+
+impl NlpProblem for MpcNlp<'_> {
+    fn num_vars(&self) -> usize {
+        self.horizon * VARS_PER_STEP
+    }
+
+    fn objective(&self, z: &[f64]) -> f64 {
+        self.with_rollout(z, |r| self.objective_of(r))
+    }
+
+    fn gradient(&self, z: &[f64], grad: &mut [f64]) {
+        self.with_rollout(z, |r| self.gradient_of(z, r, grad));
+    }
+
+    fn num_ineq(&self) -> usize {
+        self.horizon * INEQ_PER_STEP
+    }
+
+    fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
+        self.with_rollout(z, |r| self.constraints_of(z, r, out));
+    }
+
+    fn ineq_jacobian(&self, z: &[f64]) -> Matrix {
+        self.with_rollout(z, |r| self.ineq_jacobian_of(z, r))
+    }
+
+    fn has_exact_derivatives(&self) -> bool {
+        true
+    }
+}
+
+/// Wrapper exposing the same MPC problem *without* the analytic-derivative
+/// overrides, so the solver falls back to central finite differences (the
+/// documented [`NlpProblem`] fallback). Exists for A/B benchmarking and
+/// for regression-testing the derivative speedup claim.
+struct FiniteDiffMpcNlp<'a, 'b>(&'b MpcNlp<'a>);
+
+impl NlpProblem for FiniteDiffMpcNlp<'_, '_> {
+    fn num_vars(&self) -> usize {
+        self.0.num_vars()
+    }
+
+    fn objective(&self, z: &[f64]) -> f64 {
+        self.0.objective(z)
+    }
+
+    fn num_ineq(&self) -> usize {
+        self.0.num_ineq()
+    }
+
+    fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
+        self.0.ineq_constraints(z, out);
     }
 }
 
@@ -760,5 +1068,142 @@ mod tests {
         let context = ctx(25.0, 30.0, &[]);
         let input = c.control(&context);
         assert!(input.mz.value() >= 0.02 - 1e-12);
+    }
+
+    /// Central-difference reference for the two derivative tests below.
+    fn fd_gradient(nlp: &MpcNlp<'_>, z: &[f64]) -> Vec<f64> {
+        ev_optim::finite_diff::gradient(&|p: &[f64]| nlp.objective(p), z)
+    }
+
+    #[test]
+    fn analytic_gradient_matches_central_difference() {
+        let c = mpc();
+        let preview = preview_const(12_000.0, 33.0, 24);
+        let context = ctx(27.0, 33.0, &preview);
+        let nlp = c.build_nlp(&context);
+        let mut z = c.cold_start(&context);
+        // Break the cold start's uniformity so cross-step couplings show.
+        for (i, zi) in z.iter_mut().enumerate() {
+            *zi += 0.01 * (i as f64 % 7.0 - 3.0);
+        }
+        let mut g = vec![0.0; nlp.num_vars()];
+        nlp.gradient(&z, &mut g);
+        let fd = fd_gradient(&nlp, &z);
+        for i in 0..g.len() {
+            let scale = fd[i].abs().max(1.0);
+            assert!(
+                ((g[i] - fd[i]) / scale).abs() < 1e-5,
+                "grad[{i}]: analytic {} vs fd {}",
+                g[i],
+                fd[i]
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_ineq_jacobian_matches_central_difference() {
+        // Hot case exercises the constant coil floor; the cold case below
+        // drives the mix below the floor so the tm-tracking branch runs.
+        for (tz0, to, dr) in [(27.0, 35.0, 0.6), (18.0, -15.0, 0.1)] {
+            let c = mpc();
+            let preview = preview_const(9_000.0, to, 24);
+            let context = ctx(tz0, to, &preview);
+            let nlp = c.build_nlp(&context);
+            let mut z = c.cold_start(&context);
+            for (i, zi) in z.iter_mut().enumerate() {
+                *zi += 0.008 * (i as f64 % 5.0 - 2.0);
+            }
+            for k in 0..c.horizon() {
+                z[k * VARS_PER_STEP + 2] = dr;
+            }
+            let jac = nlp.ineq_jacobian(&z);
+            let m = nlp.num_ineq();
+            let fd_rows = ev_optim::finite_diff::jacobian(
+                &|p: &[f64], out: &mut [f64]| nlp.ineq_constraints(p, out),
+                &z,
+                m,
+            );
+            assert_eq!(m, fd_rows.len());
+            for (r, fd_row) in fd_rows.iter().enumerate() {
+                for (cidx, &f) in fd_row.iter().enumerate() {
+                    let a = jac.get(r, cidx);
+                    let scale = f.abs().max(1.0);
+                    assert!(
+                        ((a - f) / scale).abs() < 1e-5,
+                        "row {r} col {cidx} (to {to}): analytic {a} vs fd {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nlp_advertises_exact_derivatives_and_fd_wrapper_does_not() {
+        let c = mpc();
+        let preview = preview_const(5_000.0, 30.0, 24);
+        let context = ctx(25.0, 30.0, &preview);
+        let nlp = c.build_nlp(&context);
+        assert!(nlp.has_exact_derivatives());
+        assert!(!FiniteDiffMpcNlp(&nlp).has_exact_derivatives());
+    }
+
+    #[test]
+    fn warm_start_shifts_by_elapsed_simulated_blocks() {
+        let preview = preview_const(5_000.0, 30.0, 24);
+        // Context dt is 1 s. Re-solving every simulation step advances a
+        // quarter of a 4 s prediction block, which rounds to no shift at
+        // all; the old fixed one-block shift threw away a still-valid
+        // leading step.
+        let context = ctx(25.0, 30.0, &preview);
+        assert_eq!(mpc().elapsed_blocks(&context), 0);
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mk = |every: usize| {
+            MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(4)
+                .prediction_dt(Seconds::new(4.0))
+                .recompute_every(every)
+                .build()
+                .unwrap()
+        };
+        assert_eq!(mk(4).elapsed_blocks(&context), 1);
+        assert_eq!(mk(8).elapsed_blocks(&context), 2);
+        // Longer than the horizon: clamp rather than overrun the slice.
+        assert_eq!(mk(64).elapsed_blocks(&context), 4);
+
+        let c = mk(8);
+        let prev: Vec<f64> = (0..4 * VARS_PER_STEP).map(|i| i as f64).collect();
+        assert_eq!(c.shifted_warm_start(&prev, 0), prev);
+        let z = c.shifted_warm_start(&prev, 2);
+        assert_eq!(z.len(), prev.len());
+        assert_eq!(z[..2 * VARS_PER_STEP], prev[2 * VARS_PER_STEP..]);
+        // Tail filled by repeating the last step.
+        assert_eq!(
+            z[2 * VARS_PER_STEP..3 * VARS_PER_STEP],
+            prev[3 * VARS_PER_STEP..]
+        );
+        assert_eq!(z[3 * VARS_PER_STEP..], prev[3 * VARS_PER_STEP..]);
+        let all = c.shifted_warm_start(&prev, 4);
+        assert_eq!(all.len(), prev.len());
+        assert_eq!(all[..VARS_PER_STEP], prev[3 * VARS_PER_STEP..]);
+    }
+
+    #[test]
+    fn solver_failure_invalidates_warm_start() {
+        let mut c = mpc();
+        let preview = preview_const(5_000.0, 30.0, 24);
+        let good = ctx(25.0, 30.0, &preview);
+        c.control(&good);
+        assert!(c.warm_start.is_some(), "successful solve stores a plan");
+        // A non-finite cabin state makes the objective non-finite at z0,
+        // which the solver rejects outright. The stale plan must go with
+        // it — re-shifting it on later solves would anchor the warm start
+        // ever further in the past.
+        let bad = ctx(f64::NAN, 30.0, &preview);
+        c.control(&bad);
+        assert!(c.warm_start.is_none(), "failed solve must drop the plan");
+        // And the controller recovers on the next healthy context.
+        let input = c.control(&good);
+        assert!(input.mz.value() > 0.0);
+        assert!(c.warm_start.is_some());
     }
 }

@@ -45,7 +45,7 @@ pub fn full_cycle() -> Vec<FullCycleRow> {
     params.initial_cabin = Some(params.target);
     let profile = profile_at(&DriveCycle::ece_eudc(), COMPARISON_AMBIENT_C);
     let sim = Simulation::new(params.clone(), profile).expect("profile non-empty");
-    let soh = SohModel::new(params.soh);
+    let soh = SohModel::try_new(params.soh).expect("experiment soh params are valid");
 
     ControllerKind::paper_lineup()
         .into_iter()

@@ -92,7 +92,7 @@ where
             for kind in ControllerKind::paper_lineup() {
                 let params = &params;
                 let make_observer = &make_observer;
-                handles.push(scope.spawn(move || {
+                let handle = scope.spawn(move || {
                     let mut controller = kind.instantiate(params).expect("controller instantiates");
                     let mut observer = make_observer(name, kind);
                     let result = sim
@@ -106,11 +106,22 @@ where
                         },
                         observer,
                     )
-                }));
+                });
+                handles.push((name.as_str(), kind, handle));
             }
         }
-        for handle in handles {
-            out.push(handle.join().expect("sweep worker panicked"));
+        for (name, kind, handle) in handles {
+            // A bare `.expect()` here loses which cell died — with up to
+            // 15 identical workers the panic was undiagnosable. Re-panic
+            // with the cell identity and the worker's own message.
+            out.push(handle.join().unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                panic!("sweep worker for {name} x {kind:?} panicked: {msg}");
+            }));
         }
     });
     out

@@ -11,13 +11,17 @@ use crate::{ElectricVehicle, EvParams, SimulationResult, TimeSeries};
 ///
 /// Marked non-exhaustive: future variants (plant fault injection,
 /// observer-requested aborts) must not break downstream matches.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimError {
     /// The drive profile has no samples.
     EmptyProfile,
     /// The requested preview window length is zero.
     ZeroPreview,
+    /// The state-of-health parameters are out of range. Caught at
+    /// construction so the failure carries a routable error instead of
+    /// panicking deep inside the run (possibly on a worker thread).
+    InvalidSohParams(ev_battery::SohParamsError),
 }
 
 impl core::fmt::Display for SimError {
@@ -25,6 +29,7 @@ impl core::fmt::Display for SimError {
         match self {
             Self::EmptyProfile => write!(f, "drive profile has no samples"),
             Self::ZeroPreview => write!(f, "preview window length must be positive"),
+            Self::InvalidSohParams(e) => write!(f, "invalid soh parameters: {e}"),
         }
     }
 }
@@ -77,10 +82,15 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::EmptyProfile`] if the profile has no samples.
+    /// Returns [`SimError::EmptyProfile`] if the profile has no samples,
+    /// or [`SimError::InvalidSohParams`] if the degradation parameters
+    /// are out of range.
     pub fn new(params: EvParams, profile: DriveProfile) -> Result<Self, SimError> {
         if profile.is_empty() {
             return Err(SimError::EmptyProfile);
+        }
+        if let Err(e) = params.soh.try_validated() {
+            return Err(SimError::InvalidSohParams(e));
         }
         // Algorithm 1 lines 2–5: PowerTrain(d_t) for every sample.
         let train = ev_powertrain::PowerTrain::new(params.vehicle.clone());
@@ -343,6 +353,20 @@ mod tests {
             SimError::ZeroPreview.to_string(),
             "preview window length must be positive"
         );
+    }
+
+    #[test]
+    fn invalid_soh_params_are_rejected_at_construction() {
+        let mut params = EvParams::nissan_leaf_like();
+        params.soh.a1 = -1.0;
+        let profile = DriveProfile::from_cycle(
+            &ev_drive::DriveCycle::ece15(),
+            ev_drive::AmbientConditions::constant(ev_units::Celsius::new(30.0)),
+            Seconds::new(1.0),
+        );
+        let err = Simulation::new(params, profile).unwrap_err();
+        assert!(matches!(err, SimError::InvalidSohParams(_)));
+        assert!(err.to_string().contains("a1"), "{err}");
     }
 
     #[test]

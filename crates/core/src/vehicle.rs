@@ -70,6 +70,12 @@ impl ElectricVehicle {
     /// Creates the plant with the given initial cabin temperature. The
     /// battery pack starts soaked to the same temperature; override with
     /// [`ElectricVehicle::with_pack_temperature`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.soh` or `params.battery` fail validation;
+    /// [`crate::Simulation::new`] pre-validates and returns a routable
+    /// error instead.
     #[must_use]
     pub fn new(params: &EvParams, initial_cabin: Celsius) -> Self {
         Self {

@@ -52,5 +52,5 @@ mod sqp;
 
 pub use error::OptimError;
 pub use nlp::NlpProblem;
-pub use qp::{QpProblem, QpSolution, QpSolver, QpSolverOptions};
+pub use qp::{QpProblem, QpSolution, QpSolver, QpSolverOptions, QpView};
 pub use sqp::{SqpOptions, SqpResult, SqpSolver, SqpStatus};

@@ -42,6 +42,19 @@ pub trait NlpProblem {
     /// Objective value `f(z)`.
     fn objective(&self, z: &[f64]) -> f64;
 
+    /// Whether this problem supplies exact (analytic) derivatives.
+    ///
+    /// Returns `false` for implementations relying on the default
+    /// central-difference [`gradient`](Self::gradient) /
+    /// [`eq_jacobian`](Self::eq_jacobian) /
+    /// [`ineq_jacobian`](Self::ineq_jacobian) — the documented fallback
+    /// path. Implementations overriding those with exact derivatives
+    /// should also override this to `true` so harnesses (benchmarks,
+    /// derivative cross-checks) can tell the two apart.
+    fn has_exact_derivatives(&self) -> bool {
+        false
+    }
+
     /// Gradient of the objective. Defaults to central differences.
     fn gradient(&self, z: &[f64], grad: &mut [f64]) {
         let g = finite_diff::gradient(&|p: &[f64]| self.objective(p), z);
@@ -161,6 +174,27 @@ mod tests {
         assert_eq!(j.shape(), (1, 2));
         assert!((j.get(0, 0) - 2.0).abs() < 1e-6);
         assert!((j.get(0, 1) + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_derivative_flag_defaults_to_false() {
+        assert!(!Rosenbrock.has_exact_derivatives());
+        struct Exact;
+        impl NlpProblem for Exact {
+            fn num_vars(&self) -> usize {
+                1
+            }
+            fn objective(&self, z: &[f64]) -> f64 {
+                z[0] * z[0]
+            }
+            fn gradient(&self, z: &[f64], grad: &mut [f64]) {
+                grad[0] = 2.0 * z[0];
+            }
+            fn has_exact_derivatives(&self) -> bool {
+                true
+            }
+        }
+        assert!(Exact.has_exact_derivatives());
     }
 
     #[test]

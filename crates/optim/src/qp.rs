@@ -143,6 +143,165 @@ impl QpProblem {
         let hz = self.h.matvec(z).expect("dimension checked at construction");
         0.5 * vecops::dot(z, &hz) + vecops::dot(&self.g, z)
     }
+
+    /// Borrows the problem as a [`QpView`] (no data is copied).
+    #[must_use]
+    pub fn as_view(&self) -> QpView<'_> {
+        QpView {
+            h: &self.h,
+            g: &self.g,
+            a_eq: self.a_eq.as_ref(),
+            b_eq: &self.b_eq,
+            a_in: self.a_in.as_ref(),
+            b_in: &self.b_in,
+        }
+    }
+}
+
+/// A borrowed view of a convex QP — the same problem shape as
+/// [`QpProblem`], but holding references instead of owned data.
+///
+/// This is the allocation-free entry point for hot loops that re-solve a
+/// QP with data they already own: the SQP solver builds one of these per
+/// major iteration instead of cloning its Hessian approximation and the
+/// constraint Jacobians into a fresh [`QpProblem`].
+///
+/// # Examples
+///
+/// ```
+/// use ev_optim::{QpSolver, QpView};
+/// use ev_linalg::Matrix;
+///
+/// # fn main() -> Result<(), ev_optim::OptimError> {
+/// // min (z-3)² s.t. z ≤ 1, without giving up ownership of the data.
+/// let h = Matrix::from_diag(&[2.0]);
+/// let g = [-6.0];
+/// let a = Matrix::from_rows(&[&[1.0]]).unwrap();
+/// let b = [1.0];
+/// let view = QpView::new(&h, &g)?.with_inequalities(&a, &b)?;
+/// let sol = QpSolver::default().solve_view(&view)?;
+/// assert!((sol.z[0] - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QpView<'a> {
+    h: &'a Matrix,
+    g: &'a [f64],
+    a_eq: Option<&'a Matrix>,
+    b_eq: &'a [f64],
+    a_in: Option<&'a Matrix>,
+    b_in: &'a [f64],
+}
+
+impl<'a> QpView<'a> {
+    /// Creates an unconstrained view from the Hessian `h` and linear
+    /// term `g`, validating like [`QpProblem::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if `h` is not square with
+    /// side `g.len()`, [`OptimError::AsymmetricHessian`] if `h` is not
+    /// symmetric, and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn new(h: &'a Matrix, g: &'a [f64]) -> Result<Self, OptimError> {
+        if !h.is_square() || h.rows() != g.len() {
+            return Err(OptimError::DimensionMismatch { what: "H vs g" });
+        }
+        if !h.is_symmetric(QpProblem::SYM_TOL * h.norm_max().max(1.0)) {
+            return Err(OptimError::AsymmetricHessian);
+        }
+        if h.as_slice().iter().any(|v| !v.is_finite()) || g.iter().any(|v| !v.is_finite()) {
+            return Err(OptimError::NonFiniteData);
+        }
+        Ok(Self {
+            h,
+            g,
+            a_eq: None,
+            b_eq: &[],
+            a_in: None,
+            b_in: &[],
+        })
+    }
+
+    /// Adds the equality constraints `a_eq · z = b_eq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if shapes are inconsistent
+    /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn with_equalities(
+        mut self,
+        a_eq: &'a Matrix,
+        b_eq: &'a [f64],
+    ) -> Result<Self, OptimError> {
+        if a_eq.cols() != self.num_vars() || a_eq.rows() != b_eq.len() {
+            return Err(OptimError::DimensionMismatch {
+                what: "A_eq vs b_eq",
+            });
+        }
+        if a_eq.as_slice().iter().any(|v| !v.is_finite()) || b_eq.iter().any(|v| !v.is_finite()) {
+            return Err(OptimError::NonFiniteData);
+        }
+        self.a_eq = Some(a_eq);
+        self.b_eq = b_eq;
+        Ok(self)
+    }
+
+    /// Adds the inequality constraints `a_in · z ≤ b_in`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if shapes are inconsistent
+    /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn with_inequalities(
+        mut self,
+        a_in: &'a Matrix,
+        b_in: &'a [f64],
+    ) -> Result<Self, OptimError> {
+        if a_in.cols() != self.num_vars() || a_in.rows() != b_in.len() {
+            return Err(OptimError::DimensionMismatch {
+                what: "A_in vs b_in",
+            });
+        }
+        if a_in.as_slice().iter().any(|v| !v.is_finite()) || b_in.iter().any(|v| !v.is_finite()) {
+            return Err(OptimError::NonFiniteData);
+        }
+        self.a_in = Some(a_in);
+        self.b_in = b_in;
+        Ok(self)
+    }
+
+    /// Number of decision variables.
+    #[inline]
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Number of equality constraints.
+    #[inline]
+    #[must_use]
+    pub fn num_eq(&self) -> usize {
+        self.b_eq.len()
+    }
+
+    /// Number of inequality constraints.
+    #[inline]
+    #[must_use]
+    pub fn num_ineq(&self) -> usize {
+        self.b_in.len()
+    }
+
+    /// Evaluates the objective `½ zᵀHz + gᵀz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != num_vars()`.
+    #[must_use]
+    pub fn objective(&self, z: &[f64]) -> f64 {
+        let hz = self.h.matvec(z).expect("dimension checked at construction");
+        0.5 * vecops::dot(z, &hz) + vecops::dot(self.g, z)
+    }
 }
 
 /// Solution of a QP: the minimizer and its Lagrange multipliers.
@@ -245,6 +404,30 @@ impl QpSolver {
     /// Same as [`QpSolver::solve`]; additionally returns
     /// [`OptimError::DimensionMismatch`] if `z0.len() != num_vars()`.
     pub fn solve_from(&self, problem: &QpProblem, z0: &[f64]) -> Result<QpSolution, OptimError> {
+        self.solve_view_from(&problem.as_view(), z0)
+    }
+
+    /// Solves a borrowed-view QP starting from the origin (the
+    /// allocation-free entry point used by the SQP hot loop).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpSolver::solve`].
+    pub fn solve_view(&self, view: &QpView<'_>) -> Result<QpSolution, OptimError> {
+        let z0 = vec![0.0; view.num_vars()];
+        self.solve_view_from(view, z0.as_slice())
+    }
+
+    /// Solves a borrowed-view QP from a warm-start primal point `z0`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpSolver::solve_from`].
+    pub fn solve_view_from(
+        &self,
+        problem: &QpView<'_>,
+        z0: &[f64],
+    ) -> Result<QpSolution, OptimError> {
         let n = problem.num_vars();
         if z0.len() != n {
             return Err(OptimError::DimensionMismatch { what: "z0 vs H" });
@@ -257,7 +440,7 @@ impl QpSolver {
             return self.solve_equality_only(problem, me);
         }
 
-        let a_in = problem.a_in.as_ref().expect("mi > 0 implies A_in");
+        let a_in = problem.a_in.expect("mi > 0 implies A_in");
         let mut z = z0.to_vec();
         let mut y = vec![0.0; me];
         // Strictly positive slack/dual initialization.
@@ -272,16 +455,16 @@ impl QpSolver {
 
         let data_scale = 1.0
             + problem.h.norm_max()
-            + vecops::norm_inf(&problem.g)
-            + problem.a_eq.as_ref().map_or(0.0, Matrix::norm_max)
+            + vecops::norm_inf(problem.g)
+            + problem.a_eq.map_or(0.0, Matrix::norm_max)
             + a_in.norm_max();
 
         let tol = self.options.tolerance;
         for iter in 0..self.options.max_iterations {
             // Residuals.
             let hz = problem.h.matvec(&z)?;
-            let mut rd = vecops::add(&hz, &problem.g);
-            if let Some(a_eq) = &problem.a_eq {
+            let mut rd = vecops::add(&hz, problem.g);
+            if let Some(a_eq) = problem.a_eq {
                 let aty = a_eq.matvec_transposed(&y)?;
                 for (r, v) in rd.iter_mut().zip(&aty) {
                     *r += v;
@@ -291,8 +474,8 @@ impl QpSolver {
             for (r, v) in rd.iter_mut().zip(&ctl) {
                 *r += v;
             }
-            let rp: Vec<f64> = match &problem.a_eq {
-                Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, &problem.b_eq),
+            let rp: Vec<f64> = match problem.a_eq {
+                Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, problem.b_eq),
                 None => Vec::new(),
             };
             let cz = a_in.matvec(&z)?;
@@ -337,7 +520,7 @@ impl QpSolver {
             for r in 0..n {
                 kkt.add_at(r, r, self.options.regularization.max(1e-12));
             }
-            if let Some(a_eq) = &problem.a_eq {
+            if let Some(a_eq) = problem.a_eq {
                 for r in 0..me {
                     for c in 0..n {
                         kkt.set(n + r, c, a_eq.get(r, c));
@@ -388,9 +571,9 @@ impl QpSolver {
 
         // Re-evaluate residuals for the error report.
         let hz = problem.h.matvec(&z)?;
-        let rd = vecops::add(&hz, &problem.g);
-        let rp: Vec<f64> = match &problem.a_eq {
-            Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, &problem.b_eq),
+        let rd = vecops::add(&hz, problem.g);
+        let rp: Vec<f64> = match problem.a_eq {
+            Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, problem.b_eq),
             None => Vec::new(),
         };
         Err(OptimError::QpMaxIterations {
@@ -403,7 +586,7 @@ impl QpSolver {
     /// Direct KKT solve when the problem has no inequality constraints.
     fn solve_equality_only(
         &self,
-        problem: &QpProblem,
+        problem: &QpView<'_>,
         me: usize,
     ) -> Result<QpSolution, OptimError> {
         let n = problem.num_vars();
@@ -415,7 +598,7 @@ impl QpSolver {
             }
             kkt.add_at(r, r, self.options.regularization.max(1e-12));
         }
-        if let Some(a_eq) = &problem.a_eq {
+        if let Some(a_eq) = problem.a_eq {
             for r in 0..me {
                 for c in 0..n {
                     kkt.set(n + r, c, a_eq.get(r, c));
@@ -446,7 +629,7 @@ impl QpSolver {
     fn kkt_solve(
         &self,
         lu: &Lu,
-        problem: &QpProblem,
+        problem: &QpView<'_>,
         a_in: &Matrix,
         rd: &[f64],
         rp: &[f64],

@@ -2,7 +2,7 @@
 
 use ev_linalg::{vecops, Matrix};
 
-use crate::{NlpProblem, OptimError, QpProblem, QpSolver, QpSolverOptions};
+use crate::{NlpProblem, OptimError, QpProblem, QpSolver, QpSolverOptions, QpView};
 
 /// Options for the SQP solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,14 +163,37 @@ impl SqpSolver {
         let mut best = (z.clone(), f, violation(&c_eq, &c_in));
         let mut merit_window: Vec<f64> = Vec::with_capacity(5);
 
+        // Workspace buffers reused across major iterations and every
+        // line-search trial: the hot loop below performs no allocations of
+        // its own (the QP subproblem borrows `b`/`grad`/Jacobians through
+        // a [`QpView`] instead of cloning them).
+        let mut z_trial = vec![0.0; n];
+        let mut c_eq_trial = vec![0.0; me];
+        let mut c_in_trial = vec![0.0; mi];
+        let mut trial_d = vec![0.0; n];
+        let mut grad_new = vec![0.0; n];
+        let mut gl_old = vec![0.0; n];
+        let mut gl_new = vec![0.0; n];
+        let mut step_s = vec![0.0; n];
+        let mut yv = vec![0.0; n];
+        let mut neg_c_eq = vec![0.0; me];
+        let mut neg_c_in = vec![0.0; mi];
+
         for iter in 0..opts.max_iterations {
             let j_eq = problem.eq_jacobian(&z);
             let j_in = problem.ineq_jacobian(&z);
 
-            // QP subproblem in the step d.
-            let (d, mult_eq, mult_in) = match self
-                .solve_subproblem(&qp_solver, &b, &grad, &j_eq, &c_eq, &j_in, &c_in, penalty)
-            {
+            // QP subproblem in the step d (right-hand sides are the
+            // negated constraint values).
+            for (o, v) in neg_c_eq.iter_mut().zip(&c_eq) {
+                *o = -v;
+            }
+            for (o, v) in neg_c_in.iter_mut().zip(&c_in) {
+                *o = -v;
+            }
+            let (d, mult_eq, mult_in) = match self.solve_subproblem(
+                &qp_solver, &b, &grad, &j_eq, &c_eq, &neg_c_eq, &j_in, &c_in, &neg_c_in, penalty,
+            ) {
                 Ok((d, y_eq, lambda_in)) => {
                     let mult = vecops::norm_inf(&y_eq).max(vecops::norm_inf(&lambda_in));
                     penalty = penalty.max(1.5 * mult + 1.0);
@@ -214,19 +237,16 @@ impl SqpSolver {
             let mut alpha = 1.0;
             let mut accepted = false;
             let mut soc_tried = false;
-            let mut z_new = z.clone();
             let mut f_new = f;
-            let mut c_eq_new = c_eq.clone();
-            let mut c_in_new = c_in.clone();
-            let mut trial_d = d.clone();
+            trial_d.copy_from_slice(&d);
             for _ in 0..opts.max_line_search {
-                z_new = z.clone();
-                vecops::axpy(alpha, &trial_d, &mut z_new);
-                f_new = problem.objective(&z_new);
-                problem.eq_constraints(&z_new, &mut c_eq_new);
-                problem.ineq_constraints(&z_new, &mut c_in_new);
+                z_trial.copy_from_slice(&z);
+                vecops::axpy(alpha, &trial_d, &mut z_trial);
+                f_new = problem.objective(&z_trial);
+                problem.eq_constraints(&z_trial, &mut c_eq_trial);
+                problem.ineq_constraints(&z_trial, &mut c_in_trial);
                 if f_new.is_finite() {
-                    let merit_new = f_new + penalty * violation(&c_eq_new, &c_in_new);
+                    let merit_new = f_new + penalty * violation(&c_eq_trial, &c_in_trial);
                     if merit_new <= merit_ref + 1e-4 * alpha * ddir.min(0.0)
                         || merit_new < merit0 - 1e-12 * merit0.abs()
                     {
@@ -235,17 +255,16 @@ impl SqpSolver {
                     }
                     if !soc_tried && alpha == 1.0 && me > 0 {
                         // Second-order correction: shift the step to cancel
-                        // the constraint curvature revealed at z + d.
+                        // the constraint curvature revealed at z + d
+                        // (trial_d still equals d on this first trial).
                         soc_tried = true;
-                        if let Some(correction) = second_order_correction(&j_eq, &c_eq_new) {
-                            let mut d_soc = d.clone();
-                            vecops::axpy(1.0, &correction, &mut d_soc);
-                            trial_d = d_soc;
+                        if let Some(correction) = second_order_correction(&j_eq, &c_eq_trial) {
+                            vecops::axpy(1.0, &correction, &mut trial_d);
                             continue; // retry at alpha = 1 with the SOC step
                         }
                     }
                     // Fall back to the plain step when backtracking.
-                    trial_d = d.clone();
+                    trial_d.copy_from_slice(&d);
                 }
                 alpha *= 0.5;
             }
@@ -266,32 +285,39 @@ impl SqpSolver {
             // Damped BFGS update on the *Lagrangian* gradient difference
             // (the objective alone carries no curvature information when it
             // is linear; the multipliers supply the constraint curvature).
-            let mut grad_new = vec![0.0; n];
-            problem.gradient(&z_new, &mut grad_new);
-            let s = vecops::sub(&z_new, &z);
-            let mut gl_old = grad.clone();
-            let mut gl_new = grad_new.clone();
+            problem.gradient(&z_trial, &mut grad_new);
+            for i in 0..n {
+                step_s[i] = z_trial[i] - z[i];
+            }
+            gl_old.copy_from_slice(&grad);
+            gl_new.copy_from_slice(&grad_new);
             if me > 0 {
-                let j_eq_new = problem.eq_jacobian(&z_new);
+                let j_eq_new = problem.eq_jacobian(&z_trial);
                 vecops::axpy(1.0, &j_eq.matvec_transposed(&mult_eq)?, &mut gl_old);
                 vecops::axpy(1.0, &j_eq_new.matvec_transposed(&mult_eq)?, &mut gl_new);
             }
             if mi > 0 {
-                let j_in_new = problem.ineq_jacobian(&z_new);
+                let j_in_new = problem.ineq_jacobian(&z_trial);
                 vecops::axpy(1.0, &j_in.matvec_transposed(&mult_in)?, &mut gl_old);
                 vecops::axpy(1.0, &j_in_new.matvec_transposed(&mult_in)?, &mut gl_new);
             }
-            let yv = vecops::sub(&gl_new, &gl_old);
-            bfgs_update(&mut b, &s, &yv);
+            for i in 0..n {
+                yv[i] = gl_new[i] - gl_old[i];
+            }
+            bfgs_update(&mut b, &step_s, &yv);
 
-            z = z_new;
+            // Adopt the accepted trial point by swapping buffers; the
+            // trial buffers are fully overwritten on the next use.
+            std::mem::swap(&mut z, &mut z_trial);
             f = f_new;
-            grad = grad_new;
-            c_eq = c_eq_new.clone();
-            c_in = c_in_new.clone();
+            std::mem::swap(&mut grad, &mut grad_new);
+            std::mem::swap(&mut c_eq, &mut c_eq_trial);
+            std::mem::swap(&mut c_in, &mut c_in_trial);
             let v = violation(&c_eq, &c_in);
             if v < best.2 || (v <= best.2 + opts.tolerance && f < best.1) {
-                best = (z.clone(), f, v);
+                best.0.copy_from_slice(&z);
+                best.1 = f;
+                best.2 = v;
             }
         }
 
@@ -307,8 +333,10 @@ impl SqpSolver {
 
     /// Builds and solves one QP subproblem; returns the step and the
     /// equality/inequality multipliers (used for penalty updates and the
-    /// Lagrangian BFGS update). Falls back to elastic mode when the
-    /// linearized constraints are inconsistent.
+    /// Lagrangian BFGS update). The nominal path borrows all problem data
+    /// through a [`QpView`] (no clones); elastic mode — the fallback when
+    /// the linearized constraints are inconsistent — builds its own
+    /// enlarged problem.
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn solve_subproblem(
         &self,
@@ -317,22 +345,24 @@ impl SqpSolver {
         grad: &[f64],
         j_eq: &Matrix,
         c_eq: &[f64],
+        neg_c_eq: &[f64],
         j_in: &Matrix,
         c_in: &[f64],
+        neg_c_in: &[f64],
         penalty: f64,
     ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
         let n = grad.len();
         let me = c_eq.len();
         let mi = c_in.len();
 
-        let mut qp = QpProblem::new(b.clone(), grad.to_vec())?;
+        let mut qp = QpView::new(b, grad)?;
         if me > 0 {
-            qp = qp.with_equalities(j_eq.clone(), vecops::scale(-1.0, c_eq))?;
+            qp = qp.with_equalities(j_eq, neg_c_eq)?;
         }
         if mi > 0 {
-            qp = qp.with_inequalities(j_in.clone(), vecops::scale(-1.0, c_in))?;
+            qp = qp.with_inequalities(j_in, neg_c_in)?;
         }
-        match qp_solver.solve(&qp) {
+        match qp_solver.solve_view(&qp) {
             Ok(sol) => Ok((sol.z, sol.y_eq, sol.lambda_in)),
             Err(OptimError::QpMaxIterations { .. }) | Err(OptimError::Linalg(_)) => {
                 // Elastic mode: d plus slack t ≥ 0 on every constraint,
