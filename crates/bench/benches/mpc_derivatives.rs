@@ -65,17 +65,23 @@ fn bench_derivative_eval(c: &mut Criterion) {
 }
 
 /// One full MPC solve (horizon 8, re-solve every call), analytic vs
-/// finite-difference derivatives on the same hot-day context.
+/// finite-difference derivatives on the same hot-day context, plus an
+/// analytic variant with a live telemetry registry attached. The
+/// telemetry acceptance bar is that `control_step_analytic` stays at its
+/// `BENCH_mpc.json` baseline (the disabled-registry path must cost
+/// nothing); `control_step_telemetry` pins what enabling it costs.
 fn bench_control_step(c: &mut Criterion) {
     let preview = bench_preview(64);
     let mut group = c.benchmark_group("mpc_derivatives");
     group.sample_size(15);
-    for (label, fd) in [
-        ("control_step_analytic", false),
-        ("control_step_finite_diff", true),
+    for (label, fd, telemetry) in [
+        ("control_step_analytic", false, false),
+        ("control_step_finite_diff", true, false),
+        ("control_step_telemetry", false, true),
     ] {
         group.bench_function(label, |b| {
             let params = EvParams::nissan_leaf_like();
+            let registry = ev_telemetry::Registry::with_enabled(telemetry);
             let mut mpc = MpcController::builder(params.hvac_model(), params.limits())
                 .target(params.target)
                 .horizon(8)
@@ -83,6 +89,7 @@ fn bench_control_step(c: &mut Criterion) {
                 .battery(params.mpc_battery_model())
                 .accessory_power(params.accessory_power)
                 .finite_difference_derivatives(fd)
+                .telemetry(&registry)
                 .build()
                 .expect("valid config");
             let ctx = bench_context(&preview);

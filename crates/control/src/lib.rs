@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 mod context;
+mod diagnostics;
 pub mod fuzzy;
 mod mpc;
 mod onoff;
 mod pid;
 
 pub use context::{ControlContext, PreviewSample};
+pub use diagnostics::MpcDiagnostics;
 pub use fuzzy::FuzzyController;
 pub use mpc::{MpcBatteryModel, MpcBuilder, MpcConfigError, MpcController, MpcWeights};
 pub use onoff::OnOffController;
@@ -66,6 +68,12 @@ pub trait ClimateController {
 
     /// Computes the HVAC input for the current step.
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput;
+
+    /// Cumulative solver diagnostics, for controllers backed by an
+    /// optimizer. The default (rule-based controllers) is `None`.
+    fn solver_diagnostics(&self) -> Option<MpcDiagnostics> {
+        None
+    }
 }
 
 /// Maps a signed actuation duty (−1 = full heating, +1 = full cooling)

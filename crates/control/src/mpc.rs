@@ -1,14 +1,18 @@
 //! The battery lifetime-aware MPC climate controller (the paper's
 //! Section III).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use ev_hvac::{Hvac, HvacInput, HvacLimits};
 use ev_linalg::Matrix;
-use ev_optim::{NlpProblem, SqpOptions, SqpSolver};
+use ev_optim::{
+    NlpProblem, QpSubproblemStatus, SqpIterationRecord, SqpObserver, SqpOptions, SqpSolver,
+    SqpStatus,
+};
+use ev_telemetry::{Counter, Histogram, HistogramSpec, Registry};
 use ev_units::{AmpereHours, Amperes, Celsius, KgPerSecond, Seconds, Volts, Watts};
 
-use crate::{ClimateController, ControlContext, PreviewSample};
+use crate::{ClimateController, ControlContext, MpcDiagnostics, PreviewSample};
 
 /// Weights of the MPC cost function (the paper's Eq. 21):
 /// `C = Σ w1·(Pf+Pc+Ph) + w2·(SoC − SoC_avg)² + w3·(Tz − T_target)²`.
@@ -86,6 +90,81 @@ impl core::fmt::Display for MpcConfigError {
 
 impl std::error::Error for MpcConfigError {}
 
+/// Telemetry handles the controller records into. Minted once at build
+/// time; every handle from a disabled [`Registry`] is inert, so the
+/// un-instrumented hot path pays a branch per update and nothing else.
+#[derive(Debug, Clone)]
+struct MpcMetrics {
+    enabled: bool,
+    control_step_seconds: Histogram,
+    solve_seconds: Histogram,
+    qp_seconds: Histogram,
+    sqp_iterations: Histogram,
+    sqp_step_length: Histogram,
+    sqp_active_set: Histogram,
+    warm_hits: Counter,
+    warm_misses: Counter,
+    warm_invalidated: Counter,
+    rollout_cache_hits: Counter,
+    rollout_cache_misses: Counter,
+    solves: Counter,
+    converged: Counter,
+    max_iterations: Counter,
+    stalled: Counter,
+    errors: Counter,
+    qp_elastic: Counter,
+    qp_fallback: Counter,
+}
+
+impl MpcMetrics {
+    fn bind(registry: &Registry) -> Self {
+        MpcMetrics {
+            enabled: registry.is_enabled(),
+            control_step_seconds: registry
+                .histogram("mpc_control_step_seconds", HistogramSpec::latency_seconds()),
+            solve_seconds: registry
+                .histogram("mpc_solve_seconds", HistogramSpec::latency_seconds()),
+            qp_seconds: registry.histogram("sqp_qp_seconds", HistogramSpec::latency_seconds()),
+            sqp_iterations: registry.histogram("mpc_sqp_iterations", HistogramSpec::counts()),
+            sqp_step_length: registry.histogram("sqp_step_length", HistogramSpec::unit()),
+            sqp_active_set: registry.histogram("sqp_active_set_size", HistogramSpec::counts()),
+            warm_hits: registry.counter("mpc_warm_start_hits_total"),
+            warm_misses: registry.counter("mpc_warm_start_misses_total"),
+            warm_invalidated: registry.counter("mpc_warm_start_invalidated_total"),
+            rollout_cache_hits: registry.counter("mpc_rollout_cache_hits_total"),
+            rollout_cache_misses: registry.counter("mpc_rollout_cache_misses_total"),
+            solves: registry.counter("mpc_solves_total"),
+            converged: registry.counter("mpc_solve_converged_total"),
+            max_iterations: registry.counter("mpc_solve_max_iterations_total"),
+            stalled: registry.counter("mpc_solve_stalled_total"),
+            errors: registry.counter("mpc_solve_errors_total"),
+            qp_elastic: registry.counter("sqp_qp_elastic_total"),
+            qp_fallback: registry.counter("sqp_qp_fallback_total"),
+        }
+    }
+}
+
+/// Bridges [`SqpObserver`] iteration records into the telemetry
+/// histograms. Only attached to the solver when telemetry is enabled, so
+/// the plain path keeps the no-op observer the solver optimizes out.
+struct SqpMetricsBridge<'a>(&'a MpcMetrics);
+
+impl SqpObserver for SqpMetricsBridge<'_> {
+    fn on_iteration(&mut self, record: &SqpIterationRecord) {
+        let m = self.0;
+        m.qp_seconds.record(record.qp_seconds);
+        m.sqp_active_set.record(record.active_set_size as f64);
+        if record.accepted && record.step_length > 0.0 {
+            m.sqp_step_length.record(record.step_length);
+        }
+        match record.qp_status {
+            QpSubproblemStatus::Nominal => {}
+            QpSubproblemStatus::Elastic => m.qp_elastic.inc(),
+            QpSubproblemStatus::GradientFallback => m.qp_fallback.inc(),
+        }
+    }
+}
+
 /// Builder for [`MpcController`].
 #[derive(Debug, Clone)]
 pub struct MpcBuilder {
@@ -99,6 +178,7 @@ pub struct MpcBuilder {
     battery: MpcBatteryModel,
     accessory_power: Watts,
     finite_difference_derivatives: bool,
+    telemetry: Registry,
 }
 
 impl MpcBuilder {
@@ -170,6 +250,16 @@ impl MpcBuilder {
         self
     }
 
+    /// Attaches a telemetry registry. The controller registers its
+    /// solve/warm-start/QP metrics on it and records per-`control`
+    /// latencies; a disabled registry (the default) records nothing and
+    /// costs nothing. Telemetry never changes the controller's outputs.
+    #[must_use]
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = registry.clone();
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Errors
@@ -208,6 +298,8 @@ impl MpcBuilder {
             cached_input: None,
             steps_since_solve: 0,
             use_finite_diff: self.finite_difference_derivatives,
+            metrics: MpcMetrics::bind(&self.telemetry),
+            diagnostics: MpcDiagnostics::default(),
         })
     }
 }
@@ -258,6 +350,8 @@ pub struct MpcController {
     cached_input: Option<HvacInput>,
     steps_since_solve: usize,
     use_finite_diff: bool,
+    metrics: MpcMetrics,
+    diagnostics: MpcDiagnostics,
 }
 
 /// Scale factors mapping decision variables to physical inputs:
@@ -294,6 +388,7 @@ impl MpcController {
             battery: MpcBatteryModel::default(),
             accessory_power: Watts::new(300.0),
             finite_difference_derivatives: false,
+            telemetry: Registry::disabled(),
         }
     }
 
@@ -422,25 +517,75 @@ impl MpcController {
             soc_avg_ref: ctx.soc_avg,
             preview: self.resample_preview(ctx),
             cache: RefCell::new(None),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         }
     }
 
     /// Solves the receding-horizon problem and caches the first input.
+    ///
+    /// All telemetry here is observation-only: the solver sees the same
+    /// problem, start point and options whether or not a registry is
+    /// attached, so instrumented runs are bit-identical to plain ones.
     fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let solve_span = self.metrics.solve_seconds.start_span();
         let nlp = self.build_nlp(ctx);
-        let z0 = match &self.warm_start {
-            Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => {
-                self.shifted_warm_start(prev, self.elapsed_blocks(ctx))
-            }
-            _ => self.cold_start(ctx),
+        let (z0, warm_started) = match &self.warm_start {
+            Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => (
+                self.shifted_warm_start(prev, self.elapsed_blocks(ctx)),
+                true,
+            ),
+            _ => (self.cold_start(ctx), false),
         };
-        let solved = if self.use_finite_diff {
+        let solved = if self.metrics.enabled {
+            let bridge = SqpMetricsBridge(&self.metrics);
+            if self.use_finite_diff {
+                self.solver
+                    .solve_observed(&FiniteDiffMpcNlp(&nlp), &z0, bridge)
+            } else {
+                self.solver.solve_observed(&nlp, &z0, bridge)
+            }
+        } else if self.use_finite_diff {
             self.solver.solve(&FiniteDiffMpcNlp(&nlp), &z0)
         } else {
             self.solver.solve(&nlp, &z0)
         };
+        let cache_hits = nlp.cache_hits.get();
+        let cache_misses = nlp.cache_misses.get();
+        drop(nlp);
+
+        self.diagnostics.solves += 1;
+        self.metrics.solves.inc();
+        self.diagnostics.rollout_cache_hits += cache_hits;
+        self.diagnostics.rollout_cache_misses += cache_misses;
+        self.metrics.rollout_cache_hits.add(cache_hits);
+        self.metrics.rollout_cache_misses.add(cache_misses);
+        if warm_started {
+            self.diagnostics.warm_start_hits += 1;
+            self.metrics.warm_hits.inc();
+        } else {
+            self.diagnostics.warm_start_misses += 1;
+            self.metrics.warm_misses.inc();
+        }
+
         let input = match solved {
             Ok(result) => {
+                self.diagnostics.sqp_iterations += result.iterations as u64;
+                self.metrics.sqp_iterations.record(result.iterations as f64);
+                match result.status {
+                    SqpStatus::Converged => {
+                        self.diagnostics.converged += 1;
+                        self.metrics.converged.inc();
+                    }
+                    SqpStatus::MaxIterations => {
+                        self.diagnostics.max_iterations += 1;
+                        self.metrics.max_iterations.inc();
+                    }
+                    SqpStatus::LineSearchStalled => {
+                        self.diagnostics.line_search_stalled += 1;
+                        self.metrics.stalled.inc();
+                    }
+                }
                 let input = Self::first_input(&result.z);
                 self.warm_start = Some(result.z);
                 input
@@ -451,13 +596,26 @@ impl MpcController {
                 // start too — it described a plan anchored at an older
                 // state, and re-shifting it again next solve would anchor
                 // it even further in the past.
+                self.diagnostics.solver_errors += 1;
+                self.metrics.errors.inc();
+                if self.warm_start.is_some() {
+                    self.diagnostics.warm_start_invalidated += 1;
+                    self.metrics.warm_invalidated.inc();
+                }
                 self.warm_start = None;
                 self.cached_input
                     .unwrap_or_else(|| HvacInput::idle(self.hvac.params(), ctx.state.tz))
             }
         };
+        solve_span.finish();
         self.limits
             .clamp_input(&self.hvac, input, ctx.state, ctx.ambient)
+    }
+
+    /// Cumulative solver diagnostics since construction.
+    #[must_use]
+    pub fn diagnostics(&self) -> MpcDiagnostics {
+        self.diagnostics
     }
 }
 
@@ -467,9 +625,10 @@ impl ClimateController for MpcController {
     }
 
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let step_span = self.metrics.control_step_seconds.start_span();
         let due = self.steps_since_solve == 0 || self.cached_input.is_none();
         self.steps_since_solve = (self.steps_since_solve + 1) % self.recompute_every;
-        if due {
+        let input = if due {
             let input = self.solve(ctx);
             self.cached_input = Some(input);
             input
@@ -477,7 +636,13 @@ impl ClimateController for MpcController {
             let held = self.cached_input.expect("cached input exists");
             self.limits
                 .clamp_input(&self.hvac, held, ctx.state, ctx.ambient)
-        }
+        };
+        step_span.finish();
+        input
+    }
+
+    fn solver_diagnostics(&self) -> Option<MpcDiagnostics> {
+        Some(self.diagnostics)
     }
 }
 
@@ -509,6 +674,10 @@ struct MpcNlp<'a> {
     preview: Vec<PreviewSample>,
     /// Last rollout, keyed by the iterate it was computed at.
     cache: RefCell<Option<(Vec<f64>, Rollout)>>,
+    /// Evaluations served from `cache` without a fresh rollout.
+    cache_hits: Cell<u64>,
+    /// Evaluations that had to run the rollout.
+    cache_misses: Cell<u64>,
 }
 
 /// The rollout products needed by the objective, the constraints and
@@ -617,7 +786,10 @@ impl MpcNlp<'_> {
     fn with_rollout<T>(&self, z: &[f64], f: impl FnOnce(&Rollout) -> T) -> T {
         let mut cache = self.cache.borrow_mut();
         let hit = matches!(&*cache, Some((zc, _)) if zc.as_slice() == z);
-        if !hit {
+        if hit {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+        } else {
+            self.cache_misses.set(self.cache_misses.get() + 1);
             *cache = Some((z.to_vec(), self.rollout(z)));
         }
         let (_, r) = cache.as_ref().expect("cache filled above");
@@ -1185,6 +1357,56 @@ mod tests {
         let all = c.shifted_warm_start(&prev, 4);
         assert_eq!(all.len(), prev.len());
         assert_eq!(all[..VARS_PER_STEP], prev[3 * VARS_PER_STEP..]);
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let registry = Registry::enabled();
+        let mk = |reg: Option<&Registry>| {
+            let b = MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(6)
+                .recompute_every(2);
+            let b = match reg {
+                Some(r) => b.telemetry(r),
+                None => b,
+            };
+            b.build().unwrap()
+        };
+        let mut plain = mk(None);
+        let mut instrumented = mk(Some(&registry));
+        let preview = preview_const(8_000.0, 35.0, 24);
+        for step in 0..6 {
+            let context = ctx(26.0 - 0.1 * step as f64, 35.0, &preview);
+            let a = plain.control(&context);
+            let b = instrumented.control(&context);
+            assert_eq!(a, b, "telemetry must not perturb the command");
+        }
+        // Both controllers expose identical always-on diagnostics.
+        assert_eq!(plain.diagnostics(), instrumented.diagnostics());
+        let d = instrumented.diagnostics();
+        assert_eq!(d.solves, 3, "6 steps at recompute_every=2");
+        assert_eq!(d.warm_start_misses, 1);
+        assert_eq!(d.warm_start_hits, 2);
+        assert!(d.sqp_iterations > 0);
+        assert!(d.rollout_cache_hits > 0, "solver re-evaluates per iterate");
+        assert!(plain.solver_diagnostics().is_some());
+
+        // The registry saw the same story, plus timing histograms.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mpc_solves_total"), Some(3));
+        assert_eq!(snap.counter("mpc_warm_start_hits_total"), Some(2));
+        assert_eq!(
+            snap.counter("mpc_rollout_cache_hits_total"),
+            Some(d.rollout_cache_hits)
+        );
+        assert_eq!(snap.histogram("mpc_control_step_seconds").unwrap().count, 6);
+        assert_eq!(snap.histogram("mpc_solve_seconds").unwrap().count, 3);
+        assert_eq!(
+            snap.histogram("mpc_sqp_iterations").unwrap().sum,
+            d.sqp_iterations as f64
+        );
+        assert!(snap.histogram("sqp_qp_seconds").unwrap().count >= d.sqp_iterations);
     }
 
     #[test]

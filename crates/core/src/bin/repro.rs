@@ -17,13 +17,25 @@
 use std::process::ExitCode;
 
 use ev_core::experiments::{
-    ablation_horizon, ablation_w2, evaluation_sweep, fig1, fig5, fig6, fig7_from, fig8_from,
+    ablation_horizon, ablation_w2, evaluation_sweep_run, fig1, fig5, fig6, fig7_from, fig8_from,
     full_cycle, render_ablation, render_fig1, render_fig5, render_fig6, render_fig7, render_fig8,
-    render_full_cycle, render_robustness, render_table1, robustness_sweep, table1,
+    render_full_cycle, render_robustness, render_sweep_report, render_table1, robustness_sweep,
+    table1, COMPARISON_AMBIENT_C,
 };
+use ev_drive::DriveCycle;
 
 fn usage() -> &'static str {
     "usage: repro <fig1|fig5|fig6|fig7|fig8|table1|ablation|robustness|fullcycle|all>"
+}
+
+/// The Fig. 7/8 evaluation matrix with telemetry on, so the figures come
+/// with a solver-health run report.
+fn instrumented_sweep() -> ev_core::experiments::SweepResult {
+    evaluation_sweep_run(
+        COMPARISON_AMBIENT_C,
+        &DriveCycle::paper_evaluation_set(),
+        true,
+    )
 }
 
 fn run(which: &str) -> Result<(), String> {
@@ -32,12 +44,14 @@ fn run(which: &str) -> Result<(), String> {
         "fig5" => println!("{}", render_fig5(&fig5())),
         "fig6" => println!("{}", render_fig6(&fig6())),
         "fig7" => {
-            let cells = evaluation_sweep();
-            println!("{}", render_fig7(&fig7_from(&cells)));
+            let sweep = instrumented_sweep();
+            println!("{}", render_fig7(&fig7_from(&sweep.completed())));
+            println!("{}", render_sweep_report(&sweep, true));
         }
         "fig8" => {
-            let cells = evaluation_sweep();
-            println!("{}", render_fig8(&fig8_from(&cells)));
+            let sweep = instrumented_sweep();
+            println!("{}", render_fig8(&fig8_from(&sweep.completed())));
+            println!("{}", render_sweep_report(&sweep, true));
         }
         "table1" => println!("{}", render_table1(&table1())),
         "ablation" => {
@@ -57,9 +71,11 @@ fn run(which: &str) -> Result<(), String> {
             println!("{}", render_fig5(&fig5()));
             println!("{}", render_fig6(&fig6()));
             // Figs. 7 and 8 share one sweep; run it once.
-            let cells = evaluation_sweep();
+            let sweep = instrumented_sweep();
+            let cells = sweep.completed();
             println!("{}", render_fig7(&fig7_from(&cells)));
             println!("{}", render_fig8(&fig8_from(&cells)));
+            println!("{}", render_sweep_report(&sweep, true));
             println!("{}", render_table1(&table1()));
             println!(
                 "{}",

@@ -1,11 +1,16 @@
 //! The shared drive-profile × controller sweep behind Figs. 7 and 8.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ev_control::MpcDiagnostics;
 use ev_drive::DriveCycle;
+use ev_telemetry::{Registry, Snapshot};
 
 use crate::observe::{NoopObserver, StepObserver};
+use crate::telemetry::TelemetryObserver;
 use crate::{ControllerKind, Simulation, SimulationResult};
 
-use super::{experiment_params, profile_at, COMPARISON_AMBIENT_C};
+use super::{experiment_params, format_table, profile_at, COMPARISON_AMBIENT_C};
 
 /// One cell of the evaluation matrix: a cycle driven by a controller.
 #[derive(Debug, Clone)]
@@ -115,16 +120,278 @@ where
             // 15 identical workers the panic was undiagnosable. Re-panic
             // with the cell identity and the worker's own message.
             out.push(handle.join().unwrap_or_else(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                let msg = panic_message(payload.as_ref());
                 panic!("sweep worker for {name} x {kind:?} panicked: {msg}");
             }));
         }
     });
     out
+}
+
+/// How one sweep cell ended.
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// The simulation ran to the end of its profile.
+    Completed(Box<SimulationResult>),
+    /// The cell failed — a simulation error or a worker panic — with a
+    /// human-readable reason. The rest of the sweep is unaffected.
+    Failed(String),
+}
+
+impl SweepOutcome {
+    /// The simulation result, if the cell completed.
+    #[must_use]
+    pub fn result(&self) -> Option<&SimulationResult> {
+        match self {
+            Self::Completed(r) => Some(r),
+            Self::Failed(_) => None,
+        }
+    }
+
+    /// Whether the cell completed.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Self::Completed(_))
+    }
+}
+
+/// One cell of a robust, instrumented sweep: identity, outcome, solver
+/// diagnostics and a telemetry snapshot.
+#[derive(Debug)]
+pub struct SweepCellResult {
+    /// Drive-profile name (e.g. `"NEDC"`).
+    pub profile: String,
+    /// Which controller drove it.
+    pub controller: ControllerKind,
+    /// How the cell ended.
+    pub outcome: SweepOutcome,
+    /// Cumulative solver diagnostics (`None` for rule-based controllers
+    /// and for cells whose worker panicked before returning one).
+    pub diagnostics: Option<MpcDiagnostics>,
+    /// The cell's telemetry snapshot (empty when telemetry was off).
+    pub telemetry: Snapshot,
+    /// Wall-clock time the cell took (s).
+    pub wall_seconds: f64,
+}
+
+/// A full instrumented sweep: every cell, even the failed ones.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Ambient temperature the matrix ran at (°C).
+    pub ambient_c: f64,
+    /// All cells, in cycle-major order.
+    pub cells: Vec<SweepCellResult>,
+}
+
+impl SweepResult {
+    /// Cells that completed, projected onto the plain [`SweepCell`] shape
+    /// the figure builders consume.
+    #[must_use]
+    pub fn completed(&self) -> Vec<SweepCell> {
+        self.cells
+            .iter()
+            .filter_map(|c| {
+                c.outcome.result().map(|r| SweepCell {
+                    profile: c.profile.clone(),
+                    controller: c.controller,
+                    result: r.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// The failed cells, as `(profile, controller, reason)`.
+    #[must_use]
+    pub fn failures(&self) -> Vec<(&str, ControllerKind, &str)> {
+        self.cells
+            .iter()
+            .filter_map(|c| match &c.outcome {
+                SweepOutcome::Failed(msg) => Some((c.profile.as_str(), c.controller, msg.as_str())),
+                SweepOutcome::Completed(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Runs the evaluation matrix robustly: every cell is isolated behind
+/// [`catch_unwind`], so one diverging solve or panicking worker yields a
+/// [`SweepOutcome::Failed`] row instead of poisoning the whole sweep.
+/// With `telemetry` on, each cell gets its own [`Registry`] capturing the
+/// controller's solver metrics (via
+/// [`ControllerKind::instantiate_instrumented`]) and the plant-side
+/// [`TelemetryObserver`] stream; off, registries are disabled and the hot
+/// paths stay on their uninstrumented code.
+#[must_use]
+pub fn evaluation_sweep_run(ambient_c: f64, cycles: &[DriveCycle], telemetry: bool) -> SweepResult {
+    let mut params = experiment_params();
+    // Match `evaluation_sweep_observed`: start from a preconditioned
+    // cabin so the comparison is about regulation, not pull-down.
+    params.initial_cabin = Some(params.target);
+    let sims: Vec<(String, Simulation)> = cycles
+        .iter()
+        .map(|cycle| {
+            let profile = profile_at(cycle, ambient_c);
+            (
+                cycle.name().to_owned(),
+                Simulation::new(params.clone(), profile).expect("profile non-empty"),
+            )
+        })
+        .collect();
+    let mut cells = Vec::with_capacity(cycles.len() * 3);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (name, sim) in &sims {
+            for kind in ControllerKind::paper_lineup() {
+                let params = &params;
+                handles.push((
+                    name.clone(),
+                    kind,
+                    scope.spawn(move || {
+                        let registry = Registry::with_enabled(telemetry);
+                        let t0 = std::time::Instant::now();
+                        let mut controller = kind
+                            .instantiate_instrumented(params, &registry)
+                            .expect("controller instantiates");
+                        let mut observer = TelemetryObserver::new(&registry);
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            sim.run_observed(controller.as_mut(), &mut observer)
+                        }));
+                        let outcome = match run {
+                            Ok(Ok(result)) => SweepOutcome::Completed(Box::new(result)),
+                            Ok(Err(err)) => SweepOutcome::Failed(err.to_string()),
+                            Err(payload) => SweepOutcome::Failed(panic_message(payload.as_ref())),
+                        };
+                        (
+                            outcome,
+                            controller.solver_diagnostics(),
+                            registry.snapshot(),
+                            t0.elapsed().as_secs_f64(),
+                        )
+                    }),
+                ));
+            }
+        }
+        for (profile, controller, handle) in handles {
+            // The worker caught run-time panics itself; a join error means
+            // something outside the guarded region blew up (instantiation).
+            let (outcome, diagnostics, telemetry, wall_seconds) =
+                handle.join().unwrap_or_else(|payload| {
+                    (
+                        SweepOutcome::Failed(panic_message(payload.as_ref())),
+                        None,
+                        Snapshot::default(),
+                        0.0,
+                    )
+                });
+            cells.push(SweepCellResult {
+                profile,
+                controller,
+                outcome,
+                diagnostics,
+                telemetry,
+                wall_seconds,
+            });
+        }
+    });
+    SweepResult { ambient_c, cells }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Formats an instrumented sweep as the human-readable run report printed
+/// by the `repro` and `evsim` binaries: one row per cell with the solver
+/// health columns (solves, convergence rate, mean SQP iterations,
+/// warm-start hit rate) and — when `include_timings` is set — the p50/p99
+/// `control_step` latencies from the cell's telemetry snapshot. Timings
+/// are redacted with `include_timings = false` so the report is
+/// deterministic (the golden-snapshot tests rely on this).
+#[must_use]
+pub fn render_sweep_report(sweep: &SweepResult, include_timings: bool) -> String {
+    let dash = || "-".to_owned();
+    let fmt_rate = |x: f64| {
+        if x.is_nan() {
+            dash()
+        } else {
+            format!("{:.0}%", 100.0 * x)
+        }
+    };
+    let mut header: Vec<String> = [
+        "profile",
+        "controller",
+        "status",
+        "solves",
+        "conv",
+        "iters/solve",
+        "warm-start",
+    ]
+    .map(str::to_owned)
+    .to_vec();
+    if include_timings {
+        header.push("p50 step".to_owned());
+        header.push("p99 step".to_owned());
+    }
+    let mut rows = Vec::with_capacity(sweep.cells.len());
+    for cell in &sweep.cells {
+        let mut row = vec![
+            cell.profile.clone(),
+            short_name(cell.controller).to_owned(),
+            match &cell.outcome {
+                SweepOutcome::Completed(_) => "ok".to_owned(),
+                SweepOutcome::Failed(_) => "FAILED".to_owned(),
+            },
+        ];
+        match cell.diagnostics {
+            Some(d) => {
+                row.push(d.solves.to_string());
+                row.push(fmt_rate(d.convergence_rate()));
+                row.push(if d.mean_sqp_iterations().is_nan() {
+                    dash()
+                } else {
+                    format!("{:.1}", d.mean_sqp_iterations())
+                });
+                row.push(fmt_rate(d.warm_start_hit_rate()));
+            }
+            None => row.extend([dash(), dash(), dash(), dash()]),
+        }
+        if include_timings {
+            match cell.telemetry.histogram("mpc_control_step_seconds") {
+                Some(h) if h.count > 0 => {
+                    row.push(format!("{:.2} ms", 1e3 * h.quantile(0.5)));
+                    row.push(format!("{:.2} ms", 1e3 * h.quantile(0.99)));
+                }
+                _ => row.extend([dash(), dash()]),
+            }
+        }
+        rows.push(row);
+    }
+    let mut out = format!(
+        "Run report: {} cells at {:.0} degC ambient\n",
+        sweep.cells.len(),
+        sweep.ambient_c
+    );
+    out.push_str(&format_table(&header, &rows));
+    for (profile, controller, reason) in sweep.failures() {
+        out.push_str(&format!(
+            "FAILED {profile} x {}: {reason}\n",
+            short_name(controller)
+        ));
+    }
+    out
+}
+
+fn short_name(kind: ControllerKind) -> &'static str {
+    match kind {
+        ControllerKind::OnOff => "On/Off",
+        ControllerKind::Fuzzy => "Fuzzy",
+        ControllerKind::Pid => "PID",
+        ControllerKind::Mpc => "MPC",
+    }
 }
 
 /// Finds a cell in a sweep by profile name and controller.
@@ -151,5 +418,68 @@ mod tests {
         assert!(find(&cells, "ECE-15", ControllerKind::Fuzzy).is_some());
         assert!(find(&cells, "ECE-15", ControllerKind::Mpc).is_some());
         assert!(find(&cells, "ECE-15", ControllerKind::Pid).is_none());
+    }
+
+    #[test]
+    fn instrumented_sweep_reports_solver_and_plant_metrics() {
+        let sweep = evaluation_sweep_run(35.0, &[DriveCycle::ece15()], true);
+        assert_eq!(sweep.cells.len(), 3);
+        assert!(sweep.failures().is_empty());
+        assert_eq!(sweep.completed().len(), 3);
+        for cell in &sweep.cells {
+            assert!(cell.outcome.is_completed());
+            assert!(cell.wall_seconds > 0.0);
+            let steps = cell.telemetry.counter("sim_steps_total").unwrap();
+            assert!(steps > 0, "{steps}");
+            match cell.controller {
+                ControllerKind::Mpc => {
+                    let d = cell.diagnostics.expect("MPC exposes diagnostics");
+                    assert!(d.solves > 0);
+                    // Every solve is accounted for by exactly one outcome.
+                    assert_eq!(
+                        d.converged + d.max_iterations + d.line_search_stalled + d.solver_errors,
+                        d.solves,
+                        "{d:?}"
+                    );
+                    assert!(!d.convergence_rate().is_nan());
+                    assert!(!d.warm_start_hit_rate().is_nan());
+                    let h = cell
+                        .telemetry
+                        .histogram("mpc_control_step_seconds")
+                        .expect("MPC records step latency");
+                    assert_eq!(h.count, steps);
+                }
+                _ => assert!(cell.diagnostics.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn untelemetered_sweep_has_empty_snapshots_but_diagnostics() {
+        let sweep = evaluation_sweep_run(35.0, &[DriveCycle::ece15()], false);
+        for cell in &sweep.cells {
+            assert!(cell.telemetry.is_empty());
+        }
+        let mpc = sweep
+            .cells
+            .iter()
+            .find(|c| c.controller == ControllerKind::Mpc)
+            .unwrap();
+        // The plain-u64 diagnostics stay on even with telemetry off.
+        assert!(mpc.diagnostics.unwrap().solves > 0);
+    }
+
+    #[test]
+    fn sweep_report_renders_all_cells() {
+        let sweep = evaluation_sweep_run(35.0, &[DriveCycle::ece15()], true);
+        let with_timings = render_sweep_report(&sweep, true);
+        assert!(with_timings.contains("MPC"));
+        assert!(with_timings.contains("p99 step"));
+        assert!(with_timings.contains("ms"));
+        let redacted = render_sweep_report(&sweep, false);
+        assert!(!redacted.contains("p99 step"));
+        assert!(!redacted.contains("ms"));
+        // "Run report:" line + table header + separator + one row per cell.
+        assert_eq!(redacted.lines().count(), 3 + sweep.cells.len());
     }
 }

@@ -47,6 +47,7 @@ pub mod observe;
 mod params;
 mod result;
 mod sim;
+mod telemetry;
 mod vehicle;
 
 pub use observe::{
@@ -56,4 +57,5 @@ pub use observe::{
 pub use params::{ControllerKind, EvParams};
 pub use result::{Metrics, SimulationResult, TimeSeries};
 pub use sim::{SimError, Simulation};
+pub use telemetry::TelemetryObserver;
 pub use vehicle::{ElectricVehicle, PlantStep};

@@ -273,10 +273,15 @@ impl StepObserver for TraceRecorder {
 ///
 /// The observer callbacks are infallible by design, so write errors are
 /// latched instead of propagated: the first failure stops further writes
-/// and [`TraceWriter::finish`] surfaces it.
+/// and [`TraceWriter::finish`] surfaces it. `finish` also flushes the
+/// sink (a wrapped `BufWriter` would otherwise hold the tail records in
+/// memory), and dropping an unfinished writer best-effort flushes too,
+/// so an aborted run does not silently lose its buffered tail.
 #[derive(Debug)]
 pub struct TraceWriter<W: std::io::Write> {
-    sink: W,
+    /// `Some` until [`TraceWriter::finish`] takes the sink; the `Drop`
+    /// flush only runs while it is still here.
+    sink: Option<W>,
     error: Option<std::io::Error>,
     written: usize,
 }
@@ -285,7 +290,7 @@ impl<W: std::io::Write> TraceWriter<W> {
     /// Wraps a sink.
     pub fn new(sink: W) -> Self {
         Self {
-            sink,
+            sink: Some(sink),
             error: None,
             written: 0,
         }
@@ -297,15 +302,32 @@ impl<W: std::io::Write> TraceWriter<W> {
         self.written
     }
 
-    /// Unwraps the sink, surfacing any latched write error.
+    /// Flushes and unwraps the sink, surfacing any latched write error.
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error the underlying sink reported.
-    pub fn finish(self) -> std::io::Result<W> {
-        match self.error {
+    /// Returns the first I/O error the underlying sink reported — either
+    /// latched from a step write or raised by the final flush.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        let mut sink = self.sink.take().expect("sink present until finish");
+        let flushed = sink.flush();
+        match self.error.take() {
             Some(e) => Err(e),
-            None => Ok(self.sink),
+            None => {
+                flushed?;
+                Ok(sink)
+            }
+        }
+    }
+}
+
+impl<W: std::io::Write> Drop for TraceWriter<W> {
+    /// Best-effort flush when the writer is dropped without `finish`
+    /// (e.g. a run aborted by a panic); errors here have nowhere to go
+    /// and are discarded.
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            let _ = sink.flush();
         }
     }
 }
@@ -315,8 +337,11 @@ impl<W: std::io::Write> StepObserver for TraceWriter<W> {
         if self.error.is_some() {
             return;
         }
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
         let line = serde_json::to_string(record).expect("StepRecord serializes infallibly");
-        if let Err(e) = writeln!(self.sink, "{line}") {
+        if let Err(e) = writeln!(sink, "{line}") {
             self.error = Some(e);
             return;
         }
@@ -529,6 +554,64 @@ mod tests {
         let back: StepRecord = serde_json::from_str(lines[1]).expect("parses");
         assert_eq!(back.step, 1);
         assert_eq!(back.mode, ControllerMode::Cooling);
+    }
+
+    /// A sink that counts flushes through shared state, so tests can see
+    /// them even after the writer is dropped.
+    struct FlushCounter {
+        flushes: std::rc::Rc<std::cell::Cell<usize>>,
+        fail_flush: bool,
+    }
+
+    impl std::io::Write for FlushCounter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes.set(self.flushes.get() + 1);
+            if self.fail_flush {
+                Err(std::io::Error::other("flush failed"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn trace_writer_finish_flushes_the_sink() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut w = TraceWriter::new(FlushCounter {
+            flushes: flushes.clone(),
+            fail_flush: false,
+        });
+        w.on_step(&record(0));
+        w.finish().expect("no io error");
+        assert_eq!(flushes.get(), 1, "finish must flush buffered records");
+    }
+
+    #[test]
+    fn trace_writer_flushes_on_drop() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        {
+            let mut w = TraceWriter::new(FlushCounter {
+                flushes: flushes.clone(),
+                fail_flush: false,
+            });
+            w.on_step(&record(0));
+            // Dropped without finish — an aborted run.
+        }
+        assert_eq!(flushes.get(), 1, "drop must flush the buffered tail");
+    }
+
+    #[test]
+    fn trace_writer_finish_surfaces_flush_error() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut w = TraceWriter::new(FlushCounter {
+            flushes,
+            fail_flush: true,
+        });
+        w.on_step(&record(0));
+        assert!(w.finish().is_err(), "flush failure must surface");
     }
 
     #[test]

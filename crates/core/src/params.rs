@@ -7,6 +7,7 @@ use ev_control::{
 };
 use ev_hvac::{CabinParams, Hvac, HvacLimits, HvacParams};
 use ev_powertrain::VehicleParams;
+use ev_telemetry::Registry;
 use ev_units::{Celsius, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +133,24 @@ impl ControllerKind {
         self,
         params: &EvParams,
     ) -> Result<Box<dyn ClimateController>, MpcConfigError> {
+        self.instantiate_instrumented(params, &Registry::disabled())
+    }
+
+    /// Instantiates the controller with solver telemetry bound to
+    /// `telemetry`. Rule-based controllers have no solver and ignore the
+    /// registry; the MPC records solve/QP timings, SQP iteration counts
+    /// and warm-start counters into it. With a disabled registry this is
+    /// exactly [`ControllerKind::instantiate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcConfigError`] if the MPC configuration is invalid
+    /// (cannot happen for the built-in defaults).
+    pub fn instantiate_instrumented(
+        self,
+        params: &EvParams,
+        telemetry: &Registry,
+    ) -> Result<Box<dyn ClimateController>, MpcConfigError> {
         let hvac = params.hvac_model();
         let limits = params.limits();
         Ok(match self {
@@ -147,6 +166,7 @@ impl ControllerKind {
                     .weights(MpcWeights::default())
                     .battery(params.mpc_battery_model())
                     .accessory_power(params.accessory_power)
+                    .telemetry(telemetry)
                     .build()?,
             ),
         })

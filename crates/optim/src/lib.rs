@@ -47,10 +47,14 @@
 mod error;
 pub mod finite_diff;
 mod nlp;
+mod observer;
 mod qp;
 mod sqp;
 
 pub use error::OptimError;
 pub use nlp::NlpProblem;
+pub use observer::{
+    NoopSqpObserver, QpSubproblemStatus, SqpIterationRecord, SqpObserver, SqpTraceObserver,
+};
 pub use qp::{QpProblem, QpSolution, QpSolver, QpSolverOptions, QpView};
 pub use sqp::{SqpOptions, SqpResult, SqpSolver, SqpStatus};

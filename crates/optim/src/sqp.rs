@@ -2,6 +2,7 @@
 
 use ev_linalg::{vecops, Matrix};
 
+use crate::observer::{NoopSqpObserver, QpSubproblemStatus, SqpIterationRecord, SqpObserver};
 use crate::{NlpProblem, OptimError, QpProblem, QpSolver, QpSolverOptions, QpView};
 
 /// Options for the SQP solver.
@@ -132,6 +133,27 @@ impl SqpSolver {
         problem: &P,
         z0: &[f64],
     ) -> Result<SqpResult, OptimError> {
+        self.solve_observed(problem, z0, NoopSqpObserver)
+    }
+
+    /// Solves the nonlinear program starting from `z0`, reporting one
+    /// [`SqpIterationRecord`] per major iteration to `observer`.
+    ///
+    /// Observation is read-only: the iterate path is bit-identical to
+    /// [`SqpSolver::solve`]. When [`SqpObserver::active`] is `false`
+    /// (as for [`NoopSqpObserver`]) no record is assembled and no clock
+    /// is read, so the hook costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SqpSolver::solve`].
+    pub fn solve_observed<P: NlpProblem + ?Sized, O: SqpObserver>(
+        &self,
+        problem: &P,
+        z0: &[f64],
+        mut observer: O,
+    ) -> Result<SqpResult, OptimError> {
+        let observing = observer.active();
         let n = problem.num_vars();
         if z0.len() != n {
             return Err(OptimError::DimensionMismatch {
@@ -191,13 +213,18 @@ impl SqpSolver {
             for (o, v) in neg_c_in.iter_mut().zip(&c_in) {
                 *o = -v;
             }
-            let (d, mult_eq, mult_in) = match self.solve_subproblem(
+            let qp_t0 = if observing {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
+            let (d, mult_eq, mult_in, qp_status, qp_iterations) = match self.solve_subproblem(
                 &qp_solver, &b, &grad, &j_eq, &c_eq, &neg_c_eq, &j_in, &c_in, &neg_c_in, penalty,
             ) {
-                Ok((d, y_eq, lambda_in)) => {
+                Ok((d, y_eq, lambda_in, status, qp_iters)) => {
                     let mult = vecops::norm_inf(&y_eq).max(vecops::norm_inf(&lambda_in));
                     penalty = penalty.max(1.5 * mult + 1.0);
-                    (d, y_eq, lambda_in)
+                    (d, y_eq, lambda_in, status, qp_iters)
                 }
                 Err(_) => {
                     // The subproblem failed numerically (singular KKT from
@@ -206,13 +233,37 @@ impl SqpSolver {
                     // step rather than aborting — a degenerate linearization
                     // is a problem state, not a structural error.
                     let d = vecops::scale(-1.0 / (1.0 + vecops::norm2(&grad)), &grad);
-                    (d, vec![0.0; me], vec![0.0; mi])
+                    (
+                        d,
+                        vec![0.0; me],
+                        vec![0.0; mi],
+                        QpSubproblemStatus::GradientFallback,
+                        0,
+                    )
                 }
             };
+            let qp_seconds = qp_t0.map_or(0.0, |t| t.elapsed().as_secs_f64());
 
             let viol = violation(&c_eq, &c_in);
             let step_small = vecops::norm_inf(&d) <= opts.tolerance * (1.0 + vecops::norm_inf(&z));
             if step_small && viol <= opts.tolerance {
+                if observing {
+                    observer.on_iteration(&SqpIterationRecord {
+                        iteration: iter,
+                        objective: f,
+                        merit: f + penalty * viol,
+                        constraint_violation: viol,
+                        kkt_residual: kkt_residual(&grad, &j_eq, &mult_eq, &j_in, &mult_in),
+                        step_norm: vecops::norm_inf(&d),
+                        step_length: 0.0,
+                        accepted: true,
+                        line_search_steps: 0,
+                        qp_status,
+                        qp_iterations,
+                        qp_seconds,
+                        active_set_size: active_set_size(&mult_in),
+                    });
+                }
                 return Ok(SqpResult {
                     objective: f,
                     constraint_violation: viol,
@@ -238,8 +289,10 @@ impl SqpSolver {
             let mut accepted = false;
             let mut soc_tried = false;
             let mut f_new = f;
+            let mut line_search_steps = 0usize;
             trial_d.copy_from_slice(&d);
             for _ in 0..opts.max_line_search {
+                line_search_steps += 1;
                 z_trial.copy_from_slice(&z);
                 vecops::axpy(alpha, &trial_d, &mut z_trial);
                 f_new = problem.objective(&z_trial);
@@ -270,6 +323,23 @@ impl SqpSolver {
             }
             if std::env::var("SQP_DEBUG").is_ok() {
                 eprintln!("it={iter} z={z:?} f={f:.4} viol={viol:.4} pen={penalty:.2} d={d:?} ddir={ddir:.4} accepted={accepted} alpha={alpha:.4}");
+            }
+            if observing {
+                observer.on_iteration(&SqpIterationRecord {
+                    iteration: iter,
+                    objective: f,
+                    merit: merit0,
+                    constraint_violation: viol,
+                    kkt_residual: kkt_residual(&grad, &j_eq, &mult_eq, &j_in, &mult_in),
+                    step_norm: vecops::norm_inf(&d),
+                    step_length: if accepted { alpha } else { 0.0 },
+                    accepted,
+                    line_search_steps,
+                    qp_status,
+                    qp_iterations,
+                    qp_seconds,
+                    active_set_size: active_set_size(&mult_in),
+                });
             }
             if !accepted {
                 let (bz, bf, bv) = best;
@@ -331,9 +401,10 @@ impl SqpSolver {
         })
     }
 
-    /// Builds and solves one QP subproblem; returns the step and the
+    /// Builds and solves one QP subproblem; returns the step, the
     /// equality/inequality multipliers (used for penalty updates and the
-    /// Lagrangian BFGS update). The nominal path borrows all problem data
+    /// Lagrangian BFGS update), which path solved it, and the inner QP
+    /// iteration count. The nominal path borrows all problem data
     /// through a [`QpView`] (no clones); elastic mode — the fallback when
     /// the linearized constraints are inconsistent — builds its own
     /// enlarged problem.
@@ -350,7 +421,7 @@ impl SqpSolver {
         c_in: &[f64],
         neg_c_in: &[f64],
         penalty: f64,
-    ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
+    ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>, QpSubproblemStatus, usize), OptimError> {
         let n = grad.len();
         let me = c_eq.len();
         let mi = c_in.len();
@@ -363,7 +434,13 @@ impl SqpSolver {
             qp = qp.with_inequalities(j_in, neg_c_in)?;
         }
         match qp_solver.solve_view(&qp) {
-            Ok(sol) => Ok((sol.z, sol.y_eq, sol.lambda_in)),
+            Ok(sol) => Ok((
+                sol.z,
+                sol.y_eq,
+                sol.lambda_in,
+                QpSubproblemStatus::Nominal,
+                sol.iterations,
+            )),
             Err(OptimError::QpMaxIterations { .. }) | Err(OptimError::Linalg(_)) => {
                 // Elastic mode: d plus slack t ≥ 0 on every constraint,
                 // penalized linearly. Always feasible (t large enough).
@@ -425,7 +502,13 @@ impl SqpSolver {
                     *y = sol.lambda_in[2 * r] - sol.lambda_in[2 * r + 1];
                 }
                 let lambda_in = sol.lambda_in[2 * me..2 * me + mi].to_vec();
-                Ok((sol.z[..n].to_vec(), y_eq, lambda_in))
+                Ok((
+                    sol.z[..n].to_vec(),
+                    y_eq,
+                    lambda_in,
+                    QpSubproblemStatus::Elastic,
+                    sol.iterations,
+                ))
             }
             Err(e) => Err(e),
         }
@@ -443,6 +526,38 @@ fn second_order_correction(j_eq: &Matrix, c_at_trial: &[f64]) -> Option<Vec<f64>
         *v = -*v;
     }
     Some(d_hat)
+}
+
+/// Stationarity residual of the KKT system at the current iterate:
+/// `‖∇f + J_eqᵀ y + J_inᵀ λ‖_∞`. Only evaluated for an active observer;
+/// returns NaN when a Jacobian product fails dimensionally.
+fn kkt_residual(
+    grad: &[f64],
+    j_eq: &Matrix,
+    mult_eq: &[f64],
+    j_in: &Matrix,
+    mult_in: &[f64],
+) -> f64 {
+    let mut r = grad.to_vec();
+    if !mult_eq.is_empty() {
+        match j_eq.matvec_transposed(mult_eq) {
+            Ok(v) => vecops::axpy(1.0, &v, &mut r),
+            Err(_) => return f64::NAN,
+        }
+    }
+    if !mult_in.is_empty() {
+        match j_in.matvec_transposed(mult_in) {
+            Ok(v) => vecops::axpy(1.0, &v, &mut r),
+            Err(_) => return f64::NAN,
+        }
+    }
+    vecops::norm_inf(&r)
+}
+
+/// Number of inequality multipliers meaningfully away from zero — the
+/// size of the QP active set at the subproblem solution.
+fn active_set_size(mult_in: &[f64]) -> usize {
+    mult_in.iter().filter(|l| l.abs() > 1e-8).count()
 }
 
 /// L1 constraint violation: `Σ|c_eq| + Σ max(0, c_in)`.
@@ -688,6 +803,39 @@ mod tests {
             r.status,
             SqpStatus::Converged | SqpStatus::MaxIterations | SqpStatus::LineSearchStalled
         ));
+    }
+
+    #[test]
+    fn observer_sees_every_iteration_and_does_not_perturb() {
+        use crate::SqpTraceObserver;
+        let solver = SqpSolver::default();
+        let plain = solver.solve(&BoxedQuadratic, &[0.0, 0.0]).unwrap();
+        let mut trace = SqpTraceObserver::default();
+        let observed = solver
+            .solve_observed(&BoxedQuadratic, &[0.0, 0.0], &mut trace)
+            .unwrap();
+        // Observation must not change the iterate path at all.
+        assert_eq!(plain.z, observed.z);
+        assert_eq!(plain.iterations, observed.iterations);
+        assert_eq!(plain.status, observed.status);
+        // One record per major iteration, including the converging one.
+        assert_eq!(trace.records.len(), observed.iterations + 1);
+        let last = trace.records.last().unwrap();
+        assert!(last.accepted);
+        assert!(last.step_norm <= 1e-5 || last.constraint_violation <= 1e-5);
+        assert!(trace
+            .records
+            .iter()
+            .all(|r| r.qp_status == QpSubproblemStatus::Nominal));
+        assert!(trace.records.iter().all(|r| r.kkt_residual.is_finite()));
+        // Both box constraints are active at the optimum.
+        assert_eq!(last.active_set_size, 2);
+        // Accepted full steps report α = 1.
+        assert!(trace
+            .records
+            .iter()
+            .filter(|r| r.accepted && r.line_search_steps == 1)
+            .all(|r| r.step_length == 1.0));
     }
 
     #[test]

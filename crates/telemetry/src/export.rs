@@ -1,0 +1,237 @@
+//! Exporters: JSONL event stream, Prometheus text exposition, and a
+//! human-readable end-of-run report table.
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+
+/// Format an f64 as a JSON value (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a metric name for embedding in a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the snapshot as JSON Lines: one self-describing object per
+/// metric. Counters carry `type`, `name`, `value`; histograms carry
+/// `type`, `name`, `count`, `sum`, `min`, `max` (null when empty) and a
+/// `buckets` array of `{le, count}` pairs plus an `overflow` count.
+pub fn to_jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
+            json_str(&c.name),
+            c.value
+        ));
+    }
+    for h in &snapshot.histograms {
+        let buckets: Vec<String> = h
+            .bounds
+            .iter()
+            .zip(h.counts.iter())
+            .map(|(le, count)| format!("{{\"le\":{},\"count\":{}}}", json_f64(*le), count))
+            .collect();
+        let overflow = h.counts.last().copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}],\"overflow\":{}}}\n",
+            json_str(&h.name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            buckets.join(","),
+            overflow
+        ));
+    }
+    out
+}
+
+/// Render the snapshot in the Prometheus text exposition format:
+/// `# TYPE` headers, cumulative `_bucket{le="..."}` series ending in
+/// `le="+Inf"`, and `_sum`/`_count` series per histogram.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        out.push_str(&format!("# TYPE {} counter\n", c.name));
+        out.push_str(&format!("{} {}\n", c.name, c.value));
+    }
+    for h in &snapshot.histograms {
+        out.push_str(&format!("# TYPE {} histogram\n", h.name));
+        let mut cumulative = 0u64;
+        for (le, count) in h.bounds.iter().zip(h.counts.iter()) {
+            cumulative += count;
+            out.push_str(&format!(
+                "{}_bucket{{le=\"{:?}\"}} {}\n",
+                h.name, le, cumulative
+            ));
+        }
+        out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.count));
+        out.push_str(&format!("{}_sum {}\n", h.name, json_f64(h.sum)));
+        out.push_str(&format!("{}_count {}\n", h.name, h.count));
+    }
+    out
+}
+
+fn fmt_cell(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn report_row(h: &HistogramSnapshot) -> [String; 7] {
+    [
+        h.name.clone(),
+        h.count.to_string(),
+        fmt_cell(h.mean()),
+        fmt_cell(h.quantile(0.5)),
+        fmt_cell(h.quantile(0.99)),
+        fmt_cell(if h.count == 0 { f64::NAN } else { h.min }),
+        fmt_cell(if h.count == 0 { f64::NAN } else { h.max }),
+    ]
+}
+
+/// Render a fixed-width, human-readable report of every metric in the
+/// snapshot: a counter table followed by a histogram table with count,
+/// mean, p50, p99, min and max columns.
+pub fn render_report(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("telemetry: no metrics recorded (registry disabled?)\n");
+        return out;
+    }
+    if !snapshot.counters.is_empty() {
+        let name_w = snapshot
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(["counter".len()])
+            .max()
+            .unwrap_or(7);
+        out.push_str(&format!("{:<name_w$}  {:>12}\n", "counter", "value"));
+        for c in &snapshot.counters {
+            out.push_str(&format!("{:<name_w$}  {:>12}\n", c.name, c.value));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        if !snapshot.counters.is_empty() {
+            out.push('\n');
+        }
+        let header = [
+            "histogram".to_string(),
+            "count".to_string(),
+            "mean".to_string(),
+            "p50".to_string(),
+            "p99".to_string(),
+            "min".to_string(),
+            "max".to_string(),
+        ];
+        let rows: Vec<[String; 7]> = snapshot.histograms.iter().map(report_row).collect();
+        let mut widths = [0usize; 7];
+        for row in std::iter::once(&header).chain(rows.iter()) {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |row: &[String; 7]| {
+            let mut line = format!("{:<w$}", row[0], w = widths[0]);
+            for (cell, w) in row.iter().zip(widths.iter()).skip(1) {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render(&header));
+        for row in &rows {
+            out.push_str(&render(row));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSpec, Registry};
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::enabled();
+        reg.counter("hits_total").add(42);
+        let h = reg.histogram("lat_seconds", HistogramSpec::new(1e-3, 10.0, 3));
+        for v in [0.002, 0.002, 0.05, 2.0, 30.0] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let out = to_jsonl(&sample_snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"counter\""));
+        assert!(lines[0].contains("\"value\":42"));
+        assert!(lines[1].contains("\"type\":\"histogram\""));
+        assert!(lines[1].contains("\"count\":5"));
+        assert!(lines[1].contains("\"overflow\":2"));
+    }
+
+    #[test]
+    fn jsonl_empty_histogram_extrema_are_null() {
+        let reg = Registry::enabled();
+        let _h = reg.histogram("empty", HistogramSpec::counts());
+        let out = to_jsonl(&reg.snapshot());
+        assert!(out.contains("\"min\":null"));
+        assert!(out.contains("\"max\":null"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let out = to_prometheus(&sample_snapshot());
+        assert!(out.contains("# TYPE hits_total counter\nhits_total 42\n"));
+        assert!(out.contains("lat_seconds_bucket{le=\"0.001\"} 0\n"));
+        assert!(out.contains("lat_seconds_bucket{le=\"0.01\"} 2\n"));
+        assert!(out.contains("lat_seconds_bucket{le=\"0.1\"} 3\n"));
+        assert!(out.contains("lat_seconds_bucket{le=\"+Inf\"} 5\n"));
+        assert!(out.contains("lat_seconds_count 5\n"));
+    }
+
+    #[test]
+    fn report_mentions_all_metrics() {
+        let out = render_report(&sample_snapshot());
+        assert!(out.contains("hits_total"));
+        assert!(out.contains("lat_seconds"));
+        assert!(out.contains("p99"));
+    }
+
+    #[test]
+    fn empty_report_is_flagged() {
+        let out = render_report(&Snapshot::default());
+        assert!(out.contains("no metrics recorded"));
+    }
+}

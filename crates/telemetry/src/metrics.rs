@@ -1,0 +1,223 @@
+//! Counter and histogram handles plus the shared atomic cores behind them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::span::Span;
+
+/// A monotonically increasing event counter.
+///
+/// Cloning is cheap (an `Arc` bump); a counter minted from a disabled
+/// [`crate::Registry`] holds `None` and every operation is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached counter that discards every increment.
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled counter).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Geometric (log-scale) bucket layout for a [`Histogram`].
+///
+/// Bucket `i` covers `(start·factor^(i-1), start·factor^i]`; everything at
+/// or below `start` lands in bucket 0 and everything above the last bound
+/// in a dedicated overflow bucket, so no sample is ever dropped. Extrema
+/// and the sum are tracked exactly regardless of the bucket layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// Upper bound of the first bucket.
+    pub start: f64,
+    /// Geometric growth factor between consecutive bucket bounds (> 1).
+    pub factor: f64,
+    /// Number of finite buckets (excluding the overflow bucket).
+    pub buckets: usize,
+}
+
+impl HistogramSpec {
+    /// Build a spec, clamping degenerate inputs to a usable layout.
+    pub fn new(start: f64, factor: f64, buckets: usize) -> Self {
+        HistogramSpec {
+            start: if start > 0.0 { start } else { 1e-9 },
+            factor: if factor > 1.0 { factor } else { 2.0 },
+            buckets: buckets.max(1),
+        }
+    }
+
+    /// Latency layout: 1 µs … ~100 s, 8 buckets per decade.
+    pub fn latency_seconds() -> Self {
+        HistogramSpec::new(1e-6, 10f64.powf(0.125), 64)
+    }
+
+    /// Small-count layout (iterations, active-set sizes): 1 … ~1000.
+    pub fn counts() -> Self {
+        HistogramSpec::new(1.0, 10f64.powf(0.125), 24)
+    }
+
+    /// Power layout: 1 W … 1 MW, 8 buckets per decade.
+    pub fn power_watts() -> Self {
+        HistogramSpec::new(1.0, 10f64.powf(0.125), 48)
+    }
+
+    /// Unit-interval layout for ratios such as SQP step lengths.
+    pub fn unit() -> Self {
+        HistogramSpec::new(1e-4, 10f64.powf(0.25), 16)
+    }
+
+    /// The finite bucket upper bounds in increasing order.
+    pub fn bounds(&self) -> Vec<f64> {
+        let mut bounds = Vec::with_capacity(self.buckets);
+        let mut b = self.start;
+        for _ in 0..self.buckets {
+            bounds.push(b);
+            b *= self.factor;
+        }
+        bounds
+    }
+}
+
+/// Lock-free histogram core shared between all clones of a handle.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    pub(crate) bounds: Vec<f64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    pub(crate) counts: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum_bits: AtomicU64,
+    pub(crate) min_bits: AtomicU64,
+    pub(crate) max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(spec: HistogramSpec) -> Self {
+        let bounds = spec.bounds();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds,
+            counts,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+}
+
+/// CAS loop applying `f` to an f64 stored as bits in an `AtomicU64`.
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// A log-bucketed distribution of f64 samples with exact sum/min/max.
+///
+/// Cloning is cheap; a handle minted from a disabled [`crate::Registry`]
+/// holds `None` and recording is a no-op (NaN samples are always ignored).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A detached histogram that discards every sample.
+    pub fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    /// Whether samples recorded on this handle are kept anywhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Start a timing span that records its elapsed seconds here when
+    /// finished or dropped. On a disabled histogram no clock is read.
+    #[inline]
+    pub fn start_span(&self) -> Span {
+        Span::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = Histogram::disabled();
+        h.record(1.0);
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        // start=1, factor=10, 3 buckets -> bounds [1, 10, 100] + overflow.
+        let core = HistogramCore::new(HistogramSpec::new(1.0, 10.0, 3));
+        let bucket_of = |v: f64| core.bounds.partition_point(|b| v > *b);
+        assert_eq!(bucket_of(0.0), 0); // underflow folds into bucket 0
+        assert_eq!(bucket_of(1.0), 0); // exactly on a bound: lower bucket
+        assert_eq!(bucket_of(1.0000001), 1);
+        assert_eq!(bucket_of(10.0), 1);
+        assert_eq!(bucket_of(99.0), 2);
+        assert_eq!(bucket_of(100.0), 2);
+        assert_eq!(bucket_of(100.1), 3); // overflow bucket
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let core = Arc::new(HistogramCore::new(HistogramSpec::new(1.0, 2.0, 4)));
+        let h = Histogram(Some(core.clone()));
+        h.record(f64::NAN);
+        h.record(3.0);
+        assert_eq!(core.count.load(Ordering::Relaxed), 1);
+        assert_eq!(f64::from_bits(core.sum_bits.load(Ordering::Relaxed)), 3.0);
+    }
+}

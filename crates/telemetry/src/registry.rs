@@ -1,0 +1,293 @@
+//! The metric registry and point-in-time snapshots of its contents.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Histogram, HistogramCore, HistogramSpec};
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+/// A named collection of counters and histograms.
+///
+/// `Registry` is a cheap cloneable handle; all clones share the same
+/// metric store, so a registry can be minted once and handed to a
+/// controller, an observer and an exporter. A registry created with
+/// [`Registry::disabled`] (also the `Default`) owns no store at all:
+/// every handle it mints is inert and records nothing.
+///
+/// Registration takes a lock; recording on the returned handles is
+/// lock-free. Registering the same name twice returns a handle to the
+/// same underlying metric (for histograms, the first spec wins).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// A live registry that stores every metric registered on it.
+    pub fn enabled() -> Self {
+        Registry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// A no-op registry: all handles minted from it discard updates.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Construct enabled or disabled from a flag.
+    pub fn with_enabled(enabled: bool) -> Self {
+        if enabled {
+            Registry::enabled()
+        } else {
+            Registry::disabled()
+        }
+    }
+
+    /// Whether metrics minted from this registry are recorded anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => {
+                let mut map = inner.counters.lock().expect("counter registry poisoned");
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Counter(Some(cell.clone()))
+            }
+            None => Counter::disabled(),
+        }
+    }
+
+    /// Get or create the histogram named `name` with bucket layout `spec`.
+    pub fn histogram(&self, name: &str, spec: HistogramSpec) -> Histogram {
+        match &self.inner {
+            Some(inner) => {
+                let mut map = inner
+                    .histograms
+                    .lock()
+                    .expect("histogram registry poisoned");
+                let core = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new(spec)));
+                Histogram(Some(core.clone()))
+            }
+            None => Histogram::disabled(),
+        }
+    }
+
+    /// A consistent point-in-time copy of every registered metric,
+    /// sorted by name. Empty for a disabled registry.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| CounterSnapshot {
+                name: name.clone(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, core)| HistogramSnapshot {
+                name: name.clone(),
+                bounds: core.bounds.clone(),
+                counts: core
+                    .counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                count: core.count.load(Ordering::Relaxed),
+                sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                min: f64::from_bits(core.min_bits.load(Ordering::Relaxed)),
+                max: f64::from_bits(core.max_bits.load(Ordering::Relaxed)),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Frozen value of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Finite bucket upper bounds, increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; `bounds.len() + 1` entries, the last
+    /// being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Exact minimum sample (`+inf` if empty).
+    pub min: f64,
+    /// Exact maximum sample (`-inf` if empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the bucket counts.
+    ///
+    /// The estimate is the upper bound of the bucket containing the
+    /// target rank, clamped to the exact observed `[min, max]` range —
+    /// so `quantile(0.0) == min` and `quantile(1.0) == max` are exact
+    /// and everything in between carries one bucket-width of error.
+    /// Returns NaN if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let estimate = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_snapshot_is_empty() {
+        let reg = Registry::disabled();
+        reg.counter("a").inc();
+        reg.histogram("b", HistogramSpec::counts()).record(1.0);
+        assert!(reg.snapshot().is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn same_name_shares_storage() {
+        let reg = Registry::enabled();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("hits"), Some(2));
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let reg = Registry::enabled();
+        let other = reg.clone();
+        other.counter("x").add(5);
+        assert_eq!(reg.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn quantile_estimates_are_bracketed_by_extrema() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("v", HistogramSpec::new(1.0, 2.0, 10));
+        for v in [0.5, 1.0, 3.0, 7.0, 20.0, 900.0, 2500.0] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram("v").unwrap();
+        assert_eq!(hist.quantile(0.0), 0.5);
+        assert_eq!(hist.quantile(1.0), 2500.0);
+        let p50 = hist.quantile(0.5);
+        assert!((0.5..=2500.0).contains(&p50));
+        // rank 4 of 7 -> sample 7.0 lives in bucket (4, 8]; bound is 8
+        // but the estimate must stay inside the observed range.
+        assert!((4.0..=8.0).contains(&p50), "p50 = {p50}");
+        assert!((hist.mean() - (0.5 + 1.0 + 3.0 + 7.0 + 20.0 + 900.0 + 2500.0) / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("v", HistogramSpec::counts());
+        let _ = h;
+        let snap = reg.snapshot();
+        assert!(snap.histogram("v").unwrap().quantile(0.5).is_nan());
+        assert!(snap.histogram("v").unwrap().mean().is_nan());
+    }
+}

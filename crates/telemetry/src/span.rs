@@ -1,0 +1,116 @@
+//! Monotonic timing spans that report into a histogram.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An RAII timing guard.
+///
+/// Created by [`Histogram::start_span`]; records elapsed wall-clock
+/// seconds (monotonic, via [`Instant`]) into its histogram when finished
+/// or dropped. When the histogram is disabled the span never reads the
+/// clock, so an un-instrumented hot path pays only an `Option` branch.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    hist: Histogram,
+    recorded: bool,
+}
+
+impl Span {
+    pub(crate) fn new(hist: Histogram) -> Self {
+        let start = if hist.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span {
+            start,
+            hist,
+            recorded: false,
+        }
+    }
+
+    /// Stop the span now and return the elapsed seconds that were
+    /// recorded (0.0 when the histogram is disabled).
+    pub fn finish(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        if self.recorded {
+            return 0.0;
+        }
+        self.recorded = true;
+        match self.start {
+            Some(t0) => {
+                let secs = t0.elapsed().as_secs_f64();
+                self.hist.record(secs);
+                secs
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSpec, Registry};
+
+    #[test]
+    fn span_records_once() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("t", HistogramSpec::latency_seconds());
+        let span = h.start_span();
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("t").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("t", HistogramSpec::latency_seconds());
+        {
+            let _span = h.start_span();
+        }
+        assert_eq!(reg.snapshot().histogram("t").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_reads_no_clock() {
+        let h = Histogram::disabled();
+        let span = h.start_span();
+        assert_eq!(span.finish(), 0.0);
+    }
+
+    #[test]
+    fn nested_spans_order_elapsed_times() {
+        let reg = Registry::enabled();
+        let outer = reg.histogram("outer", HistogramSpec::latency_seconds());
+        let inner = reg.histogram("inner", HistogramSpec::latency_seconds());
+        let outer_secs;
+        let inner_secs;
+        {
+            let outer_span = outer.start_span();
+            {
+                let inner_span = inner.start_span();
+                inner_secs = inner_span.finish();
+            }
+            outer_secs = outer_span.finish();
+        }
+        assert!(outer_secs >= inner_secs);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("outer").unwrap().count, 1);
+        assert_eq!(snap.histogram("inner").unwrap().count, 1);
+        assert!(snap.histogram("outer").unwrap().sum >= snap.histogram("inner").unwrap().sum);
+    }
+}

@@ -242,6 +242,55 @@ fn update_requested() -> bool {
     std::env::var(UPDATE_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Verifies a plain-text artifact (a rendered report, a table) against
+/// the baseline stored at `path`, or rewrites the baseline under
+/// [`UPDATE_ENV`]. Text snapshots are compared line by line after
+/// trimming trailing whitespace; a mismatch names the first differing
+/// line.
+///
+/// # Errors
+///
+/// Returns the first-difference diff when the text drifted, or an
+/// instructive message when the baseline is missing.
+pub fn verify_or_update_text(path: &Path, actual: &str) -> Result<(), String> {
+    if update_requested() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let mut text = actual.trim_end().to_owned();
+        text.push('\n');
+        return std::fs::write(path, text)
+            .map_err(|e| format!("cannot write golden baseline {}: {e}", path.display()));
+    }
+    let baseline = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing golden baseline {} ({e}); generate it with `{UPDATE_ENV}=1 cargo test`",
+            path.display()
+        )
+    })?;
+    let want: Vec<&str> = baseline.trim_end().lines().map(str::trim_end).collect();
+    let got: Vec<&str> = actual.trim_end().lines().map(str::trim_end).collect();
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        if w != g {
+            return Err(format!(
+                "golden text {} diverges first at line {}:\n  expected: {w}\n  actual:   {g}",
+                path.display(),
+                i + 1
+            ));
+        }
+    }
+    if want.len() != got.len() {
+        return Err(format!(
+            "golden text {} length changed: baseline {} lines, actual {}",
+            path.display(),
+            want.len(),
+            got.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Canonical snapshot filename for a (profile × controller) cell:
 /// lowercase alphanumerics with runs of punctuation collapsed to `_`,
 /// e.g. `("ECE-15", "on-off")` → `"ece_15_on_off.json"`.
@@ -379,6 +428,28 @@ mod tests {
     fn missing_baseline_error_is_instructive() {
         let g = GoldenTrace::from_records("ECE-15", "on-off", 1.0, &trace(5));
         let err = verify_or_update(Path::new("/nonexistent/dir/x.json"), &g).unwrap_err();
+        assert!(err.contains(UPDATE_ENV), "{err}");
+    }
+
+    #[test]
+    fn text_golden_names_first_differing_line() {
+        let dir = std::env::temp_dir().join("ev_testkit_text_golden");
+        let path = dir.join("report.txt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "a\nb\nc\n").unwrap();
+        verify_or_update_text(&path, "a\nb\nc").unwrap();
+        // Trailing whitespace is insignificant.
+        verify_or_update_text(&path, "a  \nb\nc\n\n").unwrap();
+        let err = verify_or_update_text(&path, "a\nX\nc").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = verify_or_update_text(&path, "a\nb\nc\nd").unwrap_err();
+        assert!(err.contains("length changed"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_text_baseline_error_is_instructive() {
+        let err = verify_or_update_text(Path::new("/nonexistent/dir/report.txt"), "x").unwrap_err();
         assert!(err.contains(UPDATE_ENV), "{err}");
     }
 }

@@ -39,7 +39,10 @@ pub mod golden;
 pub mod invariants;
 pub mod run;
 
-pub use golden::{golden_filename, verify_or_update, GoldenStep, GoldenTolerance, GoldenTrace};
+pub use golden::{
+    golden_filename, verify_or_update, verify_or_update_text, GoldenStep, GoldenTolerance,
+    GoldenTrace,
+};
 pub use invariants::{
     check_trace, InvariantConfig, InvariantObserver, InvariantReport, InvariantViolation,
 };

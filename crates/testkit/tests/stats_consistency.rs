@@ -1,0 +1,73 @@
+//! Property: the streaming aggregates of [`StatsObserver`] agree exactly
+//! with recomputing the same statistics from the full
+//! [`TraceRecorder`] trace, on randomized synthetic routes and any
+//! controller of the paper lineup. Both observers ride the same
+//! simulation, so a disagreement can only come from the streaming fold
+//! itself (a missed step, a wrong channel, drift in the mode classifier).
+
+use ev_core::{
+    ChannelStats, ControllerKind, ControllerMode, EvParams, ModeCounts, StatsObserver, StepRecord,
+    TraceRecorder,
+};
+use ev_drive::synthetic::RouteConfig;
+use ev_testkit::run_with;
+use ev_units::{Celsius, Watts};
+use proptest::prelude::*;
+
+/// Recomputes every `StatsObserver` aggregate from a recorded trace.
+fn recompute(records: &[StepRecord]) -> StatsObserver {
+    let mut stats = StatsObserver::new();
+    let fold = |chan: &mut ChannelStats, x: f64| chan.push(x);
+    let mut modes = ModeCounts::default();
+    for r in records {
+        fold(&mut stats.hvac_power, r.hvac_power());
+        fold(&mut stats.battery_power, r.battery_power);
+        fold(&mut stats.soc, r.soc);
+        fold(&mut stats.cabin_temp, r.cabin_temp);
+        fold(&mut stats.pack_temp, r.pack_temp);
+        match r.mode {
+            ControllerMode::Heating => modes.heating += 1,
+            ControllerMode::Cooling => modes.cooling += 1,
+            ControllerMode::Vent => modes.vent += 1,
+            ControllerMode::Idle => modes.idle += 1,
+        }
+    }
+    stats.modes = modes;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn streaming_stats_match_trace_recomputation(
+        seed in 0u64..10_000,
+        urban_minutes in 1.0f64..4.0,
+        hilliness in 0.0f64..6.0,
+        ambient in 20.0f64..42.0,
+        controller_idx in 0usize..3,
+    ) {
+        let config = RouteConfig::new(seed)
+            .urban_minutes(urban_minutes)
+            .highway_minutes(0.0)
+            .hilliness(hilliness)
+            .ambient(Celsius::new(ambient))
+            .solar(Watts::new(400.0));
+        let profile = config.generate();
+        let params = EvParams::nissan_leaf_like();
+        let kind = ControllerKind::paper_lineup()[controller_idx];
+        let (result, (stats, trace)) = run_with(
+            &params,
+            profile,
+            kind,
+            (StatsObserver::new(), TraceRecorder::new()),
+        );
+        prop_assert_eq!(stats.steps(), trace.records().len());
+        prop_assert_eq!(stats.steps(), result.series.t.len());
+        // Exact equality, not tolerance: both paths fold the same f64
+        // stream in the same order.
+        let recomputed = recompute(trace.records());
+        prop_assert_eq!(&stats, &recomputed);
+        prop_assert_eq!(stats.modes.total(), stats.steps());
+    }
+}

@@ -6,24 +6,31 @@
 //!
 //! evsim simulate --cycle <name> --controller <onoff|fuzzy|pid|mpc>
 //!                [--ambient <°C>] [--target <°C>] [--precondition]
-//!                [--json <path>]
+//!                [--json <path>] [--telemetry <path.jsonl>]
 //!     Run one closed-loop simulation and print the metrics; optionally
-//!     dump the full result (time series included) as JSON.
+//!     dump the full result (time series included) as JSON and/or the
+//!     telemetry snapshot (solver + plant metrics) as JSONL.
 //!
 //! evsim compare --cycle <name> [--ambient <°C>] [--precondition]
 //!     Run the paper's three-controller comparison on one cycle.
+//!
+//! evsim validate-telemetry <path.jsonl>
+//!     Check a telemetry JSONL dump against the metric-line schema.
 //! ```
 
 use std::process::ExitCode;
 
-use evclimate::core::{ControllerKind, EvParams, Simulation, SimulationResult};
+use evclimate::core::{ControllerKind, EvParams, Simulation, SimulationResult, TelemetryObserver};
 use evclimate::drive::{AmbientConditions, DriveCycle, DriveProfile};
+use evclimate::telemetry::{export, Registry};
 use evclimate::units::{Celsius, Seconds};
 
 fn usage() -> &'static str {
     "usage:\n  evsim cycles\n  evsim simulate --cycle <name> --controller <onoff|fuzzy|pid|mpc> \
-     [--ambient <°C>] [--target <°C>] [--precondition] [--json <path>]\n  \
-     evsim compare --cycle <name> [--ambient <°C>] [--precondition]"
+     [--ambient <°C>] [--target <°C>] [--precondition] [--json <path>] \
+     [--telemetry <path.jsonl>]\n  \
+     evsim compare --cycle <name> [--ambient <°C>] [--precondition]\n  \
+     evsim validate-telemetry <path.jsonl>"
 }
 
 /// Looks up a built-in cycle by (case-insensitive) name.
@@ -169,14 +176,128 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let kind = controller_by_name(controller_name)
         .ok_or_else(|| format!("unknown controller '{controller_name}'"))?;
     let (params, sim) = build_sim(args)?;
-    let mut controller = kind.instantiate(&params).map_err(|e| e.to_string())?;
-    let result = sim.run(controller.as_mut()).map_err(|e| e.to_string())?;
+    let telemetry_path = args.get("telemetry");
+    let registry = Registry::with_enabled(telemetry_path.is_some());
+    let mut controller = kind
+        .instantiate_instrumented(&params, &registry)
+        .map_err(|e| e.to_string())?;
+    let mut observer = TelemetryObserver::new(&registry);
+    let result = sim
+        .run_observed(controller.as_mut(), &mut observer)
+        .map_err(|e| e.to_string())?;
     print_metrics(&result);
     if let Some(path) = args.get("json") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         println!("full result written to {path}");
     }
+    if let Some(path) = telemetry_path {
+        let snapshot = registry.snapshot();
+        std::fs::write(path, export::to_jsonl(&snapshot)).map_err(|e| e.to_string())?;
+        println!("\n{}", export::render_report(&snapshot));
+        println!("telemetry written to {path}");
+    }
+    Ok(())
+}
+
+/// One parsed JSONL metric line, kept as the raw value tree so the
+/// schema check can inspect it field by field (the vendored `Value`
+/// deliberately has no blanket `Deserialize`).
+struct RawLine(serde::Value);
+
+impl serde::Deserialize for RawLine {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self(v.clone()))
+    }
+}
+
+/// Validates one telemetry JSONL line against the exporter's schema.
+fn validate_metric_line(line: &str) -> Result<&'static str, String> {
+    let RawLine(v) = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let kind = v
+        .field("type")
+        .and_then(serde::Value::as_str)
+        .map_err(|e| e.to_string())?;
+    let name = v
+        .field("name")
+        .and_then(serde::Value::as_str)
+        .map_err(|e| e.to_string())?;
+    if name.is_empty() {
+        return Err("empty metric name".to_owned());
+    }
+    let num = |key: &str| -> Result<f64, String> {
+        v.field(key)
+            .and_then(serde::Value::as_num)
+            .map_err(|e| format!("{name}: {e}"))
+    };
+    match kind {
+        "counter" => {
+            let value = num("value")?;
+            if value < 0.0 || value.fract() != 0.0 {
+                return Err(format!("{name}: counter value {value} is not a natural"));
+            }
+            Ok("counter")
+        }
+        "histogram" => {
+            let count = num("count")?;
+            let overflow = num("overflow")?;
+            num("sum")?;
+            // min/max are null (not numbers) exactly when the histogram
+            // is empty.
+            for key in ["min", "max"] {
+                let is_null =
+                    matches!(v.field(key).map_err(|e| e.to_string())?, serde::Value::Null);
+                if is_null != (count == 0.0) {
+                    return Err(format!("{name}: {key} null-ness disagrees with count"));
+                }
+            }
+            let serde::Value::Seq(buckets) = v.field("buckets").map_err(|e| e.to_string())? else {
+                return Err(format!("{name}: buckets is not an array"));
+            };
+            let mut in_buckets = 0.0;
+            let mut prev_le = f64::NEG_INFINITY;
+            for b in buckets {
+                let le = b
+                    .field("le")
+                    .and_then(serde::Value::as_num)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                if le <= prev_le {
+                    return Err(format!("{name}: bucket bounds not increasing at {le}"));
+                }
+                prev_le = le;
+                in_buckets += b
+                    .field("count")
+                    .and_then(serde::Value::as_num)
+                    .map_err(|e| format!("{name}: {e}"))?;
+            }
+            if in_buckets + overflow != count {
+                return Err(format!(
+                    "{name}: bucket counts {in_buckets} + overflow {overflow} != count {count}"
+                ));
+            }
+            Ok("histogram")
+        }
+        other => Err(format!("{name}: unknown metric type '{other}'")),
+    }
+}
+
+fn cmd_validate_telemetry(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut counters = 0usize;
+    let mut histograms = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match validate_metric_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))? {
+            "counter" => counters += 1,
+            _ => histograms += 1,
+        }
+    }
+    if counters + histograms == 0 {
+        return Err(format!("{path}: no metric lines"));
+    }
+    println!("{path}: OK ({counters} counters, {histograms} histograms)");
     Ok(())
 }
 
@@ -216,6 +337,10 @@ fn main() -> ExitCode {
         }
         ("simulate", Ok(args)) => cmd_simulate(&args),
         ("compare", Ok(args)) => cmd_compare(&args),
+        ("validate-telemetry", _) => match argv.get(1) {
+            Some(path) => cmd_validate_telemetry(path),
+            None => Err(format!("missing <path.jsonl>\n{}", usage())),
+        },
         (_, Err(e)) => Err(e),
         (other, _) => Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -264,6 +389,37 @@ mod tests {
         assert!(cycle_by_name("ece-eudc").is_some());
         assert!(cycle_by_name("wltc3").is_some());
         assert!(cycle_by_name("imaginary").is_none());
+    }
+
+    #[test]
+    fn validates_exported_jsonl() {
+        let registry = Registry::enabled();
+        registry.counter("solves_total").add(7);
+        registry
+            .histogram(
+                "step_seconds",
+                evclimate::telemetry::HistogramSpec::latency_seconds(),
+            )
+            .record(1e-3);
+        let jsonl = export::to_jsonl(&registry.snapshot());
+        for line in jsonl.lines() {
+            validate_metric_line(line).expect("exported line is schema-valid");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_metric_lines() {
+        // Fractional counter value.
+        assert!(validate_metric_line(r#"{"type":"counter","name":"x","value":1.5}"#).is_err());
+        // Unknown type tag.
+        assert!(validate_metric_line(r#"{"type":"gauge","name":"x","value":1}"#).is_err());
+        // Histogram whose bucket counts do not add up.
+        assert!(validate_metric_line(
+            r#"{"type":"histogram","name":"h","count":3,"sum":1.0,"min":0.1,"max":0.9,"buckets":[{"le":1.0,"count":1}],"overflow":0}"#
+        )
+        .is_err());
+        // Not JSON at all.
+        assert!(validate_metric_line("plain text").is_err());
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! | [`battery`] | Peukert SoC + SoH capacity-fade model |
 //! | [`control`] | On/Off, PID, fuzzy and MPC climate controllers |
 //! | [`core`] | integrated EV model, simulation engine, experiments |
+//! | [`telemetry`] | counters, histograms, spans and metric exporters |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +66,7 @@ pub use ev_linalg as linalg;
 pub use ev_ode as ode;
 pub use ev_optim as optim;
 pub use ev_powertrain as powertrain;
+pub use ev_telemetry as telemetry;
 pub use ev_units as units;
 
 /// Convenient glob-import of the types most programs need.
@@ -82,12 +84,14 @@ pub mod prelude {
     };
     pub use ev_core::{
         ControllerKind, ElectricVehicle, EvParams, Metrics, Simulation, SimulationResult,
+        TelemetryObserver,
     };
     pub use ev_drive::{
         AmbientConditions, DriveCycle, DriveProfile, DriveSample, Route, RouteSegment,
     };
     pub use ev_hvac::{CabinParams, Hvac, HvacInput, HvacLimits, HvacParams, HvacState};
     pub use ev_powertrain::{IceVehicle, PowerTrain, VehicleParams};
+    pub use ev_telemetry::Registry;
     pub use ev_units::{
         Celsius, KgPerSecond, KilowattHours, Kilowatts, MetersPerSecond, Percent, Seconds, Watts,
     };
