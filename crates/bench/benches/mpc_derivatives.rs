@@ -66,10 +66,13 @@ fn bench_derivative_eval(c: &mut Criterion) {
 
 /// One full MPC solve (horizon 8, re-solve every call), analytic vs
 /// finite-difference derivatives on the same hot-day context, plus an
-/// analytic variant with a live telemetry registry attached. The
-/// telemetry acceptance bar is that `control_step_analytic` stays at its
-/// `BENCH_mpc.json` baseline (the disabled-registry path must cost
-/// nothing); `control_step_telemetry` pins what enabling it costs.
+/// analytic variant with a live telemetry registry attached and one with
+/// an explicitly attached — but disabled — flight recorder. The
+/// observability acceptance bar is that `control_step_analytic` and
+/// `control_step_flight_recorder_disabled` stay at the
+/// `control_step_analytic` baseline in `BENCH_mpc.json` (both inert
+/// paths must cost nothing); `control_step_telemetry` pins what enabling
+/// the registry costs.
 fn bench_control_step(c: &mut Criterion) {
     let preview = bench_preview(64);
     let mut group = c.benchmark_group("mpc_derivatives");
@@ -78,20 +81,24 @@ fn bench_control_step(c: &mut Criterion) {
         ("control_step_analytic", false, false),
         ("control_step_finite_diff", true, false),
         ("control_step_telemetry", false, true),
+        ("control_step_flight_recorder_disabled", false, false),
     ] {
         group.bench_function(label, |b| {
             let params = EvParams::nissan_leaf_like();
             let registry = ev_telemetry::Registry::with_enabled(telemetry);
-            let mut mpc = MpcController::builder(params.hvac_model(), params.limits())
+            let recorder = ev_telemetry::FlightRecorder::disabled();
+            let mut builder = MpcController::builder(params.hvac_model(), params.limits())
                 .target(params.target)
                 .horizon(8)
                 .recompute_every(1)
                 .battery(params.mpc_battery_model())
                 .accessory_power(params.accessory_power)
                 .finite_difference_derivatives(fd)
-                .telemetry(&registry)
-                .build()
-                .expect("valid config");
+                .telemetry(&registry);
+            if label == "control_step_flight_recorder_disabled" {
+                builder = builder.flight_recorder(&recorder);
+            }
+            let mut mpc = builder.build().expect("valid config");
             let ctx = bench_context(&preview);
             b.iter(|| black_box(mpc.control(black_box(&ctx))))
         });

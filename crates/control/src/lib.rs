@@ -50,7 +50,9 @@ mod pid;
 pub use context::{ControlContext, PreviewSample};
 pub use diagnostics::MpcDiagnostics;
 pub use fuzzy::FuzzyController;
-pub use mpc::{MpcBatteryModel, MpcBuilder, MpcConfigError, MpcController, MpcWeights};
+pub use mpc::{
+    MpcBatteryModel, MpcBuilder, MpcConfigError, MpcController, MpcWeights, CONSTRAINT_ROW_LABELS,
+};
 pub use onoff::OnOffController;
 pub use pid::PidController;
 

@@ -6,10 +6,13 @@ use std::cell::{Cell, RefCell};
 use ev_hvac::{Hvac, HvacInput, HvacLimits};
 use ev_linalg::Matrix;
 use ev_optim::{
-    NlpProblem, QpSubproblemStatus, SqpIterationRecord, SqpObserver, SqpOptions, SqpSolver,
-    SqpStatus,
+    NlpProblem, OptimError, QpSubproblemStatus, SqpIterationRecord, SqpObserver, SqpOptions,
+    SqpResult, SqpSolver, SqpStatus,
 };
-use ev_telemetry::{Counter, Histogram, HistogramSpec, Registry};
+use ev_telemetry::{
+    Attribution, Counter, DecisionRecord, FlightRecorder, Histogram, HistogramSpec, PlannedStep,
+    Registry, SolveOutcome, WarmStart,
+};
 use ev_units::{AmpereHours, Amperes, Celsius, KgPerSecond, Seconds, Volts, Watts};
 
 use crate::{ClimateController, ControlContext, MpcDiagnostics, PreviewSample};
@@ -74,6 +77,8 @@ pub enum MpcConfigError {
     NonPositivePredictionDt,
     /// Recompute interval must be at least one step.
     ZeroRecomputeInterval,
+    /// The SQP major-iteration cap must be at least one.
+    ZeroSqpIterationCap,
 }
 
 impl core::fmt::Display for MpcConfigError {
@@ -83,6 +88,9 @@ impl core::fmt::Display for MpcConfigError {
             Self::NonPositivePredictionDt => write!(f, "mpc prediction period must be positive"),
             Self::ZeroRecomputeInterval => {
                 write!(f, "mpc recompute interval must be at least one step")
+            }
+            Self::ZeroSqpIterationCap => {
+                write!(f, "mpc sqp iteration cap must be at least one")
             }
         }
     }
@@ -145,22 +153,39 @@ impl MpcMetrics {
 }
 
 /// Bridges [`SqpObserver`] iteration records into the telemetry
-/// histograms. Only attached to the solver when telemetry is enabled, so
-/// the plain path keeps the no-op observer the solver optimizes out.
-struct SqpMetricsBridge<'a>(&'a MpcMetrics);
+/// histograms and/or captures the final iteration's active set for the
+/// flight recorder. Only attached to the solver when at least one of the
+/// two sinks is live, so the plain path keeps the no-op observer the
+/// solver optimizes out.
+struct SolveObserver<'a> {
+    metrics: Option<&'a MpcMetrics>,
+    /// Overwritten every iteration; after the solve it holds the active
+    /// set of the final iteration — the constraint rows that shaped the
+    /// committed plan.
+    final_active_set: Option<&'a mut Vec<usize>>,
+}
 
-impl SqpObserver for SqpMetricsBridge<'_> {
+impl SqpObserver for SolveObserver<'_> {
+    fn active(&self) -> bool {
+        self.metrics.is_some() || self.final_active_set.is_some()
+    }
+
     fn on_iteration(&mut self, record: &SqpIterationRecord) {
-        let m = self.0;
-        m.qp_seconds.record(record.qp_seconds);
-        m.sqp_active_set.record(record.active_set_size as f64);
-        if record.accepted && record.step_length > 0.0 {
-            m.sqp_step_length.record(record.step_length);
+        if let Some(m) = self.metrics {
+            m.qp_seconds.record(record.qp_seconds);
+            m.sqp_active_set.record(record.active_set_size as f64);
+            if record.accepted && record.step_length > 0.0 {
+                m.sqp_step_length.record(record.step_length);
+            }
+            match record.qp_status {
+                QpSubproblemStatus::Nominal => {}
+                QpSubproblemStatus::Elastic => m.qp_elastic.inc(),
+                QpSubproblemStatus::GradientFallback => m.qp_fallback.inc(),
+            }
         }
-        match record.qp_status {
-            QpSubproblemStatus::Nominal => {}
-            QpSubproblemStatus::Elastic => m.qp_elastic.inc(),
-            QpSubproblemStatus::GradientFallback => m.qp_fallback.inc(),
+        if let Some(set) = self.final_active_set.as_deref_mut() {
+            set.clear();
+            set.extend_from_slice(&record.active_set);
         }
     }
 }
@@ -179,6 +204,8 @@ pub struct MpcBuilder {
     accessory_power: Watts,
     finite_difference_derivatives: bool,
     telemetry: Registry,
+    max_sqp_iterations: usize,
+    recorder: FlightRecorder,
 }
 
 impl MpcBuilder {
@@ -260,6 +287,30 @@ impl MpcBuilder {
         self
     }
 
+    /// Caps the SQP solver's major iterations per solve (default 25).
+    /// Exists so harnesses can *force* a `MaxIterations` outcome — the
+    /// flight-recorder smoke test runs with a cap of 1 to provoke a
+    /// post-mortem dump on an otherwise healthy cycle.
+    #[must_use]
+    pub fn max_sqp_iterations(mut self, cap: usize) -> Self {
+        self.max_sqp_iterations = cap;
+        self
+    }
+
+    /// Attaches a flight recorder. An enabled recorder receives one
+    /// [`DecisionRecord`] per solve — predicted motor horizon, planned
+    /// HVAC schedule, final active set, warm-start provenance and the
+    /// motor/HVAC attribution split — and, if the recorder carries an
+    /// auto-dump path, writes a post-mortem JSONL whenever a solve ends
+    /// in `MaxIterations` or a structural error. A disabled recorder
+    /// (the default) costs one branch per solve; recording never changes
+    /// the controller's outputs.
+    #[must_use]
+    pub fn flight_recorder(mut self, recorder: &FlightRecorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Errors
@@ -276,9 +327,12 @@ impl MpcBuilder {
         if self.recompute_every == 0 {
             return Err(MpcConfigError::ZeroRecomputeInterval);
         }
+        if self.max_sqp_iterations == 0 {
+            return Err(MpcConfigError::ZeroSqpIterationCap);
+        }
         let solver = SqpSolver::new(SqpOptions {
             tolerance: 1e-4,
-            max_iterations: 25,
+            max_iterations: self.max_sqp_iterations,
             max_line_search: 15,
             initial_penalty: 10.0,
             ..SqpOptions::default()
@@ -300,6 +354,8 @@ impl MpcBuilder {
             use_finite_diff: self.finite_difference_derivatives,
             metrics: MpcMetrics::bind(&self.telemetry),
             diagnostics: MpcDiagnostics::default(),
+            recorder: self.recorder,
+            control_steps: 0,
         })
     }
 }
@@ -352,6 +408,9 @@ pub struct MpcController {
     use_finite_diff: bool,
     metrics: MpcMetrics,
     diagnostics: MpcDiagnostics,
+    recorder: FlightRecorder,
+    /// Simulation steps seen so far — stamps [`DecisionRecord`]s.
+    control_steps: u64,
 }
 
 /// Scale factors mapping decision variables to physical inputs:
@@ -372,6 +431,16 @@ const INEQ_PER_STEP: usize = 13;
 const PULL_RATE_K_PER_S: f64 = 0.025;
 const SOAK_SLACK_K: f64 = 0.5;
 
+/// Labels of the 13 inequality rows per horizon step, in the exact order
+/// the MPC assembles them (and the bit order of
+/// [`DecisionRecord::active_masks`]): C1 flow bounds, C7 recirculation
+/// bounds, C5 coil floor, C4 coil ≤ mix, C3 coil ≤ supply, C6 supply
+/// cap, C2 comfort funnel, C8/C9/C10 heater/cooler/fan power caps.
+/// Shared with `evsim explain` so dumps render with constraint names.
+pub const CONSTRAINT_ROW_LABELS: [&str; INEQ_PER_STEP] = [
+    "C1-", "C1+", "C7-", "C7+", "C5", "C4", "C3", "C6", "C2-", "C2+", "C8", "C9", "C10",
+];
+
 impl MpcController {
     /// Starts a builder with sensible defaults: N = 8 steps of 4 s,
     /// re-solve every 4 simulation steps, 24 °C target.
@@ -389,6 +458,8 @@ impl MpcController {
             accessory_power: Watts::new(300.0),
             finite_difference_derivatives: false,
             telemetry: Registry::disabled(),
+            max_sqp_iterations: 25,
+            recorder: FlightRecorder::disabled(),
         }
     }
 
@@ -529,30 +600,48 @@ impl MpcController {
     /// attached, so instrumented runs are bit-identical to plain ones.
     fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         let solve_span = self.metrics.solve_seconds.start_span();
+        let recording = self.recorder.is_enabled();
         let nlp = self.build_nlp(ctx);
-        let (z0, warm_started) = match &self.warm_start {
-            Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => (
-                self.shifted_warm_start(prev, self.elapsed_blocks(ctx)),
-                true,
-            ),
-            _ => (self.cold_start(ctx), false),
+        let (z0, provenance) = match &self.warm_start {
+            Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => {
+                let blocks = self.elapsed_blocks(ctx);
+                (
+                    self.shifted_warm_start(prev, blocks),
+                    WarmStart::Shifted { blocks },
+                )
+            }
+            _ => (self.cold_start(ctx), WarmStart::Cold),
         };
-        let solved = if self.metrics.enabled {
-            let bridge = SqpMetricsBridge(&self.metrics);
+        let warm_started = provenance != WarmStart::Cold;
+        let mut final_active_set: Vec<usize> = Vec::new();
+        let solved = if self.metrics.enabled || recording {
+            let observer = SolveObserver {
+                metrics: self.metrics.enabled.then_some(&self.metrics),
+                final_active_set: recording.then_some(&mut final_active_set),
+            };
             if self.use_finite_diff {
                 self.solver
-                    .solve_observed(&FiniteDiffMpcNlp(&nlp), &z0, bridge)
+                    .solve_observed(&FiniteDiffMpcNlp(&nlp), &z0, observer)
             } else {
-                self.solver.solve_observed(&nlp, &z0, bridge)
+                self.solver.solve_observed(&nlp, &z0, observer)
             }
         } else if self.use_finite_diff {
             self.solver.solve(&FiniteDiffMpcNlp(&nlp), &z0)
         } else {
             self.solver.solve(&nlp, &z0)
         };
+        // Assemble the flight record while the NLP (and its preview) is
+        // still alive; uncached rollouts keep the cache-hit diagnostics
+        // identical to an unrecorded run.
+        let decision = recording.then(|| {
+            Box::new(self.capture_decision(&nlp, ctx, provenance, &solved, &final_active_set))
+        });
         let cache_hits = nlp.cache_hits.get();
         let cache_misses = nlp.cache_misses.get();
         drop(nlp);
+        if let Some(decision) = decision {
+            self.recorder.record_decision(*decision);
+        }
 
         self.diagnostics.solves += 1;
         self.metrics.solves.inc();
@@ -617,6 +706,122 @@ impl MpcController {
     pub fn diagnostics(&self) -> MpcDiagnostics {
         self.diagnostics
     }
+
+    /// Assembles the [`DecisionRecord`] for one solve. Only called when
+    /// the flight recorder is enabled; uses the uncached [`MpcNlp::rollout`]
+    /// directly so the rollout-cache diagnostics stay identical to an
+    /// unrecorded run.
+    fn capture_decision(
+        &self,
+        nlp: &MpcNlp<'_>,
+        ctx: &ControlContext<'_>,
+        warm_start: WarmStart,
+        solved: &Result<SqpResult, OptimError>,
+        final_active_set: &[usize],
+    ) -> DecisionRecord {
+        let base = DecisionRecord {
+            step: self.control_steps,
+            t_s: ctx.elapsed.value(),
+            outcome: SolveOutcome::Error,
+            iterations: 0,
+            objective: f64::NAN,
+            constraint_violation: f64::NAN,
+            warm_start,
+            soc_pct: ctx.soc.value(),
+            cabin_c: ctx.state.tz.value(),
+            motor_preview_w: nlp.preview.iter().map(|s| s.motor_power.value()).collect(),
+            plan: Vec::new(),
+            constraint_rows: INEQ_PER_STEP,
+            active_masks: Vec::new(),
+            attribution: None,
+        };
+        let Ok(result) = solved else {
+            return base;
+        };
+        let outcome = match result.status {
+            SqpStatus::Converged => SolveOutcome::Converged,
+            SqpStatus::MaxIterations => SolveOutcome::MaxIterations,
+            SqpStatus::LineSearchStalled => SolveOutcome::LineSearchStalled,
+        };
+        let r = nlp.rollout(&result.z);
+        // Motor-only baseline for the attribution split: zeroing the mass
+        // flow zeroes every HVAC power term (ph, pc, pf all scale with
+        // mz), so this rollout draws only motor + accessory power and the
+        // SoC/effective-charge difference is the HVAC's share *including*
+        // the superlinear Peukert coupling of concurrent peaks.
+        let mut z_off = result.z.clone();
+        for k in 0..self.horizon {
+            z_off[k * VARS_PER_STEP + 3] = 0.0;
+        }
+        let motor_only = nlp.rollout(&z_off);
+
+        let dt = self.prediction_dt.value();
+        let mut plan = Vec::with_capacity(self.horizon);
+        let mut hvac_energy_wh = 0.0;
+        let mut motor_energy_wh = 0.0;
+        let mut cost_hvac_power = 0.0;
+        let mut cost_soc_deviation = 0.0;
+        let mut cost_comfort = 0.0;
+        for k in 0..self.horizon {
+            let (ts, tc, dr, mz) = MpcNlp::decode(&result.z, k);
+            let (ph, pc, pf) = r.powers[k];
+            let p_hvac = ph + pc + pf;
+            plan.push(PlannedStep {
+                ts_c: ts,
+                tc_c: tc,
+                recirculation: dr,
+                flow_kg_s: mz,
+                hvac_power_w: p_hvac,
+                cabin_c: r.tz[k],
+                soc_pct: r.soc[k],
+            });
+            hvac_energy_wh += p_hvac * dt / 3600.0;
+            motor_energy_wh +=
+                (nlp.preview[k].motor_power.value() + self.accessory_power.value()) * dt / 3600.0;
+            cost_hvac_power += self.weights.w1 * p_hvac / 1000.0;
+            let sdev = r.soc[k] - nlp.soc_avg_ref;
+            cost_soc_deviation += self.weights.w2 * sdev * sdev;
+            let terr = r.tz[k] - self.target.value();
+            cost_comfort += self.weights.w3 * terr * terr;
+        }
+        let cn_as = self.battery.capacity.value() * 3600.0;
+        let soc0 = ctx.soc.value();
+        let last = self.horizon - 1;
+        let soc_drop_total_pct = soc0 - r.soc[last];
+        let soc_drop_motor_pct = soc0 - motor_only.soc[last];
+        let soc_drop_hvac_pct = soc_drop_total_pct - soc_drop_motor_pct;
+        let attribution = Attribution {
+            battery_energy_wh: motor_energy_wh + hvac_energy_wh,
+            motor_energy_wh,
+            hvac_energy_wh,
+            soc_drop_total_pct,
+            soc_drop_motor_pct,
+            soc_drop_hvac_pct,
+            eff_charge_total_as: soc_drop_total_pct / 100.0 * cn_as,
+            eff_charge_motor_as: soc_drop_motor_pct / 100.0 * cn_as,
+            eff_charge_hvac_as: soc_drop_hvac_pct / 100.0 * cn_as,
+            cost_hvac_power,
+            cost_soc_deviation,
+            cost_comfort,
+        };
+        let mut active_masks = vec![0u32; self.horizon];
+        for &idx in final_active_set {
+            let k = idx / INEQ_PER_STEP;
+            if k < self.horizon {
+                active_masks[k] |= 1 << (idx % INEQ_PER_STEP);
+            }
+        }
+        DecisionRecord {
+            outcome,
+            iterations: result.iterations,
+            objective: result.objective,
+            constraint_violation: result.constraint_violation,
+            plan,
+            active_masks,
+            attribution: Some(attribution),
+            ..base
+        }
+    }
 }
 
 impl ClimateController for MpcController {
@@ -638,6 +843,7 @@ impl ClimateController for MpcController {
                 .clamp_input(&self.hvac, held, ctx.state, ctx.ambient)
         };
         step_span.finish();
+        self.control_steps += 1;
         input
     }
 
@@ -1111,11 +1317,18 @@ mod tests {
             MpcConfigError::NonPositivePredictionDt
         );
         assert_eq!(
-            MpcController::builder(hvac, HvacLimits::default())
+            MpcController::builder(hvac.clone(), HvacLimits::default())
                 .recompute_every(0)
                 .build()
                 .unwrap_err(),
             MpcConfigError::ZeroRecomputeInterval
+        );
+        assert_eq!(
+            MpcController::builder(hvac, HvacLimits::default())
+                .max_sqp_iterations(0)
+                .build()
+                .unwrap_err(),
+            MpcConfigError::ZeroSqpIterationCap
         );
     }
 
@@ -1407,6 +1620,143 @@ mod tests {
             d.sqp_iterations as f64
         );
         assert!(snap.histogram("sqp_qp_seconds").unwrap().count >= d.sqp_iterations);
+    }
+
+    #[test]
+    fn flight_recorder_captures_decisions_without_perturbing() {
+        use ev_telemetry::FlightRecord;
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let recorder = FlightRecorder::enabled(64);
+        let mk = |rec: Option<&FlightRecorder>| {
+            let b = MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(6)
+                .recompute_every(2);
+            let b = match rec {
+                Some(r) => b.flight_recorder(r),
+                None => b,
+            };
+            b.build().unwrap()
+        };
+        let mut plain = mk(None);
+        let mut recorded = mk(Some(&recorder));
+        let preview = preview_const(8_000.0, 35.0, 24);
+        for step in 0..6 {
+            let context = ctx(26.0 - 0.1 * step as f64, 35.0, &preview);
+            let a = plain.control(&context);
+            let b = recorded.control(&context);
+            assert_eq!(a, b, "recording must not perturb the command");
+        }
+        // Including the rollout-cache counters the capture path must not
+        // touch (it re-rolls outside the cache).
+        assert_eq!(plain.diagnostics(), recorded.diagnostics());
+
+        let records = recorder.records();
+        let decisions: Vec<&DecisionRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                FlightRecord::Decision(d) => Some(d.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), 3, "6 steps at recompute_every=2");
+        let first = decisions[0];
+        assert_eq!(first.warm_start, WarmStart::Cold);
+        assert_eq!(first.step, 0);
+        assert_eq!(first.outcome, SolveOutcome::Converged);
+        assert_eq!(first.motor_preview_w.len(), 6);
+        assert!(first.motor_preview_w.iter().all(|&p| p == 8_000.0));
+        assert_eq!(first.plan.len(), 6);
+        assert_eq!(first.constraint_rows, INEQ_PER_STEP);
+        assert_eq!(first.active_masks.len(), 6);
+        // Later solves warm-start from the shifted previous plan.
+        assert!(decisions[1..]
+            .iter()
+            .all(|d| matches!(d.warm_start, WarmStart::Shifted { .. })));
+        assert_eq!(decisions[1].step, 2);
+
+        // Attribution is internally consistent: shares sum to totals and
+        // the planned schedule actually spends HVAC power (hot cabin).
+        let a = first.attribution.expect("converged solve has attribution");
+        assert!((a.battery_energy_wh - (a.motor_energy_wh + a.hvac_energy_wh)).abs() < 1e-9);
+        assert!(
+            (a.soc_drop_total_pct - (a.soc_drop_motor_pct + a.soc_drop_hvac_pct)).abs() < 1e-12
+        );
+        assert!(a.hvac_energy_wh > 0.0, "cooling a 26 °C cabin costs energy");
+        assert!(a.soc_drop_hvac_pct > 0.0);
+        assert!(a.soc_drop_motor_pct > 0.0);
+        assert!(a.eff_charge_total_as > 0.0);
+        assert!(a.cost_comfort > 0.0);
+        // The plan's first step matches the command the controller gave
+        // (before limit clamping the decoded values coincide here).
+        assert!(first.plan[0].hvac_power_w > 0.0);
+    }
+
+    #[test]
+    fn forced_iteration_cap_records_max_iter_and_auto_dumps() {
+        let dir = std::env::temp_dir().join(format!(
+            "ev-mpc-autodump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dump = dir.join("nested").join("postmortem.jsonl");
+        let recorder = FlightRecorder::enabled(32).with_auto_dump(&dump);
+        let mut c = MpcController::builder(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+        )
+        .horizon(6)
+        .recompute_every(1)
+        .max_sqp_iterations(1)
+        .flight_recorder(&recorder)
+        .build()
+        .unwrap();
+        let preview = preview_const(10_000.0, 35.0, 24);
+        let context = ctx(26.5, 35.0, &preview);
+        let input = c.control(&context);
+        // The capped solve still yields a usable (clamped) input...
+        assert!(input.mz.value() > 0.0);
+        // ...but reports MaxIterations and dumps the post-mortem, creating
+        // the missing parent directories on the way.
+        assert_eq!(c.diagnostics().max_iterations, 1);
+        let text = std::fs::read_to_string(&dump).expect("auto-dump written");
+        assert!(text.contains("\"kind\":\"meta\""));
+        assert!(text.contains("mpc solve max_iterations at step 0"));
+        assert!(text.contains("\"outcome\":\"max_iterations\""));
+        assert!(recorder.last_dump_error().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn solver_error_records_error_decision() {
+        let recorder = FlightRecorder::enabled(16);
+        let mut c = MpcController::builder(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+        )
+        .horizon(6)
+        .recompute_every(1)
+        .flight_recorder(&recorder)
+        .build()
+        .unwrap();
+        let preview = preview_const(5_000.0, 30.0, 24);
+        // Healthy solve first so the error path can fall back to the
+        // cached input instead of clamping an idle input at a NaN state.
+        c.control(&ctx(25.0, 30.0, &preview));
+        c.control(&ctx(f64::NAN, 30.0, &preview));
+        let records = recorder.records();
+        let d = records
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                ev_telemetry::FlightRecord::Decision(d) => Some(d.as_ref()),
+                _ => None,
+            })
+            .expect("decision recorded");
+        assert_eq!(d.outcome, SolveOutcome::Error);
+        assert!(d.plan.is_empty());
+        assert!(d.attribution.is_none());
+        assert!(d.objective.is_nan());
     }
 
     #[test]

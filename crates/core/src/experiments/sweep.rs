@@ -1,14 +1,16 @@
 //! The shared drive-profile × controller sweep behind Figs. 7 and 8.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 use ev_control::MpcDiagnostics;
 use ev_drive::DriveCycle;
-use ev_telemetry::{Registry, Snapshot};
+use ev_telemetry::{FlightRecorder, Registry, Snapshot};
 
+use crate::flight::FlightRecorderObserver;
 use crate::observe::{NoopObserver, StepObserver};
 use crate::telemetry::TelemetryObserver;
-use crate::{ControllerKind, Simulation, SimulationResult};
+use crate::{ControllerKind, ControllerSetup, Simulation, SimulationResult};
 
 use super::{experiment_params, format_table, profile_at, COMPARISON_AMBIENT_C};
 
@@ -172,6 +174,9 @@ pub struct SweepCellResult {
     pub telemetry: Snapshot,
     /// Wall-clock time the cell took (s).
     pub wall_seconds: f64,
+    /// Path of the flight-recorder post-mortem dump written for this
+    /// cell, if it failed during a recorded sweep.
+    pub postmortem: Option<PathBuf>,
 }
 
 /// A full instrumented sweep: every cell, even the failed ones.
@@ -223,6 +228,23 @@ impl SweepResult {
 /// paths stay on their uninstrumented code.
 #[must_use]
 pub fn evaluation_sweep_run(ambient_c: f64, cycles: &[DriveCycle], telemetry: bool) -> SweepResult {
+    evaluation_sweep_run_recorded(ambient_c, cycles, telemetry, None)
+}
+
+/// [`evaluation_sweep_run`] with a flight recorder on every cell. When
+/// `postmortem_dir` is `Some`, each cell records its MPC decisions and
+/// realized plant steps into a bounded ring buffer, and any cell that
+/// fails — simulation error or worker panic — writes its last recorded
+/// window to `<dir>/<profile>_<controller>.jsonl` (readable with
+/// `evsim explain`). With `postmortem_dir = None` the recorders stay
+/// disabled and this is exactly [`evaluation_sweep_run`].
+#[must_use]
+pub fn evaluation_sweep_run_recorded(
+    ambient_c: f64,
+    cycles: &[DriveCycle],
+    telemetry: bool,
+    postmortem_dir: Option<&Path>,
+) -> SweepResult {
     let mut params = experiment_params();
     // Match `evaluation_sweep_observed`: start from a preconditioned
     // cabin so the comparison is about regulation, not pull-down.
@@ -248,11 +270,22 @@ pub fn evaluation_sweep_run(ambient_c: f64, cycles: &[DriveCycle], telemetry: bo
                     kind,
                     scope.spawn(move || {
                         let registry = Registry::with_enabled(telemetry);
+                        let recorder = FlightRecorder::with_enabled(postmortem_dir.is_some());
                         let t0 = std::time::Instant::now();
                         let mut controller = kind
-                            .instantiate_instrumented(params, &registry)
+                            .instantiate_configured(
+                                params,
+                                &ControllerSetup {
+                                    telemetry: registry.clone(),
+                                    recorder: recorder.clone(),
+                                    max_sqp_iterations: None,
+                                },
+                            )
                             .expect("controller instantiates");
-                        let mut observer = TelemetryObserver::new(&registry);
+                        let mut observer = (
+                            TelemetryObserver::new(&registry),
+                            FlightRecorderObserver::new(&recorder),
+                        );
                         let run = catch_unwind(AssertUnwindSafe(|| {
                             sim.run_observed(controller.as_mut(), &mut observer)
                         }));
@@ -266,6 +299,7 @@ pub fn evaluation_sweep_run(ambient_c: f64, cycles: &[DriveCycle], telemetry: bo
                             controller.solver_diagnostics(),
                             registry.snapshot(),
                             t0.elapsed().as_secs_f64(),
+                            recorder,
                         )
                     }),
                 ));
@@ -274,15 +308,22 @@ pub fn evaluation_sweep_run(ambient_c: f64, cycles: &[DriveCycle], telemetry: bo
         for (profile, controller, handle) in handles {
             // The worker caught run-time panics itself; a join error means
             // something outside the guarded region blew up (instantiation).
-            let (outcome, diagnostics, telemetry, wall_seconds) =
+            let (outcome, diagnostics, telemetry, wall_seconds, recorder) =
                 handle.join().unwrap_or_else(|payload| {
                     (
                         SweepOutcome::Failed(panic_message(payload.as_ref())),
                         None,
                         Snapshot::default(),
                         0.0,
+                        FlightRecorder::disabled(),
                     )
                 });
+            let postmortem = match (&outcome, postmortem_dir) {
+                (SweepOutcome::Failed(reason), Some(dir)) => {
+                    write_cell_postmortem(dir, &profile, controller, reason, &recorder)
+                }
+                _ => None,
+            };
             cells.push(SweepCellResult {
                 profile,
                 controller,
@@ -290,10 +331,34 @@ pub fn evaluation_sweep_run(ambient_c: f64, cycles: &[DriveCycle], telemetry: bo
                 diagnostics,
                 telemetry,
                 wall_seconds,
+                postmortem,
             });
         }
     });
     SweepResult { ambient_c, cells }
+}
+
+/// Dumps a failed cell's flight-recorder window to
+/// `<dir>/<profile>_<controller>.jsonl`, returning the path on success.
+/// A disabled recorder (or a dump that cannot be written) yields `None`;
+/// the sweep itself is never failed by post-mortem I/O.
+fn write_cell_postmortem(
+    dir: &Path,
+    profile: &str,
+    controller: ControllerKind,
+    reason: &str,
+    recorder: &FlightRecorder,
+) -> Option<PathBuf> {
+    if !recorder.is_enabled() {
+        return None;
+    }
+    let stem: String = profile
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("{stem}_{controller:?}.jsonl"));
+    let why = format!("sweep cell {profile} x {controller:?} failed: {reason}");
+    recorder.dump_to(&path, &why).ok().map(|()| path)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -306,11 +371,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Formats an instrumented sweep as the human-readable run report printed
 /// by the `repro` and `evsim` binaries: one row per cell with the solver
-/// health columns (solves, convergence rate, mean SQP iterations,
-/// warm-start hit rate) and — when `include_timings` is set — the p50/p99
-/// `control_step` latencies from the cell's telemetry snapshot. Timings
-/// are redacted with `include_timings = false` so the report is
-/// deterministic (the golden-snapshot tests rely on this).
+/// health columns (solves, convergence rate, the max-iteration / stalled
+/// / error outcome counts, total and mean SQP iterations, warm-start hit
+/// rate) and — when `include_timings` is set — the p50/p99 `control_step`
+/// latencies from the cell's telemetry snapshot. Timings are redacted
+/// with `include_timings = false` so the report is deterministic (the
+/// golden-snapshot tests rely on this). Failed cells repeat their reason
+/// below the table, naming the post-mortem dump when one was written.
 #[must_use]
 pub fn render_sweep_report(sweep: &SweepResult, include_timings: bool) -> String {
     let dash = || "-".to_owned();
@@ -327,6 +394,10 @@ pub fn render_sweep_report(sweep: &SweepResult, include_timings: bool) -> String
         "status",
         "solves",
         "conv",
+        "max-iter",
+        "stalled",
+        "err",
+        "iters",
         "iters/solve",
         "warm-start",
     ]
@@ -350,6 +421,10 @@ pub fn render_sweep_report(sweep: &SweepResult, include_timings: bool) -> String
             Some(d) => {
                 row.push(d.solves.to_string());
                 row.push(fmt_rate(d.convergence_rate()));
+                row.push(d.max_iterations.to_string());
+                row.push(d.line_search_stalled.to_string());
+                row.push(d.solver_errors.to_string());
+                row.push(d.sqp_iterations.to_string());
                 row.push(if d.mean_sqp_iterations().is_nan() {
                     dash()
                 } else {
@@ -357,7 +432,7 @@ pub fn render_sweep_report(sweep: &SweepResult, include_timings: bool) -> String
                 });
                 row.push(fmt_rate(d.warm_start_hit_rate()));
             }
-            None => row.extend([dash(), dash(), dash(), dash()]),
+            None => row.extend(std::iter::repeat_with(dash).take(8)),
         }
         if include_timings {
             match cell.telemetry.histogram("mpc_control_step_seconds") {
@@ -376,11 +451,18 @@ pub fn render_sweep_report(sweep: &SweepResult, include_timings: bool) -> String
         sweep.ambient_c
     );
     out.push_str(&format_table(&header, &rows));
-    for (profile, controller, reason) in sweep.failures() {
-        out.push_str(&format!(
-            "FAILED {profile} x {}: {reason}\n",
-            short_name(controller)
-        ));
+    for cell in &sweep.cells {
+        if let SweepOutcome::Failed(reason) = &cell.outcome {
+            out.push_str(&format!(
+                "FAILED {} x {}: {reason}",
+                cell.profile,
+                short_name(cell.controller)
+            ));
+            if let Some(path) = &cell.postmortem {
+                out.push_str(&format!(" (post-mortem: {})", path.display()));
+            }
+            out.push('\n');
+        }
     }
     out
 }
@@ -481,5 +563,110 @@ mod tests {
         assert!(!redacted.contains("ms"));
         // "Run report:" line + table header + separator + one row per cell.
         assert_eq!(redacted.lines().count(), 3 + sweep.cells.len());
+        // The solver-outcome columns are populated for the MPC row.
+        assert!(redacted.contains("max-iter"));
+        assert!(redacted.contains("stalled"));
+    }
+
+    #[test]
+    fn mixed_outcome_report_lists_failures_and_postmortems() {
+        let mut sweep = evaluation_sweep_run(35.0, &[DriveCycle::ece15()], false);
+        // Append synthetic failed cells: a panicked rule-based worker
+        // (no diagnostics, no dump) and an errored MPC cell whose
+        // post-mortem was written.
+        sweep.cells.push(SweepCellResult {
+            profile: "ECE-15".to_owned(),
+            controller: ControllerKind::OnOff,
+            outcome: SweepOutcome::Failed("worker panicked: boom".to_owned()),
+            diagnostics: None,
+            telemetry: Snapshot::default(),
+            wall_seconds: 0.0,
+            postmortem: None,
+        });
+        sweep.cells.push(SweepCellResult {
+            profile: "ECE-15".to_owned(),
+            controller: ControllerKind::Mpc,
+            outcome: SweepOutcome::Failed("solver error: non-finite data".to_owned()),
+            diagnostics: Some(MpcDiagnostics {
+                solves: 3,
+                converged: 2,
+                solver_errors: 1,
+                sqp_iterations: 9,
+                warm_start_hits: 2,
+                warm_start_misses: 1,
+                ..MpcDiagnostics::default()
+            }),
+            telemetry: Snapshot::default(),
+            wall_seconds: 0.1,
+            postmortem: Some(PathBuf::from("target/flight/ECE-15_Mpc.jsonl")),
+        });
+        let report = render_sweep_report(&sweep, false);
+        // Header block + one row per cell + one trailing line per failure.
+        assert_eq!(report.lines().count(), 3 + sweep.cells.len() + 2);
+        assert!(report.contains("FAILED ECE-15 x On/Off: worker panicked: boom"));
+        assert!(report.contains("FAILED ECE-15 x MPC: solver error: non-finite data"));
+        assert!(report.contains("(post-mortem: target/flight/ECE-15_Mpc.jsonl)"));
+        // The failed MPC row still surfaces its partial diagnostics.
+        let mpc_failed = report
+            .lines()
+            .find(|l| l.contains("MPC") && l.contains("FAILED"))
+            .expect("failed MPC row rendered");
+        assert!(mpc_failed.contains('3'), "{mpc_failed}");
+        // The panicked rule-based row renders dashes for all 8 columns.
+        let panicked = report
+            .lines()
+            .find(|l| l.contains("On/Off") && l.contains("FAILED"))
+            .expect("panicked row rendered");
+        let dashes = panicked.split_whitespace().filter(|t| *t == "-").count();
+        assert_eq!(dashes, 8, "{panicked}");
+    }
+
+    #[test]
+    fn healthy_recorded_sweep_writes_no_postmortems() {
+        let dir = std::env::temp_dir().join(format!(
+            "ev-sweep-postmortem-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sweep = evaluation_sweep_run_recorded(35.0, &[DriveCycle::ece15()], false, Some(&dir));
+        assert!(sweep.failures().is_empty());
+        assert!(sweep.cells.iter().all(|c| c.postmortem.is_none()));
+        // No dump means the directory is never created.
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn cell_postmortem_dump_is_written_and_readable() {
+        let dir = std::env::temp_dir().join(format!(
+            "ev-sweep-dump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = FlightRecorder::enabled(8);
+        recorder.note("sweep", "cell aborted");
+        let path = write_cell_postmortem(
+            &dir,
+            "ECE-15",
+            ControllerKind::Mpc,
+            "cabin temperature diverged",
+            &recorder,
+        )
+        .expect("dump written");
+        assert_eq!(path, dir.join("ECE-15_Mpc.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("sweep cell ECE-15 x Mpc failed: cabin temperature diverged"));
+        assert!(text.contains("\"kind\":\"note\""));
+        // Disabled recorders never write anything.
+        assert!(write_cell_postmortem(
+            &dir,
+            "ECE-15",
+            ControllerKind::OnOff,
+            "boom",
+            &FlightRecorder::disabled()
+        )
+        .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod flight;
 pub mod observe;
 mod params;
 mod result;
@@ -50,11 +51,12 @@ mod sim;
 mod telemetry;
 mod vehicle;
 
+pub use flight::FlightRecorderObserver;
 pub use observe::{
     ChannelStats, ControllerMode, ModeCounts, NoopObserver, StatsObserver, StepObserver,
     StepRecord, TraceRecorder, TraceWriter,
 };
-pub use params::{ControllerKind, EvParams};
+pub use params::{ControllerKind, ControllerSetup, EvParams};
 pub use result::{Metrics, SimulationResult, TimeSeries};
 pub use sim::{SimError, Simulation};
 pub use telemetry::TelemetryObserver;

@@ -7,7 +7,7 @@ use ev_control::{
 };
 use ev_hvac::{CabinParams, Hvac, HvacLimits, HvacParams};
 use ev_powertrain::VehicleParams;
-use ev_telemetry::Registry;
+use ev_telemetry::{FlightRecorder, Registry};
 use ev_units::{Celsius, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -151,14 +151,39 @@ impl ControllerKind {
         params: &EvParams,
         telemetry: &Registry,
     ) -> Result<Box<dyn ClimateController>, MpcConfigError> {
+        self.instantiate_configured(
+            params,
+            &ControllerSetup {
+                telemetry: telemetry.clone(),
+                ..ControllerSetup::default()
+            },
+        )
+    }
+
+    /// Instantiates the controller with the full observability wiring: a
+    /// telemetry registry, a flight recorder (the MPC records one
+    /// decision per solve into it) and an optional SQP iteration cap
+    /// override. The default setup is fully inert, making this exactly
+    /// [`ControllerKind::instantiate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcConfigError`] if the MPC configuration is invalid
+    /// (for the built-in defaults only possible through a zero
+    /// `max_sqp_iterations` override).
+    pub fn instantiate_configured(
+        self,
+        params: &EvParams,
+        setup: &ControllerSetup,
+    ) -> Result<Box<dyn ClimateController>, MpcConfigError> {
         let hvac = params.hvac_model();
         let limits = params.limits();
         Ok(match self {
             Self::OnOff => Box::new(OnOffController::new(hvac, limits, params.target, 1.5)),
             Self::Fuzzy => Box::new(FuzzyController::new(hvac, limits, params.target)),
             Self::Pid => Box::new(PidController::new(hvac, limits, params.target)),
-            Self::Mpc => Box::new(
-                MpcController::builder(hvac, limits)
+            Self::Mpc => {
+                let mut builder = MpcController::builder(hvac, limits)
                     .target(params.target)
                     .horizon(8)
                     .prediction_dt(Seconds::new(4.0))
@@ -166,11 +191,32 @@ impl ControllerKind {
                     .weights(MpcWeights::default())
                     .battery(params.mpc_battery_model())
                     .accessory_power(params.accessory_power)
-                    .telemetry(telemetry)
-                    .build()?,
-            ),
+                    .telemetry(&setup.telemetry)
+                    .flight_recorder(&setup.recorder);
+                if let Some(cap) = setup.max_sqp_iterations {
+                    builder = builder.max_sqp_iterations(cap);
+                }
+                Box::new(builder.build()?)
+            }
         })
     }
+}
+
+/// Observability wiring for [`ControllerKind::instantiate_configured`]:
+/// which telemetry registry and flight recorder the controller should
+/// record into, and an optional SQP iteration-cap override (used by the
+/// flight-recorder smoke harness to force a `MaxIterations` outcome).
+/// The `Default` is fully inert — disabled registry, disabled recorder,
+/// built-in iteration cap.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerSetup {
+    /// Registry for solver/plant metrics (disabled by default).
+    pub telemetry: Registry,
+    /// Flight recorder for per-solve decision records (disabled by
+    /// default).
+    pub recorder: FlightRecorder,
+    /// Overrides the MPC's SQP major-iteration cap when `Some`.
+    pub max_sqp_iterations: Option<usize>,
 }
 
 impl core::fmt::Display for ControllerKind {

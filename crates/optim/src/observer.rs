@@ -62,6 +62,11 @@ pub struct SqpIterationRecord {
     /// Number of inequality multipliers above threshold — the size of
     /// the QP's active set at the solution.
     pub active_set_size: usize,
+    /// Indices of the inequality rows whose multipliers are above
+    /// threshold — the QP's active set at the solution, in row order.
+    /// Only assembled when an observer is active, so the vector never
+    /// allocates on the unobserved hot path.
+    pub active_set: Vec<usize>,
 }
 
 /// Receives one [`SqpIterationRecord`] per major SQP iteration.

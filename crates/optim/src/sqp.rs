@@ -248,6 +248,7 @@ impl SqpSolver {
             let step_small = vecops::norm_inf(&d) <= opts.tolerance * (1.0 + vecops::norm_inf(&z));
             if step_small && viol <= opts.tolerance {
                 if observing {
+                    let active_set = active_set_indices(&mult_in);
                     observer.on_iteration(&SqpIterationRecord {
                         iteration: iter,
                         objective: f,
@@ -261,7 +262,8 @@ impl SqpSolver {
                         qp_status,
                         qp_iterations,
                         qp_seconds,
-                        active_set_size: active_set_size(&mult_in),
+                        active_set_size: active_set.len(),
+                        active_set,
                     });
                 }
                 return Ok(SqpResult {
@@ -325,6 +327,7 @@ impl SqpSolver {
                 eprintln!("it={iter} z={z:?} f={f:.4} viol={viol:.4} pen={penalty:.2} d={d:?} ddir={ddir:.4} accepted={accepted} alpha={alpha:.4}");
             }
             if observing {
+                let active_set = active_set_indices(&mult_in);
                 observer.on_iteration(&SqpIterationRecord {
                     iteration: iter,
                     objective: f,
@@ -338,7 +341,8 @@ impl SqpSolver {
                     qp_status,
                     qp_iterations,
                     qp_seconds,
-                    active_set_size: active_set_size(&mult_in),
+                    active_set_size: active_set.len(),
+                    active_set,
                 });
             }
             if !accepted {
@@ -554,10 +558,15 @@ fn kkt_residual(
     vecops::norm_inf(&r)
 }
 
-/// Number of inequality multipliers meaningfully away from zero — the
-/// size of the QP active set at the subproblem solution.
-fn active_set_size(mult_in: &[f64]) -> usize {
-    mult_in.iter().filter(|l| l.abs() > 1e-8).count()
+/// Indices of inequality multipliers meaningfully away from zero — the
+/// QP active set at the subproblem solution, in row order.
+fn active_set_indices(mult_in: &[f64]) -> Vec<usize> {
+    mult_in
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.abs() > 1e-8)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// L1 constraint violation: `Σ|c_eq| + Σ max(0, c_in)`.
@@ -828,8 +837,11 @@ mod tests {
             .iter()
             .all(|r| r.qp_status == QpSubproblemStatus::Nominal));
         assert!(trace.records.iter().all(|r| r.kkt_residual.is_finite()));
-        // Both box constraints are active at the optimum.
+        // Both box constraints are active at the optimum, and the index
+        // list names them in row order and agrees with the size.
         assert_eq!(last.active_set_size, 2);
+        assert_eq!(last.active_set.len(), last.active_set_size);
+        assert!(last.active_set.windows(2).all(|w| w[0] < w[1]));
         // Accepted full steps report α = 1.
         assert!(trace
             .records

@@ -1,10 +1,13 @@
 //! Exporters: JSONL event stream, Prometheus text exposition, and a
 //! human-readable end-of-run report table.
 
+use std::io;
+use std::path::Path;
+
 use crate::registry::{HistogramSnapshot, Snapshot};
 
 /// Format an f64 as a JSON value (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:?}")
     } else {
@@ -13,7 +16,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escape a metric name for embedding in a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -90,6 +93,22 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
         out.push_str(&format!("{}_count {}\n", h.name, h.count));
     }
     out
+}
+
+/// Write `contents` to `path`, creating missing parent directories
+/// first — so exporting to `target/telemetry/run.jsonl` works even when
+/// no part of that tree exists yet.
+///
+/// # Errors
+///
+/// Propagates io errors from directory creation or the file write.
+pub fn write_text(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 fn fmt_cell(v: f64) -> String {
@@ -233,5 +252,31 @@ mod tests {
     fn empty_report_is_flagged() {
         let out = render_report(&Snapshot::default());
         assert!(out.contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn prometheus_of_empty_or_disabled_registry_is_empty() {
+        assert_eq!(to_prometheus(&Snapshot::default()), "");
+        assert_eq!(to_prometheus(&Registry::disabled().snapshot()), "");
+        // An enabled registry with no metrics registered is equally empty.
+        assert_eq!(to_prometheus(&Registry::enabled().snapshot()), "");
+        assert_eq!(to_jsonl(&Registry::disabled().snapshot()), "");
+    }
+
+    #[test]
+    fn write_text_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "ev-export-write-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("a").join("b").join("metrics.jsonl");
+        write_text(&path, "hello\n").expect("write succeeds");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello\n");
+        // Bare file names (no parent component) must also work.
+        write_text(Path::new("Cargo.toml.write-text-probe"), "x").expect("bare file name works");
+        let _ = std::fs::remove_file("Cargo.toml.write-text-probe");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

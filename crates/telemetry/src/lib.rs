@@ -38,9 +38,14 @@
 
 pub mod export;
 mod metrics;
+pub mod recorder;
 mod registry;
 mod span;
 
 pub use metrics::{Counter, Histogram, HistogramSpec};
+pub use recorder::{
+    Attribution, DecisionRecord, FlightRecord, FlightRecorder, PlannedStep, SolveOutcome,
+    StepSummary, WarmStart,
+};
 pub use registry::{CounterSnapshot, HistogramSnapshot, Registry, Snapshot};
 pub use span::Span;

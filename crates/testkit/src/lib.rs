@@ -46,4 +46,4 @@ pub use golden::{
 pub use invariants::{
     check_trace, InvariantConfig, InvariantObserver, InvariantReport, InvariantViolation,
 };
-pub use run::{run_checked, run_traced, run_with};
+pub use run::{dump_on_violation, run_checked, run_recorded, run_traced, run_with};

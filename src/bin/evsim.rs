@@ -7,30 +7,44 @@
 //! evsim simulate --cycle <name> --controller <onoff|fuzzy|pid|mpc>
 //!                [--ambient <°C>] [--target <°C>] [--precondition]
 //!                [--json <path>] [--telemetry <path.jsonl>]
+//!                [--flight-recorder <path.jsonl>] [--max-sqp-iterations <n>]
 //!     Run one closed-loop simulation and print the metrics; optionally
-//!     dump the full result (time series included) as JSON and/or the
-//!     telemetry snapshot (solver + plant metrics) as JSONL.
+//!     dump the full result (time series included) as JSON, the
+//!     telemetry snapshot (solver + plant metrics) as JSONL, and/or the
+//!     MPC flight recording (decision records + realized steps) as
+//!     JSONL. `--max-sqp-iterations` caps the SQP solver (useful for
+//!     forcing `max_iterations` outcomes when exercising the recorder).
 //!
 //! evsim compare --cycle <name> [--ambient <°C>] [--precondition]
 //!     Run the paper's three-controller comparison on one cycle.
 //!
 //! evsim validate-telemetry <path.jsonl>
 //!     Check a telemetry JSONL dump against the metric-line schema.
+//!
+//! evsim explain <dump.jsonl>
+//!     Validate a flight-recorder dump and render it as a constraint-
+//!     activation timeline plus a per-decision attribution table.
 //! ```
 
 use std::process::ExitCode;
 
-use evclimate::core::{ControllerKind, EvParams, Simulation, SimulationResult, TelemetryObserver};
+use evclimate::control::CONSTRAINT_ROW_LABELS;
+use evclimate::core::{
+    ControllerKind, ControllerSetup, EvParams, FlightRecorderObserver, Simulation,
+    SimulationResult, TelemetryObserver,
+};
 use evclimate::drive::{AmbientConditions, DriveCycle, DriveProfile};
-use evclimate::telemetry::{export, Registry};
+use evclimate::telemetry::{export, FlightRecorder, Registry};
 use evclimate::units::{Celsius, Seconds};
 
 fn usage() -> &'static str {
     "usage:\n  evsim cycles\n  evsim simulate --cycle <name> --controller <onoff|fuzzy|pid|mpc> \
      [--ambient <°C>] [--target <°C>] [--precondition] [--json <path>] \
-     [--telemetry <path.jsonl>]\n  \
+     [--telemetry <path.jsonl>] [--flight-recorder <path.jsonl>] \
+     [--max-sqp-iterations <n>]\n  \
      evsim compare --cycle <name> [--ambient <°C>] [--precondition]\n  \
-     evsim validate-telemetry <path.jsonl>"
+     evsim validate-telemetry <path.jsonl>\n  \
+     evsim explain <dump.jsonl>"
 }
 
 /// Looks up a built-in cycle by (case-insensitive) name.
@@ -177,25 +191,61 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown controller '{controller_name}'"))?;
     let (params, sim) = build_sim(args)?;
     let telemetry_path = args.get("telemetry");
+    let recorder_path = args.get("flight-recorder");
+    let max_sqp_iterations = match args.get("max-sqp-iterations") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--max-sqp-iterations expects a count, got '{v}'"))?,
+        ),
+    };
     let registry = Registry::with_enabled(telemetry_path.is_some());
+    // With a dump path configured, solver failures (max-iter, structural
+    // errors) auto-dump the window at the moment of failure; a healthy
+    // run writes its final window once at the end.
+    let recorder = match recorder_path {
+        Some(path) => {
+            FlightRecorder::enabled(FlightRecorder::DEFAULT_CAPACITY).with_auto_dump(path)
+        }
+        None => FlightRecorder::disabled(),
+    };
+    let setup = ControllerSetup {
+        telemetry: registry.clone(),
+        recorder: recorder.clone(),
+        max_sqp_iterations,
+    };
     let mut controller = kind
-        .instantiate_instrumented(&params, &registry)
+        .instantiate_configured(&params, &setup)
         .map_err(|e| e.to_string())?;
-    let mut observer = TelemetryObserver::new(&registry);
+    let mut observer = (
+        TelemetryObserver::new(&registry),
+        FlightRecorderObserver::new(&recorder),
+    );
     let result = sim
         .run_observed(controller.as_mut(), &mut observer)
         .map_err(|e| e.to_string())?;
     print_metrics(&result);
     if let Some(path) = args.get("json") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        export::write_text(std::path::Path::new(path), &json).map_err(|e| e.to_string())?;
         println!("full result written to {path}");
     }
     if let Some(path) = telemetry_path {
         let snapshot = registry.snapshot();
-        std::fs::write(path, export::to_jsonl(&snapshot)).map_err(|e| e.to_string())?;
+        export::write_text(std::path::Path::new(path), &export::to_jsonl(&snapshot))
+            .map_err(|e| e.to_string())?;
         println!("\n{}", export::render_report(&snapshot));
         println!("telemetry written to {path}");
+    }
+    if let Some(path) = recorder_path {
+        recorder
+            .dump_to(std::path::Path::new(path), "end of simulation")
+            .map_err(|e| e.to_string())?;
+        println!(
+            "flight recording written to {path} ({} records, {} dropped)",
+            recorder.len(),
+            recorder.dropped()
+        );
     }
     Ok(())
 }
@@ -301,6 +351,266 @@ fn cmd_validate_telemetry(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// A map-field number, as a `String`-error result (the explain renderer
+/// threads line numbers into these).
+fn num_field(v: &serde::Value, key: &str) -> Result<f64, String> {
+    v.field(key)
+        .and_then(serde::Value::as_num)
+        .map_err(|e| e.to_string())
+}
+
+fn str_field<'a>(v: &'a serde::Value, key: &str) -> Result<&'a str, String> {
+    v.field(key)
+        .and_then(serde::Value::as_str)
+        .map_err(|e| e.to_string())
+}
+
+/// The attribution split of one explained decision (paper Eq. 13–16 /
+/// Eq. 21 terms, as exported by the flight recorder).
+struct ExplainedAttribution {
+    soc_total: f64,
+    soc_motor: f64,
+    soc_hvac: f64,
+    motor_wh: f64,
+    hvac_wh: f64,
+    cost_hvac: f64,
+    cost_soc: f64,
+    cost_comfort: f64,
+}
+
+/// One schema-checked decision record from a flight-recorder dump.
+struct ExplainedDecision {
+    step: u64,
+    t_s: f64,
+    outcome: String,
+    iterations: u64,
+    warm_start: String,
+    constraint_rows: usize,
+    active_masks: Vec<u32>,
+    attribution: Option<ExplainedAttribution>,
+}
+
+fn parse_decision(v: &serde::Value) -> Result<ExplainedDecision, String> {
+    let outcome = str_field(v, "outcome")?.to_owned();
+    const OUTCOMES: [&str; 4] = [
+        "converged",
+        "max_iterations",
+        "line_search_stalled",
+        "error",
+    ];
+    if !OUTCOMES.contains(&outcome.as_str()) {
+        return Err(format!("unknown solve outcome '{outcome}'"));
+    }
+    let warm = v.field("warm_start").map_err(|e| e.to_string())?;
+    let warm_start = match str_field(warm, "kind")? {
+        "cold" => "cold".to_owned(),
+        "shifted" => format!("shifted+{}", num_field(warm, "blocks")? as u64),
+        other => return Err(format!("unknown warm-start kind '{other}'")),
+    };
+    num_field(v, "objective")?;
+    num_field(v, "constraint_violation")?;
+    num_field(v, "soc_pct")?;
+    num_field(v, "cabin_c")?;
+    let constraint_rows = num_field(v, "constraint_rows")? as usize;
+    let serde::Value::Seq(masks) = v.field("active_masks").map_err(|e| e.to_string())? else {
+        return Err("active_masks is not an array".to_owned());
+    };
+    let mut active_masks = Vec::with_capacity(masks.len());
+    for m in masks {
+        let mask = m.as_num().map_err(|e| e.to_string())? as u32;
+        if constraint_rows < 32 && mask >> constraint_rows != 0 {
+            return Err(format!(
+                "active mask {mask:#b} sets bits beyond the {constraint_rows} constraint rows"
+            ));
+        }
+        active_masks.push(mask);
+    }
+    let serde::Value::Seq(plan) = v.field("plan").map_err(|e| e.to_string())? else {
+        return Err("plan is not an array".to_owned());
+    };
+    for p in plan {
+        for key in ["hvac_power_w", "cabin_c", "soc_pct"] {
+            num_field(p, key)?;
+        }
+    }
+    // The plan and the per-step activation masks cover the same horizon
+    // (both empty when the solve errored before producing an iterate).
+    if plan.len() != active_masks.len() {
+        return Err(format!(
+            "plan covers {} steps but active_masks {}",
+            plan.len(),
+            active_masks.len()
+        ));
+    }
+    let attribution = match v.field("attribution").map_err(|e| e.to_string())? {
+        serde::Value::Null => None,
+        a => Some(ExplainedAttribution {
+            soc_total: num_field(a, "soc_drop_total_pct")?,
+            soc_motor: num_field(a, "soc_drop_motor_pct")?,
+            soc_hvac: num_field(a, "soc_drop_hvac_pct")?,
+            motor_wh: num_field(a, "motor_energy_wh")?,
+            hvac_wh: num_field(a, "hvac_energy_wh")?,
+            cost_hvac: num_field(a, "cost_hvac_power")?,
+            cost_soc: num_field(a, "cost_soc_deviation")?,
+            cost_comfort: num_field(a, "cost_comfort")?,
+        }),
+    };
+    Ok(ExplainedDecision {
+        step: num_field(v, "step")? as u64,
+        t_s: num_field(v, "t_s")?,
+        outcome,
+        iterations: num_field(v, "iterations")? as u64,
+        warm_start,
+        constraint_rows,
+        active_masks,
+        attribution,
+    })
+}
+
+/// `"C5x3 C8x1"`: how often each constraint row was active across the
+/// decision's horizon, labeled with the paper's constraint numbers.
+fn render_active_set(d: &ExplainedDecision) -> String {
+    let mut counts = vec![0usize; d.constraint_rows];
+    for mask in &d.active_masks {
+        for (row, count) in counts.iter_mut().enumerate() {
+            if mask & (1 << row) != 0 {
+                *count += 1;
+            }
+        }
+    }
+    let parts: Vec<String> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c > 0)
+        .map(|(row, c)| {
+            let label = CONSTRAINT_ROW_LABELS
+                .get(row)
+                .map_or_else(|| format!("row{row}"), |l| (*l).to_owned());
+            format!("{label}x{c}")
+        })
+        .collect();
+    if parts.is_empty() {
+        "-".to_owned()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// Validates a flight-recorder dump and renders the constraint-activation
+/// timeline and the per-decision attribution table.
+fn render_explain(text: &str) -> Result<String, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty dump")?;
+    let RawLine(meta) = serde_json::from_str(first).map_err(|e| format!("line 1: {e}"))?;
+    if str_field(&meta, "kind").map_err(|e| format!("line 1: {e}"))? != "meta" {
+        return Err("line 1: first line is not the meta header".to_owned());
+    }
+    let version = num_field(&meta, "version")?;
+    if version != 1.0 {
+        return Err(format!("unsupported dump version {version}"));
+    }
+    let declared = num_field(&meta, "records")? as usize;
+    let dropped = num_field(&meta, "dropped")? as u64;
+    let reason = str_field(&meta, "reason")?.to_owned();
+    let mut decisions: Vec<ExplainedDecision> = Vec::new();
+    let mut steps = 0usize;
+    let mut notes: Vec<(String, String)> = Vec::new();
+    for (i, line) in lines {
+        let at = |e: String| format!("line {}: {e}", i + 1);
+        let RawLine(v) = serde_json::from_str(line).map_err(|e| at(e.to_string()))?;
+        match str_field(&v, "kind").map_err(&at)? {
+            "decision" => decisions.push(parse_decision(&v).map_err(&at)?),
+            "step" => {
+                for key in [
+                    "step",
+                    "t_s",
+                    "motor_power_w",
+                    "hvac_power_w",
+                    "battery_power_w",
+                    "soc_pct",
+                    "cabin_c",
+                    "ambient_c",
+                ] {
+                    num_field(&v, key).map_err(&at)?;
+                }
+                steps += 1;
+            }
+            "note" => notes.push((
+                str_field(&v, "label").map_err(&at)?.to_owned(),
+                str_field(&v, "detail").map_err(&at)?.to_owned(),
+            )),
+            other => return Err(at(format!("unknown record kind '{other}'"))),
+        }
+    }
+    let body = decisions.len() + steps + notes.len();
+    if body != declared {
+        return Err(format!(
+            "meta header declares {declared} records, dump carries {body}"
+        ));
+    }
+    let mut out = format!(
+        "Flight recording: {body} records ({} decisions, {steps} plant steps, \
+         {} notes), {dropped} dropped\nreason: {reason}\n",
+        decisions.len(),
+        notes.len()
+    );
+    for (label, detail) in &notes {
+        out.push_str(&format!("note [{label}]: {detail}\n"));
+    }
+    out.push_str("\nConstraint-activation timeline\n");
+    out.push_str(&format!(
+        "{:>6} {:>8}  {:<19} {:>5}  {:<10}  active constraints\n",
+        "step", "t [s]", "outcome", "iters", "warm-start"
+    ));
+    for d in &decisions {
+        out.push_str(&format!(
+            "{:>6} {:>8.1}  {:<19} {:>5}  {:<10}  {}\n",
+            d.step,
+            d.t_s,
+            d.outcome,
+            d.iterations,
+            d.warm_start,
+            render_active_set(d)
+        ));
+    }
+    out.push_str("\nAttribution (per decision, over the prediction horizon)\n");
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+        "step", "ΔSoC %", "motor %", "HVAC %", "motor Wh", "HVAC Wh", "J_hvac", "J_soc", "J_comf"
+    ));
+    for d in &decisions {
+        match &d.attribution {
+            Some(a) => out.push_str(&format!(
+                "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.2} {:>10.2} {:>9.3} {:>9.3} {:>9.3}\n",
+                d.step,
+                a.soc_total,
+                a.soc_motor,
+                a.soc_hvac,
+                a.motor_wh,
+                a.hvac_wh,
+                a.cost_hvac,
+                a.cost_soc,
+                a.cost_comfort
+            )),
+            None => out.push_str(&format!(
+                "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+                d.step, "-", "-", "-", "-", "-", "-", "-", "-"
+            )),
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_explain(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let rendered = render_explain(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{rendered}");
+    Ok(())
+}
+
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let (params, sim) = build_sim(args)?;
     println!(
@@ -340,6 +650,10 @@ fn main() -> ExitCode {
         ("validate-telemetry", _) => match argv.get(1) {
             Some(path) => cmd_validate_telemetry(path),
             None => Err(format!("missing <path.jsonl>\n{}", usage())),
+        },
+        ("explain", _) => match argv.get(1) {
+            Some(path) => cmd_explain(path),
+            None => Err(format!("missing <dump.jsonl>\n{}", usage())),
         },
         (_, Err(e)) => Err(e),
         (other, _) => Err(format!("unknown command '{other}'\n{}", usage())),
@@ -420,6 +734,98 @@ mod tests {
         .is_err());
         // Not JSON at all.
         assert!(validate_metric_line("plain text").is_err());
+    }
+
+    fn synthetic_dump() -> String {
+        use evclimate::telemetry::{
+            Attribution, DecisionRecord, PlannedStep, SolveOutcome, StepSummary, WarmStart,
+        };
+        let recorder = FlightRecorder::enabled(16);
+        let planned = PlannedStep {
+            ts_c: 14.0,
+            tc_c: 12.0,
+            recirculation: 0.7,
+            flow_kg_s: 0.1,
+            hvac_power_w: 1_800.0,
+            cabin_c: 24.8,
+            soc_pct: 89.9,
+        };
+        recorder.record_decision(DecisionRecord {
+            step: 0,
+            t_s: 0.0,
+            outcome: SolveOutcome::Converged,
+            iterations: 4,
+            objective: 1.25,
+            constraint_violation: 0.0,
+            warm_start: WarmStart::Cold,
+            soc_pct: 90.0,
+            cabin_c: 25.0,
+            motor_preview_w: vec![8_000.0, 8_000.0],
+            plan: vec![planned, planned],
+            constraint_rows: 13,
+            // Bit 4 is row "C5" in CONSTRAINT_ROW_LABELS.
+            active_masks: vec![1 << 4, 0],
+            attribution: Some(Attribution {
+                soc_drop_total_pct: 0.010,
+                soc_drop_motor_pct: 0.008,
+                soc_drop_hvac_pct: 0.002,
+                motor_energy_wh: 7.0,
+                hvac_energy_wh: 3.0,
+                ..Attribution::default()
+            }),
+        });
+        recorder.record_step(StepSummary {
+            step: 0,
+            t_s: 0.0,
+            motor_power_w: 8_000.0,
+            hvac_power_w: 1_750.0,
+            battery_power_w: 10_050.0,
+            soc_pct: 89.99,
+            cabin_c: 24.9,
+            ambient_c: 35.0,
+        });
+        recorder.note("harness", "synthetic dump");
+        recorder.to_jsonl("unit test")
+    }
+
+    #[test]
+    fn explains_a_flight_recorder_dump() {
+        let rendered = render_explain(&synthetic_dump()).expect("dump is schema-valid");
+        assert!(rendered.contains("1 decisions, 1 plant steps, 1 notes"));
+        assert!(rendered.contains("reason: unit test"));
+        assert!(rendered.contains("Constraint-activation timeline"));
+        assert!(rendered.contains("C5x1"), "{rendered}");
+        assert!(rendered.contains("converged"));
+        assert!(rendered.contains("cold"));
+        assert!(rendered.contains("Attribution"));
+        assert!(rendered.contains("0.0080"));
+        assert!(rendered.contains("note [harness]: synthetic dump"));
+    }
+
+    #[test]
+    fn explain_rejects_malformed_dumps() {
+        // Empty file.
+        assert!(render_explain("").is_err());
+        // Body without a meta header.
+        let headerless = synthetic_dump()
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(render_explain(&headerless).is_err());
+        // Wrong version.
+        assert!(render_explain(
+            "{\"kind\":\"meta\",\"version\":2,\"capacity\":8,\"records\":0,\"dropped\":0,\"reason\":\"x\"}\n"
+        )
+        .is_err());
+        // Record-count mismatch between header and body.
+        let mut truncated: Vec<String> = synthetic_dump().lines().map(str::to_owned).collect();
+        truncated.pop();
+        assert!(render_explain(&truncated.join("\n")).is_err());
+        // Active-set bits beyond the declared constraint rows.
+        let corrupt =
+            synthetic_dump().replace("\"active_masks\":[16,0]", "\"active_masks\":[16384,0]");
+        assert!(render_explain(&corrupt).is_err());
     }
 
     #[test]
