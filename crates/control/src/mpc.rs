@@ -170,6 +170,13 @@ impl SqpObserver for SolveObserver<'_> {
         self.metrics.is_some() || self.final_active_set.is_some()
     }
 
+    /// Metrics only need the active-set *size*; the per-row index list
+    /// (one Vec per iteration) is assembled only when the flight
+    /// recorder captures it.
+    fn wants_active_set(&self) -> bool {
+        self.final_active_set.is_some()
+    }
+
     fn on_iteration(&mut self, record: &SqpIterationRecord) {
         if let Some(m) = self.metrics {
             m.qp_seconds.record(record.qp_seconds);

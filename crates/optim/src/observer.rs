@@ -64,8 +64,9 @@ pub struct SqpIterationRecord {
     pub active_set_size: usize,
     /// Indices of the inequality rows whose multipliers are above
     /// threshold — the QP's active set at the solution, in row order.
-    /// Only assembled when an observer is active, so the vector never
-    /// allocates on the unobserved hot path.
+    /// Only assembled when the observer opts in via
+    /// [`SqpObserver::wants_active_set`]; empty otherwise, so
+    /// metrics-only observers pay no per-iteration allocation.
     pub active_set: Vec<usize>,
 }
 
@@ -76,6 +77,15 @@ pub trait SqpObserver {
     /// residual matvecs) — identical to running unobserved.
     fn active(&self) -> bool {
         true
+    }
+
+    /// Whether [`SqpIterationRecord::active_set`] should be assembled.
+    /// Defaults to `false`: [`SqpIterationRecord::active_set_size`] is
+    /// always populated (a count costs nothing), but the index list
+    /// requires a per-iteration allocation, so the solver only builds it
+    /// for observers that ask.
+    fn wants_active_set(&self) -> bool {
+        false
     }
 
     /// Called once per major iteration, including the final one on
@@ -101,6 +111,10 @@ impl<O: SqpObserver + ?Sized> SqpObserver for &mut O {
         (**self).active()
     }
 
+    fn wants_active_set(&self) -> bool {
+        (**self).wants_active_set()
+    }
+
     fn on_iteration(&mut self, record: &SqpIterationRecord) {
         (**self).on_iteration(record);
     }
@@ -115,6 +129,10 @@ pub struct SqpTraceObserver {
 }
 
 impl SqpObserver for SqpTraceObserver {
+    fn wants_active_set(&self) -> bool {
+        true
+    }
+
     fn on_iteration(&mut self, record: &SqpIterationRecord) {
         self.records.push(record.clone());
     }

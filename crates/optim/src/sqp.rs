@@ -248,7 +248,11 @@ impl SqpSolver {
             let step_small = vecops::norm_inf(&d) <= opts.tolerance * (1.0 + vecops::norm_inf(&z));
             if step_small && viol <= opts.tolerance {
                 if observing {
-                    let active_set = active_set_indices(&mult_in);
+                    let active_set = if observer.wants_active_set() {
+                        active_set_indices(&mult_in)
+                    } else {
+                        Vec::new()
+                    };
                     observer.on_iteration(&SqpIterationRecord {
                         iteration: iter,
                         objective: f,
@@ -262,7 +266,7 @@ impl SqpSolver {
                         qp_status,
                         qp_iterations,
                         qp_seconds,
-                        active_set_size: active_set.len(),
+                        active_set_size: active_set_size(&mult_in),
                         active_set,
                     });
                 }
@@ -327,7 +331,11 @@ impl SqpSolver {
                 eprintln!("it={iter} z={z:?} f={f:.4} viol={viol:.4} pen={penalty:.2} d={d:?} ddir={ddir:.4} accepted={accepted} alpha={alpha:.4}");
             }
             if observing {
-                let active_set = active_set_indices(&mult_in);
+                let active_set = if observer.wants_active_set() {
+                    active_set_indices(&mult_in)
+                } else {
+                    Vec::new()
+                };
                 observer.on_iteration(&SqpIterationRecord {
                     iteration: iter,
                     objective: f,
@@ -341,7 +349,7 @@ impl SqpSolver {
                     qp_status,
                     qp_iterations,
                     qp_seconds,
-                    active_set_size: active_set.len(),
+                    active_set_size: active_set_size(&mult_in),
                     active_set,
                 });
             }
@@ -558,13 +566,24 @@ fn kkt_residual(
     vecops::norm_inf(&r)
 }
 
+/// Multiplier magnitude above which an inequality row counts as active.
+const ACTIVE_MULT_TOL: f64 = 1e-8;
+
+/// Number of inequality multipliers meaningfully away from zero — the
+/// size of the QP active set at the subproblem solution. Allocation-free;
+/// the index list is only assembled for observers that ask
+/// ([`SqpObserver::wants_active_set`]).
+fn active_set_size(mult_in: &[f64]) -> usize {
+    mult_in.iter().filter(|l| l.abs() > ACTIVE_MULT_TOL).count()
+}
+
 /// Indices of inequality multipliers meaningfully away from zero — the
 /// QP active set at the subproblem solution, in row order.
 fn active_set_indices(mult_in: &[f64]) -> Vec<usize> {
     mult_in
         .iter()
         .enumerate()
-        .filter(|(_, l)| l.abs() > 1e-8)
+        .filter(|(_, l)| l.abs() > ACTIVE_MULT_TOL)
         .map(|(i, _)| i)
         .collect()
 }
@@ -848,6 +867,35 @@ mod tests {
             .iter()
             .filter(|r| r.accepted && r.line_search_steps == 1)
             .all(|r| r.step_length == 1.0));
+    }
+
+    #[test]
+    fn count_only_observer_gets_size_without_index_list() {
+        // A metrics-style observer that does not opt into the index list
+        // must still see the active-set size, but receive an empty (and
+        // therefore unallocated) `active_set`.
+        struct CountOnly {
+            sizes: Vec<usize>,
+            index_lists_seen: usize,
+        }
+        impl SqpObserver for CountOnly {
+            fn on_iteration(&mut self, record: &SqpIterationRecord) {
+                self.sizes.push(record.active_set_size);
+                self.index_lists_seen += usize::from(!record.active_set.is_empty());
+            }
+        }
+        let solver = SqpSolver::default();
+        let mut count_only = CountOnly {
+            sizes: Vec::new(),
+            index_lists_seen: 0,
+        };
+        let r = solver
+            .solve_observed(&BoxedQuadratic, &[0.0, 0.0], &mut count_only)
+            .unwrap();
+        assert!(r.is_converged());
+        // Both box constraints are active at the optimum.
+        assert_eq!(*count_only.sizes.last().unwrap(), 2);
+        assert_eq!(count_only.index_lists_seen, 0);
     }
 
     #[test]

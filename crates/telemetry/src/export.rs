@@ -274,9 +274,21 @@ mod tests {
         let path = dir.join("a").join("b").join("metrics.jsonl");
         write_text(&path, "hello\n").expect("write succeeds");
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello\n");
-        // Bare file names (no parent component) must also work.
-        write_text(Path::new("Cargo.toml.write-text-probe"), "x").expect("bare file name works");
-        let _ = std::fs::remove_file("Cargo.toml.write-text-probe");
+        // Bare file names (no parent component) must also work. The
+        // probe lands in the process cwd, so give it a unique name and
+        // guard the removal against a failing expect.
+        struct Probe(std::path::PathBuf);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        let probe = Probe(std::path::PathBuf::from(format!(
+            ".write-text-probe-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        )));
+        write_text(&probe.0, "x").expect("bare file name works");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

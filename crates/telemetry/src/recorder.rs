@@ -214,6 +214,8 @@ struct RecorderInner {
     records: VecDeque<FlightRecord>,
     /// Records evicted from the ring since creation.
     dropped: u64,
+    /// Failure post-mortems successfully written by the auto-dump path.
+    auto_dumps: u64,
     /// The last io error an automatic dump hit (dumps from the control
     /// loop cannot propagate errors).
     last_dump_error: Option<String>,
@@ -247,6 +249,7 @@ impl FlightRecorder {
                 auto_dump: None,
                 records: VecDeque::with_capacity(capacity.clamp(1, 1024)),
                 dropped: 0,
+                auto_dumps: 0,
                 last_dump_error: None,
             }))),
         }
@@ -302,6 +305,17 @@ impl FlightRecorder {
             .map_or(0, |i| i.lock().expect("recorder poisoned").dropped)
     }
 
+    /// How many failure post-mortems the auto-dump path has successfully
+    /// written so far. Callers that also write an end-of-run dump to the
+    /// same path should skip it when this is non-zero, or they would
+    /// overwrite the preserved failure window.
+    #[must_use]
+    pub fn auto_dumps(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.lock().expect("recorder poisoned").auto_dumps)
+    }
+
     /// The io error message of the most recent failed automatic dump.
     #[must_use]
     pub fn last_dump_error(&self) -> Option<String> {
@@ -344,8 +358,14 @@ impl FlightRecorder {
             if let Some(path) = path {
                 let result = self.dump_to(&path, &reason);
                 if let Some(inner) = &self.inner {
-                    inner.lock().expect("recorder poisoned").last_dump_error =
-                        result.err().map(|e| e.to_string());
+                    let mut g = inner.lock().expect("recorder poisoned");
+                    match result {
+                        Ok(()) => {
+                            g.auto_dumps += 1;
+                            g.last_dump_error = None;
+                        }
+                        Err(e) => g.last_dump_error = Some(e.to_string()),
+                    }
                 }
             }
         }
@@ -574,6 +594,7 @@ mod tests {
         rec.note("x", "y");
         assert!(!rec.is_enabled());
         assert!(rec.is_empty());
+        assert_eq!(rec.auto_dumps(), 0);
         assert_eq!(rec.to_jsonl("anything"), "");
         // Dumping a disabled recorder is an explicit no-op, not an error.
         assert!(rec
@@ -667,10 +688,14 @@ mod tests {
         let rec = FlightRecorder::enabled(8).with_auto_dump(&path);
         rec.record_decision(decision(1, SolveOutcome::Converged));
         assert!(!path.exists(), "converged solves do not dump");
+        assert_eq!(rec.auto_dumps(), 0);
         rec.record_decision(decision(2, SolveOutcome::MaxIterations));
         let text = std::fs::read_to_string(&path).expect("failure dumped");
         assert!(text.contains("mpc solve max_iterations at step 2"));
+        assert_eq!(rec.auto_dumps(), 1);
         assert!(rec.last_dump_error().is_none());
+        rec.record_decision(decision(3, SolveOutcome::Error));
+        assert_eq!(rec.auto_dumps(), 2, "each written failure dump counts");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -238,14 +238,29 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         println!("telemetry written to {path}");
     }
     if let Some(path) = recorder_path {
-        recorder
-            .dump_to(std::path::Path::new(path), "end of simulation")
-            .map_err(|e| e.to_string())?;
-        println!(
-            "flight recording written to {path} ({} records, {} dropped)",
-            recorder.len(),
-            recorder.dropped()
-        );
+        if let Some(err) = recorder.last_dump_error() {
+            eprintln!("warning: last flight-recorder auto-dump failed: {err}");
+        }
+        // A fired auto-dump preserved the window around the failing
+        // solve; writing the end-of-run window to the same path would
+        // overwrite that post-mortem (and for an early failure the ring
+        // may have evicted it by now).
+        if recorder.auto_dumps() > 0 {
+            println!(
+                "flight recording at {path} preserves the last solver failure \
+                 ({} auto-dump(s); end-of-run dump skipped)",
+                recorder.auto_dumps()
+            );
+        } else {
+            recorder
+                .dump_to(std::path::Path::new(path), "end of simulation")
+                .map_err(|e| e.to_string())?;
+            println!(
+                "flight recording written to {path} ({} records, {} dropped)",
+                recorder.len(),
+                recorder.dropped()
+            );
+        }
     }
     Ok(())
 }
@@ -365,6 +380,16 @@ fn str_field<'a>(v: &'a serde::Value, key: &str) -> Result<&'a str, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Like [`num_field`], but JSON `null` maps to NaN: error-outcome
+/// decisions have no iterate, so their objective and constraint
+/// violation serialize as `null` (non-finite floats have no JSON form).
+fn nullable_num_field(v: &serde::Value, key: &str) -> Result<f64, String> {
+    match v.field(key).map_err(|e| e.to_string())? {
+        serde::Value::Null => Ok(f64::NAN),
+        other => other.as_num().map_err(|e| e.to_string()),
+    }
+}
+
 /// The attribution split of one explained decision (paper Eq. 13–16 /
 /// Eq. 21 terms, as exported by the flight recorder).
 struct ExplainedAttribution {
@@ -407,8 +432,8 @@ fn parse_decision(v: &serde::Value) -> Result<ExplainedDecision, String> {
         "shifted" => format!("shifted+{}", num_field(warm, "blocks")? as u64),
         other => return Err(format!("unknown warm-start kind '{other}'")),
     };
-    num_field(v, "objective")?;
-    num_field(v, "constraint_violation")?;
+    nullable_num_field(v, "objective")?;
+    nullable_num_field(v, "constraint_violation")?;
     num_field(v, "soc_pct")?;
     num_field(v, "cabin_c")?;
     let constraint_rows = num_field(v, "constraint_rows")? as usize;
@@ -800,6 +825,41 @@ mod tests {
         assert!(rendered.contains("Attribution"));
         assert!(rendered.contains("0.0080"));
         assert!(rendered.contains("note [harness]: synthetic dump"));
+    }
+
+    #[test]
+    fn explains_a_dump_with_an_error_decision() {
+        use evclimate::telemetry::{DecisionRecord, SolveOutcome, WarmStart};
+        // Mirror of the record `MpcController::capture_decision` emits on
+        // `SolveOutcome::Error`: NaN objective/violation (serialized as
+        // JSON null), no plan, no active set, no attribution — exactly
+        // what the auto-dump path writes for a failed solve.
+        let recorder = FlightRecorder::enabled(16);
+        recorder.record_decision(DecisionRecord {
+            step: 7,
+            t_s: 7.0,
+            outcome: SolveOutcome::Error,
+            iterations: 0,
+            objective: f64::NAN,
+            constraint_violation: f64::NAN,
+            warm_start: WarmStart::Cold,
+            soc_pct: 88.0,
+            cabin_c: 27.5,
+            motor_preview_w: vec![6_000.0, 6_000.0],
+            plan: Vec::new(),
+            constraint_rows: 13,
+            active_masks: Vec::new(),
+            attribution: None,
+        });
+        let dump = recorder.to_jsonl("mpc solve error at step 7 (t = 7.0 s)");
+        assert!(dump.contains("\"objective\":null"), "{dump}");
+        let rendered = render_explain(&dump).expect("error decisions are schema-valid");
+        assert!(rendered.contains("error"), "{rendered}");
+        assert!(rendered.contains("cold"));
+        // No attribution: the table row is dashed out, not dropped.
+        assert!(rendered
+            .lines()
+            .any(|l| l.contains('7') && l.contains(" -")));
     }
 
     #[test]
