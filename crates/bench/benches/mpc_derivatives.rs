@@ -106,6 +106,48 @@ fn bench_control_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Horizon-scaling arms for the structure-exploiting KKT path: the same
+/// hot-day control step at horizons 32/64/128, condensed-dense versus
+/// multiple-shooting banded (`.multiple_shooting(true)` declares the
+/// per-stage `QpStructure`, routing the interior-point KKT solves through
+/// the block-banded LDLᵀ with the stage-interleaved ordering and the
+/// cross-step multiplier warm start). The controller is settled into
+/// receding-horizon steady state before timing, as in deployment, so the
+/// warm-start cache is live. The dense arm stops at horizon 32 — the
+/// O((5N)³) factorization already costs milliseconds there, which is the
+/// point of the comparison — while the banded arms extend to 128 to pin
+/// the near-linear scaling claim in `BENCH_mpc.json`.
+fn bench_horizon_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_derivatives");
+    group.sample_size(10);
+    for (label, horizon, ms) in [
+        ("control_step_h32_dense", 32usize, false),
+        ("control_step_h32_banded", 32, true),
+        ("control_step_h64_banded", 64, true),
+        ("control_step_h128_banded", 128, true),
+    ] {
+        group.bench_function(label, |b| {
+            let params = EvParams::nissan_leaf_like();
+            let preview = bench_preview(horizon.max(64));
+            let mut mpc = MpcController::builder(params.hvac_model(), params.limits())
+                .target(params.target)
+                .horizon(horizon)
+                .recompute_every(1)
+                .battery(params.mpc_battery_model())
+                .accessory_power(params.accessory_power)
+                .multiple_shooting(ms)
+                .build()
+                .expect("valid config");
+            let ctx = bench_context(&preview);
+            for _ in 0..5 {
+                mpc.control(&ctx);
+            }
+            b.iter(|| black_box(mpc.control(black_box(&ctx))))
+        });
+    }
+    group.finish();
+}
+
 /// One whole ECE-15 × MPC evaluation-sweep cell (the granularity
 /// `evaluation_sweep` parallelizes over), analytic vs finite-difference.
 fn bench_sweep_cell(c: &mut Criterion) {
@@ -126,6 +168,7 @@ criterion_group!(
     mpc_derivatives,
     bench_derivative_eval,
     bench_control_step,
+    bench_horizon_scaling,
     bench_sweep_cell
 );
 criterion_main!(mpc_derivatives);

@@ -4,10 +4,10 @@
 use std::cell::{Cell, RefCell};
 
 use ev_hvac::{Hvac, HvacInput, HvacLimits};
-use ev_linalg::Matrix;
+use ev_linalg::{Matrix, SparseMatrix};
 use ev_optim::{
-    NlpProblem, OptimError, QpSubproblemStatus, SqpIterationRecord, SqpObserver, SqpOptions,
-    SqpResult, SqpSolver, SqpStatus,
+    NlpProblem, NoopSqpObserver, OptimError, QpStructure, QpSubproblemStatus, QpWarmStart,
+    SqpIterationRecord, SqpObserver, SqpOptions, SqpResult, SqpSolver, SqpStatus,
 };
 use ev_telemetry::{
     Attribution, Counter, DecisionRecord, FlightRecorder, Histogram, HistogramSpec, PlannedStep,
@@ -122,6 +122,7 @@ struct MpcMetrics {
     errors: Counter,
     qp_elastic: Counter,
     qp_fallback: Counter,
+    qp_regularization_retries: Counter,
 }
 
 impl MpcMetrics {
@@ -148,6 +149,7 @@ impl MpcMetrics {
             errors: registry.counter("mpc_solve_errors_total"),
             qp_elastic: registry.counter("sqp_qp_elastic_total"),
             qp_fallback: registry.counter("sqp_qp_fallback_total"),
+            qp_regularization_retries: registry.counter("sqp_qp_regularization_retry_total"),
         }
     }
 }
@@ -186,6 +188,7 @@ impl SqpObserver for SolveObserver<'_> {
             }
             match record.qp_status {
                 QpSubproblemStatus::Nominal => {}
+                QpSubproblemStatus::RegularizationRetry => m.qp_regularization_retries.inc(),
                 QpSubproblemStatus::Elastic => m.qp_elastic.inc(),
                 QpSubproblemStatus::GradientFallback => m.qp_fallback.inc(),
             }
@@ -210,6 +213,7 @@ pub struct MpcBuilder {
     battery: MpcBatteryModel,
     accessory_power: Watts,
     finite_difference_derivatives: bool,
+    multiple_shooting: bool,
     telemetry: Registry,
     max_sqp_iterations: usize,
     recorder: FlightRecorder,
@@ -281,6 +285,24 @@ impl MpcBuilder {
     #[must_use]
     pub fn finite_difference_derivatives(mut self, fd: bool) -> Self {
         self.finite_difference_derivatives = fd;
+        self
+    }
+
+    /// Switches the solver onto the multiple-shooting transcription: the
+    /// predicted cabin temperature becomes a decision variable per step
+    /// (5 variables/step instead of 4) tied to the trapezoidal dynamics by
+    /// one equality constraint per step. Every constraint row then touches
+    /// at most two adjacent steps, so the NLP declares a
+    /// [`QpStructure`] and the SQP's KKT solves run on the banded
+    /// backend in O(N) instead of the dense path's O(N³). The condensed
+    /// (single-shooting) default keeps the smaller variable count; both
+    /// transcriptions optimize the same trajectory. Ignored when
+    /// [`MpcBuilder::finite_difference_derivatives`] is set — the
+    /// finite-difference fallback exists to exercise the condensed
+    /// derivative path.
+    #[must_use]
+    pub fn multiple_shooting(mut self, ms: bool) -> Self {
+        self.multiple_shooting = ms;
         self
     }
 
@@ -356,9 +378,11 @@ impl MpcBuilder {
             accessory_power: self.accessory_power,
             solver,
             warm_start: None,
+            sqp_warm: QpWarmStart::new(),
             cached_input: None,
             steps_since_solve: 0,
             use_finite_diff: self.finite_difference_derivatives,
+            use_multiple_shooting: self.multiple_shooting && !self.finite_difference_derivatives,
             metrics: MpcMetrics::bind(&self.telemetry),
             diagnostics: MpcDiagnostics::default(),
             recorder: self.recorder,
@@ -410,9 +434,14 @@ pub struct MpcController {
     accessory_power: Watts,
     solver: SqpSolver,
     warm_start: Option<Vec<f64>>,
+    /// Interior-point multiplier cache threaded through consecutive
+    /// multiple-shooting solves (the condensed path stays cold so its
+    /// iterate trajectory remains bit-reproducible run to run).
+    sqp_warm: QpWarmStart,
     cached_input: Option<HvacInput>,
     steps_since_solve: usize,
     use_finite_diff: bool,
+    use_multiple_shooting: bool,
     metrics: MpcMetrics,
     diagnostics: MpcDiagnostics,
     recorder: FlightRecorder,
@@ -428,6 +457,12 @@ const TC_SCALE: f64 = 10.0;
 const MZ_SCALE: f64 = 0.1;
 /// Variables per horizon step.
 const VARS_PER_STEP: usize = 4;
+/// Scale for the cabin-temperature decision variable of the
+/// multiple-shooting transcription: `Tz_pred = 10·z`.
+const TZ_SCALE: f64 = 10.0;
+/// Variables per horizon step in multiple-shooting mode: the condensed
+/// four plus the predicted cabin temperature.
+const MS_VARS_PER_STEP: usize = 5;
 /// Inequality constraints per horizon step.
 const INEQ_PER_STEP: usize = 13;
 /// Comfort funnel: when the cabin starts outside the band (hot or cold
@@ -464,6 +499,7 @@ impl MpcController {
             battery: MpcBatteryModel::default(),
             accessory_power: Watts::new(300.0),
             finite_difference_derivatives: false,
+            multiple_shooting: false,
             telemetry: Registry::disabled(),
             max_sqp_iterations: 25,
             recorder: FlightRecorder::disabled(),
@@ -527,14 +563,29 @@ impl MpcController {
         let p = self.hvac.params();
         let mid_flow = 0.5 * (p.min_flow.value() + p.max_flow.value());
         let tm_guess = 0.3 * ctx.ambient.value() + 0.7 * ctx.state.tz.value();
-        let mut z = Vec::with_capacity(self.horizon * VARS_PER_STEP);
+        let mut z = Vec::with_capacity(self.horizon * self.vars_per_step());
         for _ in 0..self.horizon {
             z.push(tm_guess / TS_SCALE);
             z.push(tm_guess / TC_SCALE);
             z.push(0.7);
             z.push(mid_flow / MZ_SCALE);
+            if self.use_multiple_shooting {
+                // Hold the cabin at its current temperature: near-passive
+                // coils barely move it over the horizon, so the dynamics
+                // equalities start close to satisfied.
+                z.push(ctx.state.tz.value() / TZ_SCALE);
+            }
         }
         z
+    }
+
+    /// Decision variables per horizon step of the active transcription.
+    fn vars_per_step(&self) -> usize {
+        if self.use_multiple_shooting {
+            MS_VARS_PER_STEP
+        } else {
+            VARS_PER_STEP
+        }
     }
 
     /// How many *prediction* blocks of simulated time have elapsed since
@@ -553,8 +604,9 @@ impl MpcController {
     /// (standard MPC warm start): drops the leading steps that have
     /// already been executed, repeats the last step to fill the tail.
     fn shifted_warm_start(&self, prev: &[f64], blocks: usize) -> Vec<f64> {
-        let mut z = prev[blocks * VARS_PER_STEP..].to_vec();
-        let tail = prev[prev.len() - VARS_PER_STEP..].to_vec();
+        let vs = self.vars_per_step();
+        let mut z = prev[blocks * vs..].to_vec();
+        let tail = prev[prev.len() - vs..].to_vec();
         for _ in 0..blocks {
             z.extend_from_slice(&tail);
         }
@@ -578,6 +630,26 @@ impl MpcController {
     #[must_use]
     pub fn nlp(&self, ctx: &ControlContext<'_>) -> impl NlpProblem + '_ {
         self.build_nlp(ctx)
+    }
+
+    /// Runs `f` against the NLP transcription this controller actually
+    /// solves — the multiple-shooting view when configured, the condensed
+    /// single-shooting problem otherwise. The closure shape exists
+    /// because the multiple-shooting view borrows the condensed problem
+    /// it re-transcribes, so it cannot outlive this call. Public so
+    /// harnesses can cross-check the active transcription's sparse
+    /// derivatives and declared QP structure against dense references.
+    pub fn with_active_nlp<R>(
+        &self,
+        ctx: &ControlContext<'_>,
+        f: impl FnOnce(&dyn NlpProblem) -> R,
+    ) -> R {
+        let nlp = self.build_nlp(ctx);
+        if self.use_multiple_shooting {
+            f(&MsMpcNlp::new(&nlp))
+        } else {
+            f(&nlp)
+        }
     }
 
     fn build_nlp(&self, ctx: &ControlContext<'_>) -> MpcNlp<'_> {
@@ -608,9 +680,18 @@ impl MpcController {
     fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         let solve_span = self.metrics.solve_seconds.start_span();
         let recording = self.recorder.is_enabled();
+        // Taken out of `self` for the duration of the solve: the NLP views
+        // below hold a shared borrow of the controller, so the multiplier
+        // cache is moved aside and restored once they are dropped.
+        let mut sqp_warm = std::mem::take(&mut self.sqp_warm);
         let nlp = self.build_nlp(ctx);
+        // The multiple-shooting view borrows the condensed NLP (model
+        // parameters and resampled preview) and adds the per-step cabin
+        // variables + dynamics equalities; the condensed view stays alive
+        // for the flight-recorder capture in either mode.
+        let ms_nlp = self.use_multiple_shooting.then(|| MsMpcNlp::new(&nlp));
         let (z0, provenance) = match &self.warm_start {
-            Some(prev) if prev.len() == self.horizon * VARS_PER_STEP => {
+            Some(prev) if prev.len() == self.horizon * self.vars_per_step() => {
                 let blocks = self.elapsed_blocks(ctx);
                 (
                     self.shifted_warm_start(prev, blocks),
@@ -626,26 +707,59 @@ impl MpcController {
                 metrics: self.metrics.enabled.then_some(&self.metrics),
                 final_active_set: recording.then_some(&mut final_active_set),
             };
-            if self.use_finite_diff {
-                self.solver
-                    .solve_observed(&FiniteDiffMpcNlp(&nlp), &z0, observer)
-            } else {
-                self.solver.solve_observed(&nlp, &z0, observer)
+            match (&ms_nlp, self.use_finite_diff) {
+                (Some(ms), _) => self.solver.solve_cached(ms, &z0, &mut sqp_warm, observer),
+                (None, true) => self
+                    .solver
+                    .solve_observed(&FiniteDiffMpcNlp(&nlp), &z0, observer),
+                (None, false) => self.solver.solve_observed(&nlp, &z0, observer),
             }
-        } else if self.use_finite_diff {
-            self.solver.solve(&FiniteDiffMpcNlp(&nlp), &z0)
         } else {
-            self.solver.solve(&nlp, &z0)
+            match (&ms_nlp, self.use_finite_diff) {
+                (Some(ms), _) => self
+                    .solver
+                    .solve_cached(ms, &z0, &mut sqp_warm, NoopSqpObserver),
+                (None, true) => self.solver.solve(&FiniteDiffMpcNlp(&nlp), &z0),
+                (None, false) => self.solver.solve(&nlp, &z0),
+            }
         };
         // Assemble the flight record while the NLP (and its preview) is
         // still alive; uncached rollouts keep the cache-hit diagnostics
-        // identical to an unrecorded run.
+        // identical to an unrecorded run. In multiple-shooting mode the
+        // record is captured through the condensed lens: the per-step
+        // cabin variables are dropped and the plan re-rolled from the
+        // inputs, so dumps are layout-independent.
         let decision = recording.then(|| {
-            Box::new(self.capture_decision(&nlp, ctx, provenance, &solved, &final_active_set))
+            let condensed;
+            let solved_for_capture = match (&solved, &ms_nlp) {
+                (Ok(result), Some(_)) => {
+                    let mut z4 = Vec::with_capacity(self.horizon * VARS_PER_STEP);
+                    for k in 0..self.horizon {
+                        let o = k * MS_VARS_PER_STEP;
+                        z4.extend_from_slice(&result.z[o..o + VARS_PER_STEP]);
+                    }
+                    condensed = Ok(SqpResult {
+                        z: z4,
+                        ..result.clone()
+                    });
+                    &condensed
+                }
+                _ => &solved,
+            };
+            Box::new(self.capture_decision(
+                &nlp,
+                ctx,
+                provenance,
+                solved_for_capture,
+                &final_active_set,
+            ))
         });
-        let cache_hits = nlp.cache_hits.get();
-        let cache_misses = nlp.cache_misses.get();
+        let cache_hits = nlp.cache_hits.get() + ms_nlp.as_ref().map_or(0, |ms| ms.cache_hits.get());
+        let cache_misses =
+            nlp.cache_misses.get() + ms_nlp.as_ref().map_or(0, |ms| ms.cache_misses.get());
+        drop(ms_nlp);
         drop(nlp);
+        self.sqp_warm = sqp_warm;
         if let Some(decision) = decision {
             self.recorder.record_decision(*decision);
         }
@@ -1208,6 +1322,127 @@ impl MpcNlp<'_> {
         }
         jac
     }
+
+    /// Exact inequality Jacobian emitted directly in CSR form — no dense
+    /// densification pass. Same forward-sensitivity recursion as
+    /// [`MpcNlp::ineq_jacobian_of`], but the cabin sensitivity is kept as
+    /// two per-step coefficient arrays (`∂Tz/∂ts_j`, `∂Tz/∂mz_j`), so
+    /// each coupling row pushes exactly its prefix of nonzero columns in
+    /// ascending order. The nine step-local rows shrink from `n` dense
+    /// entries to 1–3 stored ones.
+    fn ineq_jacobian_sparse_of(&self, z: &[f64], r: &Rollout, out: &mut SparseMatrix) {
+        let n = self.horizon * VARS_PER_STEP;
+        let cabin = self.hvac.cabin();
+        let cp = cabin.air_heat_capacity.value();
+        let hp = self.hvac.params();
+        let ch = cp / hp.heater_efficiency;
+        let cc = cp / hp.cooler_efficiency;
+        let kf = hp.fan_coefficient;
+        let min_coil = hp.min_coil_temp.value();
+
+        out.reset(n);
+        // ∂Tz_{k−1}/∂(ts_j, mz_j) entering the step (prefix 0..k live) and
+        // ∂Tz_k/∂(ts_j, mz_j) after the step's trapezoidal update — both
+        // kept because the C4/C5/C9 rows read the incoming state while the
+        // C2 rows read the outgoing one.
+        let mut stz_ts = vec![0.0; self.horizon];
+        let mut stz_mz = vec![0.0; self.horizon];
+        let mut stz_ts_next = vec![0.0; self.horizon];
+        let mut stz_mz_next = vec![0.0; self.horizon];
+        for k in 0..self.horizon {
+            let (ts, tc, dr, mz) = Self::decode(z, k);
+            let to = self.preview[k].ambient.value();
+            let tz_in = self.tz_in(r, k);
+            let tz_k = r.tz[k];
+            let c_ts = k * VARS_PER_STEP;
+            let c_tc = c_ts + 1;
+            let c_dr = c_ts + 2;
+            let c_mz = c_ts + 3;
+
+            // C1 flow bounds.
+            out.push(c_mz, -MZ_SCALE);
+            out.finish_row();
+            out.push(c_mz, MZ_SCALE);
+            out.finish_row();
+            // C7 recirculation bounds.
+            out.push(c_dr, -1.0);
+            out.finish_row();
+            out.push(c_dr, 1.0);
+            out.finish_row();
+            // C5: constant coil floor, unless the passive mix is colder —
+            // then the row inherits tm's sensitivities
+            // (tm = (1−dr)·To + dr·Tz_{k−1}). Branch matches the value.
+            if r.tm[k] < min_coil {
+                for j in 0..k {
+                    out.push(j * VARS_PER_STEP, dr * stz_ts[j]);
+                    out.push(j * VARS_PER_STEP + 3, dr * stz_mz[j]);
+                }
+                out.push(c_tc, -TC_SCALE);
+                out.push(c_dr, tz_in - to);
+            } else {
+                out.push(c_tc, -TC_SCALE);
+            }
+            out.finish_row();
+            // C4: tc − tm.
+            for j in 0..k {
+                out.push(j * VARS_PER_STEP, -dr * stz_ts[j]);
+                out.push(j * VARS_PER_STEP + 3, -dr * stz_mz[j]);
+            }
+            out.push(c_tc, TC_SCALE);
+            out.push(c_dr, -(tz_in - to));
+            out.finish_row();
+            // C3: tc − ts.
+            out.push(c_ts, -TS_SCALE);
+            out.push(c_tc, TC_SCALE);
+            out.finish_row();
+            // C6: supply cap.
+            out.push(c_ts, TS_SCALE);
+            out.finish_row();
+            // Advance the cabin sensitivity to ∂Tz_k/∂z before the C2
+            // rows (they read the post-step state).
+            let d_tz_d_ts = mz * cp * r.inv_den[k];
+            let d_tz_d_mz = cp * (ts - 0.5 * (tz_in + tz_k)) * r.inv_den[k];
+            for j in 0..k {
+                stz_ts_next[j] = r.alpha[k] * stz_ts[j];
+                stz_mz_next[j] = r.alpha[k] * stz_mz[j];
+            }
+            stz_ts_next[k] = d_tz_d_ts * TS_SCALE;
+            stz_mz_next[k] = d_tz_d_mz * MZ_SCALE;
+            // C2 lower: lo − Tz_k.
+            for j in 0..=k {
+                out.push(j * VARS_PER_STEP, -stz_ts_next[j]);
+                out.push(j * VARS_PER_STEP + 3, -stz_mz_next[j]);
+            }
+            out.finish_row();
+            // C2 upper: Tz_k − hi.
+            for j in 0..=k {
+                out.push(j * VARS_PER_STEP, stz_ts_next[j]);
+                out.push(j * VARS_PER_STEP + 3, stz_mz_next[j]);
+            }
+            out.finish_row();
+            // C8: ph = ch·mz·(ts − tc).
+            out.push(c_ts, ch * mz * TS_SCALE);
+            out.push(c_tc, -ch * mz * TC_SCALE);
+            out.push(c_mz, ch * (ts - tc) * MZ_SCALE);
+            out.finish_row();
+            // C9: pc = cc·mz·(tm − tc) — inherits tm's sensitivities
+            // (via the *incoming* cabin state). Grouping matches the dense
+            // path's `cc·mz·(dr·stz)` so both emit identical bits.
+            for j in 0..k {
+                out.push(j * VARS_PER_STEP, cc * mz * (dr * stz_ts[j]));
+                out.push(j * VARS_PER_STEP + 3, cc * mz * (dr * stz_mz[j]));
+            }
+            out.push(c_tc, -cc * mz * TC_SCALE);
+            out.push(c_dr, cc * mz * (tz_in - to));
+            out.push(c_mz, cc * (r.tm[k] - tc) * MZ_SCALE);
+            out.finish_row();
+            // C10: pf = kf·mz².
+            out.push(c_mz, 2.0 * kf * mz * MZ_SCALE);
+            out.finish_row();
+            std::mem::swap(&mut stz_ts, &mut stz_ts_next);
+            std::mem::swap(&mut stz_mz, &mut stz_mz_next);
+        }
+    }
 }
 
 impl NlpProblem for MpcNlp<'_> {
@@ -1233,6 +1468,11 @@ impl NlpProblem for MpcNlp<'_> {
 
     fn ineq_jacobian(&self, z: &[f64]) -> Matrix {
         self.with_rollout(z, |r| self.ineq_jacobian_of(z, r))
+    }
+
+    fn ineq_jacobian_sparse_into(&self, z: &[f64], out: &mut SparseMatrix) -> bool {
+        self.with_rollout(z, |r| self.ineq_jacobian_sparse_of(z, r, out));
+        true
     }
 
     fn has_exact_derivatives(&self) -> bool {
@@ -1261,6 +1501,383 @@ impl NlpProblem for FiniteDiffMpcNlp<'_, '_> {
 
     fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
         self.0.ineq_constraints(z, out);
+    }
+}
+
+/// The multiple-shooting transcription of the same MPC problem: the
+/// predicted cabin temperature after each step joins the decision vector
+/// (`[ts, tc, dr, mz, tzv]` per step, [`MS_VARS_PER_STEP`]) and the
+/// trapezoidal cabin recursion becomes one equality constraint per step,
+///
+/// ```text
+/// c_k = 10·tzv_k − ((Mc/dt − b/2)·Tz_{k−1} + a_k)/(Mc/dt + b/2) = 0,
+/// ```
+///
+/// with `Tz_{k−1} = 10·tzv_{k−1}` read from the *variables* instead of the
+/// rollout. That single change makes every constraint row local: the
+/// condensed C2 comfort rows — dense over all earlier `ts`/`mz` columns
+/// through the cabin recursion — collapse to one entry on `tzv_k`, and the
+/// only cross-step coupling left is the mix temperature's
+/// `∂tm_k/∂tzv_{k−1}` (C4/C5/C9, the dynamics row). The Jacobians
+/// therefore fit a one-step-lookback block pattern, the NLP declares a
+/// [`QpStructure`], and the SQP factors its KKT systems with the O(N)
+/// banded backend instead of the dense O(N³) path.
+///
+/// Borrows the condensed [`MpcNlp`] for the model parameters and the
+/// resampled preview, but keeps its *own* rollout cache — the two views
+/// are keyed by different iterate layouts.
+struct MsMpcNlp<'a, 'b> {
+    base: &'b MpcNlp<'a>,
+    cache: RefCell<Option<(Vec<f64>, Rollout)>>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+}
+
+impl<'a, 'b> MsMpcNlp<'a, 'b> {
+    fn new(base: &'b MpcNlp<'a>) -> Self {
+        Self {
+            base,
+            cache: RefCell::new(None),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+        }
+    }
+
+    fn decode(z: &[f64], k: usize) -> (f64, f64, f64, f64) {
+        let o = k * MS_VARS_PER_STEP;
+        (
+            z[o] * TS_SCALE,
+            z[o + 1] * TC_SCALE,
+            z[o + 2],
+            z[o + 3] * MZ_SCALE,
+        )
+    }
+
+    /// Cabin temperature entering step `k` — the initial state for the
+    /// first step, the previous step's *decision variable* after that.
+    fn tz_in(&self, z: &[f64], k: usize) -> f64 {
+        if k == 0 {
+            self.base.tz0
+        } else {
+            z[k * MS_VARS_PER_STEP - 1] * TZ_SCALE
+        }
+    }
+
+    /// Forward pass through the model with the cabin state taken from the
+    /// variables. `Rollout::tz` holds the *one-step prediction* of each
+    /// step (the equality constraints' right-hand side), not a recursive
+    /// trajectory; everything else has the same meaning as in
+    /// [`MpcNlp::rollout`].
+    fn rollout(&self, z: &[f64]) -> Rollout {
+        let b = self.base;
+        let cabin = b.hvac.cabin();
+        let cp = cabin.air_heat_capacity.value();
+        let mc = cabin.thermal_capacitance.value();
+        let cx = cabin.shell_conductance.value();
+        let hp = b.hvac.params();
+        let bat = &b.battery;
+        let cn_as = bat.capacity.value() * 3600.0;
+        let v = bat.voltage.value();
+        let in_a = bat.nominal_current.value();
+        let peukert_exp = 0.5 * (bat.peukert - 1.0);
+
+        let mut soc = b.soc0;
+        let n = b.horizon;
+        let mut out = Rollout {
+            tz: Vec::with_capacity(n),
+            soc: Vec::with_capacity(n),
+            powers: Vec::with_capacity(n),
+            tm: Vec::with_capacity(n),
+            alpha: Vec::with_capacity(n),
+            inv_den: Vec::with_capacity(n),
+            dieff_dp: Vec::with_capacity(n),
+        };
+        for k in 0..n {
+            let (ts, tc, dr, mz) = Self::decode(z, k);
+            let tz_in = self.tz_in(z, k);
+            let s = &b.preview[k];
+            let to = s.ambient.value();
+            let tm = (1.0 - dr) * to + dr * tz_in;
+            let ph = cp / hp.heater_efficiency * mz * (ts - tc);
+            let pc = cp / hp.cooler_efficiency * mz * (tm - tc);
+            let pf = hp.fan_coefficient * mz * mz;
+            let a = s.solar.value() + cx * to + mz * cp * ts;
+            let bb = cx + mz * cp;
+            let inv_den = 1.0 / (mc / b.dt + 0.5 * bb);
+            let alpha = (mc / b.dt - 0.5 * bb) * inv_den;
+            let pred = ((mc / b.dt - 0.5 * bb) * tz_in + a) * inv_den;
+            let total = s.motor_power.value() + b.accessory_power + ph + pc + pf;
+            let i = total / v;
+            let u = (i * i + 1.0) / (in_a * in_a);
+            let u_pow = u.powf(peukert_exp);
+            let i_eff = i * u_pow;
+            let dieff_dp = u_pow * (1.0 + 2.0 * peukert_exp * i * i / (i * i + 1.0)) / v;
+            soc -= 100.0 * i_eff * b.dt / cn_as;
+            out.tz.push(pred);
+            out.soc.push(soc);
+            out.powers.push((ph, pc, pf));
+            out.tm.push(tm);
+            out.alpha.push(alpha);
+            out.inv_den.push(inv_den);
+            out.dieff_dp.push(dieff_dp);
+        }
+        out
+    }
+
+    fn with_rollout<T>(&self, z: &[f64], f: impl FnOnce(&Rollout) -> T) -> T {
+        let mut cache = self.cache.borrow_mut();
+        let hit = matches!(&*cache, Some((zc, _)) if zc.as_slice() == z);
+        if hit {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+        } else {
+            self.cache_misses.set(self.cache_misses.get() + 1);
+            *cache = Some((z.to_vec(), self.rollout(z)));
+        }
+        let (_, r) = cache.as_ref().expect("cache filled above");
+        f(r)
+    }
+}
+
+impl NlpProblem for MsMpcNlp<'_, '_> {
+    fn num_vars(&self) -> usize {
+        self.base.horizon * MS_VARS_PER_STEP
+    }
+
+    /// Same cost as the condensed objective, with the comfort term read
+    /// from the cabin *variables* — at any point satisfying the dynamics
+    /// equalities the two transcriptions agree exactly.
+    fn objective(&self, z: &[f64]) -> f64 {
+        self.with_rollout(z, |r| {
+            let b = self.base;
+            let w = &b.weights;
+            let mut cost = 0.0;
+            for k in 0..b.horizon {
+                let (ph, pc, pf) = r.powers[k];
+                cost += w.w1 * (ph + pc + pf) / 1000.0;
+                let sdev = r.soc[k] - b.soc_avg_ref;
+                cost += w.w2 * sdev * sdev;
+                let terr = z[k * MS_VARS_PER_STEP + 4] * TZ_SCALE - b.target.value();
+                cost += w.w3 * terr * terr;
+            }
+            cost
+        })
+    }
+
+    /// Exact gradient. Without the cabin recursion in the objective the
+    /// adjoint `λ` of the condensed sweep disappears; only the SoC suffix
+    /// sum `μ` remains, plus one forward-coupling term on each `tzv_k`:
+    /// the next step's cooler reads `tzv_k` through the recirculated mix.
+    fn gradient(&self, z: &[f64], grad: &mut [f64]) {
+        self.with_rollout(z, |r| {
+            let b = self.base;
+            let cabin = b.hvac.cabin();
+            let cp = cabin.air_heat_capacity.value();
+            let hp = b.hvac.params();
+            let ch = cp / hp.heater_efficiency;
+            let cc = cp / hp.cooler_efficiency;
+            let kf = hp.fan_coefficient;
+            let w = &b.weights;
+            let w1p = w.w1 / 1000.0;
+            let s_c = 100.0 * b.dt / (b.battery.capacity.value() * 3600.0);
+
+            let mut mu = 0.0; // ∂f/∂SoC_k flowing in from steps > k
+            let mut c_p_next = 0.0; // c_p of step k+1 (0 past the horizon)
+            for k in (0..b.horizon).rev() {
+                let (ts, tc, _dr, mz) = Self::decode(z, k);
+                let to = b.preview[k].ambient.value();
+                let tz_in = self.tz_in(z, k);
+                let tm = r.tm[k];
+                let mu_k = mu + 2.0 * w.w2 * (r.soc[k] - b.soc_avg_ref);
+                let c_p = w1p - mu_k * s_c * r.dieff_dp[k];
+                let o = k * MS_VARS_PER_STEP;
+                grad[o] = c_p * ch * mz * TS_SCALE;
+                grad[o + 1] = c_p * (-ch * mz - cc * mz) * TC_SCALE;
+                grad[o + 2] = c_p * cc * mz * (tz_in - to);
+                grad[o + 3] = c_p * (ch * (ts - tc) + cc * (tm - tc) + 2.0 * kf * mz) * MZ_SCALE;
+                let terr = z[o + 4] * TZ_SCALE - b.target.value();
+                let (_, _, dr_next, mz_next) = if k + 1 < b.horizon {
+                    Self::decode(z, k + 1)
+                } else {
+                    (0.0, 0.0, 0.0, 0.0)
+                };
+                grad[o + 4] = (2.0 * w.w3 * terr + c_p_next * cc * mz_next * dr_next) * TZ_SCALE;
+                mu = mu_k;
+                c_p_next = c_p;
+            }
+        });
+    }
+
+    fn num_eq(&self) -> usize {
+        self.base.horizon
+    }
+
+    /// The trapezoidal cabin dynamics as defects, in kelvins:
+    /// `c_k = 10·tzv_k − pred_k`.
+    fn eq_constraints(&self, z: &[f64], out: &mut [f64]) {
+        self.with_rollout(z, |r| {
+            for k in 0..self.base.horizon {
+                out[k] = z[k * MS_VARS_PER_STEP + 4] * TZ_SCALE - r.tz[k];
+            }
+        });
+    }
+
+    /// Exact equality Jacobian in CSR form: row `k` touches
+    /// `tzv_{k−1}` (the incoming state), `ts_k`/`mz_k` (through the
+    /// prediction) and `tzv_k` — four entries, one-step lookback.
+    fn eq_jacobian_sparse_into(&self, z: &[f64], out: &mut SparseMatrix) -> bool {
+        self.with_rollout(z, |r| {
+            let b = self.base;
+            let cp = b.hvac.cabin().air_heat_capacity.value();
+            out.reset(b.horizon * MS_VARS_PER_STEP);
+            for k in 0..b.horizon {
+                let (ts, _, _, mz) = Self::decode(z, k);
+                let tz_in = self.tz_in(z, k);
+                let o = k * MS_VARS_PER_STEP;
+                let d_tz_d_ts = mz * cp * r.inv_den[k];
+                let d_tz_d_mz = cp * (ts - 0.5 * (tz_in + r.tz[k])) * r.inv_den[k];
+                if k > 0 {
+                    out.push(o - 1, -r.alpha[k] * TZ_SCALE);
+                }
+                out.push(o, -d_tz_d_ts * TS_SCALE);
+                out.push(o + 3, -d_tz_d_mz * MZ_SCALE);
+                out.push(o + 4, TZ_SCALE);
+                out.finish_row();
+            }
+        });
+        true
+    }
+
+    fn num_ineq(&self) -> usize {
+        self.base.horizon * INEQ_PER_STEP
+    }
+
+    /// Same 13 rows per step as the condensed transcription (same order,
+    /// same [`CONSTRAINT_ROW_LABELS`]), with the comfort rows reading the
+    /// cabin *variable* — the dynamics equalities pin it to the model.
+    fn ineq_constraints(&self, z: &[f64], out: &mut [f64]) {
+        self.with_rollout(z, |r| {
+            let b = self.base;
+            let hp = b.hvac.params();
+            let comfort_lo = b.limits.comfort_min.value();
+            let comfort_hi = b.limits.comfort_max.value();
+            for k in 0..b.horizon {
+                let pull = PULL_RATE_K_PER_S * b.dt * (k + 1) as f64;
+                let hi_k = comfort_hi.max(b.tz0 + SOAK_SLACK_K - pull);
+                let lo_k = comfort_lo.min(b.tz0 - SOAK_SLACK_K + pull);
+                let (ts, tc, dr, mz) = Self::decode(z, k);
+                let tzv = z[k * MS_VARS_PER_STEP + 4] * TZ_SCALE;
+                let o = k * INEQ_PER_STEP;
+                let (ph, pc, pf) = r.powers[k];
+                let tc_floor = hp.min_coil_temp.value().min(r.tm[k]);
+                out[o] = hp.min_flow.value() - mz;
+                out[o + 1] = mz - hp.max_flow.value();
+                out[o + 2] = -dr;
+                out[o + 3] = dr - hp.max_recirculation;
+                out[o + 4] = tc_floor - tc;
+                out[o + 5] = tc - r.tm[k];
+                out[o + 6] = tc - ts;
+                out[o + 7] = ts - hp.max_supply_temp.value();
+                out[o + 8] = lo_k - tzv;
+                out[o + 9] = tzv - hi_k;
+                out[o + 10] = ph - hp.max_heating_power.value();
+                out[o + 11] = pc - hp.max_cooling_power.value();
+                out[o + 12] = pf - hp.max_fan_power.value();
+            }
+        });
+    }
+
+    /// Exact inequality Jacobian in CSR form. Every row is step-local
+    /// except the mix-temperature path `∂tm_k/∂tzv_{k−1} = dr_k·10`
+    /// (C4, the C5 cold branch, C9), which reaches exactly one block back.
+    fn ineq_jacobian_sparse_into(&self, z: &[f64], out: &mut SparseMatrix) -> bool {
+        self.with_rollout(z, |r| {
+            let b = self.base;
+            let cp = b.hvac.cabin().air_heat_capacity.value();
+            let hp = b.hvac.params();
+            let ch = cp / hp.heater_efficiency;
+            let cc = cp / hp.cooler_efficiency;
+            let kf = hp.fan_coefficient;
+            let min_coil = hp.min_coil_temp.value();
+            out.reset(b.horizon * MS_VARS_PER_STEP);
+            for k in 0..b.horizon {
+                let (ts, tc, dr, mz) = Self::decode(z, k);
+                let to = b.preview[k].ambient.value();
+                let tz_in = self.tz_in(z, k);
+                let o = k * MS_VARS_PER_STEP;
+                let (c_ts, c_tc, c_dr, c_mz, c_tzv) = (o, o + 1, o + 2, o + 3, o + 4);
+                // ∂tm/∂tzv_{k−1} — the only cross-step coupling.
+                let tm_prev = dr * TZ_SCALE;
+                // C1 flow bounds.
+                out.push(c_mz, -MZ_SCALE);
+                out.finish_row();
+                out.push(c_mz, MZ_SCALE);
+                out.finish_row();
+                // C7 recirculation bounds.
+                out.push(c_dr, -1.0);
+                out.finish_row();
+                out.push(c_dr, 1.0);
+                out.finish_row();
+                // C5: constant coil floor unless the passive mix is colder.
+                if r.tm[k] < min_coil {
+                    if k > 0 {
+                        out.push(o - 1, tm_prev);
+                    }
+                    out.push(c_tc, -TC_SCALE);
+                    out.push(c_dr, tz_in - to);
+                } else {
+                    out.push(c_tc, -TC_SCALE);
+                }
+                out.finish_row();
+                // C4: tc − tm.
+                if k > 0 {
+                    out.push(o - 1, -tm_prev);
+                }
+                out.push(c_tc, TC_SCALE);
+                out.push(c_dr, -(tz_in - to));
+                out.finish_row();
+                // C3: tc − ts.
+                out.push(c_ts, -TS_SCALE);
+                out.push(c_tc, TC_SCALE);
+                out.finish_row();
+                // C6: supply cap.
+                out.push(c_ts, TS_SCALE);
+                out.finish_row();
+                // C2 comfort funnel on the cabin variable.
+                out.push(c_tzv, -TZ_SCALE);
+                out.finish_row();
+                out.push(c_tzv, TZ_SCALE);
+                out.finish_row();
+                // C8: ph = ch·mz·(ts − tc).
+                out.push(c_ts, ch * mz * TS_SCALE);
+                out.push(c_tc, -ch * mz * TC_SCALE);
+                out.push(c_mz, ch * (ts - tc) * MZ_SCALE);
+                out.finish_row();
+                // C9: pc = cc·mz·(tm − tc).
+                if k > 0 {
+                    out.push(o - 1, cc * mz * tm_prev);
+                }
+                out.push(c_tc, -cc * mz * TC_SCALE);
+                out.push(c_dr, cc * mz * (tz_in - to));
+                out.push(c_mz, cc * (r.tm[k] - tc) * MZ_SCALE);
+                out.finish_row();
+                // C10: pf = kf·mz².
+                out.push(c_mz, 2.0 * kf * mz * MZ_SCALE);
+                out.finish_row();
+            }
+        });
+        true
+    }
+
+    fn qp_structure(&self) -> Option<QpStructure> {
+        Some(QpStructure {
+            vars_per_block: MS_VARS_PER_STEP,
+            eq_per_block: 1,
+            lookback: 1,
+        })
+    }
+
+    fn has_exact_derivatives(&self) -> bool {
+        true
     }
 }
 
@@ -1527,6 +2144,251 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn condensed_sparse_jacobian_matches_dense() {
+        // Hot case: constant coil floor; cold case: tm-tracking C5 branch.
+        for (tz0, to, dr) in [(27.0, 35.0, 0.6), (18.0, -15.0, 0.1)] {
+            let c = mpc();
+            let preview = preview_const(9_000.0, to, 24);
+            let context = ctx(tz0, to, &preview);
+            let nlp = c.build_nlp(&context);
+            let mut z = c.cold_start(&context);
+            for (i, zi) in z.iter_mut().enumerate() {
+                *zi += 0.008 * (i as f64 % 5.0 - 2.0);
+            }
+            for k in 0..c.horizon() {
+                z[k * VARS_PER_STEP + 2] = dr;
+            }
+            let r = nlp.rollout(&z);
+            let dense = nlp.ineq_jacobian_of(&z, &r);
+            let mut sparse = SparseMatrix::new();
+            nlp.ineq_jacobian_sparse_of(&z, &r, &mut sparse);
+            assert_eq!(sparse.rows(), dense.rows());
+            let sd = sparse.to_dense();
+            for row in 0..dense.rows() {
+                for col in 0..dense.cols() {
+                    let (a, b) = (dense.get(row, col), sd.get(row, col));
+                    assert!(
+                        a.to_bits() == b.to_bits() || (a == 0.0 && b == 0.0),
+                        "row {row} col {col} (to {to}): dense {a:e} vs sparse {b:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds a multiple-shooting controller plus a perturbed iterate in
+    /// the 5-per-step layout for the MS derivative tests.
+    fn ms_fixture(
+        tz0: f64,
+        to: f64,
+        dr: f64,
+        pe_w: f64,
+    ) -> (MpcController, Vec<PreviewSample>, Vec<f64>) {
+        let c = MpcController::builder(
+            Hvac::new(CabinParams::default(), HvacParams::default()),
+            HvacLimits::default(),
+        )
+        .horizon(6)
+        .prediction_dt(Seconds::new(4.0))
+        .recompute_every(1)
+        .multiple_shooting(true)
+        .build()
+        .expect("valid config");
+        let preview = preview_const(pe_w, to, 24);
+        let context = ctx(tz0, to, &preview);
+        let mut z = c.cold_start(&context);
+        assert_eq!(z.len(), c.horizon() * MS_VARS_PER_STEP);
+        for (i, zi) in z.iter_mut().enumerate() {
+            *zi += 0.008 * (i as f64 % 5.0 - 2.0);
+        }
+        for k in 0..c.horizon() {
+            z[k * MS_VARS_PER_STEP + 2] = dr;
+        }
+        (c, preview, z)
+    }
+
+    #[test]
+    fn ms_gradient_matches_central_difference() {
+        let (c, preview, z) = ms_fixture(27.0, 33.0, 0.6, 12_000.0);
+        let context = ctx(27.0, 33.0, &preview);
+        let nlp = c.build_nlp(&context);
+        let ms = MsMpcNlp::new(&nlp);
+        let mut g = vec![0.0; ms.num_vars()];
+        ms.gradient(&z, &mut g);
+        let fd = ev_optim::finite_diff::gradient(&|p: &[f64]| ms.objective(p), &z);
+        for i in 0..g.len() {
+            let scale = fd[i].abs().max(1.0);
+            assert!(
+                ((g[i] - fd[i]) / scale).abs() < 1e-5,
+                "ms grad[{i}]: analytic {} vs fd {}",
+                g[i],
+                fd[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ms_sparse_jacobians_match_central_difference() {
+        // Hot case: constant coil floor; cold case with low recirculation
+        // drives the mix below the floor (tm-tracking C5 branch).
+        for (tz0, to, dr) in [(27.0, 35.0, 0.6), (18.0, -15.0, 0.1)] {
+            let (c, preview, z) = ms_fixture(tz0, to, dr, 9_000.0);
+            let context = ctx(tz0, to, &preview);
+            let nlp = c.build_nlp(&context);
+            let ms = MsMpcNlp::new(&nlp);
+
+            let mut eq_sparse = SparseMatrix::new();
+            assert!(ms.eq_jacobian_sparse_into(&z, &mut eq_sparse));
+            let eq = eq_sparse.to_dense();
+            let fd_eq = ev_optim::finite_diff::jacobian(
+                &|p: &[f64], out: &mut [f64]| ms.eq_constraints(p, out),
+                &z,
+                ms.num_eq(),
+            );
+            for (r, fd_row) in fd_eq.iter().enumerate() {
+                for (cidx, &f) in fd_row.iter().enumerate() {
+                    let a = eq.get(r, cidx);
+                    let scale = f.abs().max(1.0);
+                    assert!(
+                        ((a - f) / scale).abs() < 1e-5,
+                        "eq row {r} col {cidx} (to {to}): analytic {a} vs fd {f}"
+                    );
+                }
+            }
+
+            let mut in_sparse = SparseMatrix::new();
+            assert!(ms.ineq_jacobian_sparse_into(&z, &mut in_sparse));
+            let jin = in_sparse.to_dense();
+            let fd_in = ev_optim::finite_diff::jacobian(
+                &|p: &[f64], out: &mut [f64]| ms.ineq_constraints(p, out),
+                &z,
+                ms.num_ineq(),
+            );
+            for (r, fd_row) in fd_in.iter().enumerate() {
+                for (cidx, &f) in fd_row.iter().enumerate() {
+                    let a = jin.get(r, cidx);
+                    let scale = f.abs().max(1.0);
+                    assert!(
+                        ((a - f) / scale).abs() < 1e-5,
+                        "ineq row {r} col {cidx} (to {to}): analytic {a} vs fd {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ms_jacobian_rows_fit_declared_structure() {
+        let (c, preview, z) = ms_fixture(18.0, -15.0, 0.1, 9_000.0);
+        let context = ctx(18.0, -15.0, &preview);
+        let nlp = c.build_nlp(&context);
+        let ms = MsMpcNlp::new(&nlp);
+        let st = ms.qp_structure().expect("MS declares a structure");
+        assert_eq!(
+            (st.vars_per_block, st.eq_per_block, st.lookback),
+            (MS_VARS_PER_STEP, 1, 1)
+        );
+        let mut jac = SparseMatrix::new();
+        assert!(ms.ineq_jacobian_sparse_into(&z, &mut jac));
+        for row in 0..jac.rows() {
+            let (cols, _) = jac.row(row);
+            if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+                assert!(
+                    last / st.vars_per_block <= first / st.vars_per_block + st.lookback,
+                    "ineq row {row} spans more than {} blocks",
+                    st.lookback + 1
+                );
+            }
+        }
+        let mut eq = SparseMatrix::new();
+        assert!(ms.eq_jacobian_sparse_into(&z, &mut eq));
+        for row in 0..eq.rows() {
+            let (cols, _) = eq.row(row);
+            for &cidx in cols {
+                let kc = cidx / st.vars_per_block;
+                assert!(
+                    kc <= row && kc + st.lookback >= row,
+                    "eq row {row} touches block {kc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ms_closed_loop_keeps_comfort_zone() {
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mut c = MpcController::builder(hvac.clone(), HvacLimits::default())
+            .horizon(6)
+            .recompute_every(4)
+            .multiple_shooting(true)
+            .build()
+            .unwrap();
+        let preview = preview_const(8_000.0, 35.0, 40);
+        let mut state = HvacState::new(Celsius::new(26.9));
+        for _ in 0..400 {
+            let context = ControlContext {
+                state,
+                ..ctx(state.tz.value(), 35.0, &preview)
+            };
+            let input = c.control(&context);
+            state = hvac
+                .step(
+                    state,
+                    &input,
+                    Celsius::new(35.0),
+                    Watts::new(400.0),
+                    Seconds::new(1.0),
+                )
+                .0;
+        }
+        let tz = state.tz.value();
+        assert!((21.0..=27.0).contains(&tz), "tz {tz} left comfort zone");
+        assert!((tz - 24.0).abs() < 3.0);
+        let d = c.diagnostics();
+        assert!(d.converged > 0, "{d:?}");
+        assert_eq!(d.solver_errors, 0, "{d:?}");
+    }
+
+    #[test]
+    fn ms_solution_cost_matches_condensed() {
+        // Both transcriptions optimize the same trajectory: extracting the
+        // HVAC inputs from the multiple-shooting solution and pricing them
+        // with the condensed objective must land within a few percent of
+        // the condensed solution's cost.
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mk = |ms| {
+            MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(6)
+                .recompute_every(1)
+                .multiple_shooting(ms)
+                .build()
+                .unwrap()
+        };
+        let preview = preview_const(10_000.0, 35.0, 24);
+        let context = ctx(26.5, 35.0, &preview);
+        let mut dense = mk(false);
+        let mut banded = mk(true);
+        dense.control(&context);
+        banded.control(&context);
+        let z_dense = dense.warm_start.clone().expect("condensed solve succeeded");
+        let z_ms = banded.warm_start.clone().expect("ms solve succeeded");
+        assert_eq!(z_ms.len(), banded.horizon() * MS_VARS_PER_STEP);
+        let mut z4 = Vec::with_capacity(banded.horizon() * VARS_PER_STEP);
+        for k in 0..banded.horizon() {
+            let o = k * MS_VARS_PER_STEP;
+            z4.extend_from_slice(&z_ms[o..o + VARS_PER_STEP]);
+        }
+        let nlp = dense.build_nlp(&context);
+        let f_dense = nlp.objective(&z_dense);
+        let f_ms = nlp.objective(&z4);
+        let scale = f_dense.abs().max(1.0);
+        assert!(
+            ((f_ms - f_dense) / scale).abs() < 0.05,
+            "condensed cost {f_dense} vs ms cost {f_ms}"
+        );
     }
 
     #[test]

@@ -44,41 +44,27 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is not
     /// strictly positive.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
-        if !a.is_square() {
-            return Err(LinalgError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
+        let mut l = Matrix::zeros(a.rows().max(1), a.cols().max(1));
+        factor_into(a, &mut l)?;
+        Ok(Self { l })
+    }
+
+    /// Refactors a matrix of the same dimension in place, reusing the
+    /// existing factor storage (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cholesky::factor`], plus [`LinalgError::DimensionMismatch`]
+    /// if `a` does not match the current [`Cholesky::dim`]. On error the
+    /// factor contents are unspecified; discard this instance.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<(), LinalgError> {
+        if a.shape() != self.l.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.l.shape(),
+                actual: a.shape(),
             });
         }
-        let n = a.rows();
-        if n == 0 {
-            return Err(LinalgError::Empty);
-        }
-        debug_assert!(
-            a.is_symmetric(1e-8 * a.norm_max().max(1.0)),
-            "Cholesky::factor called with an asymmetric matrix"
-        );
-        let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut d = a.get(j, j);
-            for k in 0..j {
-                let ljk = l.get(j, k);
-                d -= ljk * ljk;
-            }
-            if d <= 0.0 || !d.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite);
-            }
-            let dj = d.sqrt();
-            l.set(j, j, dj);
-            for i in (j + 1)..n {
-                let mut s = a.get(i, j);
-                for k in 0..j {
-                    s -= l.get(i, k) * l.get(j, k);
-                }
-                l.set(i, j, s / dj);
-            }
-        }
-        Ok(Self { l })
+        factor_into(a, &mut self.l)
     }
 
     /// Dimension of the factored matrix.
@@ -101,6 +87,17 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` in place (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -109,23 +106,22 @@ impl Cholesky {
             });
         }
         // Forward: L·y = b.
-        let mut x = b.to_vec();
         for r in 0..n {
-            let mut sum = x[r];
+            let mut sum = b[r];
             for c in 0..r {
-                sum -= self.l.get(r, c) * x[c];
+                sum -= self.l.get(r, c) * b[c];
             }
-            x[r] = sum / self.l.get(r, r);
+            b[r] = sum / self.l.get(r, r);
         }
         // Backward: Lᵀ·x = y.
         for r in (0..n).rev() {
-            let mut sum = x[r];
+            let mut sum = b[r];
             for c in (r + 1)..n {
-                sum -= self.l.get(c, r) * x[c];
+                sum -= self.l.get(c, r) * b[c];
             }
-            x[r] = sum / self.l.get(r, r);
+            b[r] = sum / self.l.get(r, r);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factored matrix (product of squared pivots).
@@ -138,6 +134,48 @@ impl Cholesky {
         }
         d
     }
+}
+
+/// Writes the lower-triangular factor of `a` into `l` (same shape).
+fn factor_into(a: &Matrix, l: &mut Matrix) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    debug_assert!(
+        a.is_symmetric(1e-8 * a.norm_max().max(1.0)),
+        "Cholesky::factor called with an asymmetric matrix"
+    );
+    for j in 0..n {
+        // Zero the (unused) upper triangle so reused storage stays clean.
+        for i in 0..j {
+            l.set(i, j, 0.0);
+        }
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let ljk = l.get(j, k);
+            d -= ljk * ljk;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let dj = d.sqrt();
+        l.set(j, j, dj);
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / dj);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -10,6 +10,13 @@
 //! few hundred variables at most, so straightforward `O(n³)` dense
 //! algorithms are the right tool: simple, cache-friendly and easy to verify.
 //!
+//! For horizon-structured MPC systems the crate additionally provides a CSR
+//! [`SparseMatrix`] for constraint Jacobians, a symmetric [`BandedMatrix`]
+//! with an `O(n·w²)` LDLᵀ factorization ([`BandedCholesky`]) for the
+//! block-banded KKT matrices those Jacobians induce, and a pluggable
+//! [`Factorization`] trait making the LU / Cholesky / banded backends
+//! interchangeable.
+//!
 //! [`ev-optim`]: https://docs.rs/ev-optim
 //!
 //! # Examples
@@ -33,15 +40,21 @@
 // chains in the dense numeric kernels below.
 #![allow(clippy::needless_range_loop)]
 
+mod banded;
 mod cholesky;
 mod error;
+mod factor;
 mod lu;
 mod matrix;
 mod qr;
+mod sparse;
 pub mod vecops;
 
+pub use banded::{BandedCholesky, BandedMatrix};
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
+pub use factor::{BandedFactor, CholeskyFactor, Factorization, LuFactor};
 pub use lu::{solve, Lu};
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use sparse::SparseMatrix;

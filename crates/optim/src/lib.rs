@@ -56,5 +56,8 @@ pub use nlp::NlpProblem;
 pub use observer::{
     NoopSqpObserver, QpSubproblemStatus, SqpIterationRecord, SqpObserver, SqpTraceObserver,
 };
-pub use qp::{QpProblem, QpSolution, QpSolver, QpSolverOptions, QpView};
+pub use qp::{
+    QpKktBackend, QpProblem, QpSolution, QpSolver, QpSolverOptions, QpStructure, QpView,
+    QpWarmStart,
+};
 pub use sqp::{SqpOptions, SqpResult, SqpSolver, SqpStatus};

@@ -1,8 +1,8 @@
 //! The nonlinear-program interface consumed by the SQP solver.
 
-use ev_linalg::Matrix;
+use ev_linalg::{Matrix, SparseMatrix};
 
-use crate::finite_diff;
+use crate::{finite_diff, QpStructure};
 
 /// A smooth nonlinear program
 ///
@@ -113,6 +113,30 @@ pub trait NlpProblem {
             self.num_ineq(),
             self.num_vars(),
         )
+    }
+
+    /// Fills `out` with the inequality Jacobian in CSR form and returns
+    /// `true`, or returns `false` (the default) when this problem only
+    /// produces dense Jacobians. Implementations must reuse `out`'s
+    /// storage ([`SparseMatrix::reset`]) so the SQP loop stays
+    /// allocation-free after warm-up.
+    fn ineq_jacobian_sparse_into(&self, _z: &[f64], _out: &mut SparseMatrix) -> bool {
+        false
+    }
+
+    /// Fills `out` with the equality Jacobian in CSR form and returns
+    /// `true`, or returns `false` (the default) when this problem only
+    /// produces dense Jacobians.
+    fn eq_jacobian_sparse_into(&self, _z: &[f64], _out: &mut SparseMatrix) -> bool {
+        false
+    }
+
+    /// The block-banded horizon structure of this problem's QP
+    /// subproblems, if it has one (see [`QpStructure`]). Declaring a
+    /// structure routes the SQP's KKT solves to the banded backend;
+    /// `None` (the default) keeps the dense path.
+    fn qp_structure(&self) -> Option<QpStructure> {
+        None
     }
 }
 

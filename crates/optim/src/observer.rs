@@ -20,8 +20,11 @@
 pub enum QpSubproblemStatus {
     /// The nominal borrowed-view QP solved directly.
     Nominal,
-    /// The nominal QP failed and the elastic (slack-penalized)
-    /// reformulation was solved instead.
+    /// The nominal QP hit a singular/ill-conditioned KKT system and was
+    /// re-solved successfully with boosted Hessian regularization.
+    RegularizationRetry,
+    /// The nominal QP failed (even after the regularization retry) and
+    /// the elastic (slack-penalized) reformulation was solved instead.
     Elastic,
     /// Both QP paths failed numerically; a scaled gradient-descent
     /// fallback step was taken.

@@ -1,9 +1,109 @@
-//! Dense convex quadratic programming by an infeasible-start primal-dual
+//! Convex quadratic programming by an infeasible-start primal-dual
 //! interior-point method (Mehrotra predictor–corrector).
+//!
+//! The reduced KKT system `[H + CᵀWC, A_eqᵀ; A_eq, −δI]` is assembled from
+//! either dense or sparse (CSR) constraint Jacobians and factored by one of
+//! three interchangeable backends: dense LU (the indefinite-safe oracle),
+//! dense Cholesky (when there are no equality constraints the reduced
+//! matrix is SPD), or — when the problem declares its horizon structure via
+//! [`QpStructure`] — a banded LDLᵀ under a stage-interleaved permutation,
+//! making each interior-point iteration `O(N)` in the horizon length.
 
-use ev_linalg::{vecops, Lu, Matrix};
+use ev_linalg::{vecops, BandedCholesky, BandedMatrix, Cholesky, Lu, Matrix, SparseMatrix};
 
 use crate::OptimError;
+
+/// Declares the block-banded horizon structure of a QP.
+///
+/// Decision variables are grouped into consecutive stage blocks of
+/// [`vars_per_block`](Self::vars_per_block); equality constraints into
+/// consecutive blocks of [`eq_per_block`](Self::eq_per_block), one block
+/// per stage. A constraint row (equality or inequality) may reference
+/// variables of its own stage and of at most [`lookback`](Self::lookback)
+/// preceding stages.
+///
+/// Under the stage-interleaved unknown ordering `[z₀, ν₀, z₁, ν₁, …]` the
+/// reduced KKT matrix then has bandwidth
+/// `(lookback + 1)·(vars_per_block + eq_per_block) − 1`, which the solver
+/// factors with [`ev_linalg::BandedCholesky`] in time linear in the number
+/// of stages. Structure is advisory: if the declared shape does not match
+/// the supplied (sparse) Jacobians the solver silently falls back to the
+/// dense path, which remains the correctness oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QpStructure {
+    /// Decision variables per stage block.
+    pub vars_per_block: usize,
+    /// Equality constraints per stage block (zero for purely
+    /// inequality-constrained stages).
+    pub eq_per_block: usize,
+    /// How many preceding stage blocks a constraint row may reference.
+    pub lookback: usize,
+}
+
+impl QpStructure {
+    /// Bandwidth of the stage-interleaved reduced KKT matrix.
+    #[must_use]
+    pub fn bandwidth(&self) -> usize {
+        (self.lookback + 1) * (self.vars_per_block + self.eq_per_block) - 1
+    }
+}
+
+/// Which factorization backend produced a [`QpSolution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpKktBackend {
+    /// Dense LU with partial pivoting (fallback and correctness oracle).
+    DenseLu,
+    /// Dense Cholesky on the SPD reduced system (no equality constraints).
+    DenseCholesky,
+    /// Banded LDLᵀ under the stage-interleaved permutation declared by
+    /// [`QpStructure`].
+    Banded,
+}
+
+/// A constraint Jacobian borrowed in either dense or CSR form.
+#[derive(Debug, Clone, Copy)]
+enum ConstraintRef<'a> {
+    Dense(&'a Matrix),
+    Sparse(&'a SparseMatrix),
+}
+
+impl ConstraintRef<'_> {
+    fn norm_max(&self) -> f64 {
+        match self {
+            Self::Dense(m) => m.norm_max(),
+            Self::Sparse(s) => s.norm_max(),
+        }
+    }
+
+    /// `out = A·x` without allocating.
+    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        match self {
+            Self::Dense(m) => {
+                for r in 0..m.rows() {
+                    out[r] = vecops::dot(m.row(r), x);
+                }
+            }
+            Self::Sparse(s) => s.matvec(x, out).expect("dimensions checked at view build"),
+        }
+    }
+
+    /// `out += coeff · row_i` (length `cols`).
+    fn add_scaled_row(&self, i: usize, coeff: f64, out: &mut [f64]) {
+        match self {
+            Self::Dense(m) => {
+                for (o, v) in out.iter_mut().zip(m.row(i)) {
+                    *o += coeff * v;
+                }
+            }
+            Self::Sparse(s) => {
+                let (cols, vals) = s.row(i);
+                for (c, v) in cols.iter().zip(vals) {
+                    out[*c] += coeff * v;
+                }
+            }
+        }
+    }
+}
 
 /// A convex quadratic program
 ///
@@ -39,6 +139,7 @@ pub struct QpProblem {
     b_eq: Vec<f64>,
     a_in: Option<Matrix>,
     b_in: Vec<f64>,
+    structure: Option<QpStructure>,
 }
 
 impl QpProblem {
@@ -69,7 +170,19 @@ impl QpProblem {
             b_eq: Vec::new(),
             a_in: None,
             b_in: Vec::new(),
+            structure: None,
         })
+    }
+
+    /// Declares the block-banded horizon structure of this problem.
+    ///
+    /// Advisory metadata: the solver uses its banded backend when the
+    /// structure matches the supplied Jacobians and falls back to the
+    /// dense path otherwise.
+    #[must_use]
+    pub fn with_structure(mut self, structure: QpStructure) -> Self {
+        self.structure = Some(structure);
+        self
     }
 
     /// Adds the equality constraints `a_eq · z = b_eq`.
@@ -154,6 +267,9 @@ impl QpProblem {
             b_eq: &self.b_eq,
             a_in: self.a_in.as_ref(),
             b_in: &self.b_in,
+            a_eq_sparse: None,
+            a_in_sparse: None,
+            structure: self.structure,
         }
     }
 }
@@ -192,6 +308,9 @@ pub struct QpView<'a> {
     b_eq: &'a [f64],
     a_in: Option<&'a Matrix>,
     b_in: &'a [f64],
+    a_eq_sparse: Option<&'a SparseMatrix>,
+    a_in_sparse: Option<&'a SparseMatrix>,
+    structure: Option<QpStructure>,
 }
 
 impl<'a> QpView<'a> {
@@ -220,6 +339,9 @@ impl<'a> QpView<'a> {
             b_eq: &[],
             a_in: None,
             b_in: &[],
+            a_eq_sparse: None,
+            a_in_sparse: None,
+            structure: None,
         })
     }
 
@@ -271,6 +393,74 @@ impl<'a> QpView<'a> {
         Ok(self)
     }
 
+    /// Adds the equality constraints `a_eq · z = b_eq` from a CSR
+    /// Jacobian; required (together with [`QpView::with_structure`]) for
+    /// the banded KKT backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if shapes are inconsistent
+    /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn with_sparse_equalities(
+        mut self,
+        a_eq: &'a SparseMatrix,
+        b_eq: &'a [f64],
+    ) -> Result<Self, OptimError> {
+        if a_eq.cols() != self.num_vars() || a_eq.rows() != b_eq.len() {
+            return Err(OptimError::DimensionMismatch {
+                what: "A_eq vs b_eq",
+            });
+        }
+        if b_eq.iter().any(|v| !v.is_finite()) || !a_eq.norm_max().is_finite() {
+            return Err(OptimError::NonFiniteData);
+        }
+        self.a_eq = None;
+        self.a_eq_sparse = Some(a_eq);
+        self.b_eq = b_eq;
+        Ok(self)
+    }
+
+    /// Adds the inequality constraints `a_in · z ≤ b_in` from a CSR
+    /// Jacobian, avoiding any densification of the constraint matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] if shapes are inconsistent
+    /// and [`OptimError::NonFiniteData`] on NaN/∞ entries.
+    pub fn with_sparse_inequalities(
+        mut self,
+        a_in: &'a SparseMatrix,
+        b_in: &'a [f64],
+    ) -> Result<Self, OptimError> {
+        if a_in.cols() != self.num_vars() || a_in.rows() != b_in.len() {
+            return Err(OptimError::DimensionMismatch {
+                what: "A_in vs b_in",
+            });
+        }
+        if b_in.iter().any(|v| !v.is_finite()) || !a_in.norm_max().is_finite() {
+            return Err(OptimError::NonFiniteData);
+        }
+        self.a_in = None;
+        self.a_in_sparse = Some(a_in);
+        self.b_in = b_in;
+        Ok(self)
+    }
+
+    /// Declares the block-banded horizon structure of this problem (see
+    /// [`QpStructure`]).
+    #[must_use]
+    pub fn with_structure(mut self, structure: QpStructure) -> Self {
+        self.structure = Some(structure);
+        self
+    }
+
+    /// The declared horizon structure, if any.
+    #[inline]
+    #[must_use]
+    pub fn structure(&self) -> Option<QpStructure> {
+        self.structure
+    }
+
     /// Number of decision variables.
     #[inline]
     #[must_use]
@@ -302,6 +492,24 @@ impl<'a> QpView<'a> {
         let hz = self.h.matvec(z).expect("dimension checked at construction");
         0.5 * vecops::dot(z, &hz) + vecops::dot(self.g, z)
     }
+
+    /// The inequality Jacobian in whichever form was supplied.
+    fn a_in_ref(&self) -> Option<ConstraintRef<'a>> {
+        match (self.a_in_sparse, self.a_in) {
+            (Some(s), _) => Some(ConstraintRef::Sparse(s)),
+            (None, Some(d)) => Some(ConstraintRef::Dense(d)),
+            (None, None) => None,
+        }
+    }
+
+    /// The equality Jacobian in whichever form was supplied.
+    fn a_eq_ref(&self) -> Option<ConstraintRef<'a>> {
+        match (self.a_eq_sparse, self.a_eq) {
+            (Some(s), _) => Some(ConstraintRef::Sparse(s)),
+            (None, Some(d)) => Some(ConstraintRef::Dense(d)),
+            (None, None) => None,
+        }
+    }
 }
 
 /// Solution of a QP: the minimizer and its Lagrange multipliers.
@@ -317,6 +525,40 @@ pub struct QpSolution {
     pub objective: f64,
     /// Interior-point iterations used.
     pub iterations: usize,
+    /// Which KKT factorization backend produced the final iterate.
+    pub kkt_backend: QpKktBackend,
+}
+
+/// Reusable interior-point warm-start state for
+/// [`QpSolver::solve_view_warm`].
+///
+/// Holds the inequality multipliers of the last successful solve; a
+/// receding-horizon caller keeps one of these alive across control steps
+/// so each QP restarts near the previous active set. The cache is purely
+/// an accelerator: solves that fail leave it empty (the next solve is
+/// cold), and a dimension mismatch is ignored.
+#[derive(Debug, Clone, Default)]
+pub struct QpWarmStart {
+    lam: Vec<f64>,
+}
+
+impl QpWarmStart {
+    /// An empty cache; the first solve through it starts cold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached multipliers so the next solve starts cold.
+    pub fn clear(&mut self) {
+        self.lam.clear();
+    }
+
+    /// Whether a previous solve has deposited multipliers.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        !self.lam.is_empty()
+    }
 }
 
 /// Options for the interior-point QP solver.
@@ -328,6 +570,14 @@ pub struct QpSolverOptions {
     pub max_iterations: usize,
     /// Levenberg regularization added to the Hessian diagonal.
     pub regularization: f64,
+    /// Prefer a dense Cholesky factorization over LU when the reduced KKT
+    /// matrix is SPD (no equality constraints). Off by default: Cholesky
+    /// and LU produce different floating-point roundoff, and the default
+    /// dense path doubles as the bit-reproducible oracle behind recorded
+    /// controller traces. Enable for standalone QPs where a ~2× cheaper
+    /// dense factorization matters more than replaying historical
+    /// iterates.
+    pub prefer_dense_cholesky: bool,
 }
 
 impl Default for QpSolverOptions {
@@ -336,6 +586,7 @@ impl Default for QpSolverOptions {
             tolerance: 1e-8,
             max_iterations: 100,
             regularization: 1e-10,
+            prefer_dense_cholesky: false,
         }
     }
 }
@@ -428,6 +679,40 @@ impl QpSolver {
         problem: &QpView<'_>,
         z0: &[f64],
     ) -> Result<QpSolution, OptimError> {
+        self.solve_view_inner(problem, z0, None)
+    }
+
+    /// Solves a borrowed-view QP from a warm-start primal point `z0`,
+    /// seeding the interior-point duals from `warm` and depositing the
+    /// converged multipliers back into it on success.
+    ///
+    /// Successive QP subproblems of a receding-horizon controller share
+    /// their active set almost verbatim, so restarting the interior-point
+    /// method from the previous multipliers instead of the cold
+    /// `(s, λ) = (max(b − Cz, 1), 1)` point typically more than halves the
+    /// iteration count. The warm data is only an initial guess — the
+    /// solver still iterates to the same KKT tolerance, so a stale or
+    /// mismatched cache costs iterations, never correctness (a cache whose
+    /// dimension does not match `num_ineq` is ignored entirely).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpSolver::solve_from`].
+    pub fn solve_view_warm(
+        &self,
+        problem: &QpView<'_>,
+        z0: &[f64],
+        warm: &mut QpWarmStart,
+    ) -> Result<QpSolution, OptimError> {
+        self.solve_view_inner(problem, z0, Some(warm))
+    }
+
+    fn solve_view_inner(
+        &self,
+        problem: &QpView<'_>,
+        z0: &[f64],
+        mut warm: Option<&mut QpWarmStart>,
+    ) -> Result<QpSolution, OptimError> {
         let n = problem.num_vars();
         if z0.len() != n {
             return Err(OptimError::DimensionMismatch { what: "z0 vs H" });
@@ -440,46 +725,158 @@ impl QpSolver {
             return self.solve_equality_only(problem, me);
         }
 
-        let a_in = problem.a_in.expect("mi > 0 implies A_in");
+        let a_in = problem.a_in_ref().expect("mi > 0 implies A_in");
+        let a_eq = problem.a_eq_ref();
         let mut z = z0.to_vec();
         let mut y = vec![0.0; me];
-        // Strictly positive slack/dual initialization.
-        let cz = a_in.matvec(&z)?;
-        let mut s: Vec<f64> = problem
-            .b_in
-            .iter()
-            .zip(&cz)
-            .map(|(b, c)| (b - c).max(1.0))
-            .collect();
-        let mut lam = vec![1.0; mi];
 
+        // Per-solve workspaces: everything the interior-point loop touches
+        // is allocated once here and reused across iterations.
+        let mut ws = KktWorkspace::new(problem, self.options.prefer_dense_cholesky);
+        let mut hz = vec![0.0; n];
+        let mut rd = vec![0.0; n];
+        let mut rp = vec![0.0; me];
+        let mut cz = vec![0.0; mi];
+        let mut rc = vec![0.0; mi];
+        let mut wvec = vec![0.0; mi];
+        let mut r_slam = vec![0.0; mi];
+        let mut rhs = vec![0.0; n + me];
+        let mut dz = vec![0.0; n];
+        let mut dy = vec![0.0; me];
+        let mut ds = vec![0.0; mi];
+        let mut dlam = vec![0.0; mi];
+        let mut ds_aff = vec![0.0; mi];
+        let mut dlam_aff = vec![0.0; mi];
+        let mut cdz = vec![0.0; mi];
+        let mut jt = vec![0.0; n];
+
+        // Strictly positive slack/dual initialization: from the previous
+        // solve's multipliers when a matching warm cache was supplied
+        // (slacks re-derived from the *current* constraint values so an
+        // infeasible start still yields s > 0), cold (s ≥ 1, λ = 1)
+        // otherwise.
+        a_in.matvec_into(&z, &mut cz);
+        let warm_lam = warm
+            .as_deref_mut()
+            .filter(|w| w.lam.len() == mi)
+            .map(|w| std::mem::take(&mut w.lam));
+        let (mut s, mut lam) = match warm_lam {
+            Some(prev) => {
+                let s = problem
+                    .b_in
+                    .iter()
+                    .zip(&cz)
+                    .map(|(b, c)| (b - c).max(1e-3))
+                    .collect();
+                let lam = prev.iter().map(|l| l.max(1e-3)).collect();
+                (s, lam)
+            }
+            None => {
+                let s: Vec<f64> = problem
+                    .b_in
+                    .iter()
+                    .zip(&cz)
+                    .map(|(b, c)| (b - c).max(1.0))
+                    .collect();
+                (s, vec![1.0; mi])
+            }
+        };
+
+        // When the declared horizon structure comes with a truly
+        // block-diagonal Hessian (the SQP's partitioned BFGS maintains
+        // one), H·z shrinks from O(n²) to O(n·vb). Hand-built structured
+        // problems may still couple adjacent blocks inside the band, so
+        // the in-band below-block entries are checked once per solve;
+        // entries beyond the declared band are already promised zero.
+        // Structure-less problems keep the dense matvec with its
+        // historical summation order.
+        let h_block = problem.structure.and_then(|st| {
+            let vb = st.vars_per_block;
+            if vb == 0 || !n.is_multiple_of(vb) {
+                return None;
+            }
+            let w_max = st.bandwidth();
+            let stride = vb + st.eq_per_block;
+            let var_pos = |j: usize| (j / vb) * stride + (j % vb);
+            let block_diag = (0..n).all(|j| {
+                let block_start = (j / vb) * vb;
+                (0..block_start)
+                    .rev()
+                    .take_while(|&j2| var_pos(j) - var_pos(j2) <= w_max)
+                    .all(|j2| problem.h.get(j, j2) == 0.0)
+            });
+            block_diag.then_some(vb)
+        });
+
+        // For a verified block-diagonal H the off-block entries are zero,
+        // so scanning only the diagonal blocks yields the same max-norm as
+        // the full O(n²) sweep.
+        let h_norm = match h_block {
+            Some(vb) => {
+                let mut m = 0.0f64;
+                for b in (0..n).step_by(vb) {
+                    for r in b..b + vb {
+                        for c in b..b + vb {
+                            let v = problem.h.get(r, c).abs();
+                            if v > m {
+                                m = v;
+                            }
+                        }
+                    }
+                }
+                m
+            }
+            None => problem.h.norm_max(),
+        };
         let data_scale = 1.0
-            + problem.h.norm_max()
+            + h_norm
             + vecops::norm_inf(problem.g)
-            + problem.a_eq.map_or(0.0, Matrix::norm_max)
+            + a_eq.map_or(0.0, |a| a.norm_max())
             + a_in.norm_max();
 
+        let reg = self.options.regularization.max(1e-12);
         let tol = self.options.tolerance;
+
         for iter in 0..self.options.max_iterations {
-            // Residuals.
-            let hz = problem.h.matvec(&z)?;
-            let mut rd = vecops::add(&hz, problem.g);
-            if let Some(a_eq) = problem.a_eq {
-                let aty = a_eq.matvec_transposed(&y)?;
-                for (r, v) in rd.iter_mut().zip(&aty) {
-                    *r += v;
+            // Residuals: rd = Hz + g + A_eqᵀy + A_inᵀλ, rp = A_eq·z − b_eq,
+            // rc = A_in·z + s − b_in.
+            match h_block {
+                Some(vb) => block_diag_matvec(problem.h, vb, &z, &mut hz),
+                None => matvec_into(problem.h, &z, &mut hz),
+            }
+            for r in 0..n {
+                rd[r] = hz[r] + problem.g[r];
+            }
+            // Each transposed product accumulates in its own buffer and is
+            // added to rd as one elementwise pass — the exact summation
+            // order of a standalone matvec_transposed, so iterates stay
+            // bit-identical to the historical dense path.
+            if let Some(a_eq) = a_eq {
+                jt.fill(0.0);
+                for r in 0..me {
+                    a_eq.add_scaled_row(r, y[r], &mut jt);
+                }
+                for r in 0..n {
+                    rd[r] += jt[r];
                 }
             }
-            let ctl = a_in.matvec_transposed(&lam)?;
-            for (r, v) in rd.iter_mut().zip(&ctl) {
-                *r += v;
+            jt.fill(0.0);
+            for i in 0..mi {
+                a_in.add_scaled_row(i, lam[i], &mut jt);
             }
-            let rp: Vec<f64> = match problem.a_eq {
-                Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, problem.b_eq),
-                None => Vec::new(),
-            };
-            let cz = a_in.matvec(&z)?;
-            let rc: Vec<f64> = (0..mi).map(|i| cz[i] + s[i] - problem.b_in[i]).collect();
+            for r in 0..n {
+                rd[r] += jt[r];
+            }
+            if let Some(a_eq) = a_eq {
+                a_eq.matvec_into(&z, &mut rp);
+                for r in 0..me {
+                    rp[r] -= problem.b_eq[r];
+                }
+            }
+            a_in.matvec_into(&z, &mut cz);
+            for i in 0..mi {
+                rc[i] = cz[i] + s[i] - problem.b_in[i];
+            }
             let mu = vecops::dot(&s, &lam) / mi as f64;
 
             let converged = mu <= tol * data_scale
@@ -487,61 +884,52 @@ impl QpSolver {
                 && vecops::norm_inf(&rp) <= tol * data_scale
                 && vecops::norm_inf(&rc) <= tol * data_scale;
             if converged {
+                let objective = match h_block {
+                    Some(vb) => {
+                        block_diag_matvec(problem.h, vb, &z, &mut hz);
+                        0.5 * vecops::dot(&z, &hz) + vecops::dot(problem.g, &z)
+                    }
+                    None => problem.objective(&z),
+                };
+                if let Some(w) = warm.as_deref_mut() {
+                    w.lam.clear();
+                    w.lam.extend_from_slice(&lam);
+                }
                 return Ok(QpSolution {
-                    objective: problem.objective(&z),
+                    objective,
                     z,
                     y_eq: y,
                     lambda_in: lam,
                     iterations: iter,
+                    kkt_backend: ws.backend,
                 });
             }
 
             // Reduced KKT matrix: [H + CᵀWC  A_eqᵀ; A_eq  −δI], W = Λ/S.
-            let dim = n + me;
-            let mut kkt = Matrix::zeros(dim, dim);
-            for r in 0..n {
-                for c in 0..n {
-                    kkt.set(r, c, problem.h.get(r, c));
-                }
-            }
             for i in 0..mi {
-                let w = lam[i] / s[i];
-                let row = a_in.row(i);
-                for r in 0..n {
-                    let ar = row[r];
-                    if ar == 0.0 {
-                        continue;
-                    }
-                    for c in 0..n {
-                        kkt.add_at(r, c, w * ar * row[c]);
-                    }
-                }
+                wvec[i] = lam[i] / s[i];
             }
-            for r in 0..n {
-                kkt.add_at(r, r, self.options.regularization.max(1e-12));
-            }
-            if let Some(a_eq) = problem.a_eq {
-                for r in 0..me {
-                    for c in 0..n {
-                        kkt.set(n + r, c, a_eq.get(r, c));
-                        kkt.set(c, n + r, a_eq.get(r, c));
-                    }
-                    kkt.set(n + r, n + r, -1e-12);
-                }
-            }
-            let lu = Lu::factor(&kkt)?;
+            ws.factor(problem, a_in, &wvec, reg)?;
 
             // Affine (predictor) direction: target σ = 0.
-            let (dz_aff, _dy_aff, ds_aff, dlam_aff) = self.kkt_solve(
-                &lu,
-                problem,
+            for i in 0..mi {
+                r_slam[i] = s[i] * lam[i];
+            }
+            newton_step(
+                &mut ws,
                 a_in,
                 &rd,
                 &rp,
                 &rc,
                 &s,
                 &lam,
-                &(0..mi).map(|i| s[i] * lam[i]).collect::<Vec<f64>>(),
+                &r_slam,
+                &mut rhs,
+                &mut dz,
+                &mut dy,
+                &mut ds_aff,
+                &mut dlam_aff,
+                &mut cdz,
             )?;
             let alpha_aff = step_length(&s, &ds_aff, &lam, &dlam_aff);
             let mu_aff = {
@@ -554,12 +942,13 @@ impl QpSolver {
             let sigma = (mu_aff / mu).powi(3).clamp(0.0, 1.0);
 
             // Corrector direction with centering + Mehrotra correction.
-            let r_slam: Vec<f64> = (0..mi)
-                .map(|i| s[i] * lam[i] + ds_aff[i] * dlam_aff[i] - sigma * mu)
-                .collect();
-            let (dz, dy, ds, dlam) =
-                self.kkt_solve(&lu, problem, a_in, &rd, &rp, &rc, &s, &lam, &r_slam)?;
-            let _ = dz_aff;
+            for i in 0..mi {
+                r_slam[i] = s[i] * lam[i] + ds_aff[i] * dlam_aff[i] - sigma * mu;
+            }
+            newton_step(
+                &mut ws, a_in, &rd, &rp, &rc, &s, &lam, &r_slam, &mut rhs, &mut dz, &mut dy,
+                &mut ds, &mut dlam, &mut cdz,
+            )?;
 
             let alpha = 0.995 * step_length(&s, &ds, &lam, &dlam);
             let alpha = alpha.min(1.0);
@@ -570,12 +959,16 @@ impl QpSolver {
         }
 
         // Re-evaluate residuals for the error report.
-        let hz = problem.h.matvec(&z)?;
-        let rd = vecops::add(&hz, problem.g);
-        let rp: Vec<f64> = match problem.a_eq {
-            Some(a_eq) => vecops::sub(&a_eq.matvec(&z)?, problem.b_eq),
-            None => Vec::new(),
-        };
+        matvec_into(problem.h, &z, &mut hz);
+        for r in 0..n {
+            rd[r] = hz[r] + problem.g[r];
+        }
+        if let Some(a_eq) = a_eq {
+            a_eq.matvec_into(&z, &mut rp);
+            for r in 0..me {
+                rp[r] -= problem.b_eq[r];
+            }
+        }
         Err(OptimError::QpMaxIterations {
             mu: vecops::dot(&s, &lam) / mi as f64,
             primal_residual: vecops::norm_inf(&rp),
@@ -598,11 +991,22 @@ impl QpSolver {
             }
             kkt.add_at(r, r, self.options.regularization.max(1e-12));
         }
-        if let Some(a_eq) = problem.a_eq {
+        if let Some(a_eq) = problem.a_eq_ref() {
             for r in 0..me {
-                for c in 0..n {
-                    kkt.set(n + r, c, a_eq.get(r, c));
-                    kkt.set(c, n + r, a_eq.get(r, c));
+                match a_eq {
+                    ConstraintRef::Dense(m) => {
+                        for c in 0..n {
+                            kkt.set(n + r, c, m.get(r, c));
+                            kkt.set(c, n + r, m.get(r, c));
+                        }
+                    }
+                    ConstraintRef::Sparse(s) => {
+                        let (cols, vals) = s.row(r);
+                        for (c, v) in cols.iter().zip(vals) {
+                            kkt.set(n + r, *c, *v);
+                            kkt.set(*c, n + r, *v);
+                        }
+                    }
                 }
             }
         }
@@ -620,56 +1024,439 @@ impl QpSolver {
             y_eq,
             lambda_in: Vec::new(),
             iterations: 1,
+            kkt_backend: QpKktBackend::DenseLu,
         })
     }
+}
 
-    /// Solves one Newton system given the factored KKT matrix and the
-    /// complementarity right-hand side `r_slam` (entries `sᵢλᵢ − target`).
-    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
-    fn kkt_solve(
-        &self,
-        lu: &Lu,
-        problem: &QpView<'_>,
-        a_in: &Matrix,
-        rd: &[f64],
-        rp: &[f64],
-        rc: &[f64],
-        s: &[f64],
-        lam: &[f64],
-        r_slam: &[f64],
-    ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
+/// `out = M·x` for a dense matrix without allocating.
+fn matvec_into(m: &Matrix, x: &[f64], out: &mut [f64]) {
+    for r in 0..m.rows() {
+        out[r] = vecops::dot(m.row(r), x);
+    }
+}
+
+/// `out = M·x` for a block-diagonal matrix with `vb × vb` blocks, reading
+/// only the in-block entries. Every off-block entry is structurally zero
+/// under a declared [`QpStructure`], so this matches the dense matvec up
+/// to the sign of exact zeros.
+fn block_diag_matvec(m: &Matrix, vb: usize, x: &[f64], out: &mut [f64]) {
+    for (k, chunk) in out.chunks_mut(vb).enumerate() {
+        let lo = k * vb;
+        let xb = &x[lo..lo + vb];
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = vecops::dot(&m.row(lo + i)[lo..lo + vb], xb);
+        }
+    }
+}
+
+/// Solves one Newton system given the factored KKT workspace and the
+/// complementarity right-hand side `r_slam` (entries `sᵢλᵢ − target`),
+/// writing the directions into the provided buffers.
+#[allow(clippy::too_many_arguments)]
+fn newton_step(
+    ws: &mut KktWorkspace,
+    a_in: ConstraintRef<'_>,
+    rd: &[f64],
+    rp: &[f64],
+    rc: &[f64],
+    s: &[f64],
+    lam: &[f64],
+    r_slam: &[f64],
+    rhs: &mut [f64],
+    dz: &mut [f64],
+    dy: &mut [f64],
+    ds: &mut [f64],
+    dlam: &mut [f64],
+    cdz: &mut [f64],
+) -> Result<(), OptimError> {
+    let n = dz.len();
+    let me = dy.len();
+    let mi = s.len();
+
+    // rhs1 = −rd + Σᵢ cᵢ · (r_slamᵢ − λᵢ·rcᵢ)/sᵢ
+    for r in 0..n {
+        rhs[r] = -rd[r];
+    }
+    for i in 0..mi {
+        let coeff = (r_slam[i] - lam[i] * rc[i]) / s[i];
+        a_in.add_scaled_row(i, coeff, &mut rhs[..n]);
+    }
+    for r in 0..me {
+        rhs[n + r] = -rp[r];
+    }
+    ws.solve_in_place(rhs)?;
+    dz.copy_from_slice(&rhs[..n]);
+    dy.copy_from_slice(&rhs[n..]);
+
+    a_in.matvec_into(dz, cdz);
+    for i in 0..mi {
+        ds[i] = -rc[i] - cdz[i];
+        dlam[i] = -(r_slam[i] + lam[i] * ds[i]) / s[i];
+    }
+    Ok(())
+}
+
+/// Per-solve scratch for assembling and factoring the reduced KKT matrix
+/// `[H + CᵀWC, A_eqᵀ; A_eq, −δI]` with whichever backend fits the problem:
+/// banded LDLᵀ when a valid [`QpStructure`] plan exists, dense Cholesky
+/// when the reduced system is SPD (no equalities), dense LU otherwise.
+/// Backends degrade monotonically within one solve: a banded or Cholesky
+/// factorization failure permanently drops to the next denser backend, so
+/// the dense LU oracle is always the last resort.
+struct KktWorkspace {
+    n: usize,
+    me: usize,
+    /// Stage-interleaved position of each unknown (vars then eq
+    /// multipliers); empty when no banded plan is active.
+    pos: Vec<usize>,
+    bandwidth: usize,
+    banded: bool,
+    band: BandedMatrix,
+    band_factor: BandedCholesky,
+    perm_rhs: Vec<f64>,
+    dense: Option<Matrix>,
+    cholesky: Option<Cholesky>,
+    use_cholesky: bool,
+    lu: Option<Lu>,
+    backend: QpKktBackend,
+}
+
+impl KktWorkspace {
+    fn new(problem: &QpView<'_>, prefer_dense_cholesky: bool) -> Self {
         let n = problem.num_vars();
         let me = problem.num_eq();
-        let mi = s.len();
-
-        // rhs1 = −rd + Σᵢ cᵢ · (r_slamᵢ − λᵢ·rcᵢ)/sᵢ
-        let mut rhs = vec![0.0; n + me];
-        for r in 0..n {
-            rhs[r] = -rd[r];
+        let (pos, bandwidth, banded) = match banded_plan(problem) {
+            Some((pos, w)) => (pos, w, true),
+            None => (Vec::new(), 0, false),
+        };
+        Self {
+            n,
+            me,
+            pos,
+            bandwidth,
+            banded,
+            band: BandedMatrix::default(),
+            band_factor: BandedCholesky::new(),
+            perm_rhs: vec![0.0; n + me],
+            dense: None,
+            cholesky: None,
+            // With no equality block the reduced KKT matrix is SPD, but
+            // Cholesky is only used when the caller opted in (it changes
+            // roundoff relative to the historical LU iterates).
+            use_cholesky: prefer_dense_cholesky && me == 0,
+            lu: None,
+            backend: QpKktBackend::DenseLu,
         }
-        for i in 0..mi {
-            let coeff = (r_slam[i] - lam[i] * rc[i]) / s[i];
-            let row = a_in.row(i);
-            for r in 0..n {
-                rhs[r] += row[r] * coeff;
+    }
+
+    /// Assembles and factors the KKT matrix for the current weights
+    /// `wvec = λ/s`, degrading to a denser backend on factorization
+    /// failure.
+    fn factor(
+        &mut self,
+        problem: &QpView<'_>,
+        a_in: ConstraintRef<'_>,
+        wvec: &[f64],
+        reg: f64,
+    ) -> Result<(), OptimError> {
+        if self.banded {
+            match self.factor_banded(problem, wvec, reg) {
+                Ok(()) => {
+                    self.backend = QpKktBackend::Banded;
+                    return Ok(());
+                }
+                // E.g. a pivot collapsed under extreme complementarity
+                // weights: fall back to the dense oracle for the rest of
+                // this solve.
+                Err(_) => self.banded = false,
             }
         }
-        for r in 0..me {
-            rhs[n + r] = -rp[r];
-        }
-        let sol = lu.solve(&rhs)?;
-        let dz = sol[..n].to_vec();
-        let dy = sol[n..].to_vec();
-
-        let cdz = a_in.matvec(&dz)?;
-        let mut ds = vec![0.0; mi];
-        let mut dlam = vec![0.0; mi];
-        for i in 0..mi {
-            ds[i] = -rc[i] - cdz[i];
-            dlam[i] = -(r_slam[i] + lam[i] * ds[i]) / s[i];
-        }
-        Ok((dz, dy, ds, dlam))
+        self.factor_dense(problem, a_in, wvec, reg)
     }
+
+    fn factor_banded(
+        &mut self,
+        problem: &QpView<'_>,
+        wvec: &[f64],
+        reg: f64,
+    ) -> Result<(), OptimError> {
+        let (n, me) = (self.n, self.me);
+        self.band.reset(n + me, self.bandwidth);
+        let w = self.band.bandwidth();
+
+        // Hessian block: positions are increasing in the variable index,
+        // so a sliding window bounds the in-band column range. Entries
+        // outside the band must be structurally zero (the structure
+        // declaration promises a block-diagonal Hessian).
+        let h = problem.h;
+        let mut jmin = 0usize;
+        for j in 0..n {
+            while self.pos[j] - self.pos[jmin] > w {
+                jmin += 1;
+            }
+            for j2 in jmin..=j {
+                let v = h.get(j, j2);
+                if v != 0.0 {
+                    self.band.set(self.pos[j], self.pos[j2], v);
+                }
+            }
+            self.band.add_at(self.pos[j], self.pos[j], reg);
+        }
+        debug_assert!(
+            (0..n).all(|j| (0..j.saturating_sub(w)).all(|j2| h.get(j, j2) == 0.0)),
+            "Hessian has couplings outside the declared block structure"
+        );
+
+        // CᵀWC from the CSR inequality Jacobian (guaranteed by the plan).
+        let a_in = problem
+            .a_in_sparse
+            .expect("banded plan requires a CSR inequality Jacobian");
+        for i in 0..a_in.rows() {
+            let wi = wvec[i];
+            if wi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = a_in.row(i);
+            for a in 0..cols.len() {
+                let pa = self.pos[cols[a]];
+                let va = wi * vals[a];
+                for b in 0..=a {
+                    self.band.add_at(pa, self.pos[cols[b]], va * vals[b]);
+                }
+            }
+        }
+
+        // Equality rows and the −δ regularized equality diagonal.
+        if let Some(a_eq) = problem.a_eq_sparse {
+            for r in 0..me {
+                let (cols, vals) = a_eq.row(r);
+                let pr = self.pos[n + r];
+                for (c, v) in cols.iter().zip(vals) {
+                    self.band.set(pr, self.pos[*c], *v);
+                }
+                self.band.set(pr, pr, -1e-12);
+            }
+        }
+        self.band_factor.factor(&self.band)?;
+        Ok(())
+    }
+
+    fn factor_dense(
+        &mut self,
+        problem: &QpView<'_>,
+        a_in: ConstraintRef<'_>,
+        wvec: &[f64],
+        reg: f64,
+    ) -> Result<(), OptimError> {
+        let (n, me) = (self.n, self.me);
+        let dim = n + me;
+        if self.dense.as_ref().is_none_or(|m| m.rows() != dim) {
+            self.dense = Some(Matrix::zeros(dim, dim));
+        }
+        let kkt = self.dense.as_mut().expect("just ensured");
+
+        // Hessian block overwrites last iteration's values wholesale; the
+        // constant equality blocks below only rewrite their own entries.
+        for r in 0..n {
+            for c in 0..n {
+                kkt.set(r, c, problem.h.get(r, c));
+            }
+        }
+        match a_in {
+            ConstraintRef::Dense(m) => {
+                for i in 0..m.rows() {
+                    let wi = wvec[i];
+                    let row = m.row(i);
+                    for r in 0..n {
+                        let ar = row[r];
+                        if ar == 0.0 {
+                            continue;
+                        }
+                        for c in 0..n {
+                            kkt.add_at(r, c, wi * ar * row[c]);
+                        }
+                    }
+                }
+            }
+            ConstraintRef::Sparse(s) => {
+                for i in 0..s.rows() {
+                    let wi = wvec[i];
+                    let (cols, vals) = s.row(i);
+                    for a in 0..cols.len() {
+                        let va = wi * vals[a];
+                        for b in 0..cols.len() {
+                            kkt.add_at(cols[a], cols[b], va * vals[b]);
+                        }
+                    }
+                }
+            }
+        }
+        for r in 0..n {
+            kkt.add_at(r, r, reg);
+        }
+        if me > 0 {
+            match problem.a_eq_ref().expect("me > 0 implies A_eq") {
+                ConstraintRef::Dense(m) => {
+                    for r in 0..me {
+                        for c in 0..n {
+                            kkt.set(n + r, c, m.get(r, c));
+                            kkt.set(c, n + r, m.get(r, c));
+                        }
+                        kkt.set(n + r, n + r, -1e-12);
+                    }
+                }
+                ConstraintRef::Sparse(s) => {
+                    for r in 0..me {
+                        let (cols, vals) = s.row(r);
+                        for (c, v) in cols.iter().zip(vals) {
+                            kkt.set(n + r, *c, *v);
+                            kkt.set(*c, n + r, *v);
+                        }
+                        kkt.set(n + r, n + r, -1e-12);
+                    }
+                }
+            }
+        }
+
+        if self.use_cholesky {
+            let ok = match self.cholesky.as_mut() {
+                Some(c) if c.dim() == dim => c.refactor(kkt).is_ok(),
+                _ => match Cholesky::factor(kkt) {
+                    Ok(c) => {
+                        self.cholesky = Some(c);
+                        true
+                    }
+                    Err(_) => false,
+                },
+            };
+            if ok {
+                self.backend = QpKktBackend::DenseCholesky;
+                return Ok(());
+            }
+            // Numerically indefinite despite SPD theory (extreme W): use
+            // the LU oracle for the rest of this solve.
+            self.cholesky = None;
+            self.use_cholesky = false;
+        }
+        self.lu = None;
+        self.lu = Some(Lu::factor(kkt)?);
+        self.backend = QpKktBackend::DenseLu;
+        Ok(())
+    }
+
+    /// Solves the factored KKT system in place (permuting through the
+    /// stage-interleaved ordering for the banded backend).
+    fn solve_in_place(&mut self, rhs: &mut [f64]) -> Result<(), OptimError> {
+        match self.backend {
+            QpKktBackend::Banded => {
+                for (i, &p) in self.pos.iter().enumerate() {
+                    self.perm_rhs[p] = rhs[i];
+                }
+                self.band_factor.solve_in_place(&mut self.perm_rhs)?;
+                for (i, &p) in self.pos.iter().enumerate() {
+                    rhs[i] = self.perm_rhs[p];
+                }
+            }
+            QpKktBackend::DenseCholesky => {
+                self.cholesky
+                    .as_ref()
+                    .expect("backend implies factor")
+                    .solve_in_place(rhs)?;
+            }
+            QpKktBackend::DenseLu => {
+                let x = self
+                    .lu
+                    .as_ref()
+                    .expect("backend implies factor")
+                    .solve(rhs)?;
+                rhs.copy_from_slice(&x);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a declared [`QpStructure`] against the problem's Jacobians
+/// and, if consistent, returns the stage-interleaved position of every
+/// unknown plus the KKT bandwidth.
+fn banded_plan(problem: &QpView<'_>) -> Option<(Vec<usize>, usize)> {
+    let st = problem.structure?;
+    let n = problem.num_vars();
+    let me = problem.num_eq();
+    let (vb, eb) = (st.vars_per_block, st.eq_per_block);
+    if vb == 0 || n == 0 || !n.is_multiple_of(vb) {
+        return None;
+    }
+    let blocks = n / vb;
+    if me != blocks * eb {
+        return None;
+    }
+    // The banded assembly reads constraint rows in CSR form only.
+    let a_in = problem.a_in_sparse?;
+    if me > 0 && problem.a_eq_sparse.is_none() {
+        return None;
+    }
+    // Stage-interleaved position of variable `j` / equality multiplier `r`;
+    // strictly increasing in the column index, so a row's in-band width is
+    // the position distance between its first and last column.
+    let stride = vb + eb;
+    let var_pos = |j: usize| (j / vb) * stride + (j % vb);
+    let eq_pos = |r: usize| (r / eb) * stride + vb + (r % eb);
+
+    // Validate the declared structure and, as the same pass, measure the
+    // bandwidth this problem *actually* needs. The declaration's
+    // `st.bandwidth()` is the worst case (every variable of the previous
+    // block coupled); real horizon problems touch only a suffix of it, and
+    // the LDLᵀ factor cost scales with the square of the bandwidth.
+    let mut w_req = vb.saturating_sub(1).max(eb.saturating_sub(1));
+    for r in 0..a_in.rows() {
+        let (cols, _) = a_in.row(r);
+        if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+            if last / vb > first / vb + st.lookback {
+                return None;
+            }
+            w_req = w_req.max(var_pos(last) - var_pos(first));
+        }
+    }
+    if let Some(a_eq) = problem.a_eq_sparse {
+        for r in 0..a_eq.rows() {
+            let kr = r / eb;
+            let (cols, _) = a_eq.row(r);
+            let pr = eq_pos(r);
+            for &c in cols {
+                let kc = c / vb;
+                if kc > kr || kc + st.lookback < kr {
+                    return None;
+                }
+                w_req = w_req.max(pr.abs_diff(var_pos(c)));
+            }
+        }
+    }
+    // The Hessian may couple variables across blocks anywhere inside the
+    // declared band (the SQP's partitioned BFGS keeps it block-diagonal,
+    // but hand-built problems need not) — measure its real couplings too.
+    let w_max = st.bandwidth();
+    for j in 0..n {
+        let pj = var_pos(j);
+        for j2 in (0..j).rev() {
+            let d = pj - var_pos(j2);
+            if d > w_max {
+                break;
+            }
+            if d > w_req && problem.h.get(j, j2) != 0.0 {
+                w_req = d;
+            }
+        }
+    }
+    let mut pos = vec![0usize; n + me];
+    for (j, p) in pos.iter_mut().take(n).enumerate() {
+        *p = var_pos(j);
+    }
+    for r in 0..me {
+        pos[n + r] = eq_pos(r);
+    }
+    Some((pos, w_req.min(w_max)))
 }
 
 /// Largest α ∈ (0, 1] keeping `s + α·ds > 0` and `λ + α·dλ > 0`.
@@ -926,5 +1713,193 @@ mod tests {
             assert!((-2.0 - 1e-6..=2.0 + 1e-6).contains(&zi), "z[{i}] = {zi}");
         }
         assert!(sol.iterations < 50);
+    }
+
+    /// A horizon-structured box QP: `nb` blocks of `vb` variables, block
+    /// tridiagonal Hessian, per-variable bounds (CSR), optional coupling
+    /// equality per block. Returns (h, g, a_in CSR, b_in, a_eq CSR, b_eq).
+    #[allow(clippy::type_complexity)]
+    fn structured_problem(
+        nb: usize,
+        vb: usize,
+        with_eq: bool,
+    ) -> (
+        Matrix,
+        Vec<f64>,
+        SparseMatrix,
+        Vec<f64>,
+        SparseMatrix,
+        Vec<f64>,
+    ) {
+        let n = nb * vb;
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n {
+            h.set(i, i, 2.0 + (i % 3) as f64 * 0.5);
+            if i + 1 < n && (i + 1) / vb <= i / vb + 1 {
+                h.set(i + 1, i, -0.3);
+                h.set(i, i + 1, -0.3);
+            }
+        }
+        let g: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) * 0.4 - 2.0).collect();
+        let mut a_in = SparseMatrix::new();
+        a_in.reset(n);
+        let mut b_in = Vec::new();
+        for i in 0..n {
+            a_in.push(i, 1.0);
+            a_in.finish_row();
+            b_in.push(1.5);
+            a_in.push(i, -1.0);
+            a_in.finish_row();
+            b_in.push(1.5);
+        }
+        let mut a_eq = SparseMatrix::new();
+        a_eq.reset(n);
+        let mut b_eq = Vec::new();
+        if with_eq {
+            // One equality per block summing the block's variables, with a
+            // one-step lookback coupling to the previous block's first var.
+            for k in 0..nb {
+                if k > 0 {
+                    a_eq.push((k - 1) * vb, 0.5);
+                }
+                for j in 0..vb {
+                    a_eq.push(k * vb + j, 1.0);
+                }
+                a_eq.finish_row();
+                b_eq.push(0.3 * (k as f64) - 0.2);
+            }
+        }
+        (h, g, a_in, b_in, a_eq, b_eq)
+    }
+
+    #[test]
+    fn sparse_inequalities_match_dense() {
+        let (h, g, a_in, b_in, _, _) = structured_problem(4, 3, false);
+        let dense = QpProblem::new(h.clone(), g.clone())
+            .unwrap()
+            .with_inequalities(a_in.to_dense(), b_in.clone())
+            .unwrap();
+        let dense_sol = solve(&dense);
+
+        let view = QpView::new(&h, &g)
+            .unwrap()
+            .with_sparse_inequalities(&a_in, &b_in)
+            .unwrap();
+        let sparse_sol = QpSolver::new(QpSolverOptions {
+            prefer_dense_cholesky: true,
+            ..QpSolverOptions::default()
+        })
+        .solve_view(&view)
+        .unwrap();
+        assert_eq!(sparse_sol.kkt_backend, QpKktBackend::DenseCholesky);
+        for (zs, zd) in sparse_sol.z.iter().zip(&dense_sol.z) {
+            assert!((zs - zd).abs() < 1e-8, "sparse {zs} vs dense {zd}");
+        }
+    }
+
+    #[test]
+    fn banded_backend_matches_dense_lu_oracle() {
+        for with_eq in [false, true] {
+            let (h, g, a_in, b_in, a_eq, b_eq) = structured_problem(5, 3, with_eq);
+            let structure = QpStructure {
+                vars_per_block: 3,
+                eq_per_block: usize::from(with_eq),
+                lookback: 1,
+            };
+
+            let mut view = QpView::new(&h, &g)
+                .unwrap()
+                .with_sparse_inequalities(&a_in, &b_in)
+                .unwrap();
+            let mut oracle = QpProblem::new(h.clone(), g.clone())
+                .unwrap()
+                .with_inequalities(a_in.to_dense(), b_in.clone())
+                .unwrap();
+            if with_eq {
+                view = view.with_sparse_equalities(&a_eq, &b_eq).unwrap();
+                oracle = oracle
+                    .with_equalities(a_eq.to_dense(), b_eq.clone())
+                    .unwrap();
+            }
+            let banded_sol = QpSolver::default()
+                .solve_view(&view.with_structure(structure))
+                .unwrap();
+            let oracle_sol = solve(&oracle);
+            assert_eq!(banded_sol.kkt_backend, QpKktBackend::Banded);
+            // The dense oracle stays on the LU path unless Cholesky is
+            // explicitly requested.
+            assert_eq!(oracle_sol.kkt_backend, QpKktBackend::DenseLu);
+            for (zb, zo) in banded_sol.z.iter().zip(&oracle_sol.z) {
+                assert!(
+                    (zb - zo).abs() < 1e-7,
+                    "with_eq={with_eq}: banded {zb} vs LU {zo}"
+                );
+            }
+            for (lb, lo) in banded_sol.lambda_in.iter().zip(&oracle_sol.lambda_in) {
+                assert!((lb - lo).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_structure_falls_back_to_dense() {
+        // Declared blocks don't divide n → the plan is rejected and the
+        // dense path solves the problem correctly anyway.
+        let (h, g, a_in, b_in, _, _) = structured_problem(4, 3, false);
+        let view = QpView::new(&h, &g)
+            .unwrap()
+            .with_sparse_inequalities(&a_in, &b_in)
+            .unwrap()
+            .with_structure(QpStructure {
+                vars_per_block: 5,
+                eq_per_block: 0,
+                lookback: 1,
+            });
+        let sol = QpSolver::default().solve_view(&view).unwrap();
+        assert_ne!(sol.kkt_backend, QpKktBackend::Banded);
+        for (i, &zi) in sol.z.iter().enumerate() {
+            assert!((-1.5 - 1e-6..=1.5 + 1e-6).contains(&zi), "z[{i}] = {zi}");
+        }
+    }
+
+    #[test]
+    fn wide_jacobian_rows_reject_banded_plan() {
+        // An inequality row coupling the first and last block violates the
+        // declared lookback; the solver must notice and fall back.
+        let (h, g, _, _, _, _) = structured_problem(4, 2, false);
+        let n = 8;
+        let mut a_in = SparseMatrix::new();
+        a_in.reset(n);
+        a_in.push(0, 1.0);
+        a_in.push(n - 1, 1.0);
+        a_in.finish_row();
+        let b_in = vec![10.0];
+        let view = QpView::new(&h, &g)
+            .unwrap()
+            .with_sparse_inequalities(&a_in, &b_in)
+            .unwrap()
+            .with_structure(QpStructure {
+                vars_per_block: 2,
+                eq_per_block: 0,
+                lookback: 1,
+            });
+        let sol = QpSolver::default().solve_view(&view).unwrap();
+        assert_ne!(sol.kkt_backend, QpKktBackend::Banded);
+    }
+
+    #[test]
+    fn structure_bandwidth_formula() {
+        let st = QpStructure {
+            vars_per_block: 4,
+            eq_per_block: 1,
+            lookback: 1,
+        };
+        assert_eq!(st.bandwidth(), 9);
+        let local = QpStructure {
+            vars_per_block: 5,
+            eq_per_block: 1,
+            lookback: 1,
+        };
+        assert_eq!(local.bandwidth(), 11);
     }
 }

@@ -1,9 +1,34 @@
 //! Sequential quadratic programming.
 
-use ev_linalg::{vecops, Matrix};
+use ev_linalg::{vecops, Matrix, SparseMatrix};
 
 use crate::observer::{NoopSqpObserver, QpSubproblemStatus, SqpIterationRecord, SqpObserver};
-use crate::{NlpProblem, OptimError, QpProblem, QpSolver, QpSolverOptions, QpView};
+use crate::{
+    NlpProblem, OptimError, QpProblem, QpSolver, QpSolverOptions, QpStructure, QpView, QpWarmStart,
+};
+
+/// A constraint Jacobian for one SQP iteration, in whichever form the
+/// problem produced it. Sparse Jacobians flow straight into the QP's CSR
+/// path ([`QpView::with_sparse_inequalities`]) without densification.
+#[derive(Clone, Copy)]
+enum JacRef<'a> {
+    Dense(&'a Matrix),
+    Sparse(&'a SparseMatrix),
+}
+
+impl JacRef<'_> {
+    /// `out = Jᵀ·x` (overwrites `out`).
+    fn matvec_transposed_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), OptimError> {
+        match self {
+            Self::Dense(m) => {
+                let v = m.matvec_transposed(x)?;
+                out.copy_from_slice(&v);
+            }
+            Self::Sparse(s) => s.matvec_transposed(x, out)?,
+        }
+        Ok(())
+    }
+}
 
 /// Options for the SQP solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,6 +176,42 @@ impl SqpSolver {
         &self,
         problem: &P,
         z0: &[f64],
+        observer: O,
+    ) -> Result<SqpResult, OptimError> {
+        self.solve_inner(problem, z0, None, observer)
+    }
+
+    /// Solves the nonlinear program like [`SqpSolver::solve_observed`],
+    /// additionally restarting every QP subproblem's interior-point method
+    /// from the multipliers cached in `warm` (see
+    /// [`QpSolver::solve_view_warm`]).
+    ///
+    /// A receding-horizon caller keeps the [`QpWarmStart`] alive across
+    /// control steps: consecutive subproblems share their active set, so
+    /// the cached multipliers typically cut the interior-point iteration
+    /// count by more than half. The cache changes only the QP's starting
+    /// point, never its convergence tolerance — but because the iterate
+    /// *path* differs from a cold solve, callers that pin bit-exact
+    /// trajectories should use [`SqpSolver::solve_observed`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SqpSolver::solve`].
+    pub fn solve_cached<P: NlpProblem + ?Sized, O: SqpObserver>(
+        &self,
+        problem: &P,
+        z0: &[f64],
+        warm: &mut QpWarmStart,
+        observer: O,
+    ) -> Result<SqpResult, OptimError> {
+        self.solve_inner(problem, z0, Some(warm), observer)
+    }
+
+    fn solve_inner<P: NlpProblem + ?Sized, O: SqpObserver>(
+        &self,
+        problem: &P,
+        z0: &[f64],
+        mut qp_warm: Option<&mut QpWarmStart>,
         mut observer: O,
     ) -> Result<SqpResult, OptimError> {
         let observing = observer.active();
@@ -200,10 +261,31 @@ impl SqpSolver {
         let mut yv = vec![0.0; n];
         let mut neg_c_eq = vec![0.0; me];
         let mut neg_c_in = vec![0.0; mi];
+        let mut jt_buf = vec![0.0; n];
+        // CSR workspaces refilled in place each iteration when the problem
+        // produces sparse Jacobians (`*_new` hold the trial-point Jacobians
+        // for the Lagrangian BFGS update).
+        let mut j_eq_s = SparseMatrix::new();
+        let mut j_in_s = SparseMatrix::new();
+        let mut j_eq_s_new = SparseMatrix::new();
+        let mut j_in_s_new = SparseMatrix::new();
+        let structure = problem.qp_structure();
 
         for iter in 0..opts.max_iterations {
-            let j_eq = problem.eq_jacobian(&z);
-            let j_in = problem.ineq_jacobian(&z);
+            let j_eq_dense;
+            let j_eq = if me > 0 && problem.eq_jacobian_sparse_into(&z, &mut j_eq_s) {
+                JacRef::Sparse(&j_eq_s)
+            } else {
+                j_eq_dense = problem.eq_jacobian(&z);
+                JacRef::Dense(&j_eq_dense)
+            };
+            let j_in_dense;
+            let j_in = if mi > 0 && problem.ineq_jacobian_sparse_into(&z, &mut j_in_s) {
+                JacRef::Sparse(&j_in_s)
+            } else {
+                j_in_dense = problem.ineq_jacobian(&z);
+                JacRef::Dense(&j_in_dense)
+            };
 
             // QP subproblem in the step d (right-hand sides are the
             // negated constraint values).
@@ -219,7 +301,18 @@ impl SqpSolver {
                 None
             };
             let (d, mult_eq, mult_in, qp_status, qp_iterations) = match self.solve_subproblem(
-                &qp_solver, &b, &grad, &j_eq, &c_eq, &neg_c_eq, &j_in, &c_in, &neg_c_in, penalty,
+                &qp_solver,
+                &b,
+                &grad,
+                j_eq,
+                &c_eq,
+                &neg_c_eq,
+                j_in,
+                &c_in,
+                &neg_c_in,
+                penalty,
+                structure,
+                qp_warm.as_deref_mut(),
             ) {
                 Ok((d, y_eq, lambda_in, status, qp_iters)) => {
                     let mult = vecops::norm_inf(&y_eq).max(vecops::norm_inf(&lambda_in));
@@ -258,7 +351,7 @@ impl SqpSolver {
                         objective: f,
                         merit: f + penalty * viol,
                         constraint_violation: viol,
-                        kkt_residual: kkt_residual(&grad, &j_eq, &mult_eq, &j_in, &mult_in),
+                        kkt_residual: kkt_residual(&grad, j_eq, &mult_eq, j_in, &mult_in),
                         step_norm: vecops::norm_inf(&d),
                         step_length: 0.0,
                         accepted: true,
@@ -317,7 +410,7 @@ impl SqpSolver {
                         // the constraint curvature revealed at z + d
                         // (trial_d still equals d on this first trial).
                         soc_tried = true;
-                        if let Some(correction) = second_order_correction(&j_eq, &c_eq_trial) {
+                        if let Some(correction) = second_order_correction(j_eq, &c_eq_trial) {
                             vecops::axpy(1.0, &correction, &mut trial_d);
                             continue; // retry at alpha = 1 with the SOC step
                         }
@@ -341,7 +434,7 @@ impl SqpSolver {
                     objective: f,
                     merit: merit0,
                     constraint_violation: viol,
-                    kkt_residual: kkt_residual(&grad, &j_eq, &mult_eq, &j_in, &mult_in),
+                    kkt_residual: kkt_residual(&grad, j_eq, &mult_eq, j_in, &mult_in),
                     step_norm: vecops::norm_inf(&d),
                     step_length: if accepted { alpha } else { 0.0 },
                     accepted,
@@ -374,19 +467,48 @@ impl SqpSolver {
             gl_old.copy_from_slice(&grad);
             gl_new.copy_from_slice(&grad_new);
             if me > 0 {
-                let j_eq_new = problem.eq_jacobian(&z_trial);
-                vecops::axpy(1.0, &j_eq.matvec_transposed(&mult_eq)?, &mut gl_old);
-                vecops::axpy(1.0, &j_eq_new.matvec_transposed(&mult_eq)?, &mut gl_new);
+                j_eq.matvec_transposed_into(&mult_eq, &mut jt_buf)?;
+                vecops::axpy(1.0, &jt_buf, &mut gl_old);
+                let j_eq_new_dense;
+                let j_eq_new = if problem.eq_jacobian_sparse_into(&z_trial, &mut j_eq_s_new) {
+                    JacRef::Sparse(&j_eq_s_new)
+                } else {
+                    j_eq_new_dense = problem.eq_jacobian(&z_trial);
+                    JacRef::Dense(&j_eq_new_dense)
+                };
+                j_eq_new.matvec_transposed_into(&mult_eq, &mut jt_buf)?;
+                vecops::axpy(1.0, &jt_buf, &mut gl_new);
             }
             if mi > 0 {
-                let j_in_new = problem.ineq_jacobian(&z_trial);
-                vecops::axpy(1.0, &j_in.matvec_transposed(&mult_in)?, &mut gl_old);
-                vecops::axpy(1.0, &j_in_new.matvec_transposed(&mult_in)?, &mut gl_new);
+                j_in.matvec_transposed_into(&mult_in, &mut jt_buf)?;
+                vecops::axpy(1.0, &jt_buf, &mut gl_old);
+                let j_in_new_dense;
+                let j_in_new = if problem.ineq_jacobian_sparse_into(&z_trial, &mut j_in_s_new) {
+                    JacRef::Sparse(&j_in_s_new)
+                } else {
+                    j_in_new_dense = problem.ineq_jacobian(&z_trial);
+                    JacRef::Dense(&j_in_new_dense)
+                };
+                j_in_new.matvec_transposed_into(&mult_in, &mut jt_buf)?;
+                vecops::axpy(1.0, &jt_buf, &mut gl_new);
             }
             for i in 0..n {
                 yv[i] = gl_new[i] - gl_old[i];
             }
-            bfgs_update(&mut b, &step_s, &yv);
+            match structure {
+                // A declared horizon structure promises the QP a
+                // block-diagonal Hessian: update each variable block
+                // independently so BFGS fill-in never couples blocks and
+                // the banded KKT assembly stays exact.
+                Some(st) if st.vars_per_block > 0 && n.is_multiple_of(st.vars_per_block) => {
+                    let vb = st.vars_per_block;
+                    for k in 0..n / vb {
+                        let r = k * vb..(k + 1) * vb;
+                        bfgs_update_block(&mut b, &step_s[r.clone()], &yv[r.clone()], r.start);
+                    }
+                }
+                _ => bfgs_update(&mut b, &step_s, &yv),
+            }
 
             // Adopt the accepted trial point by swapping buffers; the
             // trial buffers are fully overwritten on the next use.
@@ -417,22 +539,28 @@ impl SqpSolver {
     /// equality/inequality multipliers (used for penalty updates and the
     /// Lagrangian BFGS update), which path solved it, and the inner QP
     /// iteration count. The nominal path borrows all problem data
-    /// through a [`QpView`] (no clones); elastic mode — the fallback when
-    /// the linearized constraints are inconsistent — builds its own
-    /// enlarged problem.
+    /// through a [`QpView`] (no clones) and declares the problem's
+    /// horizon structure so the QP can pick the banded KKT backend. A
+    /// numerically failed nominal solve (singular KKT mid-IPM) is first
+    /// retried with heavily boosted Hessian regularization — a degenerate
+    /// active-set guess usually just needs a better-conditioned system —
+    /// before falling back to elastic mode, which builds its own
+    /// enlarged (dense) problem.
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn solve_subproblem(
         &self,
         qp_solver: &QpSolver,
         b: &Matrix,
         grad: &[f64],
-        j_eq: &Matrix,
+        j_eq: JacRef<'_>,
         c_eq: &[f64],
         neg_c_eq: &[f64],
-        j_in: &Matrix,
+        j_in: JacRef<'_>,
         c_in: &[f64],
         neg_c_in: &[f64],
         penalty: f64,
+        structure: Option<QpStructure>,
+        mut qp_warm: Option<&mut QpWarmStart>,
     ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>, QpSubproblemStatus, usize), OptimError> {
         let n = grad.len();
         let me = c_eq.len();
@@ -440,20 +568,77 @@ impl SqpSolver {
 
         let mut qp = QpView::new(b, grad)?;
         if me > 0 {
-            qp = qp.with_equalities(j_eq, neg_c_eq)?;
+            qp = match j_eq {
+                JacRef::Dense(m) => qp.with_equalities(m, neg_c_eq)?,
+                JacRef::Sparse(s) => qp.with_sparse_equalities(s, neg_c_eq)?,
+            };
         }
         if mi > 0 {
-            qp = qp.with_inequalities(j_in, neg_c_in)?;
+            qp = match j_in {
+                JacRef::Dense(m) => qp.with_inequalities(m, neg_c_in)?,
+                JacRef::Sparse(s) => qp.with_sparse_inequalities(s, neg_c_in)?,
+            };
         }
-        match qp_solver.solve_view(&qp) {
-            Ok(sol) => Ok((
-                sol.z,
-                sol.y_eq,
-                sol.lambda_in,
-                QpSubproblemStatus::Nominal,
-                sol.iterations,
-            )),
-            Err(OptimError::QpMaxIterations { .. }) | Err(OptimError::Linalg(_)) => {
+        if let Some(st) = structure {
+            qp = qp.with_structure(st);
+        }
+        let origin = vec![0.0; n];
+        let first = match match qp_warm.as_deref_mut() {
+            Some(w) => qp_solver.solve_view_warm(&qp, &origin, w),
+            None => qp_solver.solve_view(&qp),
+        } {
+            Ok(sol) => {
+                return Ok((
+                    sol.z,
+                    sol.y_eq,
+                    sol.lambda_in,
+                    QpSubproblemStatus::Nominal,
+                    sol.iterations,
+                ))
+            }
+            Err(e @ OptimError::QpMaxIterations { .. }) | Err(e @ OptimError::Linalg(_)) => {
+                // Singular/ill-conditioned KKT mid-IPM: retry once with
+                // boosted regularization before declaring the subproblem
+                // inconsistent.
+                let mut boosted = *qp_solver.options();
+                boosted.regularization = boosted.regularization.max(1e-12) * 1e6;
+                let retry = QpSolver::new(boosted);
+                if let Ok(sol) = match qp_warm.as_mut() {
+                    Some(w) => retry.solve_view_warm(&qp, &origin, w),
+                    None => retry.solve_view(&qp),
+                } {
+                    return Ok((
+                        sol.z,
+                        sol.y_eq,
+                        sol.lambda_in,
+                        QpSubproblemStatus::RegularizationRetry,
+                        sol.iterations,
+                    ));
+                }
+                e
+            }
+            Err(e) => return Err(e),
+        };
+        match first {
+            OptimError::QpMaxIterations { .. } | OptimError::Linalg(_) => {
+                // Densify sparse Jacobians for the (rare, allocating)
+                // elastic rebuild below.
+                let j_eq_store;
+                let j_eq = match j_eq {
+                    JacRef::Dense(m) => m,
+                    JacRef::Sparse(s) => {
+                        j_eq_store = s.to_dense();
+                        &j_eq_store
+                    }
+                };
+                let j_in_store;
+                let j_in = match j_in {
+                    JacRef::Dense(m) => m,
+                    JacRef::Sparse(s) => {
+                        j_in_store = s.to_dense();
+                        &j_in_store
+                    }
+                };
                 // Elastic mode: d plus slack t ≥ 0 on every constraint,
                 // penalized linearly. Always feasible (t large enough).
                 let nt = n + me + mi;
@@ -522,7 +707,7 @@ impl SqpSolver {
                     sol.iterations,
                 ))
             }
-            Err(e) => Err(e),
+            e => Err(e),
         }
     }
 }
@@ -530,7 +715,15 @@ impl SqpSolver {
 /// Second-order correction step: the minimum-norm solution of
 /// `J_eq · d̂ = −c_eq(z + d)`, i.e. `d̂ = −J_eqᵀ (J_eq J_eqᵀ)⁻¹ c_eq(z+d)`.
 /// Returns `None` when `J_eq J_eqᵀ` is singular.
-fn second_order_correction(j_eq: &Matrix, c_at_trial: &[f64]) -> Option<Vec<f64>> {
+fn second_order_correction(j_eq: JacRef<'_>, c_at_trial: &[f64]) -> Option<Vec<f64>> {
+    let store;
+    let j_eq = match j_eq {
+        JacRef::Dense(m) => m,
+        JacRef::Sparse(s) => {
+            store = s.to_dense();
+            &store
+        }
+    };
     let jjt = j_eq.matmul(&j_eq.transpose()).ok()?;
     let w = ev_linalg::Lu::factor(&jjt).ok()?.solve(c_at_trial).ok()?;
     let mut d_hat = j_eq.matvec_transposed(&w).ok()?;
@@ -545,21 +738,22 @@ fn second_order_correction(j_eq: &Matrix, c_at_trial: &[f64]) -> Option<Vec<f64>
 /// returns NaN when a Jacobian product fails dimensionally.
 fn kkt_residual(
     grad: &[f64],
-    j_eq: &Matrix,
+    j_eq: JacRef<'_>,
     mult_eq: &[f64],
-    j_in: &Matrix,
+    j_in: JacRef<'_>,
     mult_in: &[f64],
 ) -> f64 {
     let mut r = grad.to_vec();
+    let mut buf = vec![0.0; grad.len()];
     if !mult_eq.is_empty() {
-        match j_eq.matvec_transposed(mult_eq) {
-            Ok(v) => vecops::axpy(1.0, &v, &mut r),
+        match j_eq.matvec_transposed_into(mult_eq, &mut buf) {
+            Ok(()) => vecops::axpy(1.0, &buf, &mut r),
             Err(_) => return f64::NAN,
         }
     }
     if !mult_in.is_empty() {
-        match j_in.matvec_transposed(mult_in) {
-            Ok(v) => vecops::axpy(1.0, &v, &mut r),
+        match j_in.matvec_transposed_into(mult_in, &mut buf) {
+            Ok(()) => vecops::axpy(1.0, &buf, &mut r),
             Err(_) => return f64::NAN,
         }
     }
@@ -595,8 +789,20 @@ fn violation(c_eq: &[f64], c_in: &[f64]) -> f64 {
 
 /// Damped BFGS update (Powell damping) of `b` in place.
 fn bfgs_update(b: &mut Matrix, s: &[f64], y: &[f64]) {
+    bfgs_update_block(b, s, y, 0);
+}
+
+/// Damped BFGS on the `s.len() × s.len()` diagonal sub-block of `b`
+/// starting at row/column `lo`, using the matching slices of the step and
+/// gradient-difference vectors. With `lo = 0` and full-length slices this
+/// is the classic full-matrix update; structured problems call it once per
+/// variable block so the approximation stays block-diagonal.
+fn bfgs_update_block(b: &mut Matrix, s: &[f64], y: &[f64], lo: usize) {
     let n = s.len();
-    let bs = b.matvec(s).expect("bfgs dimension");
+    let mut bs = vec![0.0; n];
+    for i in 0..n {
+        bs[i] = (0..n).map(|j| b.get(lo + i, lo + j) * s[j]).sum();
+    }
     let sbs = vecops::dot(s, &bs);
     if sbs <= 1e-14 || vecops::norm2(s) < 1e-14 {
         return;
@@ -620,7 +826,7 @@ fn bfgs_update(b: &mut Matrix, s: &[f64], y: &[f64]) {
     for i in 0..n {
         for j in 0..n {
             let upd = -bs[i] * bs[j] / sbs + r[i] * r[j] / sr;
-            b.add_at(i, j, upd);
+            b.add_at(lo + i, lo + j, upd);
         }
     }
 }
