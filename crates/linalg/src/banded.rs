@@ -466,6 +466,66 @@ mod tests {
         assert!(BandedCholesky::new().solve_in_place(&mut b).is_err());
     }
 
+    /// Late-barrier KKT systems mix `1e8` barrier-inflated diagonals with
+    /// `1e-5` equality Schur pivots in the same matrix. The singularity
+    /// threshold is relative to each row's own magnitude: against a
+    /// *global* scale the tiny-but-healthy pivots would fall at
+    /// `SINGULAR_TOL * 1e8 = 1e-5` and be rejected as singular.
+    #[test]
+    fn per_row_pivot_tolerance_on_mixed_barrier_schur_scales() {
+        let n = 6;
+        let mut a = BandedMatrix::zeros(n, 1);
+        for i in 0..n {
+            // Even rows: barrier-inflated. Odd rows: Schur-complement
+            // equality pivots (negative, quasi-definite style).
+            a.set(i, i, if i % 2 == 0 { 1e8 } else { -1e-5 });
+            if i + 1 < n {
+                a.set(i + 1, i, 1e-8);
+            }
+        }
+        // Dense LU measures pivots against the global matrix scale (1e8)
+        // and rejects this very matrix — the per-row tolerance is what
+        // keeps the banded path usable late in the barrier schedule.
+        assert_eq!(
+            Lu::factor(&a.to_dense()).unwrap_err(),
+            LinalgError::Singular
+        );
+        let mut f = BandedCholesky::new();
+        f.factor(&a)
+            .expect("1e-5 pivots in 1e-8-scale rows are healthy, not singular");
+        let b: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1e3 } else { 1e-6 })
+            .collect();
+        let x = f.solve(&b).unwrap();
+        // Certify via the row-scaled residual (each row's equation holds
+        // relative to its own magnitude), and against the near-diagonal
+        // closed form x_i ~= b_i / a_ii (coupling is O(1e-8)).
+        let xmax = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            let mut r = -b[i];
+            let scale = (0..n).map(|j| a.get(i, j).abs()).fold(b[i].abs(), f64::max);
+            for (j, xj) in x.iter().enumerate() {
+                r += a.get(i, j) * xj;
+            }
+            assert!(
+                r.abs() <= 1e-12 * scale * (1.0 + xmax),
+                "row {i}: residual {r:e} vs scale {scale:e}"
+            );
+            let diag_est = b[i] / a.get(i, i);
+            assert!(
+                (x[i] - diag_est).abs() <= 1e-6 * (1.0 + diag_est.abs()),
+                "row {i}: {:e} far from diagonal estimate {diag_est:e}",
+                x[i]
+            );
+        }
+
+        // A pivot that is tiny *relative to its own row* must still be
+        // rejected: zero the diagonal of a row whose scale is 1e-8, so
+        // elimination leaves |pivot| ~ 1e-24 < tol * 1e-8.
+        a.set(3, 3, 0.0);
+        assert_eq!(f.factor(&a).unwrap_err(), LinalgError::Singular);
+    }
+
     #[test]
     fn refactor_reuses_allocation() {
         let a = tridiag(8, -1.0, 2.0);

@@ -22,6 +22,29 @@ pub enum OptimError {
         /// Final dual residual norm.
         dual_residual: f64,
     },
+    /// The QP's constraints admit no feasible point: the interior-point
+    /// method exhausted its budget with the complementarity measure
+    /// converged but the primal residual stuck far from zero, the
+    /// signature of an inconsistent constraint set.
+    QpInfeasible {
+        /// Final primal residual norm (the irreducible constraint gap).
+        primal_residual: f64,
+    },
+    /// The QP's objective decreases without bound over the feasible set:
+    /// the iterates diverged while staying (near-)feasible. Typical for
+    /// an LP (zero Hessian) missing a bound in the descent direction.
+    QpUnbounded {
+        /// Iterate magnitude at which divergence was declared.
+        z_norm: f64,
+    },
+    /// A candidate solution failed independent KKT verification (see
+    /// [`crate::verify_kkt`]).
+    KktViolation {
+        /// Worst KKT residual of the candidate point.
+        residual: f64,
+        /// Problem-data scale the residual is judged relative to.
+        scale: f64,
+    },
     /// A linear system inside the solver failed to factor.
     Linalg(LinalgError),
     /// Problem data contains NaN or infinity.
@@ -52,6 +75,18 @@ impl core::fmt::Display for OptimError {
             } => write!(
                 f,
                 "qp did not converge: mu={mu:.2e}, primal={primal_residual:.2e}, dual={dual_residual:.2e}"
+            ),
+            Self::QpInfeasible { primal_residual } => write!(
+                f,
+                "qp constraints are infeasible: primal residual stuck at {primal_residual:.2e}"
+            ),
+            Self::QpUnbounded { z_norm } => write!(
+                f,
+                "qp objective is unbounded below: iterates diverged to ‖z‖={z_norm:.2e}"
+            ),
+            Self::KktViolation { residual, scale } => write!(
+                f,
+                "candidate point violates the KKT conditions: residual {residual:.2e} (data scale {scale:.2e})"
             ),
             Self::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             Self::NonFiniteData => write!(f, "problem data contains non-finite values"),

@@ -50,6 +50,7 @@ mod nlp;
 mod observer;
 mod qp;
 mod sqp;
+mod verify;
 
 pub use error::OptimError;
 pub use nlp::NlpProblem;
@@ -61,3 +62,4 @@ pub use qp::{
     QpWarmStart,
 };
 pub use sqp::{SqpOptions, SqpResult, SqpSolver, SqpStatus};
+pub use verify::{kkt_report, verify_kkt, KktReport};

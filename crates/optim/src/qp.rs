@@ -62,13 +62,13 @@ pub enum QpKktBackend {
 
 /// A constraint Jacobian borrowed in either dense or CSR form.
 #[derive(Debug, Clone, Copy)]
-enum ConstraintRef<'a> {
+pub(crate) enum ConstraintRef<'a> {
     Dense(&'a Matrix),
     Sparse(&'a SparseMatrix),
 }
 
 impl ConstraintRef<'_> {
-    fn norm_max(&self) -> f64 {
+    pub(crate) fn norm_max(&self) -> f64 {
         match self {
             Self::Dense(m) => m.norm_max(),
             Self::Sparse(s) => s.norm_max(),
@@ -76,7 +76,7 @@ impl ConstraintRef<'_> {
     }
 
     /// `out = A·x` without allocating.
-    fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+    pub(crate) fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
             Self::Dense(m) => {
                 for r in 0..m.rows() {
@@ -88,7 +88,7 @@ impl ConstraintRef<'_> {
     }
 
     /// `out += coeff · row_i` (length `cols`).
-    fn add_scaled_row(&self, i: usize, coeff: f64, out: &mut [f64]) {
+    pub(crate) fn add_scaled_row(&self, i: usize, coeff: f64, out: &mut [f64]) {
         match self {
             Self::Dense(m) => {
                 for (o, v) in out.iter_mut().zip(m.row(i)) {
@@ -493,8 +493,44 @@ impl<'a> QpView<'a> {
         0.5 * vecops::dot(z, &hz) + vecops::dot(self.g, z)
     }
 
+    /// The Hessian (crate-internal, for the KKT verifier).
+    pub(crate) fn h(&self) -> &Matrix {
+        self.h
+    }
+
+    /// The linear term (crate-internal, for the KKT verifier).
+    pub(crate) fn g(&self) -> &[f64] {
+        self.g
+    }
+
+    /// The equality right-hand side (crate-internal).
+    pub(crate) fn b_eq(&self) -> &[f64] {
+        self.b_eq
+    }
+
+    /// The inequality right-hand side (crate-internal).
+    pub(crate) fn b_in(&self) -> &[f64] {
+        self.b_in
+    }
+
+    /// The bandwidth the banded KKT backend would actually factor at for
+    /// this problem, or `None` when the declared structure is missing or
+    /// inconsistent with the supplied Jacobians (the dense path would be
+    /// used).
+    ///
+    /// This is the *measured* bandwidth — the widest coupling the
+    /// Jacobians and Hessian really contain under the stage-interleaved
+    /// ordering — which is at most [`QpStructure::bandwidth`], the
+    /// declared worst case. The solver battery cross-checks the two to
+    /// catch structure declarations that silently disable the banded
+    /// backend.
+    #[must_use]
+    pub fn planned_bandwidth(&self) -> Option<usize> {
+        banded_plan(self).map(|(_, w)| w)
+    }
+
     /// The inequality Jacobian in whichever form was supplied.
-    fn a_in_ref(&self) -> Option<ConstraintRef<'a>> {
+    pub(crate) fn a_in_ref(&self) -> Option<ConstraintRef<'a>> {
         match (self.a_in_sparse, self.a_in) {
             (Some(s), _) => Some(ConstraintRef::Sparse(s)),
             (None, Some(d)) => Some(ConstraintRef::Dense(d)),
@@ -503,7 +539,7 @@ impl<'a> QpView<'a> {
     }
 
     /// The equality Jacobian in whichever form was supplied.
-    fn a_eq_ref(&self) -> Option<ConstraintRef<'a>> {
+    pub(crate) fn a_eq_ref(&self) -> Option<ConstraintRef<'a>> {
         match (self.a_eq_sparse, self.a_eq) {
             (Some(s), _) => Some(ConstraintRef::Sparse(s)),
             (None, Some(d)) => Some(ConstraintRef::Dense(d)),
@@ -836,6 +872,16 @@ impl QpSolver {
 
         let reg = self.options.regularization.max(1e-12);
         let tol = self.options.tolerance;
+        // Scale against which iterate divergence and irreducible primal
+        // residuals are judged: the constraint right-hand sides bound the
+        // geometry of the feasible set the same way the matrix norms in
+        // `data_scale` bound the operator magnitudes.
+        let geom_scale =
+            data_scale + vecops::norm_inf(problem.b_in) + vecops::norm_inf(problem.b_eq);
+        // Residual threshold separating "still converging" from "stuck":
+        // √tol sits orders of magnitude above the convergence tolerance
+        // yet far below any genuine constraint gap.
+        let stuck_tol = tol.max(f64::EPSILON).sqrt();
 
         for iter in 0..self.options.max_iterations {
             // Residuals: rd = Hz + g + A_eqᵀy + A_inᵀλ, rp = A_eq·z − b_eq,
@@ -956,6 +1002,29 @@ impl QpSolver {
             vecops::axpy(alpha, &dy, &mut y);
             vecops::axpy(alpha, &ds, &mut s);
             vecops::axpy(alpha, &dlam, &mut lam);
+
+            // Divergence guard: the iterates of a solvable QP stay within
+            // a bounded multiple of the problem geometry, so a primal
+            // point ten orders of magnitude beyond it will never come
+            // back. Near-feasible divergence is an unbounded objective
+            // (an LP ray the constraints fail to cap); divergence with an
+            // irreducible primal residual is the dual ray of an
+            // infeasible constraint set.
+            let z_norm = vecops::norm_inf(&z);
+            if z_norm > 1e10 * geom_scale {
+                // Judged relative to the diverged iterate: along a feasible
+                // ray the residual stays bounded while ‖z‖ explodes
+                // (unbounded objective); if the residual grew with the
+                // iterate, no feasible ray exists (infeasible constraints).
+                let primal = vecops::norm_inf(&rp).max(vecops::norm_inf(&rc));
+                return Err(if primal <= stuck_tol * z_norm {
+                    OptimError::QpUnbounded { z_norm }
+                } else {
+                    OptimError::QpInfeasible {
+                        primal_residual: primal,
+                    }
+                });
+            }
         }
 
         // Re-evaluate residuals for the error report.
@@ -969,9 +1038,23 @@ impl QpSolver {
                 rp[r] -= problem.b_eq[r];
             }
         }
+        a_in.matvec_into(&z, &mut cz);
+        for i in 0..mi {
+            rc[i] = cz[i] + s[i] - problem.b_in[i];
+        }
+        let primal_residual = vecops::norm_inf(&rp).max(vecops::norm_inf(&rc));
+        // A primal residual stuck far above the convergence scale after a
+        // full iteration budget is the signature of inconsistent
+        // constraints: route it as infeasibility so callers (SQP elastic
+        // mode, the battery harness) can react to the cause rather than
+        // the symptom. Slow-but-feasible problems keep the generic
+        // max-iterations report.
+        if primal_residual > stuck_tol * geom_scale {
+            return Err(OptimError::QpInfeasible { primal_residual });
+        }
         Err(OptimError::QpMaxIterations {
             mu: vecops::dot(&s, &lam) / mi as f64,
-            primal_residual: vecops::norm_inf(&rp),
+            primal_residual,
             dual_residual: vecops::norm_inf(&rd),
         })
     }
@@ -984,12 +1067,13 @@ impl QpSolver {
     ) -> Result<QpSolution, OptimError> {
         let n = problem.num_vars();
         let dim = n + me;
+        let delta = self.options.regularization.max(1e-12);
         let mut kkt = Matrix::zeros(dim, dim);
         for r in 0..n {
             for c in 0..n {
                 kkt.set(r, c, problem.h.get(r, c));
             }
-            kkt.add_at(r, r, self.options.regularization.max(1e-12));
+            kkt.add_at(r, r, delta);
         }
         if let Some(a_eq) = problem.a_eq_ref() {
             for r in 0..me {
@@ -1010,6 +1094,12 @@ impl QpSolver {
                 }
             }
         }
+        // Quasi-definite −δ block: keeps the factorization nonsingular
+        // when equality rows are linearly dependent (duplicated or
+        // rescaled rows), at an O(δ·‖y‖) perturbation of the solution.
+        for r in 0..me {
+            kkt.add_at(n + r, n + r, -delta);
+        }
         let mut rhs = vec![0.0; dim];
         for i in 0..n {
             rhs[i] = -problem.g[i];
@@ -1018,6 +1108,28 @@ impl QpSolver {
         let sol = Lu::factor(&kkt)?.solve(&rhs)?;
         let z = sol[..n].to_vec();
         let y_eq = sol[n..].to_vec();
+        // The regularized system always has an answer, even when the
+        // equalities contradict each other; only the residual tells an
+        // inconsistent system from a consistent rank-deficient one.
+        if me > 0 {
+            let mut az = vec![0.0; me];
+            if let Some(a_eq) = problem.a_eq_ref() {
+                a_eq.matvec_into(&z, &mut az);
+            }
+            let mut primal_residual = 0.0f64;
+            for r in 0..me {
+                primal_residual = primal_residual.max((az[r] - problem.b_eq[r]).abs());
+            }
+            let scale = 1.0
+                + problem.h.norm_max()
+                + vecops::norm_inf(problem.g)
+                + vecops::norm_inf(problem.b_eq)
+                + problem.a_eq_ref().map_or(0.0, |a| a.norm_max());
+            let stuck_tol = self.options.tolerance.max(f64::EPSILON).sqrt();
+            if !primal_residual.is_finite() || primal_residual > stuck_tol * scale {
+                return Err(OptimError::QpInfeasible { primal_residual });
+            }
+        }
         Ok(QpSolution {
             objective: problem.objective(&z),
             z,
@@ -1608,7 +1720,32 @@ mod tests {
             .with_inequalities(a, vec![0.0, -1.0])
             .unwrap();
         let err = QpSolver::default().solve(&p).unwrap_err();
-        assert!(matches!(err, OptimError::QpMaxIterations { .. }), "{err:?}");
+        assert!(
+            matches!(
+                err,
+                OptimError::QpInfeasible { .. } | OptimError::QpMaxIterations { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unbounded_lp_is_classified() {
+        // min −z with only z ≥ 0: the objective decreases along the
+        // feasible ray z → ∞.
+        let a = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let p = QpProblem::new(Matrix::from_diag(&[0.0]), vec![-1.0])
+            .unwrap()
+            .with_inequalities(a, vec![0.0])
+            .unwrap();
+        let err = QpSolver::default().solve(&p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OptimError::QpUnbounded { .. } | OptimError::QpMaxIterations { .. }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

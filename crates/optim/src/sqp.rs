@@ -596,7 +596,12 @@ impl SqpSolver {
                     sol.iterations,
                 ))
             }
-            Err(e @ OptimError::QpMaxIterations { .. }) | Err(e @ OptimError::Linalg(_)) => {
+            Err(
+                e @ (OptimError::QpMaxIterations { .. }
+                | OptimError::QpInfeasible { .. }
+                | OptimError::QpUnbounded { .. }
+                | OptimError::Linalg(_)),
+            ) => {
                 // Singular/ill-conditioned KKT mid-IPM: retry once with
                 // boosted regularization before declaring the subproblem
                 // inconsistent.
@@ -620,7 +625,10 @@ impl SqpSolver {
             Err(e) => return Err(e),
         };
         match first {
-            OptimError::QpMaxIterations { .. } | OptimError::Linalg(_) => {
+            OptimError::QpMaxIterations { .. }
+            | OptimError::QpInfeasible { .. }
+            | OptimError::QpUnbounded { .. }
+            | OptimError::Linalg(_) => {
                 // Densify sparse Jacobians for the (rare, allocating)
                 // elastic rebuild below.
                 let j_eq_store;

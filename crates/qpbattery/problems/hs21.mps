@@ -1,0 +1,21 @@
+* Hock-Schittkowski 21: min 0.01 x1^2 + x2^2 - 100
+* s.t. 10 x1 - x2 >= 10, 2 <= x1 <= 50, -50 <= x2 <= 50.
+* Optimum x = (2, 0), f* = -99.96.
+NAME HS21
+ROWS
+ N OBJ
+ G C1
+COLUMNS
+ X1 OBJ 0.0 C1 10.0
+ X2 OBJ 0.0 C1 -1.0
+RHS
+ RHS C1 10.0 OBJ 100.0
+BOUNDS
+ LO BND X1 2.0
+ UP BND X1 50.0
+ LO BND X2 -50.0
+ UP BND X2 50.0
+QUADOBJ
+ X1 X1 0.02
+ X2 X2 2.0
+ENDATA

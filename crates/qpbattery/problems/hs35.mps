@@ -1,0 +1,21 @@
+* Hock-Schittkowski 35 (Beale): min 9 - 8x1 - 6x2 - 4x3
+*   + 2x1^2 + 2x2^2 + x3^2 + 2x1x2 + 2x1x3
+* s.t. x1 + x2 + 2x3 <= 3, x >= 0.
+* Optimum x = (4/3, 7/9, 4/9), f* = 1/9.
+NAME HS35
+ROWS
+ N OBJ
+ L C1
+COLUMNS
+ X1 OBJ -8.0 C1 1.0
+ X2 OBJ -6.0 C1 1.0
+ X3 OBJ -4.0 C1 2.0
+RHS
+ RHS C1 3.0 OBJ -9.0
+QUADOBJ
+ X1 X1 4.0
+ X1 X2 2.0
+ X1 X3 2.0
+ X2 X2 4.0
+ X3 X3 2.0
+ENDATA

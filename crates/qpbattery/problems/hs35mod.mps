@@ -1,0 +1,22 @@
+* Hock-Schittkowski 35 variant with x2 fixed at 0.5 (exercises FX bounds).
+* The inequality is exactly active at the optimum x = (1.5, 0.5, 0.5);
+* f* = 0.25.
+NAME HS35MOD
+ROWS
+ N OBJ
+ L C1
+COLUMNS
+ X1 OBJ -8.0 C1 1.0
+ X2 OBJ -6.0 C1 1.0
+ X3 OBJ -4.0 C1 2.0
+RHS
+ RHS C1 3.0 OBJ -9.0
+BOUNDS
+ FX BND X2 0.5
+QUADOBJ
+ X1 X1 4.0
+ X1 X2 2.0
+ X1 X3 2.0
+ X2 X2 4.0
+ X3 X3 2.0
+ENDATA

@@ -1,0 +1,34 @@
+* Hock-Schittkowski 51: min (x1-x2)^2 + (x2+x3-2)^2 + (x4-1)^2 + (x5-1)^2
+* s.t. x1 + 3x2 = 4, x3 + x4 - 2x5 = 0, x2 - x5 = 0, x free.
+* Optimum x = (1, 1, 1, 1, 1), f* = 0 (semidefinite Hessian).
+NAME HS51
+ROWS
+ N OBJ
+ E E1
+ E E2
+ E E3
+COLUMNS
+ X1 OBJ 0.0 E1 1.0
+ X2 OBJ -4.0 E1 3.0
+ X2 E3 1.0
+ X3 OBJ -4.0 E2 1.0
+ X4 OBJ -2.0 E2 1.0
+ X5 OBJ -2.0 E2 -2.0
+ X5 E3 -1.0
+RHS
+ RHS E1 4.0 OBJ -6.0
+BOUNDS
+ FR BND X1
+ FR BND X2
+ FR BND X3
+ FR BND X4
+ FR BND X5
+QUADOBJ
+ X1 X1 2.0
+ X1 X2 -2.0
+ X2 X2 4.0
+ X2 X3 2.0
+ X3 X3 2.0
+ X4 X4 2.0
+ X5 X5 2.0
+ENDATA

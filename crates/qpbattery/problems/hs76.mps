@@ -1,0 +1,31 @@
+* Hock-Schittkowski 76:
+* min x1^2 + 0.5x2^2 + x3^2 + 0.5x4^2 - x1x3 + x3x4 - x1 - 3x2 + x3 - x4
+* s.t. x1 + 2x2 + x3 + x4 <= 5, 3x1 + x2 + 2x3 - x4 <= 4,
+*      x2 + 4x3 >= 1.5, x >= 0.
+* f* = -4.681818...
+NAME HS76
+ROWS
+ N OBJ
+ L C1
+ L C2
+ G C3
+COLUMNS
+ X1 OBJ -1.0 C1 1.0
+ X1 C2 3.0
+ X2 OBJ -3.0 C1 2.0
+ X2 C2 1.0 C3 1.0
+ X3 OBJ 1.0 C1 1.0
+ X3 C2 2.0 C3 4.0
+ X4 OBJ -1.0 C1 1.0
+ X4 C2 -1.0
+RHS
+ RHS C1 5.0 C2 4.0
+ RHS C3 1.5
+QUADOBJ
+ X1 X1 2.0
+ X1 X3 -1.0
+ X2 X2 1.0
+ X3 X3 2.0
+ X3 X4 1.0
+ X4 X4 1.0
+ENDATA

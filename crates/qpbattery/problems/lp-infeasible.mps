@@ -1,0 +1,13 @@
+* Infeasible by bounds: the row forces x <= 1 while the LO bound
+* demands x >= 2. The solver must return a routable error, not hang.
+NAME LPINFEAS
+ROWS
+ N OBJ
+ L CAP
+COLUMNS
+ X OBJ 1.0 CAP 1.0
+RHS
+ RHS CAP 1.0
+BOUNDS
+ LO BND X 2.0
+ENDATA

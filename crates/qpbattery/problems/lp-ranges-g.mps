@@ -1,0 +1,17 @@
+* LP with a ranged G row: min x + 2y s.t. 2 <= x + y <= 5,
+* 0 <= x, y <= 4. Optimum (2, 0), f* = 2.
+NAME LPRANGESG
+ROWS
+ N OBJ
+ G SUM
+COLUMNS
+ X OBJ 1.0 SUM 1.0
+ Y OBJ 2.0 SUM 1.0
+RHS
+ RHS SUM 2.0
+RANGES
+ RNG SUM 3.0
+BOUNDS
+ UP BND X 4.0
+ UP BND Y 4.0
+ENDATA

@@ -1,0 +1,15 @@
+* LP with a ranged L row and an objective constant from the RHS:
+* min 2x + 3y - 10 s.t. 1 <= x + y <= 3, x, y >= 0.
+* Optimum (1, 0), f* = -8.
+NAME LPRANGESL
+ROWS
+ N OBJ
+ L SUM
+COLUMNS
+ X OBJ 2.0 SUM 1.0
+ Y OBJ 3.0 SUM 1.0
+RHS
+ RHS SUM 3.0 OBJ 10.0
+RANGES
+ RNG SUM 2.0
+ENDATA

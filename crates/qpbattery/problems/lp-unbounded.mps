@@ -1,0 +1,9 @@
+* Unbounded below: min -x with only the default x >= 0 bound; the
+* objective decreases without limit along the feasible ray x -> inf.
+NAME LPUNBOUND
+ROWS
+ N OBJ
+COLUMNS
+ X OBJ -1.0
+RHS
+ENDATA

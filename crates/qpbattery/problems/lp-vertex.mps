@@ -1,0 +1,16 @@
+* Pure LP in classic fixed-column format (fields at columns 2-3, 5-12,
+* 15-22, 25-36, 40-47, 50-61): min -x - 2y s.t. x + y <= 4,
+* 0 <= x <= 3, 0 <= y <= 2. Optimum at the vertex (2, 2), f* = -6.
+NAME          LPVERTEX
+ROWS
+ N  COST
+ L  CAP
+COLUMNS
+    X         COST      -1.0           CAP       1.0
+    Y         COST      -2.0           CAP       1.0
+RHS
+    RHS       CAP       4.0
+BOUNDS
+ UP BND       X         3.0
+ UP BND       Y         2.0
+ENDATA

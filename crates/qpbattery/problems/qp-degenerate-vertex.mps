@@ -1,0 +1,16 @@
+* Degenerate LP: three constraints active at the 2-D optimum (0, 0) -
+* the redundant x + y >= 0 row duplicates the implied default bounds.
+* min x + y s.t. x + y >= 0, x + y <= 2, x, y >= 0. f* = 0.
+NAME QPDEGEN
+ROWS
+ N OBJ
+ G LB
+ L UB
+COLUMNS
+ X OBJ 1.0 LB 1.0
+ X UB 1.0
+ Y OBJ 1.0 LB 1.0
+ Y UB 1.0
+RHS
+ RHS UB 2.0
+ENDATA

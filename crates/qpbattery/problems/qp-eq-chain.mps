@@ -1,0 +1,41 @@
+* Equality-only QP (exercises the solver's pure-equality KKT path):
+* min 0.5 ||x||^2 s.t. x_i + x_{i+1} = 1 for i = 1..5, x free.
+* Optimum x_i = 0.5 for all i, f* = 0.75.
+NAME QPEQCHAIN
+ROWS
+ N OBJ
+ E E1
+ E E2
+ E E3
+ E E4
+ E E5
+COLUMNS
+ X1 OBJ 0.0 E1 1.0
+ X2 OBJ 0.0 E1 1.0
+ X2 E2 1.0
+ X3 OBJ 0.0 E2 1.0
+ X3 E3 1.0
+ X4 OBJ 0.0 E3 1.0
+ X4 E4 1.0
+ X5 OBJ 0.0 E4 1.0
+ X5 E5 1.0
+ X6 OBJ 0.0 E5 1.0
+RHS
+ RHS E1 1.0 E2 1.0
+ RHS E3 1.0 E4 1.0
+ RHS E5 1.0
+BOUNDS
+ FR BND X1
+ FR BND X2
+ FR BND X3
+ FR BND X4
+ FR BND X5
+ FR BND X6
+QUADOBJ
+ X1 X1 1.0
+ X2 X2 1.0
+ X3 X3 1.0
+ X4 X4 1.0
+ X5 X5 1.0
+ X6 X6 1.0
+ENDATA

@@ -1,0 +1,18 @@
+* Fixed-column-format QP with a QUADOBJ section:
+* min (x-1)^2 + (y+1)^2 s.t. x <= 0.5, y >= -5 (and the default
+* x >= 0). The x bound is active: optimum (0.5, -1), f* = 0.25.
+NAME          QPFIXED
+ROWS
+ N  OBJ
+COLUMNS
+    X         OBJ       -2.0
+    Y         OBJ       2.0
+RHS
+    RHS       OBJ       -2.0
+BOUNDS
+ UP BND       X         0.5
+ LO BND       Y         -5.0
+QUADOBJ
+    X         X         2.0
+    Y         Y         2.0
+ENDATA

@@ -1,0 +1,18 @@
+* Exercises MI / LO / PL bound kinds: min x^2 + y^2 + x + y with
+* x in (-inf, inf) via MI, y in [-5, inf) via LO then PL.
+* Unconstrained optimum (-0.5, -0.5) is interior, f* = -0.5.
+NAME QPFREEBND
+ROWS
+ N OBJ
+COLUMNS
+ X OBJ 1.0
+ Y OBJ 1.0
+RHS
+BOUNDS
+ MI BND X
+ LO BND Y -5.0
+ PL BND Y
+QUADOBJ
+ X X 2.0
+ Y Y 2.0
+ENDATA

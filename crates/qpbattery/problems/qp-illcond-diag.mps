@@ -1,0 +1,29 @@
+* Ill-conditioned diagonal QP, condition number 1e8:
+* min sum_i d_i (x_i - 1)^2, d = (1e-4, 1e-2, 1, 1e2, 1e4),
+* s.t. x1 + x2 + x3 + x4 + x5 = 4, x free.
+* Analytic optimum: f* = 1 / sum_i (1/d_i) = 1e4 / 101010101.
+NAME QPILLCOND
+ROWS
+ N OBJ
+ E SUM
+COLUMNS
+ X1 OBJ -0.0002 SUM 1.0
+ X2 OBJ -0.02 SUM 1.0
+ X3 OBJ -2.0 SUM 1.0
+ X4 OBJ -200.0 SUM 1.0
+ X5 OBJ -20000.0 SUM 1.0
+RHS
+ RHS SUM 4.0 OBJ -10101.0101
+BOUNDS
+ FR BND X1
+ FR BND X2
+ FR BND X3
+ FR BND X4
+ FR BND X5
+QUADOBJ
+ X1 X1 0.0002
+ X2 X2 0.02
+ X3 X3 2.0
+ X4 X4 200.0
+ X5 X5 20000.0
+ENDATA

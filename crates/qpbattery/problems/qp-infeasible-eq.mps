@@ -1,0 +1,21 @@
+* Inconsistent equalities: x + y = 1 and x + y = 2 cannot both hold.
+* min x^2 + y^2; expected outcome is an infeasibility error.
+NAME QPINFEASEQ
+ROWS
+ N OBJ
+ E P1
+ E P2
+COLUMNS
+ X OBJ 0.0 P1 1.0
+ X P2 1.0
+ Y OBJ 0.0 P1 1.0
+ Y P2 1.0
+RHS
+ RHS P1 1.0 P2 2.0
+BOUNDS
+ FR BND X
+ FR BND Y
+QUADOBJ
+ X X 2.0
+ Y Y 2.0
+ENDATA

@@ -1,0 +1,19 @@
+* OBJSENSE MAXIMIZE with a concave quadratic (loader negates to a
+* convex minimization): max 3 - (x-2)^2 - (y-1)^2 s.t. x + y <= 2,
+* x, y >= 0. Optimum (1.5, 0.5), reported in the original sense:
+* f* = 2.5.
+NAME QPMAXOBJ
+OBJSENSE
+ MAXIMIZE
+ROWS
+ N OBJ
+ L CAP
+COLUMNS
+ X OBJ 4.0 CAP 1.0
+ Y OBJ 2.0 CAP 1.0
+RHS
+ RHS CAP 2.0 OBJ 2.0
+QUADOBJ
+ X X -2.0
+ Y Y -2.0
+ENDATA

@@ -1,0 +1,21 @@
+* QP with a ranged E row (E + RANGES turns the equality into an
+* interval): min (x-3)^2 + (y-3)^2 s.t. 2 <= x + y <= 4, x, y free.
+* Optimum (2, 2) on the upper face, f* = 2.
+NAME QPRANGESEQ
+ROWS
+ N OBJ
+ E SUM
+COLUMNS
+ X OBJ -6.0 SUM 1.0
+ Y OBJ -6.0 SUM 1.0
+RHS
+ RHS SUM 2.0 OBJ -18.0
+RANGES
+ RNG SUM 2.0
+BOUNDS
+ FR BND X
+ FR BND Y
+QUADOBJ
+ X X 2.0
+ Y Y 2.0
+ENDATA

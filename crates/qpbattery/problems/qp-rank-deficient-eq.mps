@@ -1,0 +1,28 @@
+* Rank-deficient but consistent equalities (the row is stated twice):
+* min (x-1)^2 + (y-2)^2 + (z-3)^2 s.t. x + y + z = 6 (x2), free vars.
+* The target point already satisfies the constraint, so f* = 0 and the
+* equality multipliers are non-unique.
+NAME QPRANKDEF
+ROWS
+ N OBJ
+ E SUM1
+ E SUM2
+COLUMNS
+ X OBJ -2.0 SUM1 1.0
+ X SUM2 1.0
+ Y OBJ -4.0 SUM1 1.0
+ Y SUM2 1.0
+ Z OBJ -6.0 SUM1 1.0
+ Z SUM2 1.0
+RHS
+ RHS SUM1 6.0 SUM2 6.0
+ RHS OBJ -14.0
+BOUNDS
+ FR BND X
+ FR BND Y
+ FR BND Z
+QUADOBJ
+ X X 2.0
+ Y Y 2.0
+ Z Z 2.0
+ENDATA

@@ -1,0 +1,22 @@
+* Redundant inequalities: the active constraint appears three times at
+* different scalings, so the optimal multipliers are non-unique.
+* min (x-2)^2 + (y-2)^2 s.t. x + y <= 2 (x3 scalings), x, y >= 0.
+* Optimum (1, 1), f* = 2.
+NAME QPREDUND
+ROWS
+ N OBJ
+ L R1
+ L R2
+ L R3
+COLUMNS
+ X OBJ -4.0 R1 1.0
+ X R2 2.0 R3 0.5
+ Y OBJ -4.0 R1 1.0
+ Y R2 2.0 R3 0.5
+RHS
+ RHS R1 2.0 R2 4.0
+ RHS R3 1.0 OBJ -8.0
+QUADOBJ
+ X X 2.0
+ Y Y 2.0
+ENDATA

@@ -1,0 +1,16 @@
+* TAME (Maros-Meszaros): min (x - y)^2 s.t. x + y = 1, x, y >= 0.
+* Semidefinite Hessian; optimum x = y = 0.5, f* = 0.
+NAME TAME
+ROWS
+ N OBJ
+ E E1
+COLUMNS
+ X OBJ 0.0 E1 1.0
+ Y OBJ 0.0 E1 1.0
+RHS
+ RHS E1 1.0
+QUADOBJ
+ X X 2.0
+ X Y -2.0
+ Y Y 2.0
+ENDATA

@@ -1,0 +1,37 @@
+//! Fixed-seed differential fuzz smoke: 200 generated instances through
+//! every KKT backend, fully offline and deterministic. This is the CI
+//! `solver-battery` job's long pole; the seed is pinned so a red run is
+//! reproducible with `cargo test -p ev-qpbattery --test fuzz_smoke`.
+
+use ev_qpbattery::differential::fuzz;
+
+const SEED: u64 = 0xDAC_2015;
+const COUNT: usize = 200;
+
+#[test]
+fn two_hundred_instances_cross_check_clean() {
+    let reports = fuzz(SEED, COUNT);
+    assert_eq!(reports.len(), COUNT);
+    let dirty: Vec<_> = reports.iter().filter(|r| !r.is_clean()).collect();
+    if !dirty.is_empty() {
+        let mut msg = format!(
+            "{} of {COUNT} instances failed the differential cross-check:\n",
+            dirty.len()
+        );
+        for report in &dirty {
+            msg.push_str(&report.describe());
+            msg.push('\n');
+        }
+        panic!("{msg}");
+    }
+    // Every generator family must actually appear in the sweep — a
+    // round-robin regression that skipped, say, the infeasible family
+    // would silently gut coverage.
+    let mut families: Vec<_> = reports.iter().map(|r| format!("{:?}", r.family)).collect();
+    families.sort_unstable();
+    families.dedup();
+    assert!(
+        families.len() >= 7,
+        "expected all 7 generator families in the sweep, saw {families:?}"
+    );
+}

@@ -37,6 +37,7 @@
 
 pub mod golden;
 pub mod invariants;
+pub mod qpgen;
 pub mod run;
 
 pub use golden::{
@@ -46,4 +47,5 @@ pub use golden::{
 pub use invariants::{
     check_trace, InvariantConfig, InvariantObserver, InvariantReport, InvariantViolation,
 };
+pub use qpgen::{GeneratedQp, QpAsNlp, QpFamily};
 pub use run::{dump_on_violation, run_checked, run_recorded, run_traced, run_with};
