@@ -172,6 +172,10 @@ impl ClimateController for FuzzyController {
         "fuzzy"
     }
 
+    fn reset_session(&mut self) {
+        self.prev_error = None;
+    }
+
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         let error = ctx.state.tz.diff(self.target); // + = too hot
         let rate = match self.prev_error {

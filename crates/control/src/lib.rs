@@ -76,6 +76,20 @@ pub trait ClimateController {
     fn solver_diagnostics(&self) -> Option<MpcDiagnostics> {
         None
     }
+
+    /// Clears all per-drive state so the controller can be handed to a
+    /// *new vehicle session* without re-instantiation: thermostat switch
+    /// state, PID integral/derivative memory, and — critically — the
+    /// MPC's warm start and interior-point multiplier cache, which
+    /// anchor the solver to the previous vehicle's trajectory and must
+    /// never leak across vehicle ids. Cumulative observability
+    /// (diagnostics counters, telemetry) survives the reset: a session
+    /// slot is reused, the metrics stream is not.
+    ///
+    /// After `reset_session` the controller must behave bitwise
+    /// identically to a freshly instantiated one. The default is a no-op,
+    /// correct only for stateless controllers.
+    fn reset_session(&mut self) {}
 }
 
 /// Maps a signed actuation duty (−1 = full heating, +1 = full cooling)

@@ -971,6 +971,23 @@ impl ClimateController for MpcController {
     fn solver_diagnostics(&self) -> Option<MpcDiagnostics> {
         Some(self.diagnostics)
     }
+
+    fn reset_session(&mut self) {
+        // Everything anchored to the previous vehicle's trajectory must
+        // go: the shifted-plan warm start, the interior-point multiplier
+        // cache, the held input and the re-solve cadence phase. A warm
+        // start carried across vehicle ids would seed the new session's
+        // first solve from another vehicle's plan — at best a slow cold
+        // start in disguise, at worst a different iterate path than a
+        // fresh controller (breaking per-session reproducibility).
+        self.warm_start = None;
+        self.sqp_warm = QpWarmStart::new();
+        self.cached_input = None;
+        self.steps_since_solve = 0;
+        self.control_steps = 0;
+        // Diagnostics and telemetry survive: the slot is recycled, the
+        // cumulative metrics stream is not.
+    }
 }
 
 /// The single-shooting NLP built every control step: decision variables
@@ -2439,6 +2456,46 @@ mod tests {
         let all = c.shifted_warm_start(&prev, 4);
         assert_eq!(all.len(), prev.len());
         assert_eq!(all[..VARS_PER_STEP], prev[3 * VARS_PER_STEP..]);
+    }
+
+    #[test]
+    fn reset_session_restores_fresh_controller_behavior() {
+        // A reused session slot must solve bitwise identically to a
+        // freshly built controller: no warm start, multiplier cache or
+        // cadence phase may leak from the previous vehicle.
+        let hvac = Hvac::new(CabinParams::default(), HvacParams::default());
+        let mk = || {
+            MpcController::builder(hvac.clone(), HvacLimits::default())
+                .horizon(6)
+                .recompute_every(2)
+                .build()
+                .unwrap()
+        };
+        let preview = preview_const(8_000.0, 35.0, 24);
+        let drive = |c: &mut MpcController| -> Vec<HvacInput> {
+            (0..5)
+                .map(|step| c.control(&ctx(26.0 - 0.1 * step as f64, 35.0, &preview)))
+                .collect()
+        };
+        let mut fresh = mk();
+        let fresh_inputs = drive(&mut fresh);
+
+        let mut reused = mk();
+        // A previous "vehicle" leaves a warm start, a held input and an
+        // odd cadence phase behind.
+        for step in 0..3 {
+            let _ = reused.control(&ctx(28.0 + 0.2 * step as f64, 40.0, &preview));
+        }
+        assert!(reused.warm_start.is_some(), "previous session warmed up");
+        reused.reset_session();
+        assert!(reused.warm_start.is_none());
+        assert!(reused.cached_input.is_none());
+        assert_eq!(reused.steps_since_solve, 0);
+        assert_eq!(drive(&mut reused), fresh_inputs);
+        // Diagnostics survive the reset (cumulative observability), and
+        // the first post-reset solve is a cold start.
+        let d = reused.diagnostics();
+        assert_eq!(d.warm_start_misses, 2, "one per session's first solve");
     }
 
     #[test]

@@ -124,6 +124,10 @@ impl ClimateController for OnOffController {
         "on-off"
     }
 
+    fn reset_session(&mut self) {
+        self.on = false;
+    }
+
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         let error = ctx.state.tz.diff(self.target); // + = too hot
                                                     // Mode by the sign of the error once outside the deadband;

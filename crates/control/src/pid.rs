@@ -97,6 +97,10 @@ impl ClimateController for PidController {
         "pid"
     }
 
+    fn reset_session(&mut self) {
+        self.reset();
+    }
+
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         let dt = ctx.dt.value();
         // Positive error = too hot = cooling duty.

@@ -138,6 +138,9 @@ impl ClimateController for BoxedController {
     fn control(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
         self.0.control(ctx)
     }
+    fn reset_session(&mut self) {
+        self.0.reset_session();
+    }
 }
 
 /// Formats the robustness sweep as a text table.

@@ -80,8 +80,9 @@ where
     // preconditioned cabin so a controller cannot look cheap by simply
     // failing to pull a soaked cabin into the comfort zone.
     params.initial_cabin = Some(params.target);
-    // Every cell is independent; run them on scoped threads (the matrix
-    // is at most 5 cycles × 3 controllers).
+    // Every cell is independent; fan them out on the bounded fleet pool
+    // so an arbitrarily large matrix (custom cycle sets, ablation
+    // grids) never spawns more OS threads than the machine has cores.
     let sims: Vec<(String, Simulation)> = cycles
         .iter()
         .map(|cycle| {
@@ -92,42 +93,43 @@ where
             )
         })
         .collect();
-    let mut out = Vec::with_capacity(cycles.len() * 3);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (name, sim) in &sims {
-            for kind in ControllerKind::paper_lineup() {
-                let params = &params;
-                let make_observer = &make_observer;
-                let handle = scope.spawn(move || {
-                    let mut controller = kind.instantiate(params).expect("controller instantiates");
-                    let mut observer = make_observer(name, kind);
-                    let result = sim
-                        .run_observed(controller.as_mut(), &mut observer)
-                        .expect("simulation runs");
-                    (
-                        SweepCell {
-                            profile: name.clone(),
-                            controller: kind,
-                            result,
-                        },
-                        observer,
-                    )
-                });
-                handles.push((name.as_str(), kind, handle));
-            }
+    let mut identities = Vec::with_capacity(sims.len() * 3);
+    let mut jobs = Vec::with_capacity(sims.len() * 3);
+    for (name, sim) in &sims {
+        for kind in ControllerKind::paper_lineup() {
+            identities.push((name.as_str(), kind));
+            let params = &params;
+            let make_observer = &make_observer;
+            jobs.push(move || {
+                let mut controller = kind.instantiate(params).expect("controller instantiates");
+                let mut observer = make_observer(name, kind);
+                let result = sim
+                    .run_observed(controller.as_mut(), &mut observer)
+                    .expect("simulation runs");
+                (
+                    SweepCell {
+                        profile: name.clone(),
+                        controller: kind,
+                        result,
+                    },
+                    observer,
+                )
+            });
         }
-        for (name, kind, handle) in handles {
+    }
+    crate::fleet::run_bounded(crate::fleet::available_workers(), jobs)
+        .into_iter()
+        .zip(identities)
+        .map(|(outcome, (name, kind))| {
             // A bare `.expect()` here loses which cell died — with up to
             // 15 identical workers the panic was undiagnosable. Re-panic
             // with the cell identity and the worker's own message.
-            out.push(handle.join().unwrap_or_else(|payload| {
+            outcome.unwrap_or_else(|payload| {
                 let msg = panic_message(payload.as_ref());
                 panic!("sweep worker for {name} x {kind:?} panicked: {msg}");
-            }));
-        }
-    });
-    out
+            })
+        })
+        .collect()
 }
 
 /// How one sweep cell ended.
@@ -259,57 +261,56 @@ pub fn evaluation_sweep_run_recorded(
             )
         })
         .collect();
-    let mut cells = Vec::with_capacity(cycles.len() * 3);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (name, sim) in &sims {
-            for kind in ControllerKind::paper_lineup() {
-                let params = &params;
-                handles.push((
-                    name.clone(),
-                    kind,
-                    scope.spawn(move || {
-                        let registry = Registry::with_enabled(telemetry);
-                        let recorder = FlightRecorder::with_enabled(postmortem_dir.is_some());
-                        let t0 = std::time::Instant::now();
-                        let mut controller = kind
-                            .instantiate_configured(
-                                params,
-                                &ControllerSetup {
-                                    telemetry: registry.clone(),
-                                    recorder: recorder.clone(),
-                                    max_sqp_iterations: None,
-                                },
-                            )
-                            .expect("controller instantiates");
-                        let mut observer = (
-                            TelemetryObserver::new(&registry),
-                            FlightRecorderObserver::new(&recorder),
-                        );
-                        let run = catch_unwind(AssertUnwindSafe(|| {
-                            sim.run_observed(controller.as_mut(), &mut observer)
-                        }));
-                        let outcome = match run {
-                            Ok(Ok(result)) => SweepOutcome::Completed(Box::new(result)),
-                            Ok(Err(err)) => SweepOutcome::Failed(err.to_string()),
-                            Err(payload) => SweepOutcome::Failed(panic_message(payload.as_ref())),
-                        };
-                        (
-                            outcome,
-                            controller.solver_diagnostics(),
-                            registry.snapshot(),
-                            t0.elapsed().as_secs_f64(),
-                            recorder,
-                        )
-                    }),
-                ));
-            }
+    let mut identities = Vec::with_capacity(sims.len() * 3);
+    let mut jobs = Vec::with_capacity(sims.len() * 3);
+    for (name, sim) in &sims {
+        for kind in ControllerKind::paper_lineup() {
+            identities.push((name.clone(), kind));
+            let params = &params;
+            jobs.push(move || {
+                let registry = Registry::with_enabled(telemetry);
+                let recorder = FlightRecorder::with_enabled(postmortem_dir.is_some());
+                let t0 = std::time::Instant::now();
+                let mut controller = kind
+                    .instantiate_configured(
+                        params,
+                        &ControllerSetup {
+                            telemetry: registry.clone(),
+                            recorder: recorder.clone(),
+                            max_sqp_iterations: None,
+                        },
+                    )
+                    .expect("controller instantiates");
+                let mut observer = (
+                    TelemetryObserver::new(&registry),
+                    FlightRecorderObserver::new(&recorder),
+                );
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    sim.run_observed(controller.as_mut(), &mut observer)
+                }));
+                let outcome = match run {
+                    Ok(Ok(result)) => SweepOutcome::Completed(Box::new(result)),
+                    Ok(Err(err)) => SweepOutcome::Failed(err.to_string()),
+                    Err(payload) => SweepOutcome::Failed(panic_message(payload.as_ref())),
+                };
+                (
+                    outcome,
+                    controller.solver_diagnostics(),
+                    registry.snapshot(),
+                    t0.elapsed().as_secs_f64(),
+                    recorder,
+                )
+            });
         }
-        for (profile, controller, handle) in handles {
-            // The worker caught run-time panics itself; a join error means
+    }
+    let cells = crate::fleet::run_bounded(crate::fleet::available_workers(), jobs)
+        .into_iter()
+        .zip(identities)
+        .map(|(worker, (profile, controller))| {
+            // The job caught run-time panics itself; an Err slot means
             // something outside the guarded region blew up (instantiation).
             let (outcome, diagnostics, telemetry, wall_seconds, recorder) =
-                handle.join().unwrap_or_else(|payload| {
+                worker.unwrap_or_else(|payload| {
                     (
                         SweepOutcome::Failed(panic_message(payload.as_ref())),
                         None,
@@ -324,7 +325,7 @@ pub fn evaluation_sweep_run_recorded(
                 }
                 _ => None,
             };
-            cells.push(SweepCellResult {
+            SweepCellResult {
                 profile,
                 controller,
                 outcome,
@@ -332,9 +333,9 @@ pub fn evaluation_sweep_run_recorded(
                 telemetry,
                 wall_seconds,
                 postmortem,
-            });
-        }
-    });
+            }
+        })
+        .collect();
     SweepResult { ambient_c, cells }
 }
 

@@ -1,0 +1,164 @@
+//! A bounded scoped worker pool for fan-out jobs.
+//!
+//! [`run_bounded`] replaces the one-OS-thread-per-job pattern the sweep
+//! harness used to rely on: a 200-cell sweep on a 4-core CI runner no
+//! longer spawns 200 kernel threads, it spawns `min(workers, jobs)` and
+//! feeds them from an atomic cursor. Results come back **in job order**
+//! with per-job panics captured, so callers keep their cell-identity
+//! panic messages.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// The default fan-out width: the machine's available parallelism, with
+/// a conservative fallback when the OS cannot report it.
+#[must_use]
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+/// Runs every job on a pool of at most `max_workers` OS threads
+/// (clamped to at least 1) and returns one result per job, **in the
+/// order the jobs were given**. A panicking job is captured as
+/// `Err(payload)` in its own slot — exactly what `JoinHandle::join`
+/// would have produced — without poisoning its siblings, so callers can
+/// re-raise with job identity attached.
+///
+/// The call blocks until every job has finished; worker threads are
+/// scoped, so jobs may borrow from the caller's stack.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violation (a result slot left
+/// unfilled), never because a *job* panicked.
+pub fn run_bounded<T, F>(max_workers: usize, jobs: Vec<F>) -> Vec<thread::Result<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = max_workers.max(1).min(n);
+    // Slot-per-job storage lets workers claim jobs lock-free (an atomic
+    // cursor) while staying within `forbid(unsafe_code)`.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<thread::Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let job = jobs[idx]
+                    .lock()
+                    .expect("job slot lock poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                *results[idx].lock().expect("result slot lock poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every job slot must be filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<_> = (0..32).map(|i| move || i * 10).collect();
+        let out = run_bounded(3, jobs);
+        let values: Vec<i32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let live = &live;
+                let peak = &peak;
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        let out = run_bounded(4, jobs);
+        assert_eq!(out.len(), 64);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "peak concurrency {} exceeded the 4-worker bound",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated_to_its_slot() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("cell exploded")),
+            Box::new(|| 3),
+        ];
+        let out = run_bounded(2, jobs);
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        let payload = out[1].as_ref().unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "cell exploded");
+        assert_eq!(*out[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        let jobs: Vec<_> = (0..100usize)
+            .map(|i| {
+                let seen = &seen;
+                move || assert!(seen.lock().unwrap().insert(i), "job {i} ran twice")
+            })
+            .collect();
+        let out = run_bounded(8, jobs);
+        assert!(out.iter().all(std::thread::Result::is_ok));
+        assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one_and_empty_jobs_return_empty() {
+        let out = run_bounded(0, vec![|| 42]);
+        assert_eq!(*out[0].as_ref().unwrap(), 42);
+        let none: Vec<thread::Result<()>> = run_bounded(4, Vec::<fn()>::new());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn jobs_may_borrow_from_the_caller() {
+        let data = [1u64, 2, 3, 4];
+        let jobs: Vec<_> = data.iter().map(|v| move || v * 2).collect();
+        let out = run_bounded(2, jobs);
+        let sum: u64 = out.into_iter().map(|r| r.unwrap()).sum();
+        assert_eq!(sum, 20);
+    }
+}

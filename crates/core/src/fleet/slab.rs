@@ -1,0 +1,204 @@
+//! A minimal slab allocator for per-shard session state.
+//!
+//! Sessions churn constantly in a long-lived serving process (vehicles
+//! connect, drive, disconnect); a slab keeps them in one contiguous
+//! `Vec` with O(1) insert/remove and **stable keys**, recycling vacated
+//! slots through an intrusive free list instead of shifting neighbours
+//! or fragmenting the heap with per-session boxes.
+
+/// One slab slot: either a live value or a link in the free list.
+#[derive(Debug)]
+enum Entry<T> {
+    Occupied(T),
+    /// Vacant, pointing at the next free slot (`None` = end of list).
+    Vacant(Option<usize>),
+}
+
+/// A contiguous arena with O(1) insert/remove and stable `usize` keys.
+///
+/// Keys are recycled after removal, so holders of a stale key must
+/// guard against re-use themselves (the fleet shard does: its
+/// vehicle-id map is the single source of truth for key validity).
+#[derive(Debug, Default)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    /// Head of the free list.
+    next_free: Option<usize>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            next_free: None,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `capacity` values before
+    /// reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            next_free: None,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its key. Reuses the most recently
+    /// vacated slot when one exists.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.next_free {
+            Some(key) => {
+                let Entry::Vacant(next) = self.entries[key] else {
+                    unreachable!("free list pointed at an occupied slot");
+                };
+                self.next_free = next;
+                self.entries[key] = Entry::Occupied(value);
+                key
+            }
+            None => {
+                self.entries.push(Entry::Occupied(value));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    /// Removes and returns the value at `key`, if occupied.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        match self.entries.get_mut(key) {
+            Some(slot @ Entry::Occupied(_)) => {
+                let prev = std::mem::replace(slot, Entry::Vacant(self.next_free));
+                self.next_free = Some(key);
+                self.len -= 1;
+                match prev {
+                    Entry::Occupied(value) => Some(value),
+                    Entry::Vacant(_) => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrows the value at `key`, if occupied.
+    #[must_use]
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied(value)) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the value at `key`, if occupied.
+    #[must_use]
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied(value)) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(key, &value)` for every live slot.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(k, e)| match e {
+                Entry::Occupied(v) => Some((k, v)),
+                Entry::Vacant(_) => None,
+            })
+    }
+
+    /// Iterates over `(key, &mut value)` for every live slot.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(k, e)| match e {
+                Entry::Occupied(v) => Some((k, v)),
+                Entry::Vacant(_) => None,
+            })
+    }
+
+    /// Removes every value, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.next_free = None;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None, "double remove must be None");
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn vacated_slots_are_recycled_lifo() {
+        let mut slab = Slab::new();
+        let keys: Vec<usize> = (0..4).map(|i| slab.insert(i)).collect();
+        slab.remove(keys[1]);
+        slab.remove(keys[3]);
+        // Most recently vacated first.
+        assert_eq!(slab.insert(30), keys[3]);
+        assert_eq!(slab.insert(10), keys[1]);
+        // Free list exhausted: the next insert grows the arena.
+        assert_eq!(slab.insert(40), 4);
+        assert_eq!(slab.len(), 5);
+    }
+
+    #[test]
+    fn iter_skips_vacant_slots() {
+        let mut slab = Slab::with_capacity(8);
+        let keys: Vec<usize> = (0..5).map(|i| slab.insert(i * 100)).collect();
+        slab.remove(keys[0]);
+        slab.remove(keys[2]);
+        let live: Vec<(usize, i32)> = slab.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(live, vec![(1, 100), (3, 300), (4, 400)]);
+        for (_, v) in slab.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(slab.get(keys[1]), Some(&101));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut slab = Slab::new();
+        for i in 0..10 {
+            slab.insert(i);
+        }
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!(slab.insert(99), 0, "fresh arena after clear");
+    }
+}

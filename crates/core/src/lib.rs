@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fleet;
 mod flight;
 pub mod observe;
 mod params;
@@ -58,6 +59,6 @@ pub use observe::{
 };
 pub use params::{ControllerKind, ControllerSetup, EvParams};
 pub use result::{Metrics, SimulationResult, TimeSeries};
-pub use sim::{SimError, Simulation};
+pub use sim::{SimError, SimSession, Simulation};
 pub use telemetry::TelemetryObserver;
 pub use vehicle::{ElectricVehicle, PlantStep};

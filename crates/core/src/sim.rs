@@ -163,6 +163,12 @@ impl Simulation {
     /// dispatched, so [`NoopObserver`] costs nothing; see
     /// [`crate::observe`] for ready-made observers.
     ///
+    /// Internally this is exactly the incremental [`SimSession`] engine —
+    /// [`start_session`](Self::start_session) followed by
+    /// [`advance`](Self::advance) until the profile is exhausted — so a
+    /// batch run and a step-at-a-time fleet session take bitwise-identical
+    /// trajectories.
+    ///
     /// # Errors
     ///
     /// Currently infallible after construction; the `Result` is kept for
@@ -174,87 +180,30 @@ impl Simulation {
     ) -> Result<SimulationResult, SimError> {
         let dt = self.profile.dt();
         let n = self.profile.len();
-        let first_ambient = self.profile.sample(0).ambient;
-        let initial_cabin = self.params.initial_cabin.unwrap_or(first_ambient);
-        // A parked pack soaks to ambient regardless of any cabin
-        // preconditioning.
-        let mut ev =
-            ElectricVehicle::new(&self.params, initial_cabin).with_pack_temperature(first_ambient);
-        let min_flow = self.params.hvac.min_flow.value();
+        let mut session = self.start_session();
 
         observer.on_start(self.profile.name(), controller.name(), n);
 
         let mut series = TimeSeries::default();
         series.t.reserve(n);
 
-        // Reusable preview buffer.
-        let mut preview: Vec<PreviewSample> = Vec::with_capacity(self.preview_len);
-
-        for k in 0..n {
-            let sample = *self.profile.sample(k);
-            // Build the preview window (constant extension past the end).
-            preview.clear();
-            for j in k..k + self.preview_len {
-                let idx = j.min(n - 1);
-                let s = self.profile.sample(idx);
-                preview.push(PreviewSample {
-                    motor_power: Watts::new(self.motor_power[idx]),
-                    ambient: s.ambient,
-                    solar: s.solar,
-                });
-            }
-            let ctx = ControlContext {
-                state: ev.cabin_state(),
-                ambient: sample.ambient,
-                solar: sample.solar,
-                soc: ev.bms().soc(),
-                soc_avg: ev.bms().running_soc_avg(),
-                dt,
-                elapsed: Seconds::new(k as f64 * dt.value()),
-                preview: &preview,
-            };
-            let input = controller.control(&ctx);
-            let step = ev.step(&input, &sample, dt);
-
-            series.t.push(sample.t.value());
-            series.cabin.push(step.cabin.value());
-            series.motor_power.push(step.motor_power.value());
-            series.hvac_power.push(step.hvac_power.total().value());
-            series.heating_power.push(step.hvac_power.heating.value());
-            series.cooling_power.push(step.hvac_power.cooling.value());
-            series.fan_power.push(step.hvac_power.fan.value());
-            series.battery_power.push(step.battery_power.value());
-            series.soc.push(step.soc.value());
-            series.pack_temp.push(step.pack_temp.value());
-
-            observer.on_step(&StepRecord {
-                step: k,
-                t: sample.t.value(),
-                dt: dt.value(),
-                motor_power: step.motor_power.value(),
-                heating_power: step.hvac_power.heating.value(),
-                cooling_power: step.hvac_power.cooling.value(),
-                fan_power: step.hvac_power.fan.value(),
-                accessory_power: step.accessory_power.value(),
-                battery_power: step.battery_power.value(),
-                soc: step.soc.value(),
-                cabin_temp: step.cabin.value(),
-                pack_temp: step.pack_temp.value(),
-                ambient: sample.ambient.value(),
-                solar: sample.solar.value(),
-                supply_temp: input.ts.value(),
-                coil_temp: input.tc.value(),
-                recirculation: input.dr,
-                flow: input.mz.value(),
-                mode: ControllerMode::classify(
-                    step.hvac_power.heating.value(),
-                    step.hvac_power.cooling.value(),
-                    input.mz.value(),
-                    min_flow,
-                ),
-            });
+        while let Some(rec) = self.advance(&mut session, controller) {
+            series.t.push(rec.t);
+            series.cabin.push(rec.cabin_temp);
+            series
+                .hvac_power
+                .push(rec.heating_power + rec.cooling_power + rec.fan_power);
+            series.motor_power.push(rec.motor_power);
+            series.heating_power.push(rec.heating_power);
+            series.cooling_power.push(rec.cooling_power);
+            series.fan_power.push(rec.fan_power);
+            series.battery_power.push(rec.battery_power);
+            series.soc.push(rec.soc);
+            series.pack_temp.push(rec.pack_temp);
+            observer.on_step(&rec);
         }
 
+        let ev = session.vehicle();
         let stats = ev.bms().cycle_stats();
         let delta_soh = ev.bms().cycle_degradation();
         let cycles = ev.bms().cycles_to_eol();
@@ -273,6 +222,133 @@ impl Simulation {
         .with_distance(self.profile.distance());
         observer.on_finish(&result);
         Ok(result)
+    }
+
+    /// Borrows the integrated parameter set this simulation runs with.
+    #[must_use]
+    pub fn params(&self) -> &EvParams {
+        &self.params
+    }
+
+    /// Starts an incrementally-stepped run of this profile: a fresh
+    /// plant (cabin soaked or preconditioned per
+    /// [`EvParams::initial_cabin`], pack soaked to the first ambient) at
+    /// step zero. Drive it with [`advance`](Self::advance).
+    ///
+    /// A [`SimSession`] owns no borrow of the `Simulation`, so many
+    /// sessions can share one `Simulation` (e.g. behind an `Arc` in the
+    /// fleet engine, one plant per vehicle over a shared precomputed
+    /// motor-power vector).
+    #[must_use]
+    pub fn start_session(&self) -> SimSession {
+        let first_ambient = self.profile.sample(0).ambient;
+        let initial_cabin = self.params.initial_cabin.unwrap_or(first_ambient);
+        // A parked pack soaks to ambient regardless of any cabin
+        // preconditioning.
+        SimSession {
+            ev: ElectricVehicle::new(&self.params, initial_cabin)
+                .with_pack_temperature(first_ambient),
+            cursor: 0,
+            preview: Vec::with_capacity(self.preview_len),
+        }
+    }
+
+    /// Advances `session` by one control + plant step of the paper's
+    /// Algorithm 1 and returns the full [`StepRecord`], or `None` once
+    /// the profile is exhausted. A session must only be advanced by the
+    /// `Simulation` that created it.
+    pub fn advance(
+        &self,
+        session: &mut SimSession,
+        controller: &mut dyn ClimateController,
+    ) -> Option<StepRecord> {
+        let dt = self.profile.dt();
+        let n = self.profile.len();
+        let k = session.cursor;
+        if k >= n {
+            return None;
+        }
+        session.cursor += 1;
+        let min_flow = self.params.hvac.min_flow.value();
+        let sample = *self.profile.sample(k);
+        // Build the preview window (constant extension past the end).
+        session.preview.clear();
+        for j in k..k + self.preview_len {
+            let idx = j.min(n - 1);
+            let s = self.profile.sample(idx);
+            session.preview.push(PreviewSample {
+                motor_power: Watts::new(self.motor_power[idx]),
+                ambient: s.ambient,
+                solar: s.solar,
+            });
+        }
+        let ev = &mut session.ev;
+        let ctx = ControlContext {
+            state: ev.cabin_state(),
+            ambient: sample.ambient,
+            solar: sample.solar,
+            soc: ev.bms().soc(),
+            soc_avg: ev.bms().running_soc_avg(),
+            dt,
+            elapsed: Seconds::new(k as f64 * dt.value()),
+            preview: &session.preview,
+        };
+        let input = controller.control(&ctx);
+        let step = ev.step(&input, &sample, dt);
+        Some(StepRecord {
+            step: k,
+            t: sample.t.value(),
+            dt: dt.value(),
+            motor_power: step.motor_power.value(),
+            heating_power: step.hvac_power.heating.value(),
+            cooling_power: step.hvac_power.cooling.value(),
+            fan_power: step.hvac_power.fan.value(),
+            accessory_power: step.accessory_power.value(),
+            battery_power: step.battery_power.value(),
+            soc: step.soc.value(),
+            cabin_temp: step.cabin.value(),
+            pack_temp: step.pack_temp.value(),
+            ambient: sample.ambient.value(),
+            solar: sample.solar.value(),
+            supply_temp: input.ts.value(),
+            coil_temp: input.tc.value(),
+            recirculation: input.dr,
+            flow: input.mz.value(),
+            mode: ControllerMode::classify(
+                step.hvac_power.heating.value(),
+                step.hvac_power.cooling.value(),
+                input.mz.value(),
+                min_flow,
+            ),
+        })
+    }
+}
+
+/// The mutable state of one incrementally-stepped simulation run: the
+/// plant, the profile cursor and a reusable preview buffer. Created by
+/// [`Simulation::start_session`], advanced one control + plant step at a
+/// time by [`Simulation::advance`] — the substrate of a fleet vehicle
+/// session, where thousands of plants share one precomputed profile.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    ev: ElectricVehicle,
+    cursor: usize,
+    preview: Vec<PreviewSample>,
+}
+
+impl SimSession {
+    /// Index of the next profile sample to execute (equals the number of
+    /// steps taken so far).
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Borrows the plant, e.g. to read the live SoC, cabin temperature
+    /// or BMS cycle statistics mid-drive.
+    #[must_use]
+    pub fn vehicle(&self) -> &ElectricVehicle {
+        &self.ev
     }
 }
 

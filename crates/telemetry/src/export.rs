@@ -15,6 +15,22 @@ pub(crate) fn json_f64(v: f64) -> String {
     }
 }
 
+/// Format an f64 for the Prometheus text exposition format. Unlike
+/// JSON, the format *has* spellings for non-finite values — `NaN`,
+/// `+Inf`, `-Inf` — and those exact tokens are the only valid ones
+/// (`null` or Rust's `inf` would break every scraper).
+pub(crate) fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
 /// Escape a metric name for embedding in a JSON string literal.
 pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -84,31 +100,149 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
         for (le, count) in h.bounds.iter().zip(h.counts.iter()) {
             cumulative += count;
             out.push_str(&format!(
-                "{}_bucket{{le=\"{:?}\"}} {}\n",
-                h.name, le, cumulative
+                "{}_bucket{{le=\"{}\"}} {}\n",
+                h.name,
+                prom_f64(*le),
+                cumulative
             ));
         }
         out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.count));
-        out.push_str(&format!("{}_sum {}\n", h.name, json_f64(h.sum)));
+        out.push_str(&format!("{}_sum {}\n", h.name, prom_f64(h.sum)));
         out.push_str(&format!("{}_count {}\n", h.name, h.count));
     }
     out
 }
 
-/// Write `contents` to `path`, creating missing parent directories
-/// first — so exporting to `target/telemetry/run.jsonl` works even when
-/// no part of that tree exists yet.
+/// Write `contents` to `path` **atomically**, creating missing parent
+/// directories first — so exporting to `target/telemetry/run.jsonl`
+/// works even when no part of that tree exists yet.
+///
+/// The write lands in a uniquely-named temporary file in the *same
+/// directory* and is published with a rename, so a concurrent reader —
+/// a scraper polling the metrics file, a tail-follower on a report —
+/// only ever sees the previous complete contents or the new complete
+/// contents, never a truncated file mid-write.
 ///
 /// # Errors
 ///
-/// Propagates io errors from directory creation or the file write.
+/// Propagates io errors from directory creation, the temporary-file
+/// write, or the rename; on failure the temporary file is removed.
 pub fn write_text(path: &Path, contents: &str) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, contents)
+    // Unique within the process (counter) and across processes (pid);
+    // same directory as the target so the rename cannot cross a
+    // filesystem boundary.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = std::ffi::OsString::from(format!(".{}-", std::process::id()));
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".{seq}.tmp"));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Strictly validates a Prometheus text exposition, returning the
+/// number of samples (non-comment lines) on success.
+///
+/// Enforces the failure modes this workspace has actually shipped:
+/// every sample value and every `le` label must be a finite decimal or
+/// one of the exact tokens `NaN`, `+Inf`, `-Inf` — `null` (JSON
+/// leakage) and Rust's `inf`/`-inf` spellings are rejected — and metric
+/// names must be well-formed.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    fn valid_value(token: &str) -> Result<(), String> {
+        if matches!(token, "NaN" | "+Inf" | "-Inf") {
+            return Ok(());
+        }
+        // A finite parse is a valid decimal; non-finite spellings other
+        // than the three exact tokens above ("inf", "nan", "null", …)
+        // are rejected.
+        match token.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(()),
+            _ => Err(format!("invalid sample value {token:?}")),
+        }
+    }
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg}", idx + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let Some(name) = parts.next() else {
+                    return err("# TYPE without a metric name".to_string());
+                };
+                if !valid_name(name) {
+                    return err(format!("bad metric name {name:?} in # TYPE"));
+                }
+                match parts.next() {
+                    Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                    other => return err(format!("bad metric type {other:?}")),
+                }
+            }
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return err("sample line without a value".to_string());
+        };
+        let name_part = match series.split_once('{') {
+            Some((name, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else {
+                    return err("unterminated label set".to_string());
+                };
+                for label in labels.split(',').filter(|l| !l.is_empty()) {
+                    let Some((key, quoted)) = label.split_once('=') else {
+                        return err(format!("label without '=': {label:?}"));
+                    };
+                    let Some(val) = quoted.strip_prefix('"').and_then(|q| q.strip_suffix('"'))
+                    else {
+                        return err(format!("unquoted label value: {label:?}"));
+                    };
+                    if key == "le" {
+                        if let Err(msg) = valid_value(val) {
+                            return err(format!("bucket bound: {msg}"));
+                        }
+                    }
+                }
+                name
+            }
+            None => series,
+        };
+        if !valid_name(name_part) {
+            return err(format!("bad metric name {name_part:?}"));
+        }
+        if let Err(msg) = valid_value(value) {
+            return err(msg);
+        }
+        samples += 1;
+    }
+    Ok(samples)
 }
 
 fn fmt_cell(v: f64) -> String {
@@ -238,6 +372,131 @@ mod tests {
         assert!(out.contains("lat_seconds_bucket{le=\"0.1\"} 3\n"));
         assert!(out.contains("lat_seconds_bucket{le=\"+Inf\"} 5\n"));
         assert!(out.contains("lat_seconds_count 5\n"));
+    }
+
+    #[test]
+    fn prometheus_nan_sum_uses_the_spec_spelling_not_null() {
+        // Infinite samples pass the histogram's NaN filter, and a +Inf
+        // followed by a -Inf leaves the running sum NaN; the exposition
+        // format spells that `NaN` — `null` is JSON and breaks
+        // scrapers.
+        let reg = Registry::enabled();
+        let h = reg.histogram("poisoned_seconds", HistogramSpec::new(1e-3, 10.0, 3));
+        h.record(0.5);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        let out = to_prometheus(&reg.snapshot());
+        assert!(out.contains("poisoned_seconds_sum NaN\n"), "{out}");
+        assert!(!out.contains("null"), "JSON null leaked: {out}");
+        assert!(!out.to_lowercase().contains(" inf"), "bare inf: {out}");
+        validate_prometheus(&out).expect("exposition must stay parseable");
+    }
+
+    #[test]
+    fn prometheus_infinite_bucket_bound_renders_plus_inf() {
+        // An explicitly infinite bound must come out as `+Inf`, not
+        // Rust's `inf` debug spelling.
+        let snapshot = Snapshot {
+            counters: Vec::new(),
+            histograms: vec![HistogramSnapshot {
+                name: "weird_seconds".to_string(),
+                bounds: vec![1.0, f64::INFINITY],
+                counts: vec![1, 2, 0],
+                count: 3,
+                sum: f64::NEG_INFINITY,
+                min: f64::NEG_INFINITY,
+                max: 1.0,
+            }],
+        };
+        let out = to_prometheus(&snapshot);
+        assert!(
+            out.contains("weird_seconds_bucket{le=\"+Inf\"} 3\n"),
+            "{out}"
+        );
+        assert!(out.contains("weird_seconds_sum -Inf\n"), "{out}");
+        assert!(!out.contains("\"inf\""), "debug inf spelling leaked: {out}");
+        validate_prometheus(&out).expect("exposition must stay parseable");
+    }
+
+    #[test]
+    fn validator_counts_samples_and_rejects_json_and_debug_spellings() {
+        let n = validate_prometheus(&to_prometheus(&sample_snapshot())).unwrap();
+        // 1 counter + 3 finite buckets + +Inf bucket + sum + count.
+        assert_eq!(n, 7);
+        for bad in [
+            "m_sum null\n",
+            "m_bucket{le=\"inf\"} 1\n",
+            "m_sum inf\n",
+            "m_sum -inf\n",
+            "m_sum nan\n",
+            "m_bucket{le=0.1} 1\n",
+            "9metric 1\n",
+            "just_a_name\n",
+            "# TYPE m weird\n",
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(validate_prometheus("m_sum NaN\nm_total +Inf\n\n# free comment\n").is_ok());
+    }
+
+    #[test]
+    fn write_text_is_atomic_rename_leaving_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "ev-export-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("metrics.prom");
+        write_text(&path, "first\n").unwrap();
+        write_text(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        // The temp file must not survive a successful publish.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "metrics.prom")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_observe_a_torn_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "ev-export-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.prom");
+        let a = "a".repeat(64 * 1024);
+        let b = "b".repeat(64 * 1024);
+        write_text(&path, &a).unwrap();
+        std::thread::scope(|scope| {
+            let writer_path = path.clone();
+            let (a, b) = (&a, &b);
+            scope.spawn(move || {
+                for i in 0..50 {
+                    let contents = if i % 2 == 0 { b } else { a };
+                    write_text(&writer_path, contents).unwrap();
+                }
+            });
+            for _ in 0..200 {
+                let seen = std::fs::read_to_string(&path).unwrap();
+                assert!(
+                    seen == *a || seen == *b,
+                    "torn read: {} bytes, first char {:?}",
+                    seen.len(),
+                    seen.chars().next()
+                );
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod export;
 mod metrics;
 pub mod recorder;
 mod registry;
+pub mod scrape;
 mod span;
 
 pub use metrics::{Counter, Histogram, HistogramSpec};
@@ -48,4 +49,5 @@ pub use recorder::{
     StepSummary, WarmStart,
 };
 pub use registry::{CounterSnapshot, HistogramSnapshot, Registry, Snapshot};
+pub use scrape::{scrape_once, ScrapeServer};
 pub use span::Span;

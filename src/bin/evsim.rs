@@ -24,17 +24,38 @@
 //! evsim explain <dump.jsonl>
 //!     Validate a flight-recorder dump and render it as a constraint-
 //!     activation timeline plus a per-decision attribution table.
+//!
+//! evsim loadgen [--sessions <n>] [--steps <n>] [--chunk <n>] [--seed <n>]
+//!               [--shards <n>] [--queue-capacity <n>]
+//!               [--controller <onoff|fuzzy|pid|mpc>]
+//!     Drive a deterministic synthetic fleet through the session engine
+//!     and print the throughput/latency report (same seed → same
+//!     deterministic fields and fleet digest).
+//!
+//! evsim serve [--addr <host:port>] [--for-seconds <n>]
+//!             [--burst-sessions <n>] [--burst-steps <n>] [--seed <n>]
+//!     Expose the fleet telemetry registry as a Prometheus text scrape
+//!     endpoint on plain TCP. With `--burst-sessions` a loadgen burst
+//!     populates the registry first; `--for-seconds 0` exits as soon as
+//!     the burst is done (the endpoint stays up during it).
+//!
+//! evsim scrape --addr <host:port> [--require-histogram <name>]
+//!              [--require-counter <name>]
+//!     One-shot scrape probe: fetch /metrics, validate the exposition
+//!     strictly (no `null`/`inf` tokens) and optionally require a
+//!     populated histogram/counter. Exits non-zero on any violation.
 //! ```
 
 use std::process::ExitCode;
 
 use evclimate::control::CONSTRAINT_ROW_LABELS;
+use evclimate::core::fleet::{render_loadgen_report, run_loadgen, run_loadgen_on, LoadgenConfig};
 use evclimate::core::{
     ControllerKind, ControllerSetup, EvParams, FlightRecorderObserver, Simulation,
     SimulationResult, TelemetryObserver,
 };
 use evclimate::drive::{AmbientConditions, DriveCycle, DriveProfile};
-use evclimate::telemetry::{export, FlightRecorder, Registry};
+use evclimate::telemetry::{export, scrape_once, FlightRecorder, Registry, ScrapeServer};
 use evclimate::units::{Celsius, Seconds};
 
 fn usage() -> &'static str {
@@ -44,7 +65,13 @@ fn usage() -> &'static str {
      [--max-sqp-iterations <n>]\n  \
      evsim compare --cycle <name> [--ambient <°C>] [--precondition]\n  \
      evsim validate-telemetry <path.jsonl>\n  \
-     evsim explain <dump.jsonl>"
+     evsim explain <dump.jsonl>\n  \
+     evsim loadgen [--sessions <n>] [--steps <n>] [--chunk <n>] [--seed <n>] \
+     [--shards <n>] [--queue-capacity <n>] [--controller <name>]\n  \
+     evsim serve [--addr <host:port>] [--for-seconds <n>] \
+     [--burst-sessions <n>] [--burst-steps <n>] [--seed <n>]\n  \
+     evsim scrape --addr <host:port> [--require-histogram <name>] \
+     [--require-counter <name>]"
 }
 
 /// Looks up a built-in cycle by (case-insensitive) name.
@@ -115,6 +142,24 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a non-negative integer, got '{v}'")),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a non-negative integer, got '{v}'")),
         }
     }
 }
@@ -658,6 +703,135 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a [`LoadgenConfig`] from the shared synthetic-fleet flags.
+///
+/// `sessions_key`/`steps_key` differ between `loadgen` (primary flags)
+/// and `serve` (burst flags), so the caller names them.
+fn loadgen_config(
+    args: &Args,
+    sessions_key: &str,
+    steps_key: &str,
+) -> Result<LoadgenConfig, String> {
+    let defaults = LoadgenConfig::default();
+    let controller = match args.get("controller") {
+        None => defaults.controller,
+        Some(name) => controller_by_name(name)
+            .ok_or_else(|| format!("unknown controller '{name}' (onoff|fuzzy|pid|mpc)"))?,
+    };
+    Ok(LoadgenConfig {
+        sessions: args.get_usize(sessions_key, defaults.sessions)?,
+        steps_per_session: args.get_usize(steps_key, defaults.steps_per_session)?,
+        chunk: args.get_usize("chunk", defaults.chunk)?,
+        seed: args.get_u64("seed", defaults.seed)?,
+        shards: args.get_usize("shards", defaults.shards)?,
+        queue_capacity: args.get_usize("queue-capacity", defaults.queue_capacity)?,
+        controller,
+    })
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let config = loadgen_config(args, "sessions", "steps")?;
+    if config.sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    let report = run_loadgen(&config);
+    print!("{}", render_loadgen_report(&report));
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let hold_seconds = args.get_f64("for-seconds", 0.0)?;
+    let burst_sessions = args.get_usize("burst-sessions", 0)?;
+
+    let registry = Registry::enabled();
+    let mut server =
+        ScrapeServer::bind(addr, registry.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
+    // CI and scripts parse this line to learn the bound port; keep the
+    // format stable and flush before any long-running burst.
+    println!("serving metrics at http://{}/metrics", server.addr());
+    println!("ready");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    if burst_sessions > 0 {
+        let mut config = loadgen_config(args, "burst-sessions", "burst-steps")?;
+        config.steps_per_session = args.get_usize("burst-steps", 60)?;
+        let report = run_loadgen_on(&config, &registry);
+        print!("{}", render_loadgen_report(&report));
+        let _ = std::io::stdout().flush();
+    }
+
+    if hold_seconds > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(hold_seconds));
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Value of the sample named `sample` in a Prometheus exposition, i.e. a
+/// line whose first token (before whitespace or a `{` label block) is the
+/// sample name exactly.
+fn sample_value(text: &str, sample: &str) -> Option<f64> {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        if &line[..name_end] != sample {
+            continue;
+        }
+        let value = line.rsplit(' ').next()?;
+        if let Ok(v) = value.parse::<f64>() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// One-shot scrape probe: fetch, validate strictly, and enforce the
+/// optional `--require-*` population checks. Returns the report text.
+fn probe_scrape(
+    addr: &str,
+    require_histogram: Option<&str>,
+    require_counter: Option<&str>,
+) -> Result<String, String> {
+    let text = scrape_once(addr)?;
+    let samples = export::validate_prometheus(&text)
+        .map_err(|e| format!("invalid Prometheus exposition from {addr}: {e}"))?;
+    let mut report = format!("scrape ok: {samples} samples from http://{addr}/metrics\n");
+    if let Some(name) = require_histogram {
+        let count_sample = format!("{name}_count");
+        let count = sample_value(&text, &count_sample)
+            .ok_or_else(|| format!("histogram '{name}' missing from scrape"))?;
+        if count <= 0.0 {
+            return Err(format!("histogram '{name}' is present but empty (count 0)"));
+        }
+        report.push_str(&format!("histogram {name}: count {count}\n"));
+    }
+    if let Some(name) = require_counter {
+        let value = sample_value(&text, name)
+            .ok_or_else(|| format!("counter '{name}' missing from scrape"))?;
+        if value <= 0.0 {
+            return Err(format!("counter '{name}' is present but zero"));
+        }
+        report.push_str(&format!("counter {name}: {value}\n"));
+    }
+    Ok(report)
+}
+
+fn cmd_scrape(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").ok_or("missing --addr <host:port>")?;
+    let report = probe_scrape(
+        addr,
+        args.get("require-histogram"),
+        args.get("require-counter"),
+    )?;
+    print!("{report}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -672,6 +846,9 @@ fn main() -> ExitCode {
         }
         ("simulate", Ok(args)) => cmd_simulate(&args),
         ("compare", Ok(args)) => cmd_compare(&args),
+        ("loadgen", Ok(args)) => cmd_loadgen(&args),
+        ("serve", Ok(args)) => cmd_serve(&args),
+        ("scrape", Ok(args)) => cmd_scrape(&args),
         ("validate-telemetry", _) => match argv.get(1) {
             Some(path) => cmd_validate_telemetry(path),
             None => Err(format!("missing <path.jsonl>\n{}", usage())),
@@ -899,5 +1076,82 @@ mod tests {
             Some(ControllerKind::OnOff)
         ));
         assert!(controller_by_name("thermostat").is_none());
+    }
+
+    #[test]
+    fn loadgen_config_reads_flags_and_keeps_defaults() {
+        let args = parse(&[
+            "--sessions",
+            "7",
+            "--steps",
+            "11",
+            "--seed",
+            "99",
+            "--controller",
+            "onoff",
+        ]);
+        let config = loadgen_config(&args, "sessions", "steps").expect("parses");
+        let defaults = LoadgenConfig::default();
+        assert_eq!(config.sessions, 7);
+        assert_eq!(config.steps_per_session, 11);
+        assert_eq!(config.seed, 99);
+        assert!(matches!(config.controller, ControllerKind::OnOff));
+        assert_eq!(config.chunk, defaults.chunk);
+        assert_eq!(config.queue_capacity, defaults.queue_capacity);
+
+        let bad = parse(&["--controller", "thermostat"]);
+        assert!(loadgen_config(&bad, "sessions", "steps").is_err());
+    }
+
+    #[test]
+    fn sample_value_matches_names_exactly() {
+        let text = "# TYPE fleet_steps_total counter\n\
+                    fleet_steps_total 42\n\
+                    mpc_control_step_seconds_bucket{le=\"+Inf\"} 5\n\
+                    mpc_control_step_seconds_count 5\n";
+        assert_eq!(sample_value(text, "fleet_steps_total"), Some(42.0));
+        assert_eq!(
+            sample_value(text, "mpc_control_step_seconds_count"),
+            Some(5.0)
+        );
+        // Prefix of a longer name must not match.
+        assert_eq!(sample_value(text, "fleet_steps"), None);
+        assert_eq!(sample_value(text, "missing_metric"), None);
+    }
+
+    #[test]
+    fn serve_scrape_round_trip_validates_and_finds_populated_metrics() {
+        let registry = Registry::enabled();
+        let mut server =
+            ScrapeServer::bind("127.0.0.1:0", registry.clone()).expect("binds loopback");
+        let addr = server.addr().to_string();
+
+        // Empty registry still scrapes cleanly but fails the probes.
+        let err = probe_scrape(&addr, None, Some("fleet_steps_total"))
+            .expect_err("counter missing before burst");
+        assert!(err.contains("fleet_steps_total"), "{err}");
+
+        // A small burst through the shared registry populates both the
+        // fleet counters and the MPC solve-latency histogram.
+        let config = LoadgenConfig {
+            sessions: 4,
+            steps_per_session: 30,
+            seed: 7,
+            shards: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run_loadgen_on(&config, &registry);
+        assert_eq!(report.total_steps, 4 * 30);
+
+        let ok = probe_scrape(
+            &addr,
+            Some("mpc_control_step_seconds"),
+            Some("fleet_steps_total"),
+        )
+        .expect("probe passes after burst");
+        assert!(ok.contains("scrape ok"), "{ok}");
+        assert!(ok.contains("counter fleet_steps_total: 120"), "{ok}");
+
+        server.shutdown();
     }
 }
