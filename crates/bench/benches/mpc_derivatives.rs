@@ -106,6 +106,49 @@ fn bench_control_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability tax of the labeled fleet instrumentation: the same
+/// telemetry-enabled control step as `control_step_telemetry`, but paid
+/// the way one fleet loadgen step pays it — the registry is
+/// shard-scoped (every MPC series carries a `shard` label, so each
+/// counter/histogram lookup went through the labeled series map at mint
+/// time), a live trace ring records an `mpc_solve` span per solve, and
+/// the step runs under the shard worker's per-command latency span.
+/// Acceptance bar: within 5% of the `control_step_telemetry` baseline
+/// in `BENCH_mpc.json`.
+fn bench_fleet_step_labeled_metrics(c: &mut Criterion) {
+    let preview = bench_preview(64);
+    let mut group = c.benchmark_group("mpc_derivatives");
+    group.sample_size(15);
+    group.bench_function("fleet_step_labeled_metrics", |b| {
+        let params = EvParams::nissan_leaf_like();
+        let registry = ev_telemetry::Registry::enabled().scoped(&[("shard", "3")]);
+        let trace = ev_telemetry::TraceRing::enabled(4096).scoped(3, 42);
+        let step_latency = registry.histogram_with(
+            "fleet_cmd_seconds",
+            ev_telemetry::HistogramSpec::latency_seconds(),
+            &[("cmd", "step")],
+        );
+        let mut mpc = MpcController::builder(params.hvac_model(), params.limits())
+            .target(params.target)
+            .horizon(8)
+            .recompute_every(1)
+            .battery(params.mpc_battery_model())
+            .accessory_power(params.accessory_power)
+            .telemetry(&registry)
+            .trace(&trace)
+            .build()
+            .expect("valid config");
+        let ctx = bench_context(&preview);
+        b.iter(|| {
+            let span = step_latency.start_span();
+            let out = black_box(mpc.control(black_box(&ctx)));
+            drop(span);
+            out
+        })
+    });
+    group.finish();
+}
+
 /// Horizon-scaling arms for the structure-exploiting KKT path: the same
 /// hot-day control step at horizons 32/64/128, condensed-dense versus
 /// multiple-shooting banded (`.multiple_shooting(true)` declares the
@@ -168,6 +211,7 @@ criterion_group!(
     mpc_derivatives,
     bench_derivative_eval,
     bench_control_step,
+    bench_fleet_step_labeled_metrics,
     bench_horizon_scaling,
     bench_sweep_cell
 );

@@ -11,7 +11,7 @@ use ev_optim::{
 };
 use ev_telemetry::{
     Attribution, Counter, DecisionRecord, FlightRecorder, Histogram, HistogramSpec, PlannedStep,
-    Registry, SolveOutcome, WarmStart,
+    Registry, SolveOutcome, TraceRing, WarmStart,
 };
 use ev_units::{AmpereHours, Amperes, Celsius, KgPerSecond, Seconds, Volts, Watts};
 
@@ -217,6 +217,7 @@ pub struct MpcBuilder {
     telemetry: Registry,
     max_sqp_iterations: usize,
     recorder: FlightRecorder,
+    trace: TraceRing,
 }
 
 impl MpcBuilder {
@@ -340,6 +341,18 @@ impl MpcBuilder {
         self
     }
 
+    /// Attaches a trace ring. Each MPC solve records one complete span
+    /// onto it, carrying whatever (pid, tid) identity the handle was
+    /// [`TraceRing::scoped`] with — the fleet engine scopes it to
+    /// (shard, session) before building the controller. A disabled ring
+    /// (the default) records nothing and reads no clock; tracing never
+    /// changes the controller's outputs.
+    #[must_use]
+    pub fn trace(mut self, trace: &TraceRing) -> Self {
+        self.trace = trace.clone();
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Errors
@@ -386,6 +399,8 @@ impl MpcBuilder {
             metrics: MpcMetrics::bind(&self.telemetry),
             diagnostics: MpcDiagnostics::default(),
             recorder: self.recorder,
+            trace_solve_id: self.trace.intern("mpc_solve"),
+            trace: self.trace,
             control_steps: 0,
         })
     }
@@ -445,6 +460,11 @@ pub struct MpcController {
     metrics: MpcMetrics,
     diagnostics: MpcDiagnostics,
     recorder: FlightRecorder,
+    /// Trace ring for per-solve spans, pre-scoped to this session's
+    /// (pid, tid) identity by whoever built the controller.
+    trace: TraceRing,
+    /// Interned name id of the solve span.
+    trace_solve_id: u32,
     /// Simulation steps seen so far — stamps [`DecisionRecord`]s.
     control_steps: u64,
 }
@@ -503,6 +523,7 @@ impl MpcController {
             telemetry: Registry::disabled(),
             max_sqp_iterations: 25,
             recorder: FlightRecorder::disabled(),
+            trace: TraceRing::disabled(),
         }
     }
 
@@ -678,6 +699,7 @@ impl MpcController {
     /// problem, start point and options whether or not a registry is
     /// attached, so instrumented runs are bit-identical to plain ones.
     fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
+        let _trace_span = self.trace.span(self.trace_solve_id);
         let solve_span = self.metrics.solve_seconds.start_span();
         let recording = self.recorder.is_enabled();
         // Taken out of `self` for the duration of the solve: the NLP views

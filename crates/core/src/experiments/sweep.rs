@@ -277,7 +277,7 @@ pub fn evaluation_sweep_run_recorded(
                         &ControllerSetup {
                             telemetry: registry.clone(),
                             recorder: recorder.clone(),
-                            max_sqp_iterations: None,
+                            ..ControllerSetup::default()
                         },
                     )
                     .expect("controller instantiates");

@@ -90,6 +90,9 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Enqueues `item`, **parking** (blocking) while the queue is full.
+    /// On success reports whether the caller had to park — `Ok(true)`
+    /// means the queue was full and this push waited for a slot, the
+    /// signal the fleet engine's backpressure counters are built on.
     /// Returns the item back as `Err` if the queue is closed.
     ///
     /// # Errors
@@ -99,9 +102,11 @@ impl<T> BoundedQueue<T> {
     /// # Panics
     ///
     /// Panics if the internal lock is poisoned.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    pub fn push(&self, item: T) -> Result<bool, T> {
         let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut parked = false;
         while state.items.len() >= self.capacity && !state.closed {
+            parked = true;
             state = self.not_full.wait(state).expect("queue lock poisoned");
         }
         if state.closed {
@@ -110,7 +115,7 @@ impl<T> BoundedQueue<T> {
         state.items.push_back(item);
         drop(state);
         self.not_empty.notify_one();
-        Ok(())
+        Ok(parked)
     }
 
     /// Enqueues `item` only if a slot is free right now, **shedding**
@@ -207,16 +212,16 @@ mod tests {
     }
 
     #[test]
-    fn push_parks_until_consumer_frees_a_slot() {
+    fn push_parks_until_consumer_frees_a_slot_and_reports_it() {
         let q = Arc::new(BoundedQueue::new(1));
-        q.push(0u32).unwrap();
+        assert_eq!(q.push(0u32), Ok(false), "free slot: no parking");
         let producer = {
             let q = Arc::clone(&q);
             thread::spawn(move || q.push(1).unwrap())
         };
         // The producer is parked on the full queue; popping releases it.
         assert_eq!(q.pop(), Some(0));
-        producer.join().unwrap();
+        assert!(producer.join().unwrap(), "full queue: push reports parking");
         assert_eq!(q.pop(), Some(1));
     }
 

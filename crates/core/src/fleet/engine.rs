@@ -20,7 +20,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ev_telemetry::Registry;
+use ev_telemetry::{Counter, Gauge, Histogram, HistogramSpec, Registry};
 
 use crate::params::{ControllerKind, ControllerSetup};
 use crate::sim::Simulation;
@@ -170,6 +170,13 @@ pub struct FleetStats {
 struct Shard {
     queue: Arc<BoundedQueue<Command>>,
     worker: JoinHandle<ShardStats>,
+    /// Submission-side backpressure metrics, labeled `{shard="i"}`:
+    /// depth of this shard's queue, commands that had to park, commands
+    /// shed by `try_step`. Updated at the submission boundary because
+    /// that is where parking and shedding happen.
+    queue_depth: Gauge,
+    parked_total: Counter,
+    shed_total: Counter,
 }
 
 /// The fleet engine. See the module docs for the sharding and
@@ -198,12 +205,25 @@ impl FleetEngine {
                 let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
                 let worker_queue = Arc::clone(&queue);
                 let params = config.params.clone();
-                let setup = config.setup.clone();
+                // Everything a shard mints — engine counters, command
+                // latencies, and through the controller factory every
+                // MPC solve-outcome counter — carries this shard label.
+                let shard_registry = registry.scoped(&[("shard", &i.to_string())]);
+                let setup = ControllerSetup {
+                    telemetry: shard_registry.clone(),
+                    ..config.setup.clone()
+                };
                 let worker = std::thread::Builder::new()
                     .name(format!("fleet-shard-{i}"))
-                    .spawn(move || shard_main(&worker_queue, &params, &setup))
+                    .spawn(move || shard_main(&worker_queue, &params, &setup, i))
                     .expect("spawning a fleet shard worker");
-                Shard { queue, worker }
+                Shard {
+                    queue,
+                    worker,
+                    queue_depth: shard_registry.gauge("fleet_queue_depth"),
+                    parked_total: shard_registry.counter("fleet_commands_parked_total"),
+                    shed_total: shard_registry.counter("fleet_commands_shed_total"),
+                }
             })
             .collect();
         Self { shards, registry }
@@ -228,18 +248,26 @@ impl FleetEngine {
         self.shards.iter().map(|s| s.queue.len()).sum()
     }
 
-    fn shard_of(&self, vehicle_id: u64) -> &BoundedQueue<Command> {
+    fn shard_of(&self, vehicle_id: u64) -> &Shard {
         // Fibonacci mix so dense id ranges still spread evenly, then a
         // modulo onto the (not necessarily power-of-two) shard count.
         let mixed = vehicle_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let idx = (mixed % self.shards.len() as u64) as usize;
-        &self.shards[idx].queue
+        &self.shards[idx]
     }
 
     fn submit(&self, vehicle_id: u64, cmd: Command) -> Result<(), FleetError> {
-        self.shard_of(vehicle_id)
-            .push(cmd)
-            .map_err(|_| FleetError::ShuttingDown)
+        let shard = self.shard_of(vehicle_id);
+        match shard.queue.push(cmd) {
+            Ok(parked) => {
+                if parked {
+                    shard.parked_total.inc();
+                }
+                shard.queue_depth.set(shard.queue.len() as f64);
+                Ok(())
+            }
+            Err(_) => Err(FleetError::ShuttingDown),
+        }
     }
 
     /// Opens a session for `vehicle_id`: the home shard instantiates a
@@ -287,12 +315,18 @@ impl FleetEngine {
     /// [`FleetError::Shed`] on a full queue, [`FleetError::ShuttingDown`]
     /// once the engine is closing.
     pub fn try_step(&self, vehicle_id: u64, steps: usize) -> Result<(), FleetError> {
-        self.shard_of(vehicle_id)
-            .try_push(Command::Step { vehicle_id, steps })
-            .map_err(|e| match e {
-                TryPushError::Full(_) => FleetError::Shed,
-                TryPushError::Closed(_) => FleetError::ShuttingDown,
-            })
+        let shard = self.shard_of(vehicle_id);
+        match shard.queue.try_push(Command::Step { vehicle_id, steps }) {
+            Ok(()) => {
+                shard.queue_depth.set(shard.queue.len() as f64);
+                Ok(())
+            }
+            Err(TryPushError::Full(_)) => {
+                shard.shed_total.inc();
+                Err(FleetError::Shed)
+            }
+            Err(TryPushError::Closed(_)) => Err(FleetError::ShuttingDown),
+        }
     }
 
     /// Runs `vehicle_id`'s current drive to the end of its profile.
@@ -349,7 +383,7 @@ impl FleetEngine {
             .iter()
             .filter_map(|s| {
                 let (reply, rx) = mpsc::channel();
-                s.queue.push(Command::Sync { reply }).ok().map(|()| rx)
+                s.queue.push(Command::Sync { reply }).ok().map(|_| rx)
             })
             .collect();
         for rx in receivers {
@@ -358,8 +392,10 @@ impl FleetEngine {
     }
 
     /// Shuts the engine down: closes every queue, lets the shards drain
-    /// what was already accepted, joins them and returns the merged
-    /// counters.
+    /// what was already accepted, joins them, folds the final counters
+    /// into the registry as `fleet_shutdown_*_final` gauges (so a last
+    /// scrape after drain reflects the true totals) and returns the
+    /// merged counters.
     ///
     /// # Panics
     ///
@@ -379,16 +415,36 @@ impl FleetEngine {
         for stats in &per_shard {
             total.merge(stats);
         }
+        let final_gauge = |name: &str, v: u64| self.registry.gauge(name).set(v as f64);
+        final_gauge("fleet_shutdown_steps_final", total.steps);
+        final_gauge("fleet_shutdown_sessions_final", total.closed);
+        final_gauge("fleet_shutdown_sessions_opened_final", total.opened);
+        final_gauge(
+            "fleet_shutdown_finished_drives_final",
+            total.finished_drives,
+        );
+        final_gauge("fleet_shutdown_rejected_final", total.rejected);
+        for (i, stats) in per_shard.iter().enumerate() {
+            self.registry
+                .gauge_with(
+                    "fleet_shutdown_shard_steps_final",
+                    &[("shard", &i.to_string())],
+                )
+                .set(stats.steps as f64);
+        }
         FleetStats { total, per_shard }
     }
 }
 
 /// One shard's event loop: pop commands until the queue closes, then
-/// report lifetime counters.
+/// report lifetime counters. `setup.telemetry` arrives pre-scoped with
+/// this shard's label, so everything minted here — and every metric the
+/// controller factory mints per session — is a per-shard series.
 fn shard_main(
     queue: &BoundedQueue<Command>,
     params: &EvParams,
     setup: &ControllerSetup,
+    shard_index: usize,
 ) -> ShardStats {
     let mut sessions: Slab<VehicleSession> = Slab::with_capacity(64);
     let mut by_vehicle: HashMap<u64, usize> = HashMap::new();
@@ -397,29 +453,67 @@ fn shard_main(
     let opened_total = setup.telemetry.counter("fleet_sessions_opened_total");
     let closed_total = setup.telemetry.counter("fleet_sessions_closed_total");
     let resets_total = setup.telemetry.counter("fleet_session_resets_total");
+    let live_sessions = setup.telemetry.gauge("fleet_live_sessions");
+    // Consumer-side view of the same depth gauge the submitters set:
+    // identical (name, labels) key → shared storage.
+    let queue_depth = setup.telemetry.gauge("fleet_queue_depth");
+    let cmd_seconds = |cmd: &str| -> Histogram {
+        setup.telemetry.histogram_with(
+            "fleet_cmd_seconds",
+            HistogramSpec::latency_seconds(),
+            &[("cmd", cmd)],
+        )
+    };
+    let open_seconds = cmd_seconds("open");
+    let step_seconds = cmd_seconds("step");
+    let drain_seconds = cmd_seconds("drain");
+    let reset_seconds = cmd_seconds("reset");
+    let close_seconds = cmd_seconds("close");
+    let query_seconds = cmd_seconds("query");
+    // Trace span names (ids resolve to 0 on a disabled ring).
+    let t_session = setup.trace.intern("session");
+    let t_step = setup.trace.intern("step");
+    let t_drain = setup.trace.intern("drain");
 
     while let Some(cmd) = queue.pop() {
+        queue_depth.set(queue.len() as f64);
         match cmd {
             Command::Open {
                 vehicle_id,
                 sim,
                 kind,
             } => {
+                let _lat = open_seconds.start_span();
                 if by_vehicle.contains_key(&vehicle_id) {
                     stats.rejected += 1;
                     continue;
                 }
-                match kind.instantiate_configured(params, setup) {
+                // The per-session sampling decision happens here: an
+                // unsampled vehicle gets a disabled ring and its whole
+                // session (controller solve spans included) stays out
+                // of the capture.
+                let session_trace = setup.trace.scoped(shard_index as u64, vehicle_id);
+                let session_setup = ControllerSetup {
+                    trace: session_trace.clone(),
+                    ..setup.clone()
+                };
+                match kind.instantiate_configured(params, &session_setup) {
                     Ok(controller) => {
-                        let key = sessions.insert(VehicleSession::new(vehicle_id, sim, controller));
+                        session_trace.begin(t_session);
+                        let key = sessions.insert(
+                            VehicleSession::new(vehicle_id, sim, controller)
+                                .with_trace(session_trace),
+                        );
                         by_vehicle.insert(vehicle_id, key);
                         stats.opened += 1;
                         opened_total.inc();
+                        live_sessions.add(1.0);
                     }
                     Err(_) => stats.rejected += 1,
                 }
             }
             Command::Step { vehicle_id, steps } => {
+                let _lat = step_seconds.start_span();
                 let Some(session) = by_vehicle
                     .get(&vehicle_id)
                     .and_then(|&key| sessions.get_mut(key))
@@ -427,8 +521,10 @@ fn shard_main(
                     stats.rejected += 1;
                     continue;
                 };
+                let trace_span = session.trace().span(t_step);
                 let was_finished = session.finished();
                 let ran = session.step_many(steps);
+                trace_span.finish();
                 stats.steps += ran as u64;
                 steps_total.add(ran as u64);
                 if !was_finished && session.finished() {
@@ -436,6 +532,7 @@ fn shard_main(
                 }
             }
             Command::Drain { vehicle_id } => {
+                let _lat = drain_seconds.start_span();
                 let Some(session) = by_vehicle
                     .get(&vehicle_id)
                     .and_then(|&key| sessions.get_mut(key))
@@ -443,8 +540,10 @@ fn shard_main(
                     stats.rejected += 1;
                     continue;
                 };
+                let trace_span = session.trace().span(t_drain);
                 let was_finished = session.finished();
                 let ran = session.step_many(usize::MAX);
+                trace_span.finish();
                 stats.steps += ran as u64;
                 steps_total.add(ran as u64);
                 if !was_finished {
@@ -452,6 +551,7 @@ fn shard_main(
                 }
             }
             Command::Reset { vehicle_id, sim } => {
+                let _lat = reset_seconds.start_span();
                 let Some(session) = by_vehicle
                     .get(&vehicle_id)
                     .and_then(|&key| sessions.get_mut(key))
@@ -464,11 +564,14 @@ fn shard_main(
                 resets_total.inc();
             }
             Command::Close { vehicle_id, reply } => {
+                let _lat = close_seconds.start_span();
                 let result = match by_vehicle.remove(&vehicle_id) {
                     Some(key) => {
                         let session = sessions.remove(key).expect("vehicle map points at slab");
+                        session.trace().end(t_session);
                         stats.closed += 1;
                         closed_total.inc();
+                        live_sessions.sub(1.0);
                         Ok(session.summary())
                     }
                     None => {
@@ -479,6 +582,7 @@ fn shard_main(
                 let _ = reply.send(result);
             }
             Command::Query { vehicle_id, reply } => {
+                let _lat = query_seconds.start_span();
                 let result = by_vehicle
                     .get(&vehicle_id)
                     .and_then(|&key| sessions.get(key))
@@ -498,6 +602,7 @@ fn shard_main(
             }
         }
     }
+    queue_depth.set(0.0);
     stats
 }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ev_drive::{AmbientConditions, DriveCycle, DriveProfile};
-use ev_telemetry::Registry;
+use ev_telemetry::{Registry, TraceRing};
 use ev_units::{Celsius, Seconds};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -155,6 +155,24 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
 /// construct (it does not).
 #[must_use]
 pub fn run_loadgen_on(config: &LoadgenConfig, registry: &Registry) -> LoadgenReport {
+    run_loadgen_traced(config, registry, &TraceRing::disabled())
+}
+
+/// [`run_loadgen_on`] additionally capturing begin/end events into
+/// `trace` — the `evsim trace` path. The ring's sampling policy decides
+/// which sessions land in the capture; metrics cover all of them either
+/// way.
+///
+/// # Panics
+///
+/// Panics if `sessions` is zero or a built-in drive profile fails to
+/// construct (it does not).
+#[must_use]
+pub fn run_loadgen_traced(
+    config: &LoadgenConfig,
+    registry: &Registry,
+    trace: &TraceRing,
+) -> LoadgenReport {
     assert!(config.sessions > 0, "loadgen needs at least one session");
     let params = EvParams::nissan_leaf_like();
     let registry = registry.clone();
@@ -164,6 +182,7 @@ pub fn run_loadgen_on(config: &LoadgenConfig, registry: &Registry) -> LoadgenRep
         params: params.clone(),
         setup: ControllerSetup {
             telemetry: registry.clone(),
+            trace: trace.clone(),
             ..ControllerSetup::default()
         },
     });
@@ -245,8 +264,10 @@ pub fn run_loadgen_on(config: &LoadgenConfig, registry: &Registry) -> LoadgenRep
     let stats = fleet.shutdown();
     let wall_seconds = started.elapsed().as_secs_f64();
     let snapshot = registry.snapshot();
+    // MPC metrics are per-shard labeled series now; quantiles and
+    // totals come from the label-merged aggregates.
     let (p50, p99) = snapshot
-        .histogram("mpc_control_step_seconds")
+        .histogram_merged("mpc_control_step_seconds")
         .map_or((f64::NAN, f64::NAN), |h| {
             (h.quantile(0.5) * 1e3, h.quantile(0.99) * 1e3)
         });
@@ -255,8 +276,12 @@ pub fn run_loadgen_on(config: &LoadgenConfig, registry: &Registry) -> LoadgenRep
         sessions: config.sessions,
         total_steps: stats.total.steps,
         finished_drives: stats.total.finished_drives,
-        warm_start_hits: snapshot.counter("mpc_warm_start_hits_total").unwrap_or(0),
-        warm_start_misses: snapshot.counter("mpc_warm_start_misses_total").unwrap_or(0),
+        warm_start_hits: snapshot
+            .counter_sum("mpc_warm_start_hits_total")
+            .unwrap_or(0),
+        warm_start_misses: snapshot
+            .counter_sum("mpc_warm_start_misses_total")
+            .unwrap_or(0),
         fleet_digest: fleet_digest(&summaries),
         shed_events,
         wall_seconds,
@@ -362,6 +387,113 @@ mod tests {
         assert_ne!(
             a.fleet_digest, b.fleet_digest,
             "a different arrival mix must change the fleet digest"
+        );
+    }
+
+    #[test]
+    fn shutdown_gauges_match_loadgen_totals_and_series_are_per_shard() {
+        let config = quick_config();
+        let registry = Registry::enabled();
+        let report = run_loadgen_on(&config, &registry);
+        let snap = registry.snapshot();
+        // The shutdown fold makes the final totals scrapeable.
+        assert_eq!(
+            snap.gauge("fleet_shutdown_steps_final"),
+            Some(report.total_steps as f64)
+        );
+        assert_eq!(
+            snap.gauge("fleet_shutdown_sessions_final"),
+            Some(report.sessions as f64)
+        );
+        assert_eq!(
+            snap.gauge("fleet_shutdown_finished_drives_final"),
+            Some(report.finished_drives as f64)
+        );
+        // Engine counters are per-shard labeled series whose sum is the
+        // fleet total.
+        assert_eq!(
+            snap.counter("fleet_steps_total"),
+            None,
+            "no unlabeled series"
+        );
+        assert_eq!(
+            snap.counter_sum("fleet_steps_total"),
+            Some(report.total_steps)
+        );
+        assert!(snap
+            .counter_labeled("fleet_steps_total", &[("shard", "0")])
+            .is_some());
+        // Per-command latency histograms populated on every shard.
+        for shard in 0..report.shards {
+            let shard = shard.to_string();
+            let h = snap
+                .histogram_labeled("fleet_cmd_seconds", &[("cmd", "step"), ("shard", &shard)])
+                .expect("step latency series per shard");
+            assert!(h.count > 0, "shard {shard} step histogram empty");
+            assert!(snap
+                .gauge_labeled("fleet_queue_depth", &[("shard", &shard)])
+                .is_some());
+        }
+        // Per-shard shutdown gauges sum to the fleet total.
+        let shard_steps: f64 = (0..report.shards)
+            .map(|i| {
+                let shard = i.to_string();
+                snap.gauge_labeled("fleet_shutdown_shard_steps_final", &[("shard", &shard)])
+                    .expect("per-shard final steps gauge")
+            })
+            .sum();
+        assert_eq!(shard_steps as u64, report.total_steps);
+        // Live sessions have all drained back to zero.
+        for i in 0..report.shards {
+            let shard = i.to_string();
+            assert_eq!(
+                snap.gauge_labeled("fleet_live_sessions", &[("shard", &shard)]),
+                Some(0.0),
+                "shard {shard} still reports live sessions"
+            );
+        }
+        // MPC solve-outcome counters are per-shard too.
+        assert!(snap.counter_sum("mpc_solves_total").unwrap_or(0) > 0);
+        assert!(snap.counter("mpc_solves_total").is_none());
+    }
+
+    #[test]
+    fn traced_loadgen_captures_session_step_and_solve_spans() {
+        let trace = TraceRing::enabled(8192);
+        let report = run_loadgen_traced(&quick_config(), &Registry::enabled(), &trace);
+        assert_eq!(report.total_steps, 12 * 40, "tracing must not drop steps");
+        let events = trace.events();
+        assert!(!events.is_empty());
+        let count = |name: &str, phase| {
+            events
+                .iter()
+                .filter(|e| e.name == name && e.phase == phase)
+                .count()
+        };
+        use ev_telemetry::TracePhase;
+        assert_eq!(count("session", TracePhase::Begin), 12);
+        assert_eq!(count("session", TracePhase::End), 12);
+        assert!(count("step", TracePhase::Complete) > 0);
+        assert!(count("mpc_solve", TracePhase::Complete) > 0);
+        // Events carry the engine's (shard, session) identity.
+        assert!(events.iter().all(|e| (e.pid as usize) < report.shards));
+        assert!(events.iter().any(|e| e.tid > 0));
+        let json = trace.to_chrome_json();
+        assert!(
+            json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"B\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn sampled_trace_keeps_a_session_subset() {
+        let trace = TraceRing::sampled(8192, 4);
+        let _ = run_loadgen_traced(&quick_config(), &Registry::enabled(), &trace);
+        let events = trace.events();
+        assert!(!events.is_empty(), "vehicle ids divisible by 4 are sampled");
+        assert!(
+            events.iter().all(|e| e.tid % 4 == 0),
+            "unsampled session leaked"
         );
     }
 

@@ -26,7 +26,8 @@ mod slab;
 pub use bounded::{BoundedQueue, TryPushError};
 pub use engine::{FleetConfig, FleetEngine, FleetError, FleetStats, ShardStats};
 pub use loadgen::{
-    render_loadgen_report, run_loadgen, run_loadgen_on, LoadgenConfig, LoadgenReport,
+    render_loadgen_report, run_loadgen, run_loadgen_on, run_loadgen_traced, LoadgenConfig,
+    LoadgenReport,
 };
 pub use pool::{available_workers, run_bounded};
 pub use session::{SessionSummary, VehicleSession};

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use ev_control::ClimateController;
+use ev_telemetry::TraceRing;
 
 use crate::observe::StepRecord;
 use crate::sim::{SimSession, Simulation};
@@ -26,6 +27,9 @@ pub struct VehicleSession {
     controller: Box<dyn ClimateController>,
     steps: u64,
     drives: u32,
+    /// Trace handle scoped to this session's (shard, vehicle) track;
+    /// disabled by default so untraced fleets pay one `Option` branch.
+    trace: TraceRing,
 }
 
 impl VehicleSession {
@@ -45,7 +49,22 @@ impl VehicleSession {
             controller,
             steps: 0,
             drives: 1,
+            trace: TraceRing::disabled(),
         }
+    }
+
+    /// Attaches a (shard, session)-scoped trace handle; the shard
+    /// worker records its command spans onto it.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceRing) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The session's scoped trace handle.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
     }
 
     /// The vehicle this session serves.

@@ -7,7 +7,7 @@ use ev_control::{
 };
 use ev_hvac::{CabinParams, Hvac, HvacLimits, HvacParams};
 use ev_powertrain::VehicleParams;
-use ev_telemetry::{FlightRecorder, Registry};
+use ev_telemetry::{FlightRecorder, Registry, TraceRing};
 use ev_units::{Celsius, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -192,7 +192,8 @@ impl ControllerKind {
                     .battery(params.mpc_battery_model())
                     .accessory_power(params.accessory_power)
                     .telemetry(&setup.telemetry)
-                    .flight_recorder(&setup.recorder);
+                    .flight_recorder(&setup.recorder)
+                    .trace(&setup.trace);
                 if let Some(cap) = setup.max_sqp_iterations {
                     builder = builder.max_sqp_iterations(cap);
                 }
@@ -215,6 +216,10 @@ pub struct ControllerSetup {
     /// Flight recorder for per-solve decision records (disabled by
     /// default).
     pub recorder: FlightRecorder,
+    /// Trace ring for begin/end event spans (disabled by default). The
+    /// fleet engine scopes it per (shard, session) before handing it to
+    /// the controller, so MPC solve spans land on the right track.
+    pub trace: TraceRing,
     /// Overrides the MPC's SQP major-iteration cap when `Some`.
     pub max_sqp_iterations: Option<usize>,
 }

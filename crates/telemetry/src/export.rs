@@ -6,6 +6,59 @@ use std::path::Path;
 
 use crate::registry::{HistogramSnapshot, Snapshot};
 
+/// Escape a label value for the Prometheus exposition format. The spec
+/// defines exactly three escapes inside label values: `\\`, `\"` and
+/// `\n` — everything else is literal.
+pub(crate) fn prom_label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a sorted label set as `{k="v",k2="v2"}`, with `extra`
+/// (e.g. `le` on bucket series) appended last. Empty input renders as
+/// the empty string so unlabeled series look exactly as before.
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&prom_label_escape(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Render a label set as a JSON object (`{}` when empty is elided by
+/// callers; this always renders the braces).
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
 /// Format an f64 as a JSON value (`null` for non-finite values).
 pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
@@ -51,16 +104,36 @@ pub(crate) fn json_str(s: &str) -> String {
 }
 
 /// Render the snapshot as JSON Lines: one self-describing object per
-/// metric. Counters carry `type`, `name`, `value`; histograms carry
+/// metric series. Counters carry `type`, `name`, `value`; gauges carry
+/// `type`, `name`, `value` (null when non-finite); histograms carry
 /// `type`, `name`, `count`, `sum`, `min`, `max` (null when empty) and a
 /// `buckets` array of `{le, count}` pairs plus an `overflow` count.
+/// Labeled series additionally carry a `labels` object with sorted
+/// keys; unlabeled series omit the field, so pre-label consumers see an
+/// unchanged schema.
 pub fn to_jsonl(snapshot: &Snapshot) -> String {
+    let labels_field = |labels: &[(String, String)]| {
+        if labels.is_empty() {
+            String::new()
+        } else {
+            format!(",\"labels\":{}", json_labels(labels))
+        }
+    };
     let mut out = String::new();
     for c in &snapshot.counters {
         out.push_str(&format!(
-            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
+            "{{\"type\":\"counter\",\"name\":{}{},\"value\":{}}}\n",
             json_str(&c.name),
+            labels_field(&c.labels),
             c.value
+        ));
+    }
+    for g in &snapshot.gauges {
+        out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"name\":{}{},\"value\":{}}}\n",
+            json_str(&g.name),
+            labels_field(&g.labels),
+            json_f64(g.value)
         ));
     }
     for h in &snapshot.histograms {
@@ -72,8 +145,9 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
             .collect();
         let overflow = h.counts.last().copied().unwrap_or(0);
         out.push_str(&format!(
-            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}],\"overflow\":{}}}\n",
+            "{{\"type\":\"histogram\",\"name\":{}{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}],\"overflow\":{}}}\n",
             json_str(&h.name),
+            labels_field(&h.labels),
             h.count,
             json_f64(h.sum),
             json_f64(h.min),
@@ -86,29 +160,60 @@ pub fn to_jsonl(snapshot: &Snapshot) -> String {
 }
 
 /// Render the snapshot in the Prometheus text exposition format:
-/// `# TYPE` headers, cumulative `_bucket{le="..."}` series ending in
-/// `le="+Inf"`, and `_sum`/`_count` series per histogram.
+/// `# TYPE` headers (one per metric family — labeled series of the same
+/// name share it), label sets rendered as `name{shard="3",cmd="step"}`,
+/// cumulative `_bucket{...,le="..."}` series ending in `le="+Inf"`, and
+/// `_sum`/`_count` series per histogram.
 pub fn to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
+    // Snapshots are sorted by (name, labels), so series of one family
+    // are adjacent and the TYPE header is emitted on each name change.
+    let mut last_type_header = String::new();
+    let mut type_header = |out: &mut String, name: &str, kind: &str| {
+        if last_type_header != name {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_type_header = name.to_string();
+        }
+    };
     for c in &snapshot.counters {
-        out.push_str(&format!("# TYPE {} counter\n", c.name));
-        out.push_str(&format!("{} {}\n", c.name, c.value));
+        type_header(&mut out, &c.name, "counter");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            c.name,
+            prom_labels(&c.labels, None),
+            c.value
+        ));
+    }
+    for g in &snapshot.gauges {
+        type_header(&mut out, &g.name, "gauge");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            g.name,
+            prom_labels(&g.labels, None),
+            prom_f64(g.value)
+        ));
     }
     for h in &snapshot.histograms {
-        out.push_str(&format!("# TYPE {} histogram\n", h.name));
+        type_header(&mut out, &h.name, "histogram");
+        let labels = prom_labels(&h.labels, None);
         let mut cumulative = 0u64;
         for (le, count) in h.bounds.iter().zip(h.counts.iter()) {
             cumulative += count;
             out.push_str(&format!(
-                "{}_bucket{{le=\"{}\"}} {}\n",
+                "{}_bucket{} {}\n",
                 h.name,
-                prom_f64(*le),
+                prom_labels(&h.labels, Some(("le", &prom_f64(*le)))),
                 cumulative
             ));
         }
-        out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.count));
-        out.push_str(&format!("{}_sum {}\n", h.name, prom_f64(h.sum)));
-        out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            h.name,
+            prom_labels(&h.labels, Some(("le", "+Inf"))),
+            h.count
+        ));
+        out.push_str(&format!("{}_sum{} {}\n", h.name, labels, prom_f64(h.sum)));
+        out.push_str(&format!("{}_count{} {}\n", h.name, labels, h.count));
     }
     out
 }
@@ -151,29 +256,113 @@ pub fn write_text(path: &Path, contents: &str) -> io::Result<()> {
     })
 }
 
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse a series identifier (`name` or `name{k="v",...}`) into the
+/// metric name and its **unescaped** label pairs, in source order.
+/// Strict by design: label values must be double-quoted, the only
+/// recognised escapes are `\\`, `\"` and `\n` (unknown escapes are an
+/// error, not a literal), duplicate label names are rejected, and the
+/// label set must close the line. A trailing comma before `}` is
+/// allowed, as the exposition format permits.
+pub(crate) fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let (name, rest) = match series.split_once('{') {
+        Some((name, rest)) => (name, Some(rest)),
+        None => (series, None),
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let Some(rest) = rest else {
+        return Ok((name.to_string(), labels));
+    };
+    let mut chars = rest.chars().peekable();
+    loop {
+        if chars.peek() == Some(&'}') {
+            chars.next();
+            break;
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('=') => break,
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => key.push(c),
+                Some(c) => return Err(format!("unexpected {c:?} in label name")),
+                None => return Err("unterminated label set".to_string()),
+            }
+        }
+        if !valid_label_name(&key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        if labels.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate label {key:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("unquoted label value for {key:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    Some(c) => return Err(format!("unknown escape \\{c} in label value")),
+                    None => return Err("unterminated label value".to_string()),
+                },
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            Some(c) => return Err(format!("expected ',' or '}}' after label, got {c:?}")),
+            None => return Err("unterminated label set".to_string()),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after label set".to_string());
+    }
+    Ok((name.to_string(), labels))
+}
+
 /// Strictly validates a Prometheus text exposition, returning the
 /// number of samples (non-comment lines) on success.
 ///
 /// Enforces the failure modes this workspace has actually shipped:
 /// every sample value and every `le` label must be a finite decimal or
 /// one of the exact tokens `NaN`, `+Inf`, `-Inf` — `null` (JSON
-/// leakage) and Rust's `inf`/`-inf` spellings are rejected — and metric
-/// names must be well-formed.
+/// leakage) and Rust's `inf`/`-inf` spellings are rejected — metric
+/// names must be well-formed, and label sets must parse per
+/// [`parse_series`] (quoted values, known escapes only, no duplicate
+/// label names).
 ///
 /// # Errors
 ///
 /// Returns a message naming the first offending line.
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
-    fn valid_name(name: &str) -> bool {
-        !name.is_empty()
-            && name
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
-    }
     fn valid_value(token: &str) -> Result<(), String> {
         if matches!(token, "NaN" | "+Inf" | "-Inf") {
             return Ok(());
@@ -198,7 +387,7 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                 let Some(name) = parts.next() else {
                     return err("# TYPE without a metric name".to_string());
                 };
-                if !valid_name(name) {
+                if !valid_metric_name(name) {
                     return err(format!("bad metric name {name:?} in # TYPE"));
                 }
                 match parts.next() {
@@ -208,39 +397,86 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             }
             continue;
         }
+        // The value is the last space-separated token; label values may
+        // themselves contain spaces, which stay on the series side.
         let Some((series, value)) = line.rsplit_once(' ') else {
             return err("sample line without a value".to_string());
         };
-        let name_part = match series.split_once('{') {
-            Some((name, labels)) => {
-                let Some(labels) = labels.strip_suffix('}') else {
-                    return err("unterminated label set".to_string());
-                };
-                for label in labels.split(',').filter(|l| !l.is_empty()) {
-                    let Some((key, quoted)) = label.split_once('=') else {
-                        return err(format!("label without '=': {label:?}"));
-                    };
-                    let Some(val) = quoted.strip_prefix('"').and_then(|q| q.strip_suffix('"'))
-                    else {
-                        return err(format!("unquoted label value: {label:?}"));
-                    };
-                    if key == "le" {
-                        if let Err(msg) = valid_value(val) {
-                            return err(format!("bucket bound: {msg}"));
-                        }
-                    }
-                }
-                name
-            }
-            None => series,
+        let labels = match parse_series(series) {
+            Ok((_, labels)) => labels,
+            Err(msg) => return err(msg),
         };
-        if !valid_name(name_part) {
-            return err(format!("bad metric name {name_part:?}"));
+        for (key, val) in &labels {
+            if key == "le" {
+                if let Err(msg) = valid_value(val) {
+                    return err(format!("bucket bound: {msg}"));
+                }
+            }
         }
         if let Err(msg) = valid_value(value) {
             return err(msg);
         }
         samples += 1;
+    }
+    Ok(samples)
+}
+
+/// One parsed sample from a Prometheus text exposition: the metric
+/// name, its unescaped label pairs in source order, and the value
+/// (non-finite for the `NaN`/`±Inf` tokens).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The metric name (for histograms this includes the `_bucket`,
+    /// `_sum` or `_count` suffix — the parser does not reassemble
+    /// families).
+    pub name: String,
+    /// Unescaped label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a Prometheus text exposition into its samples, with the same
+/// strictness as [`validate_prometheus`] (which it delegates to first).
+/// Consumers like the `evsim top` dashboard build per-label-set views
+/// from the returned list.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    validate_prometheus(text)?;
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Validation guarantees both splits succeed and the value is one
+        // of the accepted spellings.
+        let (series, value) = line.rsplit_once(' ').expect("validated sample line");
+        let (name, labels) = parse_series(series).expect("validated series");
+        let value = match value {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            token => token.parse().expect("validated value"),
+        };
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
     }
     Ok(samples)
 }
@@ -257,9 +493,15 @@ fn fmt_cell(v: f64) -> String {
     }
 }
 
+/// Display name for a series in human-readable tables: the metric name
+/// with its label set appended in exposition syntax when present.
+fn series_display(name: &str, labels: &[(String, String)]) -> String {
+    format!("{}{}", name, prom_labels(labels, None))
+}
+
 fn report_row(h: &HistogramSnapshot) -> [String; 7] {
     [
-        h.name.clone(),
+        series_display(&h.name, &h.labels),
         h.count.to_string(),
         fmt_cell(h.mean()),
         fmt_cell(h.quantile(0.5)),
@@ -279,20 +521,44 @@ pub fn render_report(snapshot: &Snapshot) -> String {
         return out;
     }
     if !snapshot.counters.is_empty() {
-        let name_w = snapshot
+        let names: Vec<String> = snapshot
             .counters
             .iter()
-            .map(|c| c.name.len())
+            .map(|c| series_display(&c.name, &c.labels))
+            .collect();
+        let name_w = names
+            .iter()
+            .map(|n| n.len())
             .chain(["counter".len()])
             .max()
             .unwrap_or(7);
         out.push_str(&format!("{:<name_w$}  {:>12}\n", "counter", "value"));
-        for c in &snapshot.counters {
-            out.push_str(&format!("{:<name_w$}  {:>12}\n", c.name, c.value));
+        for (c, name) in snapshot.counters.iter().zip(names.iter()) {
+            out.push_str(&format!("{name:<name_w$}  {:>12}\n", c.value));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        if !snapshot.counters.is_empty() {
+            out.push('\n');
+        }
+        let names: Vec<String> = snapshot
+            .gauges
+            .iter()
+            .map(|g| series_display(&g.name, &g.labels))
+            .collect();
+        let name_w = names
+            .iter()
+            .map(|n| n.len())
+            .chain(["gauge".len()])
+            .max()
+            .unwrap_or(5);
+        out.push_str(&format!("{:<name_w$}  {:>12}\n", "gauge", "value"));
+        for (g, name) in snapshot.gauges.iter().zip(names.iter()) {
+            out.push_str(&format!("{name:<name_w$}  {:>12}\n", fmt_cell(g.value)));
         }
     }
     if !snapshot.histograms.is_empty() {
-        if !snapshot.counters.is_empty() {
+        if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
             out.push('\n');
         }
         let header = [
@@ -398,8 +664,10 @@ mod tests {
         // Rust's `inf` debug spelling.
         let snapshot = Snapshot {
             counters: Vec::new(),
+            gauges: Vec::new(),
             histograms: vec![HistogramSnapshot {
                 name: "weird_seconds".to_string(),
+                labels: Vec::new(),
                 bounds: vec![1.0, f64::INFINITY],
                 counts: vec![1, 2, 0],
                 count: 3,
@@ -437,6 +705,151 @@ mod tests {
             assert!(validate_prometheus(bad).is_err(), "accepted {bad:?}");
         }
         assert!(validate_prometheus("m_sum NaN\nm_total +Inf\n\n# free comment\n").is_ok());
+    }
+
+    fn labeled_snapshot() -> Snapshot {
+        let reg = Registry::enabled();
+        reg.counter_with("fleet_steps_total", &[("shard", "0")])
+            .add(10);
+        reg.counter_with("fleet_steps_total", &[("shard", "1")])
+            .add(20);
+        reg.gauge_with("fleet_queue_depth", &[("shard", "0")])
+            .set(3.0);
+        let h = reg.histogram_with(
+            "fleet_cmd_seconds",
+            HistogramSpec::new(1e-3, 10.0, 3),
+            &[("cmd", "step"), ("shard", "0")],
+        );
+        h.record(0.002);
+        h.record(0.5);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_labeled_series_render_and_round_trip() {
+        let out = to_prometheus(&labeled_snapshot());
+        // One TYPE header per family, not per labeled series.
+        assert_eq!(out.matches("# TYPE fleet_steps_total counter").count(), 1);
+        assert!(out.contains("fleet_steps_total{shard=\"0\"} 10\n"), "{out}");
+        assert!(out.contains("fleet_steps_total{shard=\"1\"} 20\n"), "{out}");
+        assert!(out.contains("# TYPE fleet_queue_depth gauge\n"), "{out}");
+        assert!(
+            out.contains("fleet_queue_depth{shard=\"0\"} 3.0\n"),
+            "{out}"
+        );
+        // Bucket series merge the series labels with `le`, labels first.
+        assert!(
+            out.contains("fleet_cmd_seconds_bucket{cmd=\"step\",shard=\"0\",le=\"0.01\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fleet_cmd_seconds_bucket{cmd=\"step\",shard=\"0\",le=\"+Inf\"} 2\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fleet_cmd_seconds_count{cmd=\"step\",shard=\"0\"} 2\n"),
+            "{out}"
+        );
+        let n = validate_prometheus(&out).expect("labeled exposition validates");
+        // 2 counters + 1 gauge + (3 buckets + Inf + sum + count).
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn parse_prometheus_returns_typed_samples() {
+        let samples = parse_prometheus(&to_prometheus(&labeled_snapshot())).expect("parses");
+        assert_eq!(samples.len(), 9);
+        let shard1 = samples
+            .iter()
+            .find(|s| s.name == "fleet_steps_total" && s.label("shard") == Some("1"))
+            .expect("shard 1 series");
+        assert_eq!(shard1.value, 20.0);
+        let inf_bucket = samples
+            .iter()
+            .find(|s| s.name == "fleet_cmd_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf_bucket.value, 2.0);
+        assert_eq!(inf_bucket.label("cmd"), Some("step"));
+        // NaN gauges survive the round trip as NaN values.
+        let nan = parse_prometheus("g NaN\n").expect("parses");
+        assert!(nan[0].value.is_nan());
+        // Invalid expositions are rejected, not partially parsed.
+        assert!(parse_prometheus("g null\n").is_err());
+    }
+
+    #[test]
+    fn label_values_with_specials_escape_and_round_trip() {
+        let reg = Registry::enabled();
+        let tricky = "quote\" slash\\ newline\n end";
+        reg.counter_with("odd_total", &[("note", tricky)]).inc();
+        let out = to_prometheus(&reg.snapshot());
+        assert!(
+            out.contains("odd_total{note=\"quote\\\" slash\\\\ newline\\n end\"} 1\n"),
+            "{out}"
+        );
+        validate_prometheus(&out).expect("escaped labels validate");
+        // Round-trip: the parser recovers the original value exactly.
+        let line = out.lines().find(|l| l.starts_with("odd_total{")).unwrap();
+        let series = line.rsplit_once(' ').unwrap().0;
+        let (name, labels) = parse_series(series).unwrap();
+        assert_eq!(name, "odd_total");
+        assert_eq!(labels, vec![("note".to_string(), tricky.to_string())]);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_label_sets() {
+        for bad in [
+            "m{a=\"1\",a=\"2\"} 1\n", // duplicate label
+            "m{a=\"1\"b=\"2\"} 1\n",  // missing comma
+            "m{a=\"1} 1\n",           // unterminated value
+            "m{a=\"x\\q\"} 1\n",      // unknown escape
+            "m{9a=\"1\"} 1\n",        // bad label name
+            "m{a=\"1\"}x 1\n",        // trailing garbage
+            "m{le=\"zzz\"} 1\n",      // non-numeric bucket bound
+            "m{a=1} 1\n",             // unquoted value
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+        // Spaces and commas inside quoted values are fine, as is a
+        // trailing comma before the closing brace.
+        for good in ["m{a=\"x, y z\"} 1\n", "m{a=\"1\",} 1\n", "m{} 1\n"] {
+            assert!(validate_prometheus(good).is_ok(), "rejected {good:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_labeled_series_carry_a_labels_object() {
+        let out = to_jsonl(&labeled_snapshot());
+        assert!(
+            out.contains(
+                "{\"type\":\"counter\",\"name\":\"fleet_steps_total\",\"labels\":{\"shard\":\"0\"},\"value\":10}"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "{\"type\":\"gauge\",\"name\":\"fleet_queue_depth\",\"labels\":{\"shard\":\"0\"},\"value\":3.0}"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("\"labels\":{\"cmd\":\"step\",\"shard\":\"0\"}"),
+            "{out}"
+        );
+        // Unlabeled series keep the pre-label schema: no labels field.
+        let unlabeled = to_jsonl(&sample_snapshot());
+        assert!(!unlabeled.contains("\"labels\""), "{unlabeled}");
+    }
+
+    #[test]
+    fn report_renders_gauges_and_labeled_names() {
+        let out = render_report(&labeled_snapshot());
+        assert!(out.contains("gauge"), "{out}");
+        assert!(out.contains("fleet_queue_depth{shard=\"0\"}"), "{out}");
+        assert!(
+            out.contains("fleet_cmd_seconds{cmd=\"step\",shard=\"0\"}"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -42,12 +42,16 @@ pub mod recorder;
 mod registry;
 pub mod scrape;
 mod span;
+pub mod trace;
 
-pub use metrics::{Counter, Histogram, HistogramSpec};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSpec};
 pub use recorder::{
     Attribution, DecisionRecord, FlightRecord, FlightRecorder, PlannedStep, SolveOutcome,
     StepSummary, WarmStart,
 };
-pub use registry::{CounterSnapshot, HistogramSnapshot, Registry, Snapshot};
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, LabelSet, Registry, Snapshot,
+};
 pub use scrape::{scrape_once, ScrapeServer};
 pub use span::Span;
+pub use trace::{TraceEvent, TracePhase, TraceRing, TraceSpan};

@@ -38,6 +38,66 @@ impl Counter {
     }
 }
 
+/// Lock-free gauge core: an f64 stored as bits in an `AtomicU64`.
+#[derive(Debug)]
+pub(crate) struct GaugeCore {
+    pub(crate) bits: AtomicU64,
+}
+
+impl GaugeCore {
+    pub(crate) fn new() -> Self {
+        GaugeCore {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// A point-in-time level: queue depth, live sessions, final totals.
+///
+/// Unlike a [`Counter`], a gauge can move both ways: [`set`](Self::set)
+/// overwrites, [`add`](Self::add)/[`sub`](Self::sub) adjust. The value
+/// is an f64 stored bitwise in an atomic, so updates are lock-free;
+/// `add`/`sub` use a CAS loop. A gauge minted from a disabled
+/// [`crate::Registry`] holds `None` and every operation is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// A detached gauge that discards every update.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Move the level up by `v`.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            atomic_f64_update(&core.bits, |x| x + v);
+        }
+    }
+
+    /// Move the level down by `v`.
+    #[inline]
+    pub fn sub(&self, v: f64) {
+        self.add(-v);
+    }
+
+    /// Current level (0.0 for a disabled gauge).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.bits.load(Ordering::Relaxed)))
+    }
+}
+
 /// Geometric (log-scale) bucket layout for a [`Histogram`].
 ///
 /// Bucket `i` covers `(start·factor^(i-1), start·factor^i]`; everything at
@@ -209,6 +269,21 @@ mod tests {
         assert_eq!(bucket_of(99.0), 2);
         assert_eq!(bucket_of(100.0), 2);
         assert_eq!(bucket_of(100.1), 3); // overflow bucket
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_disabled_gauge_is_inert() {
+        let g = Gauge(Some(Arc::new(GaugeCore::new())));
+        g.set(10.0);
+        g.add(2.5);
+        g.sub(4.0);
+        assert!((g.get() - 8.5).abs() < 1e-12);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+        let off = Gauge::disabled();
+        off.set(99.0);
+        off.add(1.0);
+        assert_eq!(off.get(), 0.0);
     }
 
     #[test]

@@ -4,15 +4,48 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{Counter, Histogram, HistogramCore, HistogramSpec};
+use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSpec};
+
+/// Label pairs as passed at mint sites: `&[("shard", "3")]`.
+pub type LabelSet<'a> = &'a [(&'a str, &'a str)];
+
+/// Canonical series identity: metric name plus its label pairs sorted
+/// by key (later duplicates of a key win, so scoped base labels can be
+/// overridden at the mint site). Two mint calls with the same canonical
+/// key share storage.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+/// Merges base labels and call-site labels into a canonical sorted
+/// vector; for duplicate keys the *last* occurrence wins (call sites
+/// override a scope's base labels).
+fn canonical_labels(base: &[(String, String)], extra: LabelSet<'_>) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::with_capacity(base.len() + extra.len());
+    let mut put = |k: &str, v: &str| match out.iter_mut().find(|(ek, _)| ek == k) {
+        Some((_, ev)) => *ev = v.to_string(),
+        None => out.push((k.to_string(), v.to_string())),
+    };
+    for (k, v) in base {
+        put(k, v);
+    }
+    for (k, v) in extra {
+        put(k, v);
+    }
+    out.sort();
+    out
+}
 
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    counters: Mutex<BTreeMap<SeriesKey, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Arc<GaugeCore>>>,
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<HistogramCore>>>,
 }
 
-/// A named collection of counters and histograms.
+/// A named collection of counters, gauges and histograms.
 ///
 /// `Registry` is a cheap cloneable handle; all clones share the same
 /// metric store, so a registry can be minted once and handed to a
@@ -20,12 +53,21 @@ struct RegistryInner {
 /// [`Registry::disabled`] (also the `Default`) owns no store at all:
 /// every handle it mints is inert and records nothing.
 ///
+/// Every metric can carry **labels** (dimensions): the `*_with` mint
+/// methods key the series by `(name, sorted labels)`, and
+/// [`Registry::scoped`] derives a handle whose base labels are stamped
+/// onto everything minted through it — how the fleet engine turns the
+/// MPC's fixed metric names into per-shard series without the solver
+/// knowing about shards. The unlabeled methods are the `*_with` methods
+/// with an empty label set, unchanged from before labels existed.
+///
 /// Registration takes a lock; recording on the returned handles is
-/// lock-free. Registering the same name twice returns a handle to the
+/// lock-free. Registering the same key twice returns a handle to the
 /// same underlying metric (for histograms, the first spec wins).
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     inner: Option<Arc<RegistryInner>>,
+    base_labels: Vec<(String, String)>,
 }
 
 impl Registry {
@@ -33,12 +75,16 @@ impl Registry {
     pub fn enabled() -> Self {
         Registry {
             inner: Some(Arc::new(RegistryInner::default())),
+            base_labels: Vec::new(),
         }
     }
 
     /// A no-op registry: all handles minted from it discard updates.
     pub fn disabled() -> Self {
-        Registry { inner: None }
+        Registry {
+            inner: None,
+            base_labels: Vec::new(),
+        }
     }
 
     /// Construct enabled or disabled from a flag.
@@ -55,13 +101,43 @@ impl Registry {
         self.inner.is_some()
     }
 
-    /// Get or create the counter named `name`.
+    /// A handle onto the same store that stamps `labels` onto every
+    /// metric minted through it (on top of this handle's own base
+    /// labels; mint-site labels override on key collision). Scoping a
+    /// disabled registry stays disabled — and free.
+    #[must_use]
+    pub fn scoped(&self, labels: LabelSet<'_>) -> Registry {
+        if self.inner.is_none() {
+            return Registry::disabled();
+        }
+        Registry {
+            inner: self.inner.clone(),
+            base_labels: canonical_labels(&self.base_labels, labels),
+        }
+    }
+
+    /// The base labels this handle stamps onto minted metrics.
+    #[must_use]
+    pub fn base_labels(&self) -> &[(String, String)] {
+        &self.base_labels
+    }
+
+    /// Get or create the counter named `name` (no extra labels).
     pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter_with(&self, name: &str, labels: LabelSet<'_>) -> Counter {
         match &self.inner {
             Some(inner) => {
+                let key = SeriesKey {
+                    name: name.to_string(),
+                    labels: canonical_labels(&self.base_labels, labels),
+                };
                 let mut map = inner.counters.lock().expect("counter registry poisoned");
                 let cell = map
-                    .entry(name.to_string())
+                    .entry(key)
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)));
                 Counter(Some(cell.clone()))
             }
@@ -69,16 +145,53 @@ impl Registry {
         }
     }
 
-    /// Get or create the histogram named `name` with bucket layout `spec`.
-    pub fn histogram(&self, name: &str, spec: HistogramSpec) -> Histogram {
+    /// Get or create the gauge named `name` (no extra labels).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge_with(&self, name: &str, labels: LabelSet<'_>) -> Gauge {
         match &self.inner {
             Some(inner) => {
+                let key = SeriesKey {
+                    name: name.to_string(),
+                    labels: canonical_labels(&self.base_labels, labels),
+                };
+                let mut map = inner.gauges.lock().expect("gauge registry poisoned");
+                let cell = map.entry(key).or_insert_with(|| Arc::new(GaugeCore::new()));
+                Gauge(Some(cell.clone()))
+            }
+            None => Gauge::disabled(),
+        }
+    }
+
+    /// Get or create the histogram named `name` with bucket layout
+    /// `spec` (no extra labels).
+    pub fn histogram(&self, name: &str, spec: HistogramSpec) -> Histogram {
+        self.histogram_with(name, spec, &[])
+    }
+
+    /// Get or create the histogram `name{labels}` with bucket layout
+    /// `spec` (for an existing series the first spec wins).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        spec: HistogramSpec,
+        labels: LabelSet<'_>,
+    ) -> Histogram {
+        match &self.inner {
+            Some(inner) => {
+                let key = SeriesKey {
+                    name: name.to_string(),
+                    labels: canonical_labels(&self.base_labels, labels),
+                };
                 let mut map = inner
                     .histograms
                     .lock()
                     .expect("histogram registry poisoned");
                 let core = map
-                    .entry(name.to_string())
+                    .entry(key)
                     .or_insert_with(|| Arc::new(HistogramCore::new(spec)));
                 Histogram(Some(core.clone()))
             }
@@ -87,7 +200,7 @@ impl Registry {
     }
 
     /// A consistent point-in-time copy of every registered metric,
-    /// sorted by name. Empty for a disabled registry.
+    /// sorted by (name, labels). Empty for a disabled registry.
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else {
             return Snapshot::default();
@@ -97,9 +210,21 @@ impl Registry {
             .lock()
             .expect("counter registry poisoned")
             .iter()
-            .map(|(name, cell)| CounterSnapshot {
-                name: name.clone(),
+            .map(|(key, cell)| CounterSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
                 value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(key, core)| GaugeSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: f64::from_bits(core.bits.load(Ordering::Relaxed)),
             })
             .collect();
         let histograms = inner
@@ -107,8 +232,9 @@ impl Registry {
             .lock()
             .expect("histogram registry poisoned")
             .iter()
-            .map(|(name, core)| HistogramSnapshot {
-                name: name.clone(),
+            .map(|(key, core)| HistogramSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
                 bounds: core.bounds.clone(),
                 counts: core
                     .counts
@@ -123,25 +249,51 @@ impl Registry {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
 }
 
-/// Frozen value of one counter.
+/// `true` when `labels` matches `query` exactly (both canonical-sorted;
+/// the query is a mint-site `&[(&str, &str)]`).
+fn labels_match(labels: &[(String, String)], query: LabelSet<'_>) -> bool {
+    labels.len() == query.len()
+        && labels
+            .iter()
+            .zip(canonical_labels(&[], query))
+            .all(|((ak, av), (bk, bv))| *ak == bk && *av == bv)
+}
+
+/// Frozen value of one counter series.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterSnapshot {
     /// Metric name.
     pub name: String,
+    /// Label pairs, sorted by key (empty for an unlabeled series).
+    pub labels: Vec<(String, String)>,
     /// Counter value at snapshot time.
     pub value: u64,
 }
 
-/// Frozen state of one histogram.
+/// Frozen value of one gauge series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, sorted by key (empty for an unlabeled series).
+    pub labels: Vec<(String, String)>,
+    /// Gauge level at snapshot time.
+    pub value: f64,
+}
+
+/// Frozen state of one histogram series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Metric name.
     pub name: String,
+    /// Label pairs, sorted by key (empty for an unlabeled series).
+    pub labels: Vec<(String, String)>,
     /// Finite bucket upper bounds, increasing.
     pub bounds: Vec<f64>,
     /// Per-bucket sample counts; `bounds.len() + 1` entries, the last
@@ -173,9 +325,12 @@ impl HistogramSnapshot {
     /// target rank, clamped to the exact observed `[min, max]` range —
     /// so `quantile(0.0) == min` and `quantile(1.0) == max` are exact
     /// and everything in between carries one bucket-width of error.
-    /// Returns NaN if the histogram is empty.
+    /// Returns NaN — explicitly, before any bucket walk — for an empty
+    /// histogram or a NaN `q`, so downstream renderers always hit their
+    /// NaN spelling path (`-` in reports, `NaN` in Prometheus) instead
+    /// of a bucket-walk artifact.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return f64::NAN;
         }
         let q = q.clamp(0.0, 1.0);
@@ -200,34 +355,110 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Folds `other`'s samples into this snapshot (used to aggregate
+    /// labeled shards of one metric). Requires identical bucket bounds.
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.bounds, other.bounds, "merging unlike histograms");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A point-in-time copy of a whole [`Registry`], ready for export.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
-    /// All counters, sorted by name.
+    /// All counter series, sorted by (name, labels).
     pub counters: Vec<CounterSnapshot>,
-    /// All histograms, sorted by name.
+    /// All gauge series, sorted by (name, labels).
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histogram series, sorted by (name, labels).
     pub histograms: Vec<HistogramSnapshot>,
 }
 
 impl Snapshot {
-    /// Value of the counter named `name`, if registered.
+    /// Value of the **unlabeled** counter series named `name`, if
+    /// registered.
     pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counter_labeled(name, &[])
+    }
+
+    /// Value of the counter series `name{labels}`, if registered.
+    pub fn counter_labeled(&self, name: &str, labels: LabelSet<'_>) -> Option<u64> {
         self.counters
             .iter()
-            .find(|c| c.name == name)
+            .find(|c| c.name == name && labels_match(&c.labels, labels))
             .map(|c| c.value)
     }
 
-    /// The histogram named `name`, if registered.
+    /// Sum of every counter series named `name` across all label sets
+    /// (`None` when no series exists at all).
+    pub fn counter_sum(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0u64;
+        for c in self.counters.iter().filter(|c| c.name == name) {
+            found = true;
+            total += c.value;
+        }
+        found.then_some(total)
+    }
+
+    /// Level of the **unlabeled** gauge series named `name`, if
+    /// registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Level of the gauge series `name{labels}`, if registered.
+    pub fn gauge_labeled(&self, name: &str, labels: LabelSet<'_>) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && labels_match(&g.labels, labels))
+            .map(|g| g.value)
+    }
+
+    /// The **unlabeled** histogram series named `name`, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
-        self.histograms.iter().find(|h| h.name == name)
+        self.histogram_labeled(name, &[])
+    }
+
+    /// The histogram series `name{labels}`, if registered.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: LabelSet<'_>,
+    ) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && labels_match(&h.labels, labels))
+    }
+
+    /// Every histogram series named `name` merged across label sets
+    /// into one label-free aggregate — how fleet-wide quantiles are
+    /// computed once a metric is sharded. `None` when no series exists;
+    /// series whose bucket layout differs from the first are skipped
+    /// (the registry's first-spec-wins rule makes that unreachable for
+    /// same-named series it minted).
+    pub fn histogram_merged(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut iter = self.histograms.iter().filter(|h| h.name == name);
+        let mut merged = iter.next()?.clone();
+        merged.labels.clear();
+        for h in iter {
+            if h.bounds == merged.bounds {
+                merged.merge(h);
+            }
+        }
+        Some(merged)
     }
 
     /// Whether the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 }
 
@@ -239,9 +470,12 @@ mod tests {
     fn disabled_registry_snapshot_is_empty() {
         let reg = Registry::disabled();
         reg.counter("a").inc();
+        reg.gauge("g").set(4.0);
         reg.histogram("b", HistogramSpec::counts()).record(1.0);
+        reg.scoped(&[("shard", "0")]).counter("c").inc();
         assert!(reg.snapshot().is_empty());
         assert!(!reg.is_enabled());
+        assert!(!reg.scoped(&[("shard", "0")]).is_enabled());
     }
 
     #[test]
@@ -252,6 +486,67 @@ mod tests {
         a.inc();
         b.inc();
         assert_eq!(reg.snapshot().counter("hits"), Some(2));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_label_order_is_canonical() {
+        let reg = Registry::enabled();
+        reg.counter_with("req", &[("shard", "0"), ("cmd", "step")])
+            .add(3);
+        // Same series, differently-ordered mint labels.
+        reg.counter_with("req", &[("cmd", "step"), ("shard", "0")])
+            .add(2);
+        reg.counter_with("req", &[("shard", "1"), ("cmd", "step")])
+            .inc();
+        reg.counter("req").add(10);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_labeled("req", &[("cmd", "step"), ("shard", "0")]),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter_labeled("req", &[("shard", "1"), ("cmd", "step")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter("req"), Some(10), "unlabeled is its own series");
+        assert_eq!(snap.counter_sum("req"), Some(16));
+        assert_eq!(snap.counter_sum("absent"), None);
+    }
+
+    #[test]
+    fn scoped_registry_stamps_base_labels_and_mint_site_overrides() {
+        let reg = Registry::enabled();
+        let shard = reg.scoped(&[("shard", "3")]);
+        shard.counter("steps").add(7);
+        shard.counter_with("steps", &[("cmd", "open")]).add(2);
+        // A mint-site label overrides the scope's base label.
+        shard.counter_with("steps", &[("shard", "9")]).add(1);
+        let nested = shard.scoped(&[("cmd", "close")]);
+        nested.counter("steps").add(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_labeled("steps", &[("shard", "3")]), Some(7));
+        assert_eq!(
+            snap.counter_labeled("steps", &[("shard", "3"), ("cmd", "open")]),
+            Some(2)
+        );
+        assert_eq!(snap.counter_labeled("steps", &[("shard", "9")]), Some(1));
+        assert_eq!(
+            snap.counter_labeled("steps", &[("cmd", "close"), ("shard", "3")]),
+            Some(4)
+        );
+        assert_eq!(snap.counter("steps"), None);
+    }
+
+    #[test]
+    fn gauges_snapshot_by_label() {
+        let reg = Registry::enabled();
+        reg.gauge("depth").set(2.0);
+        reg.gauge_with("depth", &[("shard", "1")]).set(5.0);
+        reg.gauge_with("depth", &[("shard", "1")]).sub(1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(2.0));
+        assert_eq!(snap.gauge_labeled("depth", &[("shard", "1")]), Some(3.5));
+        assert_eq!(snap.gauge_labeled("depth", &[("shard", "2")]), None);
     }
 
     #[test]
@@ -282,12 +577,53 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_quantile_is_nan() {
+    fn empty_histogram_quantile_is_nan_for_every_q() {
         let reg = Registry::enabled();
         let h = reg.histogram("v", HistogramSpec::counts());
         let _ = h;
         let snap = reg.snapshot();
-        assert!(snap.histogram("v").unwrap().quantile(0.5).is_nan());
-        assert!(snap.histogram("v").unwrap().mean().is_nan());
+        let hist = snap.histogram("v").unwrap();
+        // The empty case must short-circuit to NaN before the bucket
+        // walk: no q — not even the exact 0.0/1.0 extrema paths, which
+        // would otherwise leak the sentinel ±inf extrema — may produce
+        // anything else.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0, -3.0, 7.0, f64::NAN] {
+            assert!(hist.quantile(q).is_nan(), "quantile({q}) on empty");
+        }
+        assert!(hist.mean().is_nan());
+    }
+
+    #[test]
+    fn nan_q_is_nan_even_on_populated_histograms() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("v", HistogramSpec::counts());
+        h.record(2.0);
+        h.record(5.0);
+        let snap = reg.snapshot();
+        assert!(snap.histogram("v").unwrap().quantile(f64::NAN).is_nan());
+        // ...while out-of-range finite q still clamps.
+        assert_eq!(snap.histogram("v").unwrap().quantile(-1.0), 2.0);
+        assert_eq!(snap.histogram("v").unwrap().quantile(2.0), 5.0);
+    }
+
+    #[test]
+    fn histogram_merged_aggregates_across_labels() {
+        let reg = Registry::enabled();
+        let spec = HistogramSpec::new(1.0, 10.0, 3);
+        reg.histogram_with("lat", spec, &[("shard", "0")])
+            .record(0.5);
+        reg.histogram_with("lat", spec, &[("shard", "0")])
+            .record(5.0);
+        reg.histogram_with("lat", spec, &[("shard", "1")])
+            .record(50.0);
+        let snap = reg.snapshot();
+        let merged = snap.histogram_merged("lat").expect("series exist");
+        assert!(merged.labels.is_empty());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.min, 0.5);
+        assert_eq!(merged.max, 50.0);
+        assert!((merged.sum - 55.5).abs() < 1e-12);
+        assert_eq!(merged.quantile(1.0), 50.0);
+        assert!(snap.histogram_merged("absent").is_none());
     }
 }

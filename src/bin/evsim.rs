@@ -44,18 +44,38 @@
 //!     One-shot scrape probe: fetch /metrics, validate the exposition
 //!     strictly (no `null`/`inf` tokens) and optionally require a
 //!     populated histogram/counter. Exits non-zero on any violation.
+//!
+//! evsim top --addr <host:port> [--interval <secs>] [--once]
+//!     Polling terminal dashboard over the scrape endpoint: per-shard
+//!     live sessions, queue depth, step counts, park/shed totals, step
+//!     latency p50/p99 and the MPC solve-outcome mix, refreshed in
+//!     place. `--once` prints a single snapshot and exits (non-zero if
+//!     no per-shard series are populated), which is what CI asserts on.
+//!
+//! evsim trace [--out <path.json>] [--sample <modulus>]
+//!             [--capacity <events>] [loadgen flags]
+//!     Run a loadgen burst with the trace ring enabled and write the
+//!     captured (shard, session, command, MPC solve) spans as Chrome
+//!     trace JSON — loadable in Perfetto / chrome://tracing. `--sample`
+//!     keeps every Nth session; `--capacity` bounds the ring (oldest
+//!     events are overwritten past it).
 //! ```
 
 use std::process::ExitCode;
 
 use evclimate::control::CONSTRAINT_ROW_LABELS;
-use evclimate::core::fleet::{render_loadgen_report, run_loadgen, run_loadgen_on, LoadgenConfig};
+use evclimate::core::fleet::{
+    render_loadgen_report, run_loadgen, run_loadgen_on, run_loadgen_traced, LoadgenConfig,
+};
 use evclimate::core::{
     ControllerKind, ControllerSetup, EvParams, FlightRecorderObserver, Simulation,
     SimulationResult, TelemetryObserver,
 };
 use evclimate::drive::{AmbientConditions, DriveCycle, DriveProfile};
-use evclimate::telemetry::{export, scrape_once, FlightRecorder, Registry, ScrapeServer};
+use evclimate::telemetry::export::PromSample;
+use evclimate::telemetry::{
+    export, scrape_once, FlightRecorder, Registry, ScrapeServer, TraceRing,
+};
 use evclimate::units::{Celsius, Seconds};
 
 fn usage() -> &'static str {
@@ -71,7 +91,10 @@ fn usage() -> &'static str {
      evsim serve [--addr <host:port>] [--for-seconds <n>] \
      [--burst-sessions <n>] [--burst-steps <n>] [--seed <n>]\n  \
      evsim scrape --addr <host:port> [--require-histogram <name>] \
-     [--require-counter <name>]"
+     [--require-counter <name>]\n  \
+     evsim top --addr <host:port> [--interval <secs>] [--once]\n  \
+     evsim trace [--out <path.json>] [--sample <modulus>] \
+     [--capacity <events>] [loadgen flags]"
 }
 
 /// Looks up a built-in cycle by (case-insensitive) name.
@@ -258,6 +281,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         telemetry: registry.clone(),
         recorder: recorder.clone(),
         max_sqp_iterations,
+        ..ControllerSetup::default()
     };
     let mut controller = kind
         .instantiate_configured(&params, &setup)
@@ -335,6 +359,21 @@ fn validate_metric_line(line: &str) -> Result<&'static str, String> {
     if name.is_empty() {
         return Err("empty metric name".to_owned());
     }
+    // A `labels` object is optional (unlabeled series omit it); when
+    // present every value must be a string and every key non-empty.
+    if let Ok(labels) = v.field("labels") {
+        let serde::Value::Map(pairs) = labels else {
+            return Err(format!("{name}: labels is not an object"));
+        };
+        for (key, value) in pairs {
+            if key.is_empty() {
+                return Err(format!("{name}: empty label name"));
+            }
+            if !matches!(value, serde::Value::Str(_)) {
+                return Err(format!("{name}: label '{key}' value is not a string"));
+            }
+        }
+    }
     let num = |key: &str| -> Result<f64, String> {
         v.field(key)
             .and_then(serde::Value::as_num)
@@ -347,6 +386,17 @@ fn validate_metric_line(line: &str) -> Result<&'static str, String> {
                 return Err(format!("{name}: counter value {value} is not a natural"));
             }
             Ok("counter")
+        }
+        "gauge" => {
+            // Gauges take any float; non-finite values serialize as JSON
+            // `null` (JSON has no NaN/Inf literal).
+            match v.field("value").map_err(|e| format!("{name}: {e}"))? {
+                serde::Value::Null => {}
+                other => {
+                    other.as_num().map_err(|e| format!("{name}: {e}"))?;
+                }
+            }
+            Ok("gauge")
         }
         "histogram" => {
             let count = num("count")?;
@@ -394,6 +444,7 @@ fn validate_metric_line(line: &str) -> Result<&'static str, String> {
 fn cmd_validate_telemetry(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut counters = 0usize;
+    let mut gauges = 0usize;
     let mut histograms = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -401,13 +452,14 @@ fn cmd_validate_telemetry(path: &str) -> Result<(), String> {
         }
         match validate_metric_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))? {
             "counter" => counters += 1,
+            "gauge" => gauges += 1,
             _ => histograms += 1,
         }
     }
-    if counters + histograms == 0 {
+    if counters + gauges + histograms == 0 {
         return Err(format!("{path}: no metric lines"));
     }
-    println!("{path}: OK ({counters} counters, {histograms} histograms)");
+    println!("{path}: OK ({counters} counters, {gauges} gauges, {histograms} histograms)");
     Ok(())
 }
 
@@ -769,10 +821,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Value of the sample named `sample` in a Prometheus exposition, i.e. a
-/// line whose first token (before whitespace or a `{` label block) is the
-/// sample name exactly.
+/// Summed value of the samples named `sample` in a Prometheus
+/// exposition — a line's name is its first token (before whitespace or
+/// a `{` label block), matched exactly. Fleet metrics are per-shard
+/// labeled series, so the fleet-wide view of a counter or histogram
+/// count is the sum across label sets; `None` when no series matches.
 fn sample_value(text: &str, sample: &str) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut found = false;
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -784,10 +840,11 @@ fn sample_value(text: &str, sample: &str) -> Option<f64> {
         }
         let value = line.rsplit(' ').next()?;
         if let Ok(v) = value.parse::<f64>() {
-            return Some(v);
+            sum += v;
+            found = true;
         }
     }
-    None
+    found.then_some(sum)
 }
 
 /// One-shot scrape probe: fetch, validate strictly, and enforce the
@@ -832,6 +889,214 @@ fn cmd_scrape(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Summed value of every sample named `name`, optionally restricted to
+/// one `shard` label value; `None` when no series matches.
+fn series_sum(samples: &[PromSample], name: &str, shard: Option<&str>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut found = false;
+    for s in samples.iter().filter(|s| s.name == name) {
+        if let Some(want) = shard {
+            if s.label("shard") != Some(want) {
+                continue;
+            }
+        }
+        sum += s.value;
+        found = true;
+    }
+    found.then_some(sum)
+}
+
+/// Cumulative `(le, count)` pairs of the `fleet_cmd_seconds` step-latency
+/// histogram, sorted by bound; summed across shards when `shard` is
+/// `None` (all shards share the spec, so identical bounds line up).
+fn step_buckets(samples: &[PromSample], shard: Option<&str>) -> Vec<(f64, f64)> {
+    let mut acc: Vec<(f64, f64)> = Vec::new();
+    for s in samples
+        .iter()
+        .filter(|s| s.name == "fleet_cmd_seconds_bucket" && s.label("cmd") == Some("step"))
+    {
+        if let Some(want) = shard {
+            if s.label("shard") != Some(want) {
+                continue;
+            }
+        }
+        let Some(le) = s.label("le").and_then(|v| v.parse::<f64>().ok()) else {
+            continue;
+        };
+        match acc.iter_mut().find(|(bound, _)| *bound == le) {
+            Some((_, count)) => *count += s.value,
+            None => acc.push((le, s.value)),
+        }
+    }
+    acc.sort_by(|a, b| a.0.total_cmp(&b.0));
+    acc
+}
+
+/// Quantile estimate from cumulative histogram buckets: the upper bound
+/// of the first bucket whose cumulative count reaches `q` of the total.
+/// NaN when empty; +Inf when the mass sits past the last finite bound.
+fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> f64 {
+    let total = buckets.last().map_or(0.0, |b| b.1);
+    if total <= 0.0 {
+        return f64::NAN;
+    }
+    let target = (q * total).ceil().max(1.0);
+    for (le, cumulative) in buckets {
+        if *cumulative >= target {
+            return *le;
+        }
+    }
+    f64::NAN
+}
+
+/// `0.42` seconds → `"420.00"` (ms); `-` / `inf` for NaN / +Inf.
+fn fmt_ms(seconds: f64) -> String {
+    if seconds.is_nan() {
+        "-".to_owned()
+    } else if seconds.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{:.2}", seconds * 1e3)
+    }
+}
+
+/// The MPC solve-outcome mix as `conv/maxit/stall/err`, or `-` when the
+/// fleet runs a solver-less controller (no outcome counters minted).
+fn outcome_mix(samples: &[PromSample], shard: Option<&str>) -> String {
+    let outcomes = [
+        "mpc_solve_converged_total",
+        "mpc_solve_max_iterations_total",
+        "mpc_solve_stalled_total",
+        "mpc_solve_errors_total",
+    ];
+    let values: Vec<Option<f64>> = outcomes
+        .iter()
+        .map(|name| series_sum(samples, name, shard))
+        .collect();
+    if values.iter().all(Option::is_none) {
+        return "-".to_owned();
+    }
+    values
+        .iter()
+        .map(|v| format!("{:.0}", v.unwrap_or(0.0)))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Render one dashboard frame from a parsed scrape. Errors when no
+/// per-shard labeled series are present — the `--once` CI probe treats
+/// that as "the fleet engine never ran", not an empty table.
+fn render_top(addr: &str, samples: &[PromSample]) -> Result<String, String> {
+    let mut shards: Vec<u64> = samples
+        .iter()
+        .filter_map(|s| s.label("shard"))
+        .filter_map(|v| v.parse().ok())
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    if shards.is_empty() {
+        return Err(format!(
+            "no per-shard series in scrape from {addr} (has the fleet engine run?)"
+        ));
+    }
+    let mut out = format!(
+        "evsim top — http://{addr}/metrics ({} samples, {} shards)\n",
+        samples.len(),
+        shards.len()
+    );
+    out.push_str(&format!(
+        "{:>5} {:>6} {:>6} {:>10} {:>8} {:>7} {:>9} {:>9}  {}\n",
+        "shard",
+        "live",
+        "queue",
+        "steps",
+        "parked",
+        "shed",
+        "p50 ms",
+        "p99 ms",
+        "conv/maxit/stall/err"
+    ));
+    let mut row = |label: &str, shard: Option<&str>| {
+        let count = |name: &str| {
+            series_sum(samples, name, shard).map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"))
+        };
+        let buckets = step_buckets(samples, shard);
+        out.push_str(&format!(
+            "{:>5} {:>6} {:>6} {:>10} {:>8} {:>7} {:>9} {:>9}  {}\n",
+            label,
+            count("fleet_live_sessions"),
+            count("fleet_queue_depth"),
+            count("fleet_steps_total"),
+            count("fleet_commands_parked_total"),
+            count("fleet_commands_shed_total"),
+            fmt_ms(bucket_quantile(&buckets, 0.50)),
+            fmt_ms(bucket_quantile(&buckets, 0.99)),
+            outcome_mix(samples, shard),
+        ));
+    };
+    for shard in &shards {
+        let shard = shard.to_string();
+        row(&shard, Some(&shard));
+    }
+    if shards.len() > 1 {
+        row("all", None);
+    }
+    Ok(out)
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").ok_or("missing --addr <host:port>")?;
+    let interval = args.get_f64("interval", 2.0)?;
+    if interval <= 0.0 {
+        return Err("--interval must be positive".into());
+    }
+    let once = args.flag("once");
+    use std::io::Write as _;
+    loop {
+        let text = scrape_once(addr)?;
+        let frame = export::parse_prometheus(&text)
+            .map_err(|e| format!("invalid exposition from {addr}: {e}"))
+            .and_then(|samples| render_top(addr, &samples));
+        if once {
+            print!("{}", frame?);
+            return Ok(());
+        }
+        match frame {
+            // ANSI clear + home, so the table refreshes in place.
+            Ok(view) => print!("\x1b[2J\x1b[H{view}"),
+            Err(msg) => print!("\x1b[2J\x1b[H{msg}\nretrying every {interval} s\n"),
+        }
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let out_path = args.get("out").unwrap_or("trace.json");
+    let capacity = args.get_usize("capacity", 65_536)?;
+    let sample = args.get_u64("sample", 1)?;
+    if sample == 0 {
+        return Err("--sample must be at least 1".into());
+    }
+    let config = loadgen_config(args, "sessions", "steps")?;
+    if config.sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    let registry = Registry::enabled();
+    let trace = TraceRing::sampled(capacity, sample);
+    let report = run_loadgen_traced(&config, &registry, &trace);
+    print!("{}", render_loadgen_report(&report));
+    export::write_text(std::path::Path::new(out_path), &trace.to_chrome_json())
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "chrome trace written to {out_path} ({} events, {} overwritten); \
+         open in Perfetto or chrome://tracing",
+        trace.events().len(),
+        trace.dropped()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -849,6 +1114,8 @@ fn main() -> ExitCode {
         ("loadgen", Ok(args)) => cmd_loadgen(&args),
         ("serve", Ok(args)) => cmd_serve(&args),
         ("scrape", Ok(args)) => cmd_scrape(&args),
+        ("top", Ok(args)) => cmd_top(&args),
+        ("trace", Ok(args)) => cmd_trace(&args),
         ("validate-telemetry", _) => match argv.get(1) {
             Some(path) => cmd_validate_telemetry(path),
             None => Err(format!("missing <path.jsonl>\n{}", usage())),
@@ -911,6 +1178,17 @@ mod tests {
     fn validates_exported_jsonl() {
         let registry = Registry::enabled();
         registry.counter("solves_total").add(7);
+        registry.gauge("queue_depth").set(3.5);
+        registry
+            .counter_with("fleet_steps_total", &[("shard", "0")])
+            .add(12);
+        registry
+            .histogram_with(
+                "fleet_cmd_seconds",
+                evclimate::telemetry::HistogramSpec::latency_seconds(),
+                &[("cmd", "step"), ("shard", "0")],
+            )
+            .record(2e-3);
         registry
             .histogram(
                 "step_seconds",
@@ -918,6 +1196,7 @@ mod tests {
             )
             .record(1e-3);
         let jsonl = export::to_jsonl(&registry.snapshot());
+        assert!(jsonl.contains("\"labels\""), "{jsonl}");
         for line in jsonl.lines() {
             validate_metric_line(line).expect("exported line is schema-valid");
         }
@@ -927,8 +1206,32 @@ mod tests {
     fn rejects_malformed_metric_lines() {
         // Fractional counter value.
         assert!(validate_metric_line(r#"{"type":"counter","name":"x","value":1.5}"#).is_err());
+        // Gauges are a first-class type: any float, null when non-finite.
+        assert_eq!(
+            validate_metric_line(r#"{"type":"gauge","name":"x","value":1.5}"#),
+            Ok("gauge")
+        );
+        assert_eq!(
+            validate_metric_line(r#"{"type":"gauge","name":"x","value":null}"#),
+            Ok("gauge")
+        );
         // Unknown type tag.
-        assert!(validate_metric_line(r#"{"type":"gauge","name":"x","value":1}"#).is_err());
+        assert!(validate_metric_line(r#"{"type":"summary","name":"x","value":1}"#).is_err());
+        // Labels must be an object of string values.
+        assert_eq!(
+            validate_metric_line(
+                r#"{"type":"counter","name":"x","labels":{"shard":"0"},"value":1}"#
+            ),
+            Ok("counter")
+        );
+        assert!(validate_metric_line(
+            r#"{"type":"counter","name":"x","labels":["shard"],"value":1}"#
+        )
+        .is_err());
+        assert!(validate_metric_line(
+            r#"{"type":"counter","name":"x","labels":{"shard":0},"value":1}"#
+        )
+        .is_err());
         // Histogram whose bucket counts do not add up.
         assert!(validate_metric_line(
             r#"{"type":"histogram","name":"h","count":3,"sum":1.0,"min":0.1,"max":0.9,"buckets":[{"le":1.0,"count":1}],"overflow":0}"#
@@ -1104,7 +1407,7 @@ mod tests {
     }
 
     #[test]
-    fn sample_value_matches_names_exactly() {
+    fn sample_value_matches_names_exactly_and_sums_labeled_series() {
         let text = "# TYPE fleet_steps_total counter\n\
                     fleet_steps_total 42\n\
                     mpc_control_step_seconds_bucket{le=\"+Inf\"} 5\n\
@@ -1117,6 +1420,70 @@ mod tests {
         // Prefix of a longer name must not match.
         assert_eq!(sample_value(text, "fleet_steps"), None);
         assert_eq!(sample_value(text, "missing_metric"), None);
+        // Per-shard labeled series sum to the fleet-wide value.
+        let labeled = "fleet_steps_total{shard=\"0\"} 40\n\
+                       fleet_steps_total{shard=\"1\"} 2\n";
+        assert_eq!(sample_value(labeled, "fleet_steps_total"), Some(42.0));
+    }
+
+    #[test]
+    fn bucket_quantile_walks_cumulative_counts() {
+        let buckets = [
+            (0.001, 10.0),
+            (0.01, 90.0),
+            (0.1, 99.0),
+            (f64::INFINITY, 100.0),
+        ];
+        assert_eq!(bucket_quantile(&buckets, 0.05), 0.001);
+        assert_eq!(bucket_quantile(&buckets, 0.50), 0.01);
+        assert_eq!(bucket_quantile(&buckets, 0.99), 0.1);
+        assert_eq!(bucket_quantile(&buckets, 1.0), f64::INFINITY);
+        assert!(bucket_quantile(&[], 0.5).is_nan());
+        assert_eq!(fmt_ms(0.01), "10.00");
+        assert_eq!(fmt_ms(f64::NAN), "-");
+        assert_eq!(fmt_ms(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn top_renders_per_shard_rows_from_a_live_fleet_scrape() {
+        let registry = Registry::enabled();
+        let config = LoadgenConfig {
+            sessions: 4,
+            steps_per_session: 24,
+            seed: 11,
+            shards: 2,
+            ..LoadgenConfig::default()
+        };
+        let _ = run_loadgen_on(&config, &registry);
+        let text = export::to_prometheus(&registry.snapshot());
+        let samples = export::parse_prometheus(&text).expect("scrape parses");
+        let view = render_top("127.0.0.1:0", &samples).expect("per-shard series present");
+        assert!(view.contains("2 shards"), "{view}");
+        for shard in ["0", "1"] {
+            let row = view
+                .lines()
+                .find(|l| l.trim_start().starts_with(shard))
+                .unwrap_or_else(|| panic!("no row for shard {shard}: {view}"));
+            // Steps ran, queue drained, latency quantiles are numeric.
+            assert!(!row.contains(" - "), "unpopulated cell in {row:?}");
+        }
+        // Totals row sums the shards and carries the solve-outcome mix.
+        let all = view
+            .lines()
+            .find(|l| l.trim_start().starts_with("all"))
+            .expect("totals row");
+        assert!(all.contains("96"), "{all}");
+        assert!(!all.ends_with('-'), "{all}");
+    }
+
+    #[test]
+    fn top_rejects_scrapes_without_per_shard_series() {
+        let registry = Registry::enabled();
+        registry.counter("solves_total").inc();
+        let text = export::to_prometheus(&registry.snapshot());
+        let samples = export::parse_prometheus(&text).expect("parses");
+        let err = render_top("127.0.0.1:0", &samples).expect_err("no shard labels");
+        assert!(err.contains("per-shard"), "{err}");
     }
 
     #[test]
