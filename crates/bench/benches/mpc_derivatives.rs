@@ -149,6 +149,48 @@ fn bench_fleet_step_labeled_metrics(c: &mut Criterion) {
     group.finish();
 }
 
+/// The exemplar tax on top of the labeled path: identical to
+/// `fleet_step_labeled_metrics` except the per-step latency span is
+/// stamped with the trace span id the way the fleet engine stamps it
+/// (`finish_with_exemplar`), so every observation also races the
+/// seqlocked per-bucket exemplar slot. Acceptance bar: within 5% of
+/// the `fleet_step_labeled_metrics` baseline in `BENCH_mpc.json`.
+fn bench_fleet_step_exemplar_metrics(c: &mut Criterion) {
+    let preview = bench_preview(64);
+    let mut group = c.benchmark_group("mpc_derivatives");
+    group.sample_size(15);
+    group.bench_function("fleet_step_exemplar_metrics", |b| {
+        let params = EvParams::nissan_leaf_like();
+        let registry = ev_telemetry::Registry::enabled().scoped(&[("shard", "3")]);
+        let trace = ev_telemetry::TraceRing::enabled(4096).scoped(3, 42);
+        let step_id = trace.intern("step");
+        let step_latency = registry.histogram_with(
+            "fleet_cmd_seconds",
+            ev_telemetry::HistogramSpec::latency_seconds(),
+            &[("cmd", "step")],
+        );
+        let mut mpc = MpcController::builder(params.hvac_model(), params.limits())
+            .target(params.target)
+            .horizon(8)
+            .recompute_every(1)
+            .battery(params.mpc_battery_model())
+            .accessory_power(params.accessory_power)
+            .telemetry(&registry)
+            .trace(&trace)
+            .build()
+            .expect("valid config");
+        let ctx = bench_context(&preview);
+        b.iter(|| {
+            let span = step_latency.start_span();
+            let trace_span = trace.span(step_id);
+            let out = black_box(mpc.control(black_box(&ctx)));
+            span.finish_with_exemplar(trace_span.finish_id());
+            out
+        })
+    });
+    group.finish();
+}
+
 /// Horizon-scaling arms for the structure-exploiting KKT path: the same
 /// hot-day control step at horizons 32/64/128, condensed-dense versus
 /// multiple-shooting banded (`.multiple_shooting(true)` declares the
@@ -212,6 +254,7 @@ criterion_group!(
     bench_derivative_eval,
     bench_control_step,
     bench_fleet_step_labeled_metrics,
+    bench_fleet_step_exemplar_metrics,
     bench_horizon_scaling,
     bench_sweep_cell
 );

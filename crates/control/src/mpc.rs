@@ -699,7 +699,7 @@ impl MpcController {
     /// problem, start point and options whether or not a registry is
     /// attached, so instrumented runs are bit-identical to plain ones.
     fn solve(&mut self, ctx: &ControlContext<'_>) -> HvacInput {
-        let _trace_span = self.trace.span(self.trace_solve_id);
+        let trace_span = self.trace.span(self.trace_solve_id);
         let solve_span = self.metrics.solve_seconds.start_span();
         let recording = self.recorder.is_enabled();
         // Taken out of `self` for the duration of the solve: the NLP views
@@ -839,7 +839,10 @@ impl MpcController {
                     .unwrap_or_else(|| HvacInput::idle(self.hvac.params(), ctx.state.tz))
             }
         };
-        solve_span.finish();
+        // Stamp the latency observation with the trace span that
+        // produced it, so a p99 exemplar resolves to this exact solve
+        // in the Chrome-trace export.
+        solve_span.finish_with_exemplar(trace_span.finish_id());
         self.limits
             .clamp_input(&self.hvac, input, ctx.state, ctx.ambient)
     }

@@ -513,7 +513,7 @@ fn shard_main(
                 }
             }
             Command::Step { vehicle_id, steps } => {
-                let _lat = step_seconds.start_span();
+                let lat = step_seconds.start_span();
                 let Some(session) = by_vehicle
                     .get(&vehicle_id)
                     .and_then(|&key| sessions.get_mut(key))
@@ -524,7 +524,11 @@ fn shard_main(
                 let trace_span = session.trace().span(t_step);
                 let was_finished = session.finished();
                 let ran = session.step_many(steps);
-                trace_span.finish();
+                // The latency observation carries the trace span that
+                // produced it: a slow-bucket exemplar in
+                // fleet_cmd_seconds resolves to this exact step in the
+                // Chrome-trace export.
+                lat.finish_with_exemplar(trace_span.finish_id());
                 stats.steps += ran as u64;
                 steps_total.add(ran as u64);
                 if !was_finished && session.finished() {
@@ -532,7 +536,7 @@ fn shard_main(
                 }
             }
             Command::Drain { vehicle_id } => {
-                let _lat = drain_seconds.start_span();
+                let lat = drain_seconds.start_span();
                 let Some(session) = by_vehicle
                     .get(&vehicle_id)
                     .and_then(|&key| sessions.get_mut(key))
@@ -543,7 +547,7 @@ fn shard_main(
                 let trace_span = session.trace().span(t_drain);
                 let was_finished = session.finished();
                 let ran = session.step_many(usize::MAX);
-                trace_span.finish();
+                lat.finish_with_exemplar(trace_span.finish_id());
                 stats.steps += ran as u64;
                 steps_total.add(ran as u64);
                 if !was_finished {

@@ -43,6 +43,12 @@ pub struct LoadgenConfig {
     pub queue_capacity: usize,
     /// Controller every session runs.
     pub controller: ControllerKind,
+    /// Fault injection: cap the MPC's SQP iterations per solve
+    /// (`None` = the controller default). A cap of 1 forces most
+    /// solves to hit the iteration limit, driving
+    /// `mpc_solve_max_iterations_total` — the seeded breach the SLO CI
+    /// job proves the alert pipeline on.
+    pub max_sqp_iterations: Option<usize>,
 }
 
 impl Default for LoadgenConfig {
@@ -55,6 +61,7 @@ impl Default for LoadgenConfig {
             shards: 0,
             queue_capacity: 256,
             controller: ControllerKind::Mpc,
+            max_sqp_iterations: None,
         }
     }
 }
@@ -183,6 +190,7 @@ pub fn run_loadgen_traced(
         setup: ControllerSetup {
             telemetry: registry.clone(),
             trace: trace.clone(),
+            max_sqp_iterations: config.max_sqp_iterations,
             ..ControllerSetup::default()
         },
     });
@@ -349,6 +357,7 @@ mod tests {
             shards: 2,
             queue_capacity: 32,
             controller: ControllerKind::Mpc,
+            max_sqp_iterations: None,
         }
     }
 

@@ -4,6 +4,7 @@
 use std::io;
 use std::path::Path;
 
+use crate::metrics::Exemplar;
 use crate::registry::{HistogramSnapshot, Snapshot};
 
 /// Escape a label value for the Prometheus exposition format. The spec
@@ -197,25 +198,43 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
         type_header(&mut out, &h.name, "histogram");
         let labels = prom_labels(&h.labels, None);
         let mut cumulative = 0u64;
-        for (le, count) in h.bounds.iter().zip(h.counts.iter()) {
+        for (i, (le, count)) in h.bounds.iter().zip(h.counts.iter()).enumerate() {
             cumulative += count;
             out.push_str(&format!(
-                "{}_bucket{} {}\n",
+                "{}_bucket{} {}{}\n",
                 h.name,
                 prom_labels(&h.labels, Some(("le", &prom_f64(*le)))),
-                cumulative
+                cumulative,
+                prom_exemplar_suffix(bucket_exemplar(h, i))
             ));
         }
         out.push_str(&format!(
-            "{}_bucket{} {}\n",
+            "{}_bucket{} {}{}\n",
             h.name,
             prom_labels(&h.labels, Some(("le", "+Inf"))),
-            h.count
+            h.count,
+            prom_exemplar_suffix(bucket_exemplar(h, h.counts.len().saturating_sub(1)))
         ));
         out.push_str(&format!("{}_sum{} {}\n", h.name, labels, prom_f64(h.sum)));
         out.push_str(&format!("{}_count{} {}\n", h.name, labels, h.count));
     }
     out
+}
+
+/// The exemplar of bucket `i`, if one was ever recorded there.
+fn bucket_exemplar(h: &HistogramSnapshot, i: usize) -> Option<Exemplar> {
+    h.exemplars.get(i).copied().flatten()
+}
+
+/// Render an exemplar as the OpenMetrics ` # {trace_id="…"} value`
+/// suffix for a bucket line, or the empty string for `None` — so
+/// histograms that never recorded an exemplar expose byte-identical
+/// lines to the pre-exemplar format.
+fn prom_exemplar_suffix(ex: Option<Exemplar>) -> String {
+    match ex {
+        Some(ex) => format!(" # {{trace_id=\"{}\"}} {}", ex.span_id, prom_f64(ex.value)),
+        None => String::new(),
+    }
 }
 
 /// Write `contents` to `path` **atomically**, creating missing parent
@@ -276,26 +295,16 @@ fn valid_label_name(name: &str) -> bool {
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
-/// Parse a series identifier (`name` or `name{k="v",...}`) into the
-/// metric name and its **unescaped** label pairs, in source order.
-/// Strict by design: label values must be double-quoted, the only
-/// recognised escapes are `\\`, `\"` and `\n` (unknown escapes are an
-/// error, not a literal), duplicate label names are rejected, and the
-/// label set must close the line. A trailing comma before `}` is
-/// allowed, as the exposition format permits.
-pub(crate) fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
-    let (name, rest) = match series.split_once('{') {
-        Some((name, rest)) => (name, Some(rest)),
-        None => (series, None),
-    };
-    if !valid_metric_name(name) {
-        return Err(format!("bad metric name {name:?}"));
-    }
+/// Parse a label set from `chars`, which must be positioned just past
+/// the opening `{`; consumes through the closing `}`. Strict by design:
+/// label values must be double-quoted, the only recognised escapes are
+/// `\\`, `\"` and `\n` (unknown escapes are an error, not a literal),
+/// and duplicate label names are rejected. A trailing comma before `}`
+/// is allowed, as the exposition format permits.
+fn parse_label_set(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Vec<(String, String)>, String> {
     let mut labels: Vec<(String, String)> = Vec::new();
-    let Some(rest) = rest else {
-        return Ok((name.to_string(), labels));
-    };
-    let mut chars = rest.chars().peekable();
     loop {
         if chars.peek() == Some(&'}') {
             chars.next();
@@ -342,40 +351,212 @@ pub(crate) fn parse_series(series: &str) -> Result<(String, Vec<(String, String)
             None => return Err("unterminated label set".to_string()),
         }
     }
+    Ok(labels)
+}
+
+/// Parse a series identifier (`name` or `name{k="v",...}`) into the
+/// metric name and its **unescaped** label pairs, in source order.
+/// The label set must close the string (see [`parse_label_set`] for
+/// the strictness rules inside the braces).
+#[cfg(test)]
+pub(crate) fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let mut chars = series.chars().peekable();
+    let mut name = String::new();
+    while let Some(&c) = chars.peek() {
+        if c == '{' {
+            break;
+        }
+        name.push(c);
+        chars.next();
+    }
+    if !valid_metric_name(&name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let labels = if chars.peek() == Some(&'{') {
+        chars.next();
+        parse_label_set(&mut chars)?
+    } else {
+        Vec::new()
+    };
     if chars.next().is_some() {
         return Err("trailing characters after label set".to_string());
     }
-    Ok((name.to_string(), labels))
+    Ok((name, labels))
 }
 
-/// Strictly validates a Prometheus text exposition, returning the
-/// number of samples (non-comment lines) on success.
-///
-/// Enforces the failure modes this workspace has actually shipped:
-/// every sample value and every `le` label must be a finite decimal or
-/// one of the exact tokens `NaN`, `+Inf`, `-Inf` — `null` (JSON
-/// leakage) and Rust's `inf`/`-inf` spellings are rejected — metric
-/// names must be well-formed, and label sets must parse per
-/// [`parse_series`] (quoted values, known escapes only, no duplicate
-/// label names).
-///
-/// # Errors
-///
-/// Returns a message naming the first offending line.
-pub fn validate_prometheus(text: &str) -> Result<usize, String> {
-    fn valid_value(token: &str) -> Result<(), String> {
-        if matches!(token, "NaN" | "+Inf" | "-Inf") {
-            return Ok(());
-        }
-        // A finite parse is a valid decimal; non-finite spellings other
-        // than the three exact tokens above ("inf", "nan", "null", …)
-        // are rejected.
-        match token.parse::<f64>() {
-            Ok(v) if v.is_finite() => Ok(()),
+/// Parse a sample-value token: a finite decimal or one of the exact
+/// spellings `NaN`, `+Inf`, `-Inf`. `null` (JSON leakage) and Rust's
+/// `inf`/`-inf` debug spellings are rejected.
+fn parse_value_token(token: &str) -> Result<f64, String> {
+    match token {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        token => match token.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
             _ => Err(format!("invalid sample value {token:?}")),
+        },
+    }
+}
+
+/// One parsed exemplar from an OpenMetrics-style
+/// ` # {trace_id="…"} value [timestamp]` suffix on a bucket line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromExemplar {
+    /// Unescaped exemplar label pairs in source order (conventionally a
+    /// single `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's observed value.
+    pub value: f64,
+}
+
+impl PromExemplar {
+    /// The `trace_id` exemplar label, if present.
+    #[must_use]
+    pub fn trace_id(&self) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == "trace_id")
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `trace_id` parsed as the numeric span id this crate's
+    /// [`crate::TraceRing`] hands out, if it is one.
+    #[must_use]
+    pub fn span_id(&self) -> Option<u64> {
+        self.trace_id().and_then(|v| v.parse().ok())
+    }
+}
+
+/// One parsed sample from a Prometheus text exposition: the metric
+/// name, its unescaped label pairs in source order, the value
+/// (non-finite for the `NaN`/`±Inf` tokens), and the exemplar when the
+/// line carried one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The metric name (for histograms this includes the `_bucket`,
+    /// `_sum` or `_count` suffix — the parser does not reassemble
+    /// families).
+    pub name: String,
+    /// Unescaped label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+    /// The OpenMetrics exemplar attached to the line, if any.
+    pub exemplar: Option<PromExemplar>,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse one non-comment exposition line left to right: name, optional
+/// label set, value, optional exemplar. Sequential parsing (rather than
+/// splitting on the last space) is what lets label values contain
+/// spaces *and* lets an exemplar suffix follow the value unambiguously.
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let mut chars = line.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> usize {
+        let mut n = 0;
+        while matches!(chars.peek(), Some(' ' | '\t')) {
+            chars.next();
+            n += 1;
+        }
+        n
+    };
+    let take_token = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> String {
+        let mut tok = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == ' ' || c == '\t' {
+                break;
+            }
+            tok.push(c);
+            chars.next();
+        }
+        tok
+    };
+    let mut name = String::new();
+    while let Some(&c) = chars.peek() {
+        if c == '{' || c == ' ' || c == '\t' {
+            break;
+        }
+        name.push(c);
+        chars.next();
+    }
+    if !valid_metric_name(&name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let labels = if chars.peek() == Some(&'{') {
+        chars.next();
+        parse_label_set(&mut chars)?
+    } else {
+        Vec::new()
+    };
+    for (key, val) in &labels {
+        if key == "le" {
+            parse_value_token(val).map_err(|msg| format!("bucket bound: {msg}"))?;
         }
     }
-    let mut samples = 0usize;
+    if skip_ws(&mut chars) == 0 {
+        return match chars.peek() {
+            Some(_) => Err("trailing characters after label set".to_string()),
+            None => Err("sample line without a value".to_string()),
+        };
+    }
+    let value = parse_value_token(&take_token(&mut chars))?;
+    skip_ws(&mut chars);
+    let exemplar = if chars.peek() == Some(&'#') {
+        chars.next();
+        skip_ws(&mut chars);
+        if chars.next() != Some('{') {
+            return Err("exemplar must open with a label set".to_string());
+        }
+        let elabels = parse_label_set(&mut chars).map_err(|msg| format!("exemplar: {msg}"))?;
+        if skip_ws(&mut chars) == 0 {
+            return Err("exemplar without a value".to_string());
+        }
+        let evalue =
+            parse_value_token(&take_token(&mut chars)).map_err(|msg| format!("exemplar: {msg}"))?;
+        skip_ws(&mut chars);
+        if chars.peek().is_some() {
+            // OpenMetrics allows an exemplar timestamp; accept a finite
+            // decimal and discard it.
+            let ts = take_token(&mut chars);
+            match ts.parse::<f64>() {
+                Ok(v) if v.is_finite() => {}
+                _ => return Err(format!("invalid exemplar timestamp {ts:?}")),
+            }
+        }
+        Some(PromExemplar {
+            labels: elabels,
+            value: evalue,
+        })
+    } else {
+        None
+    };
+    skip_ws(&mut chars);
+    if chars.peek().is_some() {
+        return Err("trailing characters after sample".to_string());
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+        exemplar,
+    })
+}
+
+/// Shared walk behind [`validate_prometheus`] and [`parse_prometheus`]:
+/// checks `# TYPE` comments and parses every sample line strictly.
+fn parse_exposition(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let err = |msg: String| Err(format!("line {}: {msg}", idx + 1));
         if line.is_empty() {
@@ -397,88 +578,109 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             }
             continue;
         }
-        // The value is the last space-separated token; label values may
-        // themselves contain spaces, which stay on the series side.
-        let Some((series, value)) = line.rsplit_once(' ') else {
-            return err("sample line without a value".to_string());
-        };
-        let labels = match parse_series(series) {
-            Ok((_, labels)) => labels,
+        match parse_sample_line(line) {
+            Ok(sample) => samples.push(sample),
             Err(msg) => return err(msg),
-        };
-        for (key, val) in &labels {
-            if key == "le" {
-                if let Err(msg) = valid_value(val) {
-                    return err(format!("bucket bound: {msg}"));
-                }
-            }
         }
-        if let Err(msg) = valid_value(value) {
-            return err(msg);
-        }
-        samples += 1;
     }
     Ok(samples)
 }
 
-/// One parsed sample from a Prometheus text exposition: the metric
-/// name, its unescaped label pairs in source order, and the value
-/// (non-finite for the `NaN`/`±Inf` tokens).
-#[derive(Debug, Clone, PartialEq)]
-pub struct PromSample {
-    /// The metric name (for histograms this includes the `_bucket`,
-    /// `_sum` or `_count` suffix — the parser does not reassemble
-    /// families).
-    pub name: String,
-    /// Unescaped label pairs in source order.
-    pub labels: Vec<(String, String)>,
-    /// The sample value.
-    pub value: f64,
-}
-
-impl PromSample {
-    /// The value of label `key`, if present.
-    #[must_use]
-    pub fn label(&self, key: &str) -> Option<&str> {
-        self.labels
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
+/// Strictly validates a Prometheus text exposition, returning the
+/// number of samples (non-comment lines) on success.
+///
+/// Enforces the failure modes this workspace has actually shipped:
+/// every sample value and every `le` label must be a finite decimal or
+/// one of the exact tokens `NaN`, `+Inf`, `-Inf` — `null` (JSON
+/// leakage) and Rust's `inf`/`-inf` spellings are rejected — metric
+/// names must be well-formed, label sets must parse strictly (quoted
+/// values, known escapes only, no duplicate label names), and an
+/// OpenMetrics ` # {…} value` exemplar suffix, when present, must parse
+/// under the same rules.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    Ok(parse_exposition(text)?.len())
 }
 
 /// Parse a Prometheus text exposition into its samples, with the same
-/// strictness as [`validate_prometheus`] (which it delegates to first).
-/// Consumers like the `evsim top` dashboard build per-label-set views
-/// from the returned list.
+/// strictness as [`validate_prometheus`]. Consumers like the `evsim
+/// top` dashboard and the tsdb recorder build per-label-set views from
+/// the returned list.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first offending line.
 pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
-    validate_prometheus(text)?;
-    let mut samples = Vec::new();
-    for line in text.lines() {
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        // Validation guarantees both splits succeed and the value is one
-        // of the accepted spellings.
-        let (series, value) = line.rsplit_once(' ').expect("validated sample line");
-        let (name, labels) = parse_series(series).expect("validated series");
-        let value = match value {
-            "NaN" => f64::NAN,
-            "+Inf" => f64::INFINITY,
-            "-Inf" => f64::NEG_INFINITY,
-            token => token.parse().expect("validated value"),
-        };
-        samples.push(PromSample {
-            name,
-            labels,
-            value,
+    parse_exposition(text)
+}
+
+/// Flatten a [`Snapshot`] into the same sample list that rendering it
+/// with [`to_prometheus`] and re-parsing would produce — counters and
+/// gauges as single samples, histograms as cumulative `_bucket` series
+/// (with bucket exemplars attached) ending in `le="+Inf"`, plus
+/// `_sum`/`_count` — so in-process consumers such as the tsdb recorder
+/// skip the text round trip entirely.
+pub fn snapshot_samples(snapshot: &Snapshot) -> Vec<PromSample> {
+    let to_prom_exemplar = |ex: Exemplar| PromExemplar {
+        labels: vec![("trace_id".to_string(), ex.span_id.to_string())],
+        value: ex.value,
+    };
+    let mut out = Vec::new();
+    for c in &snapshot.counters {
+        out.push(PromSample {
+            name: c.name.clone(),
+            labels: c.labels.clone(),
+            value: c.value as f64,
+            exemplar: None,
         });
     }
-    Ok(samples)
+    for g in &snapshot.gauges {
+        out.push(PromSample {
+            name: g.name.clone(),
+            labels: g.labels.clone(),
+            value: g.value,
+            exemplar: None,
+        });
+    }
+    for h in &snapshot.histograms {
+        let bucket_labels = |le: &str| {
+            let mut labels = h.labels.clone();
+            labels.push(("le".to_string(), le.to_string()));
+            labels
+        };
+        let mut cumulative = 0u64;
+        for (i, (le, count)) in h.bounds.iter().zip(h.counts.iter()).enumerate() {
+            cumulative += count;
+            out.push(PromSample {
+                name: format!("{}_bucket", h.name),
+                labels: bucket_labels(&prom_f64(*le)),
+                value: cumulative as f64,
+                exemplar: bucket_exemplar(h, i).map(to_prom_exemplar),
+            });
+        }
+        out.push(PromSample {
+            name: format!("{}_bucket", h.name),
+            labels: bucket_labels("+Inf"),
+            value: h.count as f64,
+            exemplar: bucket_exemplar(h, h.counts.len().saturating_sub(1)).map(to_prom_exemplar),
+        });
+        out.push(PromSample {
+            name: format!("{}_sum", h.name),
+            labels: h.labels.clone(),
+            value: h.sum,
+            exemplar: None,
+        });
+        out.push(PromSample {
+            name: format!("{}_count", h.name),
+            labels: h.labels.clone(),
+            value: h.count as f64,
+            exemplar: None,
+        });
+    }
+    out
 }
 
 fn fmt_cell(v: f64) -> String {
@@ -674,6 +876,7 @@ mod tests {
                 sum: f64::NEG_INFINITY,
                 min: f64::NEG_INFINITY,
                 max: 1.0,
+                exemplars: vec![None; 3],
             }],
         };
         let out = to_prometheus(&snapshot);
@@ -775,6 +978,66 @@ mod tests {
         assert!(nan[0].value.is_nan());
         // Invalid expositions are rejected, not partially parsed.
         assert!(parse_prometheus("g null\n").is_err());
+    }
+
+    #[test]
+    fn bucket_exemplars_render_openmetrics_suffix_and_round_trip() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("lat_seconds", HistogramSpec::new(1e-3, 10.0, 3));
+        h.record(0.002); // no exemplar
+        h.record_with_exemplar(0.05, 4242); // bucket le=0.1
+        let out = to_prometheus(&reg.snapshot());
+        assert!(
+            out.contains("lat_seconds_bucket{le=\"0.1\"} 2 # {trace_id=\"4242\"} 0.05\n"),
+            "{out}"
+        );
+        // Untraced buckets keep the byte-identical pre-exemplar line.
+        assert!(out.contains("lat_seconds_bucket{le=\"0.01\"} 1\n"), "{out}");
+        validate_prometheus(&out).expect("exemplar exposition validates");
+        let samples = parse_prometheus(&out).expect("parses");
+        let with_ex = samples
+            .iter()
+            .find(|s| s.exemplar.is_some())
+            .expect("one sample carries the exemplar");
+        assert_eq!(with_ex.name, "lat_seconds_bucket");
+        assert_eq!(with_ex.label("le"), Some("0.1"));
+        let ex = with_ex.exemplar.as_ref().unwrap();
+        assert_eq!(ex.trace_id(), Some("4242"));
+        assert_eq!(ex.span_id(), Some(4242));
+        assert_eq!(ex.value, 0.05);
+    }
+
+    #[test]
+    fn exemplar_suffix_parsing_is_strict() {
+        // A valid exemplar, with and without the optional timestamp.
+        assert!(validate_prometheus("m_bucket{le=\"1\"} 2 # {trace_id=\"7\"} 0.5\n").is_ok());
+        assert!(
+            validate_prometheus("m_bucket{le=\"1\"} 2 # {trace_id=\"7\"} 0.5 1234.5\n").is_ok()
+        );
+        for bad in [
+            "m_bucket{le=\"1\"} 2 # trace_id=\"7\" 0.5\n", // no label set braces
+            "m_bucket{le=\"1\"} 2 # {trace_id=\"7\"}\n",   // no exemplar value
+            "m_bucket{le=\"1\"} 2 # {trace_id=\"7\"} null\n", // bad exemplar value
+            "m_bucket{le=\"1\"} 2 # {trace_id=\"7\"} 0.5 zz\n", // bad timestamp
+            "m_bucket{le=\"1\"} 2 # {trace_id=\"7\"} 0.5 1 2\n", // trailing garbage
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_samples_matches_the_text_round_trip() {
+        let reg = Registry::enabled();
+        reg.counter_with("fleet_steps_total", &[("shard", "0")])
+            .add(10);
+        reg.gauge("fleet_queue_depth").set(3.5);
+        let h = reg.histogram("fleet_cmd_seconds", HistogramSpec::new(1e-3, 10.0, 3));
+        h.record_with_exemplar(0.05, 99);
+        h.record(4.0);
+        let snap = reg.snapshot();
+        let direct = snapshot_samples(&snap);
+        let via_text = parse_prometheus(&to_prometheus(&snap)).expect("parses");
+        assert_eq!(direct, via_text);
     }
 
     #[test]

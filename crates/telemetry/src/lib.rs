@@ -41,10 +41,12 @@ mod metrics;
 pub mod recorder;
 mod registry;
 pub mod scrape;
+pub mod slo;
 mod span;
 pub mod trace;
+pub mod tsdb;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSpec};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSpec};
 pub use recorder::{
     Attribution, DecisionRecord, FlightRecord, FlightRecorder, PlannedStep, SolveOutcome,
     StepSummary, WarmStart,
@@ -52,6 +54,6 @@ pub use recorder::{
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, LabelSet, Registry, Snapshot,
 };
-pub use scrape::{scrape_once, ScrapeServer};
+pub use scrape::{scrape_once, scrape_once_with_timeout, ScrapeError, ScrapeServer};
 pub use span::Span;
 pub use trace::{TraceEvent, TracePhase, TraceRing, TraceSpan};

@@ -156,6 +156,70 @@ impl HistogramSpec {
     }
 }
 
+/// One recorded exemplar: a concrete sample value together with the
+/// trace-span id (from [`crate::TraceRing`]) of the observation that
+/// produced it — the bridge from an aggregate bucket count back to the
+/// exact span on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The observed sample value.
+    pub value: f64,
+    /// The trace-span id the observation ran under (never 0; a 0 span
+    /// id at record time means "no trace" and stores no exemplar).
+    pub span_id: u64,
+}
+
+/// Per-bucket exemplar storage: a tiny seqlock (even `seq` = stable,
+/// odd = mid-write). Writers that lose the CAS race simply drop their
+/// exemplar — exemplars are best-effort samples, not counters — so the
+/// record path never spins.
+#[derive(Debug)]
+pub(crate) struct ExemplarSlot {
+    seq: AtomicU64,
+    value_bits: AtomicU64,
+    span_id: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn new() -> Self {
+        ExemplarSlot {
+            seq: AtomicU64::new(0),
+            value_bits: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+        }
+    }
+
+    fn store(&self, value: f64, span_id: u64) {
+        let seq = self.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            return; // another writer is mid-flight; drop this exemplar
+        }
+        if self
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.value_bits.store(value.to_bits(), Ordering::Relaxed);
+        self.span_id.store(span_id, Ordering::Relaxed);
+        self.seq.store(seq + 2, Ordering::Release);
+    }
+
+    pub(crate) fn load(&self) -> Option<Exemplar> {
+        let before = self.seq.load(Ordering::Acquire);
+        if before == 0 || before & 1 == 1 {
+            return None; // never written, or caught mid-write
+        }
+        let value = f64::from_bits(self.value_bits.load(Ordering::Relaxed));
+        let span_id = self.span_id.load(Ordering::Relaxed);
+        if self.seq.load(Ordering::Acquire) != before {
+            return None;
+        }
+        Some(Exemplar { value, span_id })
+    }
+}
+
 /// Lock-free histogram core shared between all clones of a handle.
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
@@ -166,12 +230,17 @@ pub(crate) struct HistogramCore {
     pub(crate) sum_bits: AtomicU64,
     pub(crate) min_bits: AtomicU64,
     pub(crate) max_bits: AtomicU64,
+    /// One exemplar slot per bucket (last writer wins). Written only by
+    /// [`Histogram::record_with_exemplar`]; plain `record` never touches
+    /// them, so the un-traced hot path is unchanged.
+    pub(crate) exemplars: Vec<ExemplarSlot>,
 }
 
 impl HistogramCore {
     pub(crate) fn new(spec: HistogramSpec) -> Self {
         let bounds = spec.bounds();
         let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..bounds.len() + 1).map(|_| ExemplarSlot::new()).collect();
         HistogramCore {
             bounds,
             counts,
@@ -179,10 +248,11 @@ impl HistogramCore {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplars,
         }
     }
 
-    fn record(&self, v: f64) {
+    fn record(&self, v: f64, span_id: u64) {
         if v.is_nan() {
             return;
         }
@@ -192,6 +262,9 @@ impl HistogramCore {
         atomic_f64_update(&self.sum_bits, |s| s + v);
         atomic_f64_update(&self.min_bits, |m| m.min(v));
         atomic_f64_update(&self.max_bits, |m| m.max(v));
+        if span_id != 0 {
+            self.exemplars[idx].store(v, span_id);
+        }
     }
 }
 
@@ -230,7 +303,18 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: f64) {
         if let Some(core) = &self.0 {
-            core.record(v);
+            core.record(v, 0);
+        }
+    }
+
+    /// Record one sample and, when `span_id` is non-zero, stamp it as
+    /// the exemplar of the bucket the sample lands in (last writer
+    /// wins). A zero `span_id` — what a disabled [`crate::TraceRing`]
+    /// hands out — records the sample exactly like [`record`](Self::record).
+    #[inline]
+    pub fn record_with_exemplar(&self, v: f64, span_id: u64) {
+        if let Some(core) = &self.0 {
+            core.record(v, span_id);
         }
     }
 
@@ -284,6 +368,26 @@ mod tests {
         off.set(99.0);
         off.add(1.0);
         assert_eq!(off.get(), 0.0);
+    }
+
+    #[test]
+    fn exemplars_land_in_the_sample_bucket_and_last_writer_wins() {
+        let core = Arc::new(HistogramCore::new(HistogramSpec::new(1.0, 10.0, 3)));
+        let h = Histogram(Some(core.clone()));
+        h.record_with_exemplar(5.0, 17); // bucket 1 (1, 10]
+        h.record_with_exemplar(7.0, 23); // same bucket, overwrites
+        h.record_with_exemplar(0.5, 0); // span 0: counted, no exemplar
+        h.record(2000.0); // overflow bucket, plain record: no exemplar
+        assert_eq!(core.exemplars[0].load(), None);
+        assert_eq!(
+            core.exemplars[1].load(),
+            Some(Exemplar {
+                value: 7.0,
+                span_id: 23
+            })
+        );
+        assert_eq!(core.exemplars[3].load(), None);
+        assert_eq!(core.count.load(Ordering::Relaxed), 4);
     }
 
     #[test]

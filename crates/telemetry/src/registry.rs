@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSpec};
+use crate::metrics::{
+    Counter, Exemplar, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSpec,
+};
 
 /// Label pairs as passed at mint sites: `&[("shard", "3")]`.
 pub type LabelSet<'a> = &'a [(&'a str, &'a str)];
@@ -245,6 +247,7 @@ impl Registry {
                 sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
                 min: f64::from_bits(core.min_bits.load(Ordering::Relaxed)),
                 max: f64::from_bits(core.max_bits.load(Ordering::Relaxed)),
+                exemplars: core.exemplars.iter().map(|slot| slot.load()).collect(),
             })
             .collect();
         Snapshot {
@@ -307,6 +310,10 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Exact maximum sample (`-inf` if empty).
     pub max: f64,
+    /// Per-bucket exemplars (`counts.len()` entries, `None` where no
+    /// traced observation ever landed). See
+    /// [`crate::Histogram::record_with_exemplar`].
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -367,6 +374,13 @@ impl HistogramSnapshot {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        // Exemplars are point samples, not additive: keep ours, adopt
+        // the other shard's where we have none.
+        for (a, b) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+            if a.is_none() {
+                *a = *b;
+            }
+        }
     }
 }
 

@@ -141,34 +141,110 @@ fn respond(
     stream.write_all(response.as_bytes())
 }
 
+/// Why a one-shot scrape failed — routable, so callers can distinguish
+/// "the endpoint is gone" (connect) from "the endpoint is wedged"
+/// (timeout) from "the endpoint is not a scrape server" (protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrapeError {
+    /// The address did not resolve or the TCP connect failed/timed out.
+    Connect(String),
+    /// The server accepted the connection but a read or write timed
+    /// out — the half-open-peer case that used to hang forever.
+    Timeout(String),
+    /// Some other io error mid-exchange.
+    Io(String),
+    /// The response was not parseable HTTP.
+    Protocol(String),
+    /// The server answered something other than `200 OK`.
+    Status(String),
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeError::Connect(msg) => write!(f, "connect: {msg}"),
+            ScrapeError::Timeout(msg) => write!(f, "timed out: {msg}"),
+            ScrapeError::Io(msg) => write!(f, "io: {msg}"),
+            ScrapeError::Protocol(msg) => write!(f, "malformed response: {msg}"),
+            ScrapeError::Status(msg) => write!(f, "unexpected status: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+impl From<ScrapeError> for String {
+    fn from(e: ScrapeError) -> String {
+        e.to_string()
+    }
+}
+
+/// Classify an io error from an established stream: timeouts surface as
+/// [`ScrapeError::Timeout`], everything else as [`ScrapeError::Io`].
+fn classify_io(context: &str, e: std::io::Error) -> ScrapeError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            ScrapeError::Timeout(format!("{context}: {e}"))
+        }
+        _ => ScrapeError::Io(format!("{context}: {e}")),
+    }
+}
+
 /// A one-shot scrape client for probes and tests: fetches
-/// `http://{addr}/metrics` and returns the body.
+/// `http://{addr}/metrics` and returns the body. Uses a 5-second
+/// connect/read/write timeout; see [`scrape_once_with_timeout`] to
+/// choose one.
 ///
 /// # Errors
 ///
-/// Io errors from the connection, or a message when the server answers
-/// anything but `200 OK`.
-pub fn scrape_once(addr: &str) -> Result<String, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+/// A [`ScrapeError`] naming the failing stage.
+pub fn scrape_once(addr: &str) -> Result<String, ScrapeError> {
+    scrape_once_with_timeout(addr, REQUEST_TIMEOUT)
+}
+
+/// [`scrape_once`] with an explicit timeout applied to address
+/// resolution's connect, each read, and each write — so a peer that
+/// accepts the connection and then never writes (half-open server,
+/// stalled process) fails with [`ScrapeError::Timeout`] after `timeout`
+/// instead of hanging the caller forever.
+///
+/// # Errors
+///
+/// A [`ScrapeError`] naming the failing stage.
+pub fn scrape_once_with_timeout(addr: &str, timeout: Duration) -> Result<String, ScrapeError> {
+    use std::net::ToSocketAddrs;
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| ScrapeError::Connect(format!("{addr}: {e}")))?
+        .next()
+        .ok_or_else(|| ScrapeError::Connect(format!("{addr}: no addresses")))?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock_addr, timeout).map_err(|e| match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ScrapeError::Timeout(format!("connect {addr}: {e}"))
+            }
+            _ => ScrapeError::Connect(format!("{addr}: {e}")),
+        })?;
     stream
-        .set_read_timeout(Some(REQUEST_TIMEOUT))
-        .map_err(|e| e.to_string())?;
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| ScrapeError::Io(format!("set timeouts: {e}")))?;
     stream
         .write_all(
             format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
                 .as_bytes(),
         )
-        .map_err(|e| format!("send request: {e}"))?;
+        .map_err(|e| classify_io("send request", e))?;
     let mut raw = String::new();
     stream
         .read_to_string(&mut raw)
-        .map_err(|e| format!("read response: {e}"))?;
+        .map_err(|e| classify_io("read response", e))?;
     let (head, body) = raw
         .split_once("\r\n\r\n")
-        .ok_or_else(|| format!("malformed response: {raw:?}"))?;
+        .ok_or_else(|| ScrapeError::Protocol(format!("{raw:?}")))?;
     let status_line = head.lines().next().unwrap_or("");
     if !status_line.contains("200") {
-        return Err(format!("unexpected status: {status_line}"));
+        return Err(ScrapeError::Status(status_line.to_string()));
     }
     Ok(body.to_string())
 }
@@ -224,6 +300,48 @@ mod tests {
         };
         assert!(request("GET /nope HTTP/1.1").contains("404"));
         assert!(request("POST /metrics HTTP/1.1").contains("405"));
+    }
+
+    #[test]
+    fn half_open_server_times_out_instead_of_hanging() {
+        // A listener that accepts connections and then never writes a
+        // byte — the pathological peer that used to hang scrape_once
+        // (and with it `evsim top`) forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let wedged = std::thread::spawn(move || {
+            // Hold every accepted connection open, reading nothing and
+            // writing nothing, until the test ends.
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                held.push(stream);
+                if !held.is_empty() {
+                    std::thread::sleep(Duration::from_millis(500));
+                    break;
+                }
+            }
+            drop(held);
+        });
+        let t0 = std::time::Instant::now();
+        let result = scrape_once_with_timeout(&addr.to_string(), Duration::from_millis(100));
+        let elapsed = t0.elapsed();
+        match result {
+            Err(ScrapeError::Timeout(_)) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "scrape returned promptly, took {elapsed:?}"
+        );
+        let _ = wedged.join();
+    }
+
+    #[test]
+    fn connect_to_unresolvable_or_dead_addr_is_a_connect_error() {
+        match scrape_once_with_timeout("definitely-not-a-host-zz:1", Duration::from_millis(200)) {
+            Err(ScrapeError::Connect(_)) => {}
+            other => panic!("expected Connect, got {other:?}"),
+        }
     }
 
     #[test]

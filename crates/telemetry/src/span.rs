@@ -34,10 +34,19 @@ impl Span {
     /// Stop the span now and return the elapsed seconds that were
     /// recorded (0.0 when the histogram is disabled).
     pub fn finish(mut self) -> f64 {
-        self.record()
+        self.record(0)
     }
 
-    fn record(&mut self) -> f64 {
+    /// Stop the span now, recording the elapsed seconds with `span_id`
+    /// as the exemplar of the bucket the sample lands in (see
+    /// [`Histogram::record_with_exemplar`]). Pass the id returned by
+    /// [`crate::TraceSpan::finish_id`] to tie a latency observation to
+    /// the exact trace span that produced it; 0 records plainly.
+    pub fn finish_with_exemplar(mut self, span_id: u64) -> f64 {
+        self.record(span_id)
+    }
+
+    fn record(&mut self, span_id: u64) -> f64 {
         if self.recorded {
             return 0.0;
         }
@@ -45,7 +54,7 @@ impl Span {
         match self.start {
             Some(t0) => {
                 let secs = t0.elapsed().as_secs_f64();
-                self.hist.record(secs);
+                self.hist.record_with_exemplar(secs, span_id);
                 secs
             }
             None => 0.0,
@@ -55,7 +64,7 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.record();
+        self.record(0);
     }
 }
 
@@ -83,6 +92,26 @@ mod tests {
             let _span = h.start_span();
         }
         assert_eq!(reg.snapshot().histogram("t").unwrap().count, 1);
+    }
+
+    #[test]
+    fn finish_with_exemplar_stamps_the_landing_bucket() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("t", HistogramSpec::latency_seconds());
+        let span = h.start_span();
+        let secs = span.finish_with_exemplar(99);
+        assert!(secs >= 0.0);
+        let snap = reg.snapshot();
+        let hist = snap.histogram("t").unwrap();
+        assert_eq!(hist.count, 1);
+        let ex = hist
+            .exemplars
+            .iter()
+            .flatten()
+            .next()
+            .expect("one exemplar recorded");
+        assert_eq!(ex.span_id, 99);
+        assert_eq!(ex.value, secs);
     }
 
     #[test]

@@ -66,6 +66,11 @@ impl TracePhase {
 /// One decoded event read back out of a [`TraceRing`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
+    /// The span id [`TraceRing::emit`] returned for this event (claim
+    /// index + 1, unique over the ring's lifetime). The same id appears
+    /// as `args.span_id` in the Chrome-trace export and as the
+    /// `trace_id` of histogram exemplars recorded against this span.
+    pub id: u64,
     /// Resolved span name.
     pub name: String,
     /// Event phase.
@@ -204,10 +209,15 @@ impl TraceRing {
             .map_or(0, |core| core.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// Record an event with an explicit timestamp and duration.
+    /// Record an event with an explicit timestamp and duration,
+    /// returning the event's **span id** (claim index + 1; unique for
+    /// the lifetime of the ring, 0 on a disabled ring). The id is what
+    /// histogram exemplars reference (`trace_id` in the exposition) and
+    /// what the Chrome-trace export carries as `args.span_id`, so
+    /// `p99 bucket → exact span` is a single lookup.
     #[inline]
-    pub fn emit(&self, name_id: u32, phase: TracePhase, ts_ns: u64, dur_ns: u64) {
-        let Some(core) = &self.core else { return };
+    pub fn emit(&self, name_id: u32, phase: TracePhase, ts_ns: u64, dur_ns: u64) -> u64 {
+        let Some(core) = &self.core else { return 0 };
         let cap = core.slots.len() as u64;
         let index = core.head.fetch_add(1, Ordering::Relaxed);
         let slot = &core.slots[(index % cap) as usize];
@@ -230,6 +240,7 @@ impl TraceRing {
         slot.pid.store(self.pid, Ordering::Relaxed);
         slot.tid.store(self.tid, Ordering::Relaxed);
         slot.seq.store(index + 1, Ordering::Release);
+        index + 1
     }
 
     /// Record the opening edge of a long-lived span (e.g. session
@@ -262,6 +273,7 @@ impl TraceRing {
             },
             ring: self.clone(),
             name_id,
+            finished: false,
         }
     }
 
@@ -311,6 +323,7 @@ impl TraceRing {
             }
             let name_id = (meta & 0xffff_ffff) as usize;
             out.push(TraceEvent {
+                id: index + 1,
                 name: names
                     .get(name_id)
                     .cloned()
@@ -347,6 +360,12 @@ impl TraceRing {
             if e.phase == TracePhase::Complete {
                 out.push_str(&format!(",\"dur\":{:.3}", e.dur_ns as f64 / 1e3));
             }
+            // The span id exemplars reference; a string because Chrome
+            // trace viewers coerce large integer args to doubles.
+            out.push_str(&format!(
+                ",\"args\":{{\"span_id\":{}}}",
+                crate::export::json_str(&e.id.to_string())
+            ));
             out.push('}');
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -361,24 +380,44 @@ pub struct TraceSpan {
     ring: TraceRing,
     name_id: u32,
     start_ns: u64,
+    finished: bool,
 }
 
 impl TraceSpan {
     /// Finish the span now (equivalent to dropping it, but explicit at
     /// call sites that care about where the measured region ends).
-    pub fn finish(self) {}
+    pub fn finish(self) {
+        let _ = self.finish_id();
+    }
+
+    /// Finish the span now and return its **span id** (0 on a disabled
+    /// ring) — the value to hand to
+    /// [`crate::Span::finish_with_exemplar`] or
+    /// [`crate::Histogram::record_with_exemplar`] so the latency
+    /// observation's exemplar points back at this exact trace event.
+    pub fn finish_id(mut self) -> u64 {
+        self.finished = true;
+        self.record()
+    }
+
+    fn record(&self) -> u64 {
+        if self.ring.core.is_none() {
+            return 0;
+        }
+        let end = self.ring.now_ns();
+        self.ring.emit(
+            self.name_id,
+            TracePhase::Complete,
+            self.start_ns,
+            end.saturating_sub(self.start_ns),
+        )
+    }
 }
 
 impl Drop for TraceSpan {
     fn drop(&mut self) {
-        if self.ring.core.is_some() {
-            let end = self.ring.now_ns();
-            self.ring.emit(
-                self.name_id,
-                TracePhase::Complete,
-                self.start_ns,
-                end.saturating_sub(self.start_ns),
-            );
+        if !self.finished {
+            self.record();
         }
     }
 }
@@ -493,6 +532,58 @@ mod tests {
         assert!(json.contains("\"pid\":2"), "{json}");
         assert!(json.contains("\"tid\":7"), "{json}");
         assert!(json.contains("solve \\\"q\\\""), "quotes escaped: {json}");
+    }
+
+    #[test]
+    fn emitted_span_ids_are_unique_and_resolvable_in_the_export() {
+        let ring = TraceRing::enabled(16);
+        let id = ring.intern("work");
+        let a = ring.emit(id, TracePhase::Complete, 10, 1);
+        let b = ring.emit(id, TracePhase::Complete, 20, 1);
+        assert!(a > 0 && b == a + 1, "ids are sequential: {a}, {b}");
+        let span_id = ring.scoped(1, 2).span(id).finish_id();
+        assert_eq!(span_id, b + 1);
+        let events = ring.events();
+        assert_eq!(
+            events.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![a, b, span_id]
+        );
+        let json = ring.to_chrome_json();
+        assert!(
+            json.contains(&format!("\"args\":{{\"span_id\":\"{span_id}\"}}")),
+            "{json}"
+        );
+        // Disabled rings hand out 0 — the "no exemplar" sentinel.
+        assert_eq!(TraceRing::disabled().span(0).finish_id(), 0);
+    }
+
+    #[test]
+    fn finish_id_does_not_double_record_on_drop() {
+        let ring = TraceRing::enabled(16);
+        let id = ring.intern("once");
+        {
+            let span = ring.span(id);
+            let _ = span.finish_id();
+        }
+        assert_eq!(ring.recorded(), 1);
+    }
+
+    #[test]
+    fn chrome_json_escapes_quotes_backslashes_and_control_chars() {
+        let ring = TraceRing::enabled(16);
+        // Adversarial span name: quote, backslash, newline, tab and a
+        // raw control byte — all must come out JSON-escaped.
+        let id = ring.intern("bad\"name\\with\nnewline\ttab\u{1}ctl");
+        ring.emit(id, TracePhase::Complete, 100, 50);
+        let json = ring.to_chrome_json();
+        assert!(
+            json.contains("bad\\\"name\\\\with\\nnewline\\ttab\\u0001ctl"),
+            "{json}"
+        );
+        // No raw control characters or unescaped quotes survive inside
+        // the name field.
+        assert!(!json.contains('\u{1}'), "{json}");
+        assert!(!json.contains('\n'), "{json}");
     }
 
     #[test]

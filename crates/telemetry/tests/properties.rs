@@ -1,0 +1,120 @@
+//! Property-based tests for the exposition parser and the tsdb segment
+//! reader: label values survive a render → parse round trip whatever
+//! characters they carry, and a segment cut anywhere mid-write decodes
+//! to an intact frame prefix instead of an error.
+
+use ev_telemetry::export::{self, PromSample};
+use ev_telemetry::tsdb;
+use ev_telemetry::Registry;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the exposition escaper: the three escape
+/// classes (`\\`, `\"`, `\n`), multi-byte unicode, and plain filler.
+const PALETTE: &[char] = &[
+    '\\', '"', '\n', 'a', 'Z', '0', ' ', '=', ',', '{', '}', 'é', '雪', '🔋',
+];
+
+fn label_value(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| PALETTE[i % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any label value — escapes, unicode, empty — round-trips through
+    /// `to_prometheus` → `parse_prometheus` unchanged, and the parsed
+    /// samples match `snapshot_samples` exactly.
+    #[test]
+    fn parse_prometheus_round_trips_label_values(
+        raw_a in vec(0usize..PALETTE.len(), 0..12),
+        raw_b in vec(0usize..PALETTE.len(), 0..12),
+        count in 0u64..1000,
+    ) {
+        let (va, vb) = (label_value(&raw_a), label_value(&raw_b));
+        let registry = Registry::enabled();
+        registry
+            .counter_with("requests_total", &[("path", &va), ("zone", &vb)])
+            .add(count);
+        registry.gauge_with("depth", &[("path", &va)]).set(3.5);
+        let snapshot = registry.snapshot();
+
+        let text = export::to_prometheus(&snapshot);
+        let parsed = export::parse_prometheus(&text)
+            .map_err(proptest::TestCaseError::fail)?;
+        let expected: Vec<PromSample> = export::snapshot_samples(&snapshot);
+        prop_assert_eq!(&parsed, &expected, "exposition:\n{}", text);
+
+        let counter = parsed
+            .iter()
+            .find(|s| s.name == "requests_total")
+            .expect("counter sample present");
+        let find = |k: &str| {
+            counter
+                .labels
+                .iter()
+                .find(|(lk, _)| lk == k)
+                .map(|(_, v)| v.as_str())
+        };
+        prop_assert_eq!(find("path"), Some(va.as_str()));
+        prop_assert_eq!(find("zone"), Some(vb.as_str()));
+    }
+
+    /// Cutting a segment file at ANY byte offset past the magic leaves
+    /// a readable file: the reader yields an intact frame prefix and
+    /// only flags `truncated` when the cut tore a record.
+    #[test]
+    fn segment_reader_survives_a_cut_at_any_offset(
+        frames in 1usize..6,
+        cut_back in 0usize..64,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "evtsdb-prop-{}-{frames}-{cut_back}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("seg.evts");
+
+        let mut writer = tsdb::SegmentWriter::create(&path).expect("create");
+        for f in 0..frames {
+            let samples = vec![
+                PromSample {
+                    name: "steps_total".into(),
+                    labels: vec![("shard".into(), "0".into())],
+                    value: (f * 7) as f64,
+                    exemplar: None,
+                },
+                PromSample {
+                    name: "depth".into(),
+                    labels: vec![],
+                    value: f as f64 * 0.5,
+                    exemplar: None,
+                },
+            ];
+            writer.append((f as u64 + 1) * 1000, &samples).expect("append");
+        }
+        drop(writer);
+
+        let bytes = std::fs::read(&path).expect("read back");
+        let cut = bytes.len().saturating_sub(cut_back).max(8);
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+
+        let seg = tsdb::read_segment(&path)
+            .map_err(proptest::TestCaseError::fail)?;
+        // Frames decode as a strict prefix with their original stamps.
+        prop_assert!(seg.frames.len() <= frames);
+        for (i, frame) in seg.frames.iter().enumerate() {
+            prop_assert_eq!(frame.t_ms, (i as u64 + 1) * 1000);
+        }
+        // A cut that removed bytes but left the file undamaged at a
+        // record boundary is not flagged; any torn record must be.
+        if cut == bytes.len() {
+            prop_assert!(!seg.truncated, "whole file is never truncated");
+            prop_assert_eq!(seg.frames.len(), frames);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

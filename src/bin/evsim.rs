@@ -59,6 +59,35 @@
 //!     trace JSON — loadable in Perfetto / chrome://tracing. `--sample`
 //!     keeps every Nth session; `--capacity` bounds the ring (oldest
 //!     events are overwritten past it).
+//!
+//! evsim record [--out <seg.evts>] [--interval <secs>]
+//!              (--addr <host:port> [--for-seconds <n>] |
+//!               [loadgen flags] [--max-sqp-iterations <n>]
+//!               [--trace-out <path.json>] [--sample <modulus>]
+//!               [--capacity <events>])
+//!     Record fleet health history into a crash-safe tsdb segment.
+//!     With `--addr`, polls an existing scrape endpoint; otherwise runs
+//!     a loadgen burst in-process and samples its registry while it
+//!     runs (`--trace-out` additionally captures the Chrome trace that
+//!     histogram exemplars resolve against; `--max-sqp-iterations` is
+//!     the fault-injection hook the SLO CI job breaches on).
+//!
+//! evsim query --segment <seg.evts> [--metric <name>] [--labels k=v,..]
+//!             [--window-s <n>] [--quantile <q> | --rate]
+//!             [--exemplars [--trace <path.json>]]
+//!     Query a recorded segment: list its series, compute a windowed
+//!     rate or bucket-delta quantile over the trailing window, or list
+//!     histogram exemplars — resolving each trace-span id against a
+//!     Chrome-trace export so a p99 exemplar points at the exact solve.
+//!
+//! evsim slo [--rules <path.toml>] [--once]
+//!           (--segment <seg.evts> |
+//!            --addr <host:port> [--interval <secs>] [--for-seconds <n>])
+//!     Evaluate SLO rules (windowed rates, bucket-delta quantiles,
+//!     multi-window burn rates) over a recorded segment or a live
+//!     endpoint, printing alert transitions and a final per-rule
+//!     verdict. Exits non-zero if any alert ever fired — the CI
+//!     contract: a healthy soak passes, a fault-injected one fails.
 //! ```
 
 use std::process::ExitCode;
@@ -73,6 +102,8 @@ use evclimate::core::{
 };
 use evclimate::drive::{AmbientConditions, DriveCycle, DriveProfile};
 use evclimate::telemetry::export::PromSample;
+use evclimate::telemetry::slo::{self, SloEngine};
+use evclimate::telemetry::tsdb::{self, quantile_from_cumulative, Tsdb};
 use evclimate::telemetry::{
     export, scrape_once, FlightRecorder, Registry, ScrapeServer, TraceRing,
 };
@@ -94,7 +125,14 @@ fn usage() -> &'static str {
      [--require-counter <name>]\n  \
      evsim top --addr <host:port> [--interval <secs>] [--once]\n  \
      evsim trace [--out <path.json>] [--sample <modulus>] \
-     [--capacity <events>] [loadgen flags]"
+     [--capacity <events>] [loadgen flags]\n  \
+     evsim record [--out <seg.evts>] [--interval <secs>] \
+     (--addr <host:port> [--for-seconds <n>] | [loadgen flags] \
+     [--max-sqp-iterations <n>] [--trace-out <path.json>])\n  \
+     evsim query --segment <seg.evts> [--metric <name>] [--labels k=v,..] \
+     [--window-s <n>] [--quantile <q> | --rate] [--exemplars [--trace <path.json>]]\n  \
+     evsim slo [--rules <path.toml>] [--once] (--segment <seg.evts> | \
+     --addr <host:port> [--interval <secs>] [--for-seconds <n>])"
 }
 
 /// Looks up a built-in cycle by (case-insensitive) name.
@@ -770,6 +808,13 @@ fn loadgen_config(
         Some(name) => controller_by_name(name)
             .ok_or_else(|| format!("unknown controller '{name}' (onoff|fuzzy|pid|mpc)"))?,
     };
+    let max_sqp_iterations = match args.get("max-sqp-iterations") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--max-sqp-iterations expects a count, got '{v}'"))?,
+        ),
+    };
     Ok(LoadgenConfig {
         sessions: args.get_usize(sessions_key, defaults.sessions)?,
         steps_per_session: args.get_usize(steps_key, defaults.steps_per_session)?,
@@ -778,6 +823,7 @@ fn loadgen_config(
         shards: args.get_usize("shards", defaults.shards)?,
         queue_capacity: args.get_usize("queue-capacity", defaults.queue_capacity)?,
         controller,
+        max_sqp_iterations,
     })
 }
 
@@ -906,9 +952,19 @@ fn series_sum(samples: &[PromSample], name: &str, shard: Option<&str>) -> Option
     found.then_some(sum)
 }
 
+/// Parse a `le` label value, `+Inf` included (NaN for garbage).
+fn parse_le(v: &str) -> f64 {
+    if v == "+Inf" {
+        f64::INFINITY
+    } else {
+        v.parse().unwrap_or(f64::NAN)
+    }
+}
+
 /// Cumulative `(le, count)` pairs of the `fleet_cmd_seconds` step-latency
-/// histogram, sorted by bound; summed across shards when `shard` is
-/// `None` (all shards share the spec, so identical bounds line up).
+/// histogram, sorted by bound (`+Inf` last); summed across shards when
+/// `shard` is `None` (all shards share the spec, so identical bounds
+/// line up).
 fn step_buckets(samples: &[PromSample], shard: Option<&str>) -> Vec<(f64, f64)> {
     let mut acc: Vec<(f64, f64)> = Vec::new();
     for s in samples
@@ -920,10 +976,14 @@ fn step_buckets(samples: &[PromSample], shard: Option<&str>) -> Vec<(f64, f64)> 
                 continue;
             }
         }
-        let Some(le) = s.label("le").and_then(|v| v.parse::<f64>().ok()) else {
+        let le = s.label("le").map_or(f64::NAN, parse_le);
+        if le.is_nan() {
             continue;
-        };
-        match acc.iter_mut().find(|(bound, _)| *bound == le) {
+        }
+        match acc
+            .iter_mut()
+            .find(|(bound, _)| *bound == le || (bound.is_infinite() && le.is_infinite()))
+        {
             Some((_, count)) => *count += s.value,
             None => acc.push((le, s.value)),
         }
@@ -932,21 +992,20 @@ fn step_buckets(samples: &[PromSample], shard: Option<&str>) -> Vec<(f64, f64)> 
     acc
 }
 
-/// Quantile estimate from cumulative histogram buckets: the upper bound
-/// of the first bucket whose cumulative count reaches `q` of the total.
-/// NaN when empty; +Inf when the mass sits past the last finite bound.
-fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> f64 {
-    let total = buckets.last().map_or(0.0, |b| b.1);
-    if total <= 0.0 {
-        return f64::NAN;
-    }
-    let target = (q * total).ceil().max(1.0);
-    for (le, cumulative) in buckets {
-        if *cumulative >= target {
-            return *le;
-        }
-    }
-    f64::NAN
+/// Subtract a previous poll's cumulative buckets from the current ones,
+/// clamping at zero — the same bucket-delta construction the SLO
+/// engine's windowed quantiles use, so `evsim top` and the alerts read
+/// the same number.
+fn bucket_delta(cur: &[(f64, f64)], prev: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    cur.iter()
+        .map(|&(le, c)| {
+            let p = prev
+                .iter()
+                .find(|(ple, _)| *ple == le || (ple.is_infinite() && le.is_infinite()))
+                .map_or(0.0, |&(_, pc)| pc);
+            (le, (c - p).max(0.0))
+        })
+        .collect()
 }
 
 /// `0.42` seconds → `"420.00"` (ms); `-` / `inf` for NaN / +Inf.
@@ -983,10 +1042,18 @@ fn outcome_mix(samples: &[PromSample], shard: Option<&str>) -> String {
         .join("/")
 }
 
-/// Render one dashboard frame from a parsed scrape. Errors when no
-/// per-shard labeled series are present — the `--once` CI probe treats
-/// that as "the fleet engine never ran", not an empty table.
-fn render_top(addr: &str, samples: &[PromSample]) -> Result<String, String> {
+/// Render one dashboard frame from a parsed scrape. With `prev` (the
+/// previous poll), latency quantiles are **windowed**: bucket deltas
+/// between the polls, so p50/p99 describe the last interval instead of
+/// the whole process lifetime. Without it (first frame, `--once`) they
+/// are cumulative. Errors when no per-shard labeled series are present
+/// — the `--once` CI probe treats that as "the fleet engine never
+/// ran", not an empty table.
+fn render_top(
+    addr: &str,
+    samples: &[PromSample],
+    prev: Option<&[PromSample]>,
+) -> Result<String, String> {
     let mut shards: Vec<u64> = samples
         .iter()
         .filter_map(|s| s.label("shard"))
@@ -1000,9 +1067,14 @@ fn render_top(addr: &str, samples: &[PromSample]) -> Result<String, String> {
         ));
     }
     let mut out = format!(
-        "evsim top — http://{addr}/metrics ({} samples, {} shards)\n",
+        "evsim top — http://{addr}/metrics ({} samples, {} shards, {} latency)\n",
         samples.len(),
-        shards.len()
+        shards.len(),
+        if prev.is_some() {
+            "windowed"
+        } else {
+            "cumulative"
+        }
     );
     out.push_str(&format!(
         "{:>5} {:>6} {:>6} {:>10} {:>8} {:>7} {:>9} {:>9}  {}\n",
@@ -1020,7 +1092,10 @@ fn render_top(addr: &str, samples: &[PromSample]) -> Result<String, String> {
         let count = |name: &str| {
             series_sum(samples, name, shard).map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"))
         };
-        let buckets = step_buckets(samples, shard);
+        let mut buckets = step_buckets(samples, shard);
+        if let Some(prev) = prev {
+            buckets = bucket_delta(&buckets, &step_buckets(prev, shard));
+        }
         out.push_str(&format!(
             "{:>5} {:>6} {:>6} {:>10} {:>8} {:>7} {:>9} {:>9}  {}\n",
             label,
@@ -1029,8 +1104,8 @@ fn render_top(addr: &str, samples: &[PromSample]) -> Result<String, String> {
             count("fleet_steps_total"),
             count("fleet_commands_parked_total"),
             count("fleet_commands_shed_total"),
-            fmt_ms(bucket_quantile(&buckets, 0.50)),
-            fmt_ms(bucket_quantile(&buckets, 0.99)),
+            fmt_ms(quantile_from_cumulative(&buckets, 0.50)),
+            fmt_ms(quantile_from_cumulative(&buckets, 0.99)),
             outcome_mix(samples, shard),
         ));
     };
@@ -1052,11 +1127,17 @@ fn cmd_top(args: &Args) -> Result<(), String> {
     }
     let once = args.flag("once");
     use std::io::Write as _;
+    // The previous poll's samples: present from the second frame on,
+    // which flips the latency columns from cumulative to windowed.
+    let mut prev: Option<Vec<PromSample>> = None;
     loop {
         let text = scrape_once(addr)?;
-        let frame = export::parse_prometheus(&text)
-            .map_err(|e| format!("invalid exposition from {addr}: {e}"))
-            .and_then(|samples| render_top(addr, &samples));
+        let parsed = export::parse_prometheus(&text)
+            .map_err(|e| format!("invalid exposition from {addr}: {e}"));
+        let frame = parsed
+            .as_ref()
+            .map_err(Clone::clone)
+            .and_then(|samples| render_top(addr, samples, prev.as_deref()));
         if once {
             print!("{}", frame?);
             return Ok(());
@@ -1066,6 +1147,7 @@ fn cmd_top(args: &Args) -> Result<(), String> {
             Ok(view) => print!("\x1b[2J\x1b[H{view}"),
             Err(msg) => print!("\x1b[2J\x1b[H{msg}\nretrying every {interval} s\n"),
         }
+        prev = parsed.ok();
         let _ = std::io::stdout().flush();
         std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }
@@ -1097,6 +1179,397 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Wall-clock milliseconds since the Unix epoch — the frame timestamps
+/// tsdb segments carry.
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// `name{k="v",...}` for display (no escaping — labels here come from
+/// mint sites, not parsed input).
+fn fmt_series(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
+/// Parse a `k=v,k2=v2` label-filter flag into owned pairs.
+fn parse_label_filter(raw: Option<&str>) -> Result<Vec<(String, String)>, String> {
+    let Some(raw) = raw else {
+        return Ok(Vec::new());
+    };
+    raw.split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|pair| {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--labels pair '{pair}' is not k=v"))?;
+            Ok((k.trim().to_owned(), v.trim().to_owned()))
+        })
+        .collect()
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let out_path = args.get("out").unwrap_or("fleet.evts");
+    let mut writer = tsdb::SegmentWriter::create(std::path::Path::new(out_path))
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    if let Some(addr) = args.get("addr") {
+        // Poll an existing scrape endpoint.
+        let interval = args.get_f64("interval", 1.0)?;
+        if interval <= 0.0 {
+            return Err("--interval must be positive".into());
+        }
+        let for_seconds = args.get_f64("for-seconds", 10.0)?;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(for_seconds);
+        loop {
+            let text = scrape_once(addr)?;
+            let samples = export::parse_prometheus(&text)
+                .map_err(|e| format!("invalid exposition from {addr}: {e}"))?;
+            writer
+                .append(now_ms(), &samples)
+                .map_err(|e| format!("{out_path}: {e}"))?;
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        }
+    } else {
+        // Run a loadgen burst in-process and sample its registry live.
+        let interval = args.get_f64("interval", 0.05)?;
+        if interval <= 0.0 {
+            return Err("--interval must be positive".into());
+        }
+        let config = loadgen_config(args, "sessions", "steps")?;
+        if config.sessions == 0 {
+            return Err("--sessions must be at least 1".into());
+        }
+        let sample = args.get_u64("sample", 1)?;
+        if sample == 0 {
+            return Err("--sample must be at least 1".into());
+        }
+        let trace_out = args.get("trace-out");
+        let registry = Registry::enabled();
+        let trace = match trace_out {
+            Some(_) => TraceRing::sampled(args.get_usize("capacity", 65_536)?, sample),
+            None => TraceRing::disabled(),
+        };
+        let worker = {
+            let (config, registry, trace) = (config.clone(), registry.clone(), trace.clone());
+            std::thread::spawn(move || run_loadgen_traced(&config, &registry, &trace))
+        };
+        while !worker.is_finished() {
+            writer
+                .append(now_ms(), &export::snapshot_samples(&registry.snapshot()))
+                .map_err(|e| format!("{out_path}: {e}"))?;
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        }
+        let report = worker.join().map_err(|_| "loadgen thread panicked")?;
+        // One final frame so the segment always carries the shutdown
+        // totals and the complete histograms.
+        writer
+            .append(now_ms(), &export::snapshot_samples(&registry.snapshot()))
+            .map_err(|e| format!("{out_path}: {e}"))?;
+        print!("{}", render_loadgen_report(&report));
+        if let Some(path) = trace_out {
+            export::write_text(std::path::Path::new(path), &trace.to_chrome_json())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "chrome trace written to {path} ({} events, {} overwritten)",
+                trace.events().len(),
+                trace.dropped()
+            );
+        }
+    }
+    println!("recorded {} frames to {out_path}", writer.frames());
+    Ok(())
+}
+
+/// Span-id → (name, ts, dur) index over a Chrome-trace JSON export, for
+/// resolving histogram exemplars back to the spans that produced them.
+fn trace_span_index(
+    path: &str,
+) -> Result<std::collections::HashMap<u64, (String, f64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let RawLine(value) =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let serde::Value::Seq(events) = value
+        .field("traceEvents")
+        .map_err(|_| format!("{path}: no traceEvents array (not a Chrome trace?)"))?
+    else {
+        return Err(format!("{path}: traceEvents is not an array"));
+    };
+    let mut index = std::collections::HashMap::new();
+    for e in events {
+        let Ok(id) = e
+            .field("args")
+            .and_then(|a| a.field("span_id"))
+            .and_then(serde::Value::as_str)
+        else {
+            continue;
+        };
+        let Ok(id) = id.parse::<u64>() else { continue };
+        let name = e
+            .field("name")
+            .and_then(serde::Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let ts = e.field("ts").and_then(serde::Value::as_num).unwrap_or(0.0);
+        let dur = e.field("dur").and_then(serde::Value::as_num).unwrap_or(0.0);
+        index.insert(id, (name, ts, dur));
+    }
+    Ok(index)
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let seg_path = args.get("segment").ok_or("missing --segment <seg.evts>")?;
+    let segment = tsdb::read_segment(std::path::Path::new(seg_path))?;
+    if segment.frames.is_empty() {
+        return Err(format!("{seg_path}: segment holds no complete frames"));
+    }
+    if segment.truncated {
+        eprintln!("note: {seg_path} has a torn tail; decoded the intact prefix");
+    }
+    let mut db = Tsdb::new();
+    db.ingest_segment(&segment);
+    let t1 = segment.frames.last().map_or(0, |f| f.t_ms);
+
+    if args.flag("exemplars") || args.get("trace").is_some() {
+        let index = match args.get("trace") {
+            Some(path) => Some(trace_span_index(path)?),
+            None => None,
+        };
+        let mut shown = 0usize;
+        let mut resolved = 0usize;
+        for s in db.series() {
+            let Some(ex) = &s.exemplar else { continue };
+            shown += 1;
+            let mut line = format!(
+                "{} value={} span_id={}",
+                fmt_series(&s.name, &s.labels),
+                ex.value,
+                ex.span_id
+            );
+            if let Some(index) = &index {
+                match index.get(&ex.span_id) {
+                    Some((name, ts, dur)) => {
+                        resolved += 1;
+                        line.push_str(&format!(" -> span {name} @{ts:.0}us dur={dur:.0}us"));
+                    }
+                    None => line.push_str(" -> UNRESOLVED (span evicted from the ring?)"),
+                }
+            }
+            println!("{line}");
+        }
+        println!("{shown} exemplars");
+        if let Some(index) = &index {
+            println!("{resolved} resolved against {} trace spans", index.len());
+            if shown > 0 && resolved == 0 {
+                return Err("no exemplar resolved against the trace".into());
+            }
+        }
+        return Ok(());
+    }
+
+    match args.get("metric") {
+        None => {
+            println!(
+                "{seg_path}: {} series, {} frames, {:.1} s span{}",
+                segment.series.len(),
+                segment.frames.len(),
+                (t1.saturating_sub(segment.frames[0].t_ms)) as f64 / 1e3,
+                if segment.truncated {
+                    " (truncated)"
+                } else {
+                    ""
+                }
+            );
+            for s in db.series() {
+                let latest = s.latest().map_or(f64::NAN, |p| p.v);
+                println!(
+                    "{:<60} {:>5} pts latest {latest}",
+                    fmt_series(&s.name, &s.labels),
+                    s.raw_len(),
+                );
+            }
+        }
+        Some(metric) => {
+            let labels = parse_label_filter(args.get("labels"))?;
+            let label_refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let window_s = args.get_u64("window-s", 60)?;
+            let t0 = t1.saturating_sub(window_s.saturating_mul(1000));
+            if let Some(q_raw) = args.get("quantile") {
+                let q: f64 = q_raw
+                    .parse()
+                    .map_err(|_| format!("--quantile expects a number, got '{q_raw}'"))?;
+                let v = db
+                    .windowed_quantile(metric, &label_refs, t0, t1, q)
+                    .ok_or_else(|| format!("no {metric}_bucket series match"))?;
+                println!("{metric} p{:.0} over {window_s}s: {v}", q * 100.0);
+            } else if args.flag("rate") {
+                let v = db
+                    .rate_sum(metric, &label_refs, t0, t1)
+                    .ok_or_else(|| format!("no {metric} series match"))?;
+                println!("{metric} rate over {window_s}s: {v:.3}/s");
+            } else {
+                let matches = db.find(metric, &label_refs);
+                if matches.is_empty() {
+                    return Err(format!("no series named {metric} match the label filter"));
+                }
+                for idx in matches {
+                    let s = &db.series()[idx];
+                    let latest = s.latest().map_or(f64::NAN, |p| p.v);
+                    println!("{} {latest}", fmt_series(&s.name, &s.labels));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The built-in rule set `evsim slo` evaluates when no `--rules` file is
+/// given: a step-latency quantile ceiling, a queue-depth guard, and the
+/// solve-iteration error budget the CI fault-injection job breaches.
+const DEFAULT_SLO_RULES: &str = r#"
+# Windowed p99 of fleet step handling must stay under 250 ms.
+[[slo]]
+name = "step-p99-latency"
+kind = "quantile"
+metric = "fleet_cmd_seconds"
+labels = "cmd=step"
+q = 0.99
+window_s = 10
+op = "gt"
+threshold = 0.25
+
+# Shard command queues must not stay saturated.
+[[slo]]
+name = "queue-depth"
+kind = "gauge"
+metric = "fleet_queue_depth"
+op = "gt"
+threshold = 1000
+for_s = 2
+
+# Error budget: at most 25% of MPC solves may hit the iteration cap.
+# Burn must exceed 1x over BOTH windows to page (multi-window rule).
+[[slo]]
+name = "solve-iteration-budget"
+kind = "burn_rate"
+bad_metric = "mpc_solve_max_iterations_total"
+total_metric = "mpc_solves_total"
+objective = 0.25
+fast_window_s = 2
+slow_window_s = 8
+threshold = 1.0
+"#;
+
+/// One rendered status line per rule.
+fn render_slo_status(statuses: &[slo::RuleStatus]) -> String {
+    let mut out = String::new();
+    for s in statuses {
+        let value = s
+            .value
+            .map_or_else(|| "no data".to_owned(), |v| format!("{v:.4}"));
+        out.push_str(&format!(
+            "{:>8}  {:<24} value {value} (breach when {} {})\n",
+            s.state.to_string(),
+            s.name,
+            s.op,
+            s.threshold
+        ));
+    }
+    out
+}
+
+fn cmd_slo(args: &Args) -> Result<(), String> {
+    let rules_text = match args.get("rules") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => DEFAULT_SLO_RULES.to_owned(),
+    };
+    let rules = slo::parse_config(&rules_text)?;
+    if rules.is_empty() {
+        return Err("rule set is empty".into());
+    }
+    let mut engine = SloEngine::new(rules);
+    let mut last: Vec<slo::RuleStatus> = Vec::new();
+    // Print one line per state transition, so a replayed soak reads as
+    // an alert timeline.
+    let observe = |t_ms: u64, statuses: Vec<slo::RuleStatus>, last: &mut Vec<slo::RuleStatus>| {
+        for s in &statuses {
+            let changed = last
+                .iter()
+                .find(|p| p.name == s.name)
+                .is_none_or(|p| p.state != s.state);
+            if changed {
+                let value = s
+                    .value
+                    .map_or_else(|| "no data".to_owned(), |v| format!("{v:.4}"));
+                println!("[{t_ms}] {}: {} (value {value})", s.name, s.state);
+            }
+        }
+        *last = statuses;
+    };
+
+    if let Some(seg_path) = args.get("segment") {
+        let segment = tsdb::read_segment(std::path::Path::new(seg_path))?;
+        if segment.frames.is_empty() {
+            return Err(format!("{seg_path}: segment holds no complete frames"));
+        }
+        if segment.truncated {
+            eprintln!("note: {seg_path} has a torn tail; replaying the intact prefix");
+        }
+        let mut db = Tsdb::new();
+        for i in 0..segment.frames.len() {
+            let t = segment.frames[i].t_ms;
+            db.ingest(t, &segment.frame_samples(i));
+            let statuses = engine.evaluate(&db, t);
+            observe(t, statuses, &mut last);
+        }
+        println!(
+            "--- {} frames replayed from {seg_path} ---",
+            segment.frames.len()
+        );
+    } else if let Some(addr) = args.get("addr") {
+        let interval = args.get_f64("interval", 1.0)?;
+        if interval <= 0.0 {
+            return Err("--interval must be positive".into());
+        }
+        let for_seconds = args.get_f64("for-seconds", 10.0)?;
+        let once = args.flag("once");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(for_seconds);
+        let mut db = Tsdb::new();
+        loop {
+            let text = scrape_once(addr)?;
+            let samples = export::parse_prometheus(&text)
+                .map_err(|e| format!("invalid exposition from {addr}: {e}"))?;
+            let t = now_ms();
+            db.ingest(t, &samples);
+            let statuses = engine.evaluate(&db, t);
+            observe(t, statuses, &mut last);
+            if once && std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        }
+    } else {
+        return Err("need --segment <seg.evts> or --addr <host:port>".into());
+    }
+
+    print!("{}", render_slo_status(&last));
+    if engine.ever_fired() {
+        return Err("SLO breach: at least one alert fired during the run".into());
+    }
+    println!("all SLOs held");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -1116,6 +1589,9 @@ fn main() -> ExitCode {
         ("scrape", Ok(args)) => cmd_scrape(&args),
         ("top", Ok(args)) => cmd_top(&args),
         ("trace", Ok(args)) => cmd_trace(&args),
+        ("record", Ok(args)) => cmd_record(&args),
+        ("query", Ok(args)) => cmd_query(&args),
+        ("slo", Ok(args)) => cmd_slo(&args),
         ("validate-telemetry", _) => match argv.get(1) {
             Some(path) => cmd_validate_telemetry(path),
             None => Err(format!("missing <path.jsonl>\n{}", usage())),
@@ -1434,14 +1910,31 @@ mod tests {
             (0.1, 99.0),
             (f64::INFINITY, 100.0),
         ];
-        assert_eq!(bucket_quantile(&buckets, 0.05), 0.001);
-        assert_eq!(bucket_quantile(&buckets, 0.50), 0.01);
-        assert_eq!(bucket_quantile(&buckets, 0.99), 0.1);
-        assert_eq!(bucket_quantile(&buckets, 1.0), f64::INFINITY);
-        assert!(bucket_quantile(&[], 0.5).is_nan());
+        assert_eq!(quantile_from_cumulative(&buckets, 0.05), 0.001);
+        assert_eq!(quantile_from_cumulative(&buckets, 0.50), 0.01);
+        assert_eq!(quantile_from_cumulative(&buckets, 0.99), 0.1);
+        // A +Inf landing reports the largest finite bound.
+        assert_eq!(quantile_from_cumulative(&buckets, 1.0), 0.1);
+        assert!(quantile_from_cumulative(&[], 0.5).is_nan());
         assert_eq!(fmt_ms(0.01), "10.00");
         assert_eq!(fmt_ms(f64::NAN), "-");
         assert_eq!(fmt_ms(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn bucket_delta_subtracts_cumulative_polls() {
+        let prev = [(0.001, 10.0), (0.01, 90.0), (f64::INFINITY, 100.0)];
+        let cur = [(0.001, 12.0), (0.01, 95.0), (f64::INFINITY, 110.0)];
+        assert_eq!(
+            bucket_delta(&cur, &prev),
+            vec![(0.001, 2.0), (0.01, 5.0), (f64::INFINITY, 10.0)]
+        );
+        // A counter reset (current below previous) clamps to zero
+        // instead of going negative.
+        let reset = [(0.001, 1.0), (0.01, 2.0), (f64::INFINITY, 3.0)];
+        assert!(bucket_delta(&reset, &prev).iter().all(|&(_, c)| c == 0.0));
+        // No previous poll means the full cumulative counts pass through.
+        assert_eq!(bucket_delta(&cur, &[]), cur.to_vec());
     }
 
     #[test]
@@ -1457,8 +1950,12 @@ mod tests {
         let _ = run_loadgen_on(&config, &registry);
         let text = export::to_prometheus(&registry.snapshot());
         let samples = export::parse_prometheus(&text).expect("scrape parses");
-        let view = render_top("127.0.0.1:0", &samples).expect("per-shard series present");
+        let view = render_top("127.0.0.1:0", &samples, None).expect("per-shard series present");
         assert!(view.contains("2 shards"), "{view}");
+        assert!(
+            view.contains("cumulative"),
+            "first frame is cumulative: {view}"
+        );
         for shard in ["0", "1"] {
             let row = view
                 .lines()
@@ -1482,7 +1979,7 @@ mod tests {
         registry.counter("solves_total").inc();
         let text = export::to_prometheus(&registry.snapshot());
         let samples = export::parse_prometheus(&text).expect("parses");
-        let err = render_top("127.0.0.1:0", &samples).expect_err("no shard labels");
+        let err = render_top("127.0.0.1:0", &samples, None).expect_err("no shard labels");
         assert!(err.contains("per-shard"), "{err}");
     }
 
